@@ -1,0 +1,310 @@
+package repro
+
+// One benchmark per paper table and figure: each regenerates the
+// corresponding measurement at a reduced-but-meaningful scale, so
+// `go test -bench=. -benchmem` sweeps the entire evaluation. Shapes (who
+// wins, by what factor) are the reproduction target; see EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/bitwidth"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/steer"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{SpecUops: 20_000, SuiteUops: 4_000, Warmup: 4_000, Workers: 0}
+}
+
+// BenchmarkFig01NarrowDependency regenerates Figure 1 (narrow data-width
+// dependent register operands + the §1 ALU operand mix).
+func BenchmarkFig01NarrowDependency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig1(benchOptions())
+		if t.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig03Detectors exercises the Figure 3 leading zero/one detector
+// circuits against the fast datapath check.
+func BenchmarkFig03Detectors(b *testing.B) {
+	det := bitwidth.NewNarrowDetector()
+	ok := true
+	for i := 0; i < b.N; i++ {
+		v := uint32(i) * 0x9E3779B9
+		ok = ok && (det.Narrow(v) == bitwidth.IsNarrow(v))
+	}
+	if !ok {
+		b.Fatal("detector mismatch")
+	}
+}
+
+// benchSweep shares one SPEC ladder sweep across the figure benchmarks
+// that read from it (building it per-iteration would benchmark the sweep,
+// not the figure extraction — the sweep itself is BenchmarkPolicyLadder).
+var benchSweepCache *experiments.SpecSweep
+
+func benchSweep(b *testing.B) *experiments.SpecSweep {
+	b.Helper()
+	if benchSweepCache == nil {
+		benchSweepCache = experiments.RunSpecSweep(benchOptions())
+	}
+	return benchSweepCache
+}
+
+// BenchmarkPolicyLadder runs the full §3 policy ladder over SPEC Int — the
+// workhorse behind Figures 5-9 and 12.
+func BenchmarkPolicyLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.RunSpecSweep(benchOptions())
+		if len(s.Apps) != 12 {
+			b.Fatal("incomplete sweep")
+		}
+	}
+}
+
+// BenchmarkFig05WidthAccuracy regenerates Figure 5 (correct / non-fatal /
+// fatal width prediction classes, with and without confidence).
+func BenchmarkFig05WidthAccuracy(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig5(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig06Perf888 regenerates Figure 6 (8_8_8 speedups).
+func BenchmarkFig06Perf888(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig6(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig07SteeredAndCopies regenerates Figure 7.
+func BenchmarkFig07SteeredAndCopies(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig7(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig08BRCopies regenerates Figure 8 (BR's copy reduction).
+func BenchmarkFig08BRCopies(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig8(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig09LRCopies regenerates Figure 9 (LR's copy reduction).
+func BenchmarkFig09LRCopies(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig9(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig11CarryContainment regenerates Figure 11.
+func BenchmarkFig11CarryContainment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig11(benchOptions()).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig12CRPerf regenerates Figure 12 (CR's speedups).
+func BenchmarkFig12CRPerf(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig12(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig13Distance regenerates Figure 13.
+func BenchmarkFig13Distance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig13(benchOptions()).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSec36CopyPrefetch regenerates the §3.6 CP study.
+func BenchmarkSec36CopyPrefetch(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.CPStudy(s).Rows() != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSec37Splitting regenerates the §3.7 IR study (imbalance
+// reduction and the tuned variant).
+func BenchmarkSec37Splitting(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.IRStudy(s).Rows() != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSec37EnergyDelay regenerates the §3.7 ED² comparison.
+func BenchmarkSec37EnergyDelay(b *testing.B) {
+	s := benchSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.EnergyDelay(s).Rows() != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable1Config renders the Table 1 machine parameters.
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Rows() == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable2Workloads renders the Table 2 inventory (and validates
+// the 412-trace suite expansion).
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2().Rows() != 8 {
+			b.Fatal("bad table")
+		}
+		if len(workload.Suite()) != workload.SuiteSize {
+			b.Fatal("bad suite")
+		}
+	}
+}
+
+// BenchmarkFig14Suite regenerates Figure 14 over the full 412-trace suite
+// (reduced per-trace budget; the category ordering is the target).
+func BenchmarkFig14Suite(b *testing.B) {
+	o := benchOptions()
+	o.SuiteUops = 2_000
+	for i := 0; i < b.N; i++ {
+		table, series := experiments.Fig14(o)
+		if table.Rows() != 8 || len(series.Values) != 412 {
+			b.Fatal("bad fig14")
+		}
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationClockRatio compares helper clock ratios 1× vs 2× (§2.2).
+func BenchmarkAblationClockRatio(b *testing.B) {
+	w, _ := WorkloadByName("crafty")
+	for i := 0; i < b.N; i++ {
+		cfg := HelperConfig()
+		cfg.HelperClockRatio = 1 + i%2
+		r := RunWarm(cfg, steer.FCR(), w, 15_000, 3_000)
+		if r.Metrics.Committed == 0 {
+			b.Fatal("no work")
+		}
+	}
+}
+
+// BenchmarkAblationConfidence compares 8_8_8 with and without the 2-bit
+// confidence estimator (§3.2).
+func BenchmarkAblationConfidence(b *testing.B) {
+	w, _ := WorkloadByName("gzip")
+	for i := 0; i < b.N; i++ {
+		pol := steer.F888()
+		if i%2 == 1 {
+			pol = steer.F888NoConfidence()
+		}
+		r := RunWarm(HelperConfig(), pol, w, 15_000, 3_000)
+		if r.Metrics.Committed == 0 {
+			b.Fatal("no work")
+		}
+	}
+}
+
+// BenchmarkAblationHelperWidth compares 8/16/24-bit helper datapaths
+// (§2.1's wider-cluster remark).
+func BenchmarkAblationHelperWidth(b *testing.B) {
+	w, _ := WorkloadByName("crafty")
+	widths := []int{8, 16, 24}
+	for i := 0; i < b.N; i++ {
+		cfg := HelperConfig()
+		cfg.HelperWidthBits = widths[i%len(widths)]
+		r := RunWarm(cfg, steer.FCR(), w, 15_000, 3_000)
+		if r.Metrics.Committed == 0 {
+			b.Fatal("no work")
+		}
+	}
+}
+
+// BenchmarkAblationSplitMode compares per-uop, tuned and block-granularity
+// splitting (§3.7 and its proposed extension).
+func BenchmarkAblationSplitMode(b *testing.B) {
+	w, _ := WorkloadByName("eon")
+	pols := []Policy{steer.FIR(), steer.FIRTuned(), steer.FIRBlock()}
+	for i := 0; i < b.N; i++ {
+		r := RunWarm(HelperConfig(), pols[i%len(pols)], w, 15_000, 3_000)
+		if r.Metrics.Committed == 0 {
+			b.Fatal("no work")
+		}
+	}
+}
+
+// --- raw throughput benches ---
+
+// BenchmarkSimulatorThroughput measures timing-simulation speed in
+// uops/sec (reported as ns/uop via b.N uops).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := WorkloadByName("gcc")
+	sim := mustSim(HelperConfig(), steer.FCR(), w)
+	b.ResetTimer()
+	r := sim.Run(uint64(b.N))
+	if r.Metrics.Committed < uint64(b.N) {
+		b.Fatal("short run")
+	}
+}
+
+// BenchmarkSynthThroughput measures trace generation speed.
+func BenchmarkSynthThroughput(b *testing.B) {
+	s := synth.MustNewStream(synth.DefaultParams())
+	var u isa.Uop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(&u)
+	}
+	if u.Seq == 0 && b.N > 1 {
+		b.Fatal("stream stalled")
+	}
+}

@@ -1,0 +1,119 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                  # everything at the default scale
+//	experiments -run fig6,fig14  # selected experiments
+//	experiments -spec-uops 500000 -suite-uops 60000
+//	experiments -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "comma list: fig1,fig5,fig6,fig7,fig8,fig9,fig11,fig12,fig13,cp,ir,ed2,ladder,table1,table2,fig14")
+		specUops  = flag.Uint64("spec-uops", 150_000, "measured uops per SPEC trace")
+		suiteUops = flag.Uint64("suite-uops", 30_000, "measured uops per suite trace (fig14)")
+		warmup    = flag.Uint64("warmup", 30_000, "warmup uops per run")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		SpecUops:  *specUops,
+		SuiteUops: *suiteUops,
+		Warmup:    *warmup,
+		Workers:   *workers,
+	}
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(k))] = true
+	}
+	all := want["all"]
+	sel := func(k string) bool { return all || want[k] }
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	if sel("table1") {
+		emit(experiments.Table1())
+	}
+	if sel("table2") {
+		emit(experiments.Table2())
+	}
+	if sel("fig1") {
+		emit(experiments.Fig1(o))
+	}
+	if sel("fig11") {
+		emit(experiments.Fig11(o))
+	}
+	if sel("fig13") {
+		emit(experiments.Fig13(o))
+	}
+
+	needSweep := false
+	for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "cp", "ir", "ed2", "ladder"} {
+		if sel(k) {
+			needSweep = true
+		}
+	}
+	if needSweep {
+		fmt.Fprintf(os.Stderr, "running the SPEC policy-ladder sweep (%d uops × 12 apps × 9 configurations)...\n", o.SpecUops)
+		s := experiments.RunSpecSweep(o)
+		if sel("fig5") {
+			emit(experiments.Fig5(s))
+		}
+		if sel("fig6") {
+			emit(experiments.Fig6(s))
+		}
+		if sel("fig7") {
+			emit(experiments.Fig7(s))
+		}
+		if sel("fig8") {
+			emit(experiments.Fig8(s))
+		}
+		if sel("fig9") {
+			emit(experiments.Fig9(s))
+		}
+		if sel("fig12") {
+			emit(experiments.Fig12(s))
+		}
+		if sel("cp") {
+			emit(experiments.CPStudy(s))
+		}
+		if sel("ir") {
+			emit(experiments.IRStudy(s))
+		}
+		if sel("ed2") {
+			emit(experiments.EnergyDelay(s))
+		}
+		if sel("ladder") {
+			emit(experiments.SpecLadder(s))
+		}
+	}
+
+	if sel("fig14") {
+		fmt.Fprintf(os.Stderr, "running the 412-trace suite sweep (%d uops × 412 × 2)...\n", o.SuiteUops)
+		table, series := experiments.Fig14(o)
+		emit(table)
+		if !*csv {
+			fmt.Println(series.Curve(72, 14))
+		}
+	}
+}

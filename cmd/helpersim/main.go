@@ -1,0 +1,113 @@
+// Command helpersim runs one workload under one steering policy and prints
+// the paper's headline metrics (IPC, helper occupancy, copy percentage,
+// width-prediction accuracy, NREADY imbalance, optional power estimate).
+//
+// Usage:
+//
+//	helpersim -workload gcc -policy ir -n 200000
+//	helpersim -workload bzip2 -policy 888 -baseline -power
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/steer"
+)
+
+func policyByName(name string) (repro.Policy, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "none":
+		return steer.Baseline(), nil
+	case "888", "8_8_8":
+		return steer.F888(), nil
+	case "br":
+		return steer.FBR(), nil
+	case "lr":
+		return steer.FLR(), nil
+	case "cr":
+		return steer.FCR(), nil
+	case "cp":
+		return steer.FCP(), nil
+	case "ir", "full":
+		return steer.FIR(), nil
+	case "irnd", "ir-tuned":
+		return steer.FIRTuned(), nil
+	default:
+		return repro.Policy{}, fmt.Errorf("unknown policy %q (baseline|888|br|lr|cr|cp|ir|irnd)", name)
+	}
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "gcc", "SPEC Int 2000 benchmark name")
+		policyName   = flag.String("policy", "ir", "steering policy: baseline|888|br|lr|cr|cp|ir|irnd")
+		n            = flag.Uint64("n", 200_000, "committed uops to measure")
+		warmup       = flag.Uint64("warmup", 0, "warmup uops (default n/5)")
+		compare      = flag.Bool("baseline", true, "also run the monolithic baseline and report speedup")
+		showPower    = flag.Bool("power", false, "print the Wattch-like energy estimate")
+	)
+	flag.Parse()
+
+	w, err := repro.WorkloadByName(*workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pol, err := policyByName(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	warm := *warmup
+	if warm == 0 {
+		warm = *n / 5
+	}
+
+	cfg := repro.HelperConfig()
+	if !pol.Enable888 {
+		cfg = repro.BaselineConfig()
+	}
+	res := repro.RunWarm(cfg, pol, w, *n, warm)
+	m := res.Metrics
+
+	fmt.Printf("workload   %s\npolicy     %s\nuops       %d (+%d warmup)\n",
+		w.Name, res.Policy, m.Committed, warm)
+	fmt.Printf("IPC        %.3f  (%d wide cycles)\n", m.IPC(), m.WideCycles)
+	fmt.Printf("helper     %.1f%%  copies %.1f%% (%.1f%% prefetched)  splits %d\n",
+		100*m.HelperFrac(), 100*m.CopyFrac(),
+		100*safeDiv(float64(m.CopyPrefetch), float64(m.CopiesCreated)), m.SteeredSplit)
+	c, nf, f := m.WidthAccuracy()
+	fmt.Printf("width pred %.1f%% correct, %.1f%% non-fatal, %.2f%% fatal (%d flushes)\n",
+		100*c, 100*nf, 100*f, m.FatalFlushes)
+	fmt.Printf("branches   %.1f%% mispredicted of %d\n", 100*m.BranchMispredictRate(), m.Branches)
+	fmt.Printf("NREADY     wide→narrow %.2f  narrow→wide %.2f (per committed uop)\n",
+		m.ImbalanceWideToNarrow(), m.ImbalanceNarrowToWide())
+	fmt.Printf("caches     DL0 %.2f%% miss, UL1 %.2f%% miss, TC %.2f%% miss\n",
+		100*res.L1.MissRate(), 100*res.L2.MissRate(), 100*res.TC.MissRate())
+
+	if *compare && pol.Enable888 {
+		base := repro.RunWarm(repro.BaselineConfig(), repro.PolicyBaseline(), w, *n, warm)
+		fmt.Printf("speedup    %+.2f%% over the monolithic baseline (IPC %.3f)\n",
+			100*repro.SpeedupOf(res, base), base.Metrics.IPC())
+		if *showPower {
+			pb := repro.EstimatePower(repro.BaselineConfig(), base)
+			pr := repro.EstimatePower(cfg, res)
+			fmt.Printf("energy     %.1f nJ vs baseline %.1f nJ; ED² gain %+.2f%%\n",
+				pr.EnergyNJ, pb.EnergyNJ, 100*repro.ED2Gain(pr, pb))
+		}
+	} else if *showPower {
+		pr := repro.EstimatePower(cfg, res)
+		fmt.Printf("energy     %.1f nJ (ED² %.3g)\n", pr.EnergyNJ, pr.ED2)
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

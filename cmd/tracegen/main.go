@@ -1,0 +1,55 @@
+// Command tracegen generates binary uop trace files from the calibrated
+// synthetic workload profiles (the stand-in for the paper's proprietary
+// IA-32 traces).
+//
+// Usage:
+//
+//	tracegen -workload gcc -n 1000000 -o gcc.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "gcc", "SPEC Int 2000 benchmark name")
+		n    = flag.Int("n", 1_000_000, "uops to record")
+		out  = flag.String("o", "", "output file (default <workload>.trace)")
+		list = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC Int 2000 profiles:")
+		for _, p := range workload.SpecInt2000() {
+			fmt.Printf("  %-8s working set %6d KiB, %d segments\n",
+				p.Name, p.Params.WorkingSet>>10, p.Params.Segments)
+		}
+		fmt.Printf("suite: %d commercial traces across %d categories (Table 2)\n",
+			workload.SuiteSize, len(workload.Categories()))
+		return
+	}
+
+	w, err := repro.WorkloadByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = w.Name + ".trace"
+	}
+	if err := repro.WriteTraceFile(path, w, *n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %d uops of %s to %s (%d bytes)\n", *n, w.Name, path, info.Size())
+}

@@ -1,0 +1,28 @@
+// Quickstart: simulate one SPEC Int benchmark on the monolithic baseline
+// and on the helper-cluster machine with the paper's full steering policy,
+// and print the speedup — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	w, err := repro.WorkloadByName("crafty")
+	if err != nil {
+		panic(err)
+	}
+	const uops = 150_000
+
+	base := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, uops)
+	full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, uops)
+
+	fmt.Printf("workload: %s (%d uops measured)\n", w.Name, uops)
+	fmt.Printf("baseline IPC: %.3f\n", base.Metrics.IPC())
+	fmt.Printf("helper   IPC: %.3f (policy %s)\n", full.Metrics.IPC(), full.Policy)
+	fmt.Printf("speedup: %+.1f%%\n", 100*repro.SpeedupOf(full, base))
+	fmt.Printf("helper cluster executed %.1f%% of uops; %.1f%% copies\n",
+		100*full.Metrics.HelperFrac(), 100*full.Metrics.CopyFrac())
+}

@@ -1,0 +1,45 @@
+// Steering: walk the paper's cumulative policy ladder (8_8_8 → +BR → +LR
+// → +CR → +CP → +IR) over a few SPEC Int benchmarks, reproducing the §3
+// narrative: BR and LR cut copies, CR widens helper coverage, IR trades
+// copies for balance.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	apps := []string{"bzip2", "gcc", "crafty"}
+	const uops = 100_000
+
+	t := report.NewTable("Policy ladder (speedup % over the monolithic baseline)",
+		append([]string{}, apps...)...)
+	copies := report.NewTable("Copy percentage", append([]string{}, apps...)...)
+
+	baselines := map[string]repro.Result{}
+	for _, app := range apps {
+		w, err := repro.WorkloadByName(app)
+		if err != nil {
+			panic(err)
+		}
+		baselines[app] = repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, uops)
+	}
+
+	for _, pol := range repro.PolicyLadder() {
+		spd := make([]float64, 0, len(apps))
+		cp := make([]float64, 0, len(apps))
+		for _, app := range apps {
+			w, _ := repro.WorkloadByName(app)
+			r := repro.Run(repro.HelperConfig(), pol, w, uops)
+			spd = append(spd, 100*repro.SpeedupOf(r, baselines[app]))
+			cp = append(cp, 100*r.Metrics.CopyFrac())
+		}
+		t.AddRow(pol.Name(), spd...)
+		copies.AddRow(pol.Name(), cp...)
+	}
+	fmt.Println(t.Render())
+	fmt.Println(copies.Render())
+}

@@ -1,0 +1,51 @@
+// Widthstudy: characterize a custom workload the way §1 and §3.5 of the
+// paper do — how narrow-width dependent its dataflow is (Figure 1), how
+// often carries stay contained for 8-32-32 operations (Figure 11), and how
+// far values travel from producer to consumer (Figure 13).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Start from a calibrated profile and make it byte-data heavy — an
+	// image-filter-like workload.
+	base, err := repro.WorkloadByName("gzip")
+	if err != nil {
+		panic(err)
+	}
+	params := base.Params
+	params.ByteDataFrac = 0.8
+	params.NarrowDataFrac = 0.9
+	params.InnerTrip = 128
+	w, err := repro.CustomWorkload("bytefilter", params)
+	if err != nil {
+		panic(err)
+	}
+
+	study := repro.AnalyzeWidth(w, 200_000)
+
+	fmt.Printf("workload: %s\n\n", w.Name)
+	d := study.NarrowDep
+	fmt.Printf("narrow data-width dependent operands: %.1f%%  (paper avg ~65%%, Figure 1)\n", 100*d.Frac)
+	fmt.Printf("ALU operand mix: %.1f%% one-narrow, %.1f%% two-narrow→wide, %.1f%% two-narrow→narrow\n",
+		100*d.OneNarrowFrac, 100*d.TwoNarrowWideResFrac, 100*d.TwoNarrowNarrowResFrac)
+	fmt.Printf("(paper: 39.4%% / 3.3%% / 43.5%%)\n\n")
+
+	c := study.Carry
+	fmt.Printf("carry contained for 8-32-32 shapes: arithmetic %.1f%%, loads %.1f%% (Figure 11)\n\n",
+		100*c.ArithFrac(), 100*c.LoadFrac())
+
+	dist := study.Distance
+	fmt.Printf("producer→consumer distance: avg %.1f uops, max %d (Figure 13: IA-32 ≈ 2-6)\n",
+		dist.Average(), dist.Max)
+
+	// And what the helper cluster makes of it.
+	baseRun := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, 100_000)
+	full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, 100_000)
+	fmt.Printf("\nhelper-cluster speedup on this workload: %+.1f%%\n",
+		100*repro.SpeedupOf(full, baseRun))
+}

@@ -1,0 +1,190 @@
+// Package repro is a reproduction of "Empowering a Helper Cluster through
+// Data-Width Aware Instruction Selection Policies" (Unsal, Ergin, Vera,
+// González — IPDPS 2006): a cycle-based timing model of a monolithic
+// 32-bit IA-32-like processor augmented with a 2×-clocked 8-bit helper
+// cluster, the paper's full family of data-width aware steering policies
+// (8_8_8, BR, LR, CR, CP, IR), synthetic calibrated workloads standing in
+// for the original proprietary traces, a Wattch-like power model, and an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	w, _ := repro.WorkloadByName("gcc")
+//	base := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, 100_000)
+//	full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, 100_000)
+//	fmt.Printf("speedup: %+.1f%%\n", 100*repro.SpeedupOf(full, base))
+package repro
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/steer"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes the simulated machine; see the fields of the underlying
+// type for every Table 1 parameter.
+type Config = config.Processor
+
+// Policy selects which data-width aware steering schemes are active.
+type Policy = steer.Features
+
+// Workload is a named synthetic workload profile.
+type Workload = workload.Profile
+
+// WorkloadParams exposes the synthetic program generator's knobs for
+// custom workloads.
+type WorkloadParams = synth.Params
+
+// Result carries the measurements of one simulation run.
+type Result = core.Result
+
+// Metrics is the counter set inside a Result.
+type Metrics = metrics.Metrics
+
+// BaselineConfig returns the Table 1 monolithic machine.
+func BaselineConfig() Config { return config.PentiumLikeBaseline() }
+
+// HelperConfig returns the baseline augmented with the 8-bit, 2×-clocked
+// helper cluster of §2.
+func HelperConfig() Config { return config.WithHelper() }
+
+// PolicyBaseline returns the no-steering policy (monolithic behaviour).
+func PolicyBaseline() Policy { return steer.Baseline() }
+
+// Policy888 returns the §3.2 all-narrow steering scheme.
+func Policy888() Policy { return steer.F888() }
+
+// PolicyFull returns the paper's most aggressive configuration
+// (8_8_8+BR+LR+CR+CP+IR, §3.7).
+func PolicyFull() Policy { return steer.FIR() }
+
+// PolicyLadder returns the paper's cumulative policy ladder in order:
+// 8_8_8, +BR, +LR, +CR, +CP, +IR, +IR tuned.
+func PolicyLadder() []Policy { return steer.Ladder() }
+
+// SpecInt2000 returns the 12 calibrated SPEC Int 2000 workload profiles.
+func SpecInt2000() []Workload { return workload.SpecInt2000() }
+
+// Suite412 returns the full 412-trace commercial workload suite (Table 2).
+func Suite412() []Workload { return workload.Suite() }
+
+// WorkloadByName looks up a SPEC Int 2000 profile by benchmark name.
+func WorkloadByName(name string) (Workload, error) {
+	if p, ok := workload.SpecIntByName(name); ok {
+		return p, nil
+	}
+	return Workload{}, fmt.Errorf("repro: unknown workload %q (want one of %v)", name, workload.SpecIntNames)
+}
+
+// CustomWorkload builds a workload from explicit generator parameters.
+func CustomWorkload(name string, p WorkloadParams) (Workload, error) {
+	if err := p.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return Workload{Name: name, Category: "custom", Params: p}, nil
+}
+
+// Run simulates n committed uops of w on cfg under pol, with a warmup of
+// n/5 uops (predictors and caches fill before measurement begins).
+func Run(cfg Config, pol Policy, w Workload, n uint64) Result {
+	return RunWarm(cfg, pol, w, n, n/5)
+}
+
+// RunWarm is Run with an explicit warmup budget.
+func RunWarm(cfg Config, pol Policy, w Workload, n, warmup uint64) Result {
+	sim := core.MustNew(cfg, pol, w.MustStream())
+	return sim.RunWarm(n, warmup)
+}
+
+// SpeedupOf returns the relative performance of r over base (0.1 = +10%).
+func SpeedupOf(r, base Result) float64 {
+	return metrics.Speedup(&r.Metrics, &base.Metrics)
+}
+
+// mustSim builds a raw simulator instance (benchmark harness hook).
+func mustSim(cfg Config, pol Policy, w Workload) *core.Sim {
+	return core.MustNew(cfg, pol, w.MustStream())
+}
+
+// PowerReport is the Wattch-like energy estimate of a run.
+type PowerReport = power.Report
+
+// EstimatePower converts a run's event counts into energy and
+// energy-delay² under the given machine configuration.
+func EstimatePower(cfg Config, r Result) PowerReport {
+	return power.New(cfg).Estimate(&r.Metrics, r.L1, r.L2, r.TC)
+}
+
+// ED2Gain returns the relative energy-delay² advantage of r over base
+// (positive = more efficient), the §3.7 efficiency comparison.
+func ED2Gain(r, base PowerReport) float64 { return power.ED2Gain(r, base) }
+
+// WidthStudy holds the trace-level characterizations of a workload: the
+// Figure 1 narrow-dependency statistics, the Figure 11 carry containment,
+// and the Figure 13 producer-consumer distance.
+type WidthStudy struct {
+	NarrowDep analysis.NarrowDependency
+	Carry     analysis.CarryStudy
+	Distance  analysis.DistanceStudy
+}
+
+// AnalyzeWidth runs the three trace-level studies over n uops of w.
+func AnalyzeWidth(w Workload, n int) WidthStudy {
+	return WidthStudy{
+		NarrowDep: analysis.MeasureNarrowDependency(w.MustStream(), n),
+		Carry:     analysis.MeasureCarry(w.MustStream(), n),
+		Distance:  analysis.MeasureDistance(w.MustStream(), n),
+	}
+}
+
+// TraceUop is one executed micro-operation record.
+type TraceUop = isa.Uop
+
+// RecordTrace captures n executed uops of w for offline use (the binary
+// trace format of cmd/tracegen).
+func RecordTrace(w Workload, n int) []TraceUop {
+	return trace.Record(w.MustStream(), n)
+}
+
+// WriteTraceFile generates n uops of w into a binary trace file.
+func WriteTraceFile(path string, w Workload, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, w.MustStream(), n); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// RunTraceFile simulates a recorded binary trace (replayed cyclically
+// until n uops commit).
+func RunTraceFile(cfg Config, pol Policy, path string, n uint64) (Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	uops, err := trace.Read(f)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(uops) == 0 {
+		return Result{}, fmt.Errorf("repro: empty trace %s", path)
+	}
+	sim := core.MustNew(cfg, pol, trace.NewSliceSource(uops))
+	return sim.Run(n), nil
+}

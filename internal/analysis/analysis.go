@@ -1,0 +1,246 @@
+// Package analysis implements the paper's trace-level characterization
+// studies — the measurements that motivate the steering schemes before any
+// timing simulation:
+//
+//   - Figure 1: fraction of register operands that are narrow data-width
+//     dependent (the producer's value is narrow), plus the §1 operand-mix
+//     statistics (one narrow source; two narrow sources with a wide result;
+//     two narrow sources with a narrow result).
+//   - Figure 11: among two-source instructions with one 8-bit and one
+//     32-bit source and a 32-bit result, the fraction whose carry does not
+//     propagate beyond the low byte, split into arithmetic and loads.
+//   - Figure 13: the average dynamic producer-consumer distance.
+package analysis
+
+import (
+	"repro/internal/bitwidth"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// NarrowDependency is the Figure 1 measurement for one workload.
+type NarrowDependency struct {
+	Operands  uint64  // register operands observed
+	NarrowDep uint64  // operands whose producer value was narrow
+	Frac      float64 // NarrowDep / Operands
+
+	// §1 ALU operand-mix statistics (fractions of regular ALU uops).
+	OneNarrowFrac          float64 // exactly one narrow source
+	TwoNarrowWideResFrac   float64 // two narrow sources, wide result
+	TwoNarrowNarrowResFrac float64 // two narrow sources, narrow result
+}
+
+// MeasureNarrowDependency runs the Figure 1 study over n uops of src.
+func MeasureNarrowDependency(src trace.Source, n int) NarrowDependency {
+	var (
+		d        NarrowDependency
+		u        isa.Uop
+		aluTotal uint64
+		oneN     uint64
+		twoNW    uint64
+		twoNN    uint64
+	)
+	// Track the narrowness of the latest value in each register, observed
+	// from actual produced values (integer namespace only).
+	var narrowReg [isa.NumRegs]bool
+	var written [isa.NumRegs]bool
+
+	for i := 0; i < n; i++ {
+		src.Next(&u)
+		if u.Class != isa.ClassFP && u.Class != isa.ClassJump {
+			for k := 0; k < int(u.NSrc); k++ {
+				r := u.SrcReg[k]
+				if r == isa.RegNone {
+					continue
+				}
+				if !written[r] {
+					continue // producer unseen: not attributable
+				}
+				d.Operands++
+				if narrowReg[r] {
+					d.NarrowDep++
+				}
+			}
+		}
+
+		if u.Class == isa.ClassALU && u.NSrc >= 1 {
+			aluTotal++
+			narrowSrcs := 0
+			srcs := 0
+			for k := 0; k < int(u.NSrc); k++ {
+				if u.SrcReg[k] == isa.RegNone {
+					continue
+				}
+				srcs++
+				if bitwidth.IsNarrow(u.SrcVal[k]) {
+					narrowSrcs++
+				}
+			}
+			if u.HasImm {
+				srcs++
+				if bitwidth.IsNarrow(u.Imm) {
+					narrowSrcs++
+				}
+			}
+			resNarrow := bitwidth.IsNarrow(u.DstVal)
+			switch {
+			case srcs >= 2 && narrowSrcs == srcs && resNarrow:
+				twoNN++
+			case srcs >= 2 && narrowSrcs == srcs && !resNarrow:
+				twoNW++
+			case narrowSrcs == 1 && srcs >= 1:
+				oneN++
+			}
+		}
+
+		if u.Class != isa.ClassFP && u.HasDest() {
+			narrowReg[u.DstReg] = bitwidth.IsNarrow(u.DstVal)
+			written[u.DstReg] = true
+		}
+		if u.WritesFlags {
+			narrowReg[isa.RegFlags] = bitwidth.IsNarrow(u.DstVal)
+			written[isa.RegFlags] = true
+		}
+	}
+	if d.Operands > 0 {
+		d.Frac = float64(d.NarrowDep) / float64(d.Operands)
+	}
+	if aluTotal > 0 {
+		d.OneNarrowFrac = float64(oneN) / float64(aluTotal)
+		d.TwoNarrowWideResFrac = float64(twoNW) / float64(aluTotal)
+		d.TwoNarrowNarrowResFrac = float64(twoNN) / float64(aluTotal)
+	}
+	return d
+}
+
+// CarryStudy is the Figure 11 measurement: carry containment for 8-32-32
+// shaped operations, split into arithmetic and load address generation.
+type CarryStudy struct {
+	ArithEligible  uint64
+	ArithContained uint64
+	LoadEligible   uint64
+	LoadContained  uint64
+}
+
+// ArithFrac returns the contained fraction for arithmetic, in [0,1].
+func (c CarryStudy) ArithFrac() float64 {
+	if c.ArithEligible == 0 {
+		return 0
+	}
+	return float64(c.ArithContained) / float64(c.ArithEligible)
+}
+
+// LoadFrac returns the contained fraction for loads, in [0,1].
+func (c CarryStudy) LoadFrac() float64 {
+	if c.LoadEligible == 0 {
+		return 0
+	}
+	return float64(c.LoadContained) / float64(c.LoadEligible)
+}
+
+// MeasureCarry runs the Figure 11 study over n uops of src.
+func MeasureCarry(src trace.Source, n int) CarryStudy {
+	var (
+		c CarryStudy
+		u isa.Uop
+	)
+	for i := 0; i < n; i++ {
+		src.Next(&u)
+		switch u.Class {
+		case isa.ClassALU:
+			if u.NSrc < 1 || !bitwidth.CREligibleOp(u.Op) {
+				continue
+			}
+			a := u.SrcVal[0]
+			b := u.SrcVal[1]
+			if u.NSrc < 2 {
+				if !u.HasImm {
+					continue
+				}
+				b = u.Imm
+			}
+			wide, ok := bitwidth.CRShape(a, b, u.DstVal)
+			if !ok {
+				continue
+			}
+			c.ArithEligible++
+			if bitwidth.CarryNotPropagated(wide, u.DstVal) {
+				c.ArithContained++
+			}
+		case isa.ClassLoad, isa.ClassStore:
+			// Address generation: base + offset → address.
+			wide, ok := bitwidth.CRShape(u.SrcVal[0], u.SrcVal[1], u.MemAddr)
+			if !ok {
+				continue
+			}
+			c.LoadEligible++
+			if bitwidth.CarryNotPropagated(wide, u.MemAddr) {
+				c.LoadContained++
+			}
+		}
+	}
+	return c
+}
+
+// DistanceStudy is the Figure 13 measurement: the dynamic distance in uops
+// between a producer and the first consumer of its value.
+type DistanceStudy struct {
+	Pairs uint64
+	Sum   uint64
+	Max   uint64
+	Histo [32]uint64 // distance histogram, saturating at 31
+}
+
+// Average returns the mean producer-consumer distance.
+func (d DistanceStudy) Average() float64 {
+	if d.Pairs == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Pairs)
+}
+
+// MeasureDistance runs the Figure 13 study over n uops of src.
+func MeasureDistance(src trace.Source, n int) DistanceStudy {
+	var (
+		d DistanceStudy
+		u isa.Uop
+	)
+	var producerSeq [isa.NumRegs]uint64
+	var consumed [isa.NumRegs]bool
+	var live [isa.NumRegs]bool
+
+	for i := 0; i < n; i++ {
+		src.Next(&u)
+		if u.Class != isa.ClassFP {
+			for k := 0; k < int(u.NSrc); k++ {
+				r := u.SrcReg[k]
+				if r == isa.RegNone || !live[r] || consumed[r] {
+					continue
+				}
+				consumed[r] = true
+				dist := u.Seq - producerSeq[r]
+				d.Pairs++
+				d.Sum += dist
+				if dist > d.Max {
+					d.Max = dist
+				}
+				h := dist
+				if h > 31 {
+					h = 31
+				}
+				d.Histo[h]++
+			}
+		}
+		if u.Class != isa.ClassFP && u.HasDest() {
+			producerSeq[u.DstReg] = u.Seq
+			live[u.DstReg] = true
+			consumed[u.DstReg] = false
+		}
+		if u.WritesFlags {
+			producerSeq[isa.RegFlags] = u.Seq
+			live[isa.RegFlags] = true
+			consumed[isa.RegFlags] = false
+		}
+	}
+	return d
+}

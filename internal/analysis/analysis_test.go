@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// scripted builds a SliceSource from hand-written uops.
+func scripted(uops []isa.Uop) trace.Source {
+	for i := range uops {
+		uops[i].Seq = uint64(i)
+	}
+	return trace.NewSliceSource(uops)
+}
+
+func alu(op isa.ALUOp, dst uint8, srcs []uint8, srcVals []uint32, dstVal uint32) isa.Uop {
+	u := isa.Uop{Class: isa.ClassALU, Op: op, DstReg: dst, DstVal: dstVal, NSrc: uint8(len(srcs))}
+	u.SrcReg[0], u.SrcReg[1], u.SrcReg[2] = isa.RegNone, isa.RegNone, isa.RegNone
+	for i, s := range srcs {
+		u.SrcReg[i] = s
+		u.SrcVal[i] = srcVals[i]
+	}
+	if op != isa.OpMov && op != isa.OpLea {
+		u.WritesFlags = true
+	}
+	return u
+}
+
+func TestNarrowDependencyScripted(t *testing.T) {
+	// r1 ← narrow; r2 ← wide; then consume each once.
+	uops := []isa.Uop{
+		alu(isa.OpMov, 1, nil, nil, 5),          // narrow producer
+		alu(isa.OpMov, 2, nil, nil, 0x12345678), // wide producer
+		alu(isa.OpAdd, 3, []uint8{1}, []uint32{5}, 6),
+		alu(isa.OpAdd, 4, []uint8{2}, []uint32{0x12345678}, 0x12345679),
+	}
+	d := MeasureNarrowDependency(scripted(uops), len(uops))
+	if d.Operands != 2 {
+		t.Fatalf("operands = %d, want 2", d.Operands)
+	}
+	if d.NarrowDep != 1 {
+		t.Fatalf("narrow dep = %d, want 1", d.NarrowDep)
+	}
+	if d.Frac != 0.5 {
+		t.Fatalf("frac = %f", d.Frac)
+	}
+}
+
+func TestOperandMixScripted(t *testing.T) {
+	uops := []isa.Uop{
+		// two narrow sources, narrow result
+		alu(isa.OpAdd, 3, []uint8{1, 2}, []uint32{3, 4}, 7),
+		// two narrow sources, wide result
+		alu(isa.OpShl, 3, []uint8{1}, []uint32{0x70}, 0x1C000),
+		// one narrow source (narrow + wide)
+		alu(isa.OpAdd, 3, []uint8{1, 2}, []uint32{3, 0x10000}, 0x10003),
+	}
+	// make the shl two-source-shaped by adding an imm
+	uops[1].HasImm = true
+	uops[1].Imm = 9
+	d := MeasureNarrowDependency(scripted(uops), len(uops))
+	if d.TwoNarrowNarrowResFrac <= 0 || d.TwoNarrowWideResFrac <= 0 || d.OneNarrowFrac <= 0 {
+		t.Fatalf("operand mix fractions: %+v", d)
+	}
+	sum := d.TwoNarrowNarrowResFrac + d.TwoNarrowWideResFrac + d.OneNarrowFrac
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("scripted mix should cover all three cases: %f", sum)
+	}
+}
+
+func TestCarryScripted(t *testing.T) {
+	contained := isa.Uop{
+		Class: isa.ClassLoad, Op: isa.OpLea, NSrc: 2,
+		DstReg:  1,
+		MemAddr: 0xFFFC4A02 + 0x1C,
+	}
+	contained.SrcReg[0], contained.SrcReg[1], contained.SrcReg[2] = 0, 12, isa.RegNone
+	contained.SrcVal[0], contained.SrcVal[1] = 0xFFFC4A02, 0x1C
+
+	propagated := contained
+	propagated.SrcVal[0] = 0xFFFC40F0
+	propagated.SrcVal[1] = 0x20
+	propagated.MemAddr = 0xFFFC40F0 + 0x20
+
+	arith := alu(isa.OpAdd, 3, []uint8{1, 2}, []uint32{0x10002, 4}, 0x10006)
+
+	c := MeasureCarry(scripted([]isa.Uop{contained, propagated, arith}), 3)
+	if c.LoadEligible != 2 || c.LoadContained != 1 {
+		t.Fatalf("load carry: %+v", c)
+	}
+	if c.ArithEligible != 1 || c.ArithContained != 1 {
+		t.Fatalf("arith carry: %+v", c)
+	}
+	if c.LoadFrac() != 0.5 || c.ArithFrac() != 1.0 {
+		t.Fatalf("fracs: %f %f", c.LoadFrac(), c.ArithFrac())
+	}
+}
+
+func TestCarryEmpty(t *testing.T) {
+	var c CarryStudy
+	if c.ArithFrac() != 0 || c.LoadFrac() != 0 {
+		t.Error("empty study fractions must be 0")
+	}
+}
+
+func TestDistanceScripted(t *testing.T) {
+	uops := []isa.Uop{
+		alu(isa.OpMov, 1, nil, nil, 5),                // seq 0: producer
+		alu(isa.OpMov, 2, nil, nil, 7),                // seq 1
+		alu(isa.OpAdd, 3, []uint8{1}, []uint32{5}, 6), // seq 2: consumes r1, dist 2
+		alu(isa.OpAdd, 4, []uint8{2}, []uint32{7}, 8), // seq 3: consumes r2, dist 2
+		alu(isa.OpAdd, 5, []uint8{1}, []uint32{5}, 6), // seq 4: r1 already consumed
+	}
+	d := MeasureDistance(scripted(uops), len(uops))
+	if d.Pairs != 2 {
+		t.Fatalf("pairs = %d, want 2 (first consumer only)", d.Pairs)
+	}
+	if d.Average() != 2.0 {
+		t.Fatalf("avg = %f, want 2", d.Average())
+	}
+	if d.Max != 2 || d.Histo[2] != 2 {
+		t.Fatalf("histogram wrong: max=%d histo=%v", d.Max, d.Histo[:4])
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	var d DistanceStudy
+	if d.Average() != 0 {
+		t.Error("empty distance average must be 0")
+	}
+}
+
+// TestSpecShapes: the three studies over real SPEC profiles land in the
+// paper's reported bands.
+func TestSpecShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistics run")
+	}
+	const n = 50000
+	var sumDep, sumDist float64
+	profiles := workload.SpecInt2000()
+	for _, p := range profiles {
+		s := p.MustStream()
+		d := MeasureNarrowDependency(s, n)
+		sumDep += d.Frac
+
+		s2 := p.MustStream()
+		dist := MeasureDistance(s2, n)
+		sumDist += dist.Average()
+		if dist.Average() < 1 || dist.Average() > 15 {
+			t.Errorf("%s: producer-consumer distance %.1f outside plausible band", p.Name, dist.Average())
+		}
+
+		s3 := p.MustStream()
+		c := MeasureCarry(s3, n)
+		if c.LoadEligible == 0 {
+			t.Errorf("%s: no CR-eligible loads", p.Name)
+		}
+	}
+	avgDep := sumDep / float64(len(profiles))
+	if avgDep < 0.5 || avgDep > 0.85 {
+		t.Errorf("average narrow dependency %.2f, want paper-shaped ~0.65", avgDep)
+	}
+	avgDist := sumDist / float64(len(profiles))
+	// Figure 13 reports ~2-6 uops on IA-32.
+	if avgDist < 1.5 || avgDist > 8 {
+		t.Errorf("average producer-consumer distance %.1f, want the paper's 2-6 band", avgDist)
+	}
+}

@@ -1,0 +1,51 @@
+// Package bitwidth implements narrow-value detection for the helper
+// cluster: leading zero/one detection (the Figure 3 circuits), width
+// classification, and the carry-propagation analysis behind the CR scheme.
+//
+// A value is "narrow" at width w when its upper 32-w bits are homogeneous
+// (all zero or all one), i.e. the value survives truncation to w bits
+// followed by zero- or sign-extension — exactly what the paper's
+// consecutive zero/one detectors report.
+package bitwidth
+
+import "math/bits"
+
+// Narrow is the helper-cluster datapath width in bits. The paper
+// conservatively chose 8 bits (§2.1).
+const Narrow = 8
+
+// IsNarrow reports whether v fits the 8-bit helper datapath: bits 31..8 all
+// zero (zero-extendable) or all one (sign-extendable).
+func IsNarrow(v uint32) bool {
+	hi := v >> Narrow
+	return hi == 0 || hi == 0xFFFFFF
+}
+
+// IsNarrowAt reports whether v is narrow at an arbitrary width (8, 16 or 24
+// bits). Width 32 always holds.
+func IsNarrowAt(v uint32, width uint) bool {
+	if width >= 32 {
+		return true
+	}
+	hi := v >> width
+	return hi == 0 || hi == (1<<(32-width))-1
+}
+
+// Width returns the smallest byte-granular width class (8, 16, 24 or 32)
+// that represents v under zero- or sign-extension. Byte granularity matches
+// the byte-wise detector banks of Figure 3.
+func Width(v uint32) uint {
+	for w := uint(8); w < 32; w += 8 {
+		if IsNarrowAt(v, w) {
+			return w
+		}
+	}
+	return 32
+}
+
+// LeadingZeros returns the number of leading zero bits of v (fast path used
+// by the simulator; the circuit model in detector.go is the reference).
+func LeadingZeros(v uint32) int { return bits.LeadingZeros32(v) }
+
+// LeadingOnes returns the number of leading one bits of v.
+func LeadingOnes(v uint32) int { return bits.LeadingZeros32(^v) }

@@ -1,0 +1,219 @@
+package bitwidth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestIsNarrow(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want bool
+	}{
+		{0, true},
+		{1, true},
+		{0x7F, true},
+		{0xFF, true},        // zero-extendable byte
+		{0x100, false},      // needs 9 bits
+		{0xFFFFFFFF, true},  // -1, sign-extendable
+		{0xFFFFFF80, true},  // -128
+		{0xFFFFFF00, true},  // upper 24 all ones (paper's detector fires)
+		{0xFFFFFE00, false}, // upper 24 mixed
+		{0x80000000, false}, // wide negative
+		{0xFFFC4A02, false}, // Figure 10 base address
+		{0x0000001C, true},  // Figure 10 offset
+		{0x12345678, false},
+	}
+	for _, c := range cases {
+		if got := IsNarrow(c.v); got != c.want {
+			t.Errorf("IsNarrow(%#x) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIsNarrowAt(t *testing.T) {
+	cases := []struct {
+		v     uint32
+		width uint
+		want  bool
+	}{
+		{0xFF, 8, true},
+		{0x1FF, 8, false},
+		{0x1FF, 16, true},
+		{0xFFFF, 16, true},
+		{0x10000, 16, false},
+		{0xFFFF0000, 16, true}, // upper 16 homogeneous: the one-detector fires
+		{0xFFFF8000, 16, true}, // sign-extendable from bit 15
+		{0xABCDEF01, 32, true},
+		{0x00FFFFFF, 24, true},
+		{0xFF000000, 24, true}, // upper 8 all ones
+	}
+	for _, c := range cases {
+		if got := IsNarrowAt(c.v, c.width); got != c.want {
+			t.Errorf("IsNarrowAt(%#x, %d) = %v, want %v", c.v, c.width, got, c.want)
+		}
+	}
+}
+
+func TestWidthClasses(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want uint
+	}{
+		{0, 8},
+		{0xFF, 8},
+		{0xFFFFFFFF, 8},
+		{0x1234, 16},
+		{0xFFFF1234, 16},
+		{0x123456, 24},
+		{0x12345678, 32},
+		{0x80000000, 32},
+	}
+	for _, c := range cases {
+		if got := Width(c.v); got != c.want {
+			t.Errorf("Width(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestWidthConsistency: Width(v) is the minimal byte width at which
+// IsNarrowAt holds.
+func TestWidthConsistency(t *testing.T) {
+	f := func(v uint32) bool {
+		w := Width(v)
+		if !IsNarrowAt(v, w) {
+			return false
+		}
+		if w > 8 && IsNarrowAt(v, w-8) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectorMatchesFastPath: the gate-level detector pair is functionally
+// identical to the bit-twiddling IsNarrow.
+func TestDetectorMatchesFastPath(t *testing.T) {
+	det := NewNarrowDetector()
+	f := func(v uint32) bool {
+		return det.Narrow(v) == IsNarrow(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectorKinds(t *testing.T) {
+	z := NewDetector(DetectZeros)
+	o := NewDetector(DetectOnes)
+	if !z.Detect(0x000000FF) {
+		t.Error("zero detector should fire when upper 24 bits are zero")
+	}
+	if z.Detect(0x00000100) {
+		t.Error("zero detector must not fire with a one in bit 8")
+	}
+	if !o.Detect(0xFFFFFF00) {
+		t.Error("one detector should fire when upper 24 bits are one")
+	}
+	if o.Detect(0xFFFFFE00) {
+		t.Error("one detector must not fire with a zero in bit 9")
+	}
+	// Detectors are reusable across precharge/evaluate cycles.
+	for i := 0; i < 4; i++ {
+		if z.Detect(0) != true || z.Detect(0xFFFFFFFF) != false {
+			t.Fatal("zero detector state leaked across cycles")
+		}
+	}
+}
+
+func TestCarryFigure10Example(t *testing.T) {
+	// Loadbyte R1, (R2+R3) with R2=FFFC4A02, R3=0000001C → FFFC4A1E.
+	base := uint32(0xFFFC4A02)
+	off := uint32(0x0000001C)
+	sum := base + off
+	if sum != 0xFFFC4A1E {
+		t.Fatalf("example sum = %#x", sum)
+	}
+	wide, ok := CRShape(base, off, sum)
+	if !ok || wide != base {
+		t.Fatalf("CRShape = (%#x, %v), want (%#x, true)", wide, ok, base)
+	}
+	if !CarryNotPropagated(wide, sum) {
+		t.Error("Figure 10 example must not propagate the carry")
+	}
+	if !CRCheck(isa.OpAdd, base, off, sum) {
+		t.Error("CRCheck must accept the Figure 10 example")
+	}
+}
+
+func TestCarryPropagatedCase(t *testing.T) {
+	base := uint32(0xFFFC40F0)
+	off := uint32(0x20) // 0xF0+0x20 carries out of the low byte
+	sum := base + off
+	if CRCheck(isa.OpAdd, base, off, sum) {
+		t.Error("CRCheck must reject a propagating carry")
+	}
+}
+
+func TestCRShapeRejections(t *testing.T) {
+	if _, ok := CRShape(1, 2, 3); ok {
+		t.Error("8-8-8 must not match the CR shape")
+	}
+	if _, ok := CRShape(0x10000, 0x20000, 0x30000); ok {
+		t.Error("32-32-32 must not match the CR shape")
+	}
+	if _, ok := CRShape(0x10000, 2, 0x42); ok {
+		t.Error("narrow result must not match the CR shape")
+	}
+}
+
+func TestCREligibleOp(t *testing.T) {
+	eligible := []isa.ALUOp{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpLea, isa.OpCmp, isa.OpTest}
+	for _, op := range eligible {
+		if !CREligibleOp(op) {
+			t.Errorf("%v should be CR eligible", op)
+		}
+	}
+	ineligible := []isa.ALUOp{isa.OpShl, isa.OpShr, isa.OpMov, isa.OpInc, isa.OpDec, isa.OpNeg, isa.OpNot}
+	for _, op := range ineligible {
+		if CREligibleOp(op) {
+			t.Errorf("%v should not be CR eligible", op)
+		}
+	}
+}
+
+// TestCarryCheckMatchesSemantics: for adds in CR shape, CRCheck agrees with
+// directly comparing the upper 24 bits of the wide input and the true sum.
+func TestCarryCheckMatchesSemantics(t *testing.T) {
+	f := func(wide uint32, smallSeed uint8) bool {
+		if IsNarrow(wide) {
+			wide |= 0x00010000 // force wide
+		}
+		narrow := uint32(smallSeed) // always narrow
+		sum := wide + narrow
+		want := wide>>8 == sum>>8 && !IsNarrow(sum)
+		got := CRCheck(isa.OpAdd, wide, narrow, sum)
+		if IsNarrow(sum) {
+			// Narrow results are outside the CR shape; got must be false.
+			return !got
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeadingBits(t *testing.T) {
+	if LeadingZeros(0) != 32 || LeadingZeros(1) != 31 || LeadingZeros(0x80000000) != 0 {
+		t.Error("LeadingZeros wrong")
+	}
+	if LeadingOnes(0xFFFFFFFF) != 32 || LeadingOnes(0x80000000) != 1 || LeadingOnes(0) != 0 {
+		t.Error("LeadingOnes wrong")
+	}
+}

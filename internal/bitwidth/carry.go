@@ -1,0 +1,81 @@
+package bitwidth
+
+import "repro/internal/isa"
+
+// This file implements the carry-width analysis of the CR scheme (§3.5):
+// an instruction with one narrow and one wide source and a wide result is
+// effectively a narrow operation when its execution leaves the upper 24
+// bits of the wide source unchanged — no carry (or borrow) propagates
+// beyond bit 7. The canonical example is Figure 10's load address
+// calculation: base FFFC4A02 + offset 1C = FFFC4A1E keeps the upper bytes.
+
+// CREligibleOp reports whether the operation may be considered for the CR
+// scheme. Multiply and divide are excluded because the carry signal cannot
+// catch their fatal mispredictions (§3.5); shifts move bits across the
+// byte boundary and are likewise excluded.
+func CREligibleOp(op isa.ALUOp) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpLea, isa.OpCmp, isa.OpTest:
+		return true
+	default:
+		return false
+	}
+}
+
+// CRShape describes whether a (narrow source, wide source, wide result)
+// combination holds for a two-source operation. Exactly one source must be
+// narrow for the 8-32-32 pattern the paper exploits.
+func CRShape(srcA, srcB, result uint32) (wide uint32, ok bool) {
+	return CRShapeAt(srcA, srcB, result, Narrow)
+}
+
+// CRShapeAt is CRShape for an arbitrary helper datapath width (the §2.1
+// remark that a wider-than-8-bit cluster would capture more work).
+func CRShapeAt(srcA, srcB, result uint32, width uint) (wide uint32, ok bool) {
+	na, nb := IsNarrowAt(srcA, width), IsNarrowAt(srcB, width)
+	if na == nb { // 8-8-* or 32-32-*: not the CR pattern
+		return 0, false
+	}
+	if IsNarrowAt(result, width) { // narrow result is plain 8-8-8 territory
+		return 0, false
+	}
+	if na {
+		return srcB, true
+	}
+	return srcA, true
+}
+
+// CarryNotPropagated reports whether executing op over the 8-32 source pair
+// left the upper 24 bits of the wide source intact in the result, i.e. the
+// operation was effectively 8 bits wide. The caller must have established
+// the CR shape with CRShape.
+func CarryNotPropagated(wide, result uint32) bool {
+	return CarryNotPropagatedAt(wide, result, Narrow)
+}
+
+// CarryNotPropagatedAt is CarryNotPropagated at an arbitrary datapath
+// width.
+func CarryNotPropagatedAt(wide, result uint32, width uint) bool {
+	if width >= 32 {
+		return true
+	}
+	return wide>>width == result>>width
+}
+
+// CRCheck is the complete writeback-time check the helper cluster's carry
+// logic performs: shape, operation eligibility, and carry containment.
+func CRCheck(op isa.ALUOp, srcA, srcB, result uint32) bool {
+	return CRCheckAt(op, srcA, srcB, result, Narrow)
+}
+
+// CRCheckAt is CRCheck at an arbitrary datapath width.
+func CRCheckAt(op isa.ALUOp, srcA, srcB, result uint32, width uint) bool {
+	if !CREligibleOp(op) {
+		return false
+	}
+	wide, ok := CRShapeAt(srcA, srcB, result, width)
+	if !ok {
+		return false
+	}
+	return CarryNotPropagatedAt(wide, result, width)
+}

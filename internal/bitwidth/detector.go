@@ -1,0 +1,105 @@
+package bitwidth
+
+// This file models the consecutive zero (Figure 3a) and consecutive one
+// (Figure 3b) detection circuits at gate level. The paper's detectors use
+// dynamic (domino) logic for speed and fan-in; functionally each is a wide
+// NOR (zeros) or wide AND (ones) over the 24 upper bits, built from 8-bit
+// banks whose outputs combine in a second stage. The model reproduces that
+// two-stage structure, including the precharge/evaluate discipline, so the
+// unit tests can exercise it as a piece of hardware rather than a formula.
+
+// DetectorKind selects between the zero and one detector.
+type DetectorKind uint8
+
+const (
+	// DetectZeros is the consecutive-zero detector (Figure 3a): output is
+	// high when every monitored bit is 0.
+	DetectZeros DetectorKind = iota
+	// DetectOnes is the consecutive-one detector (Figure 3b): output is
+	// high when every monitored bit is 1.
+	DetectOnes
+)
+
+// bank is one 8-bit dynamic-logic detector slice. In the real circuit the
+// dynamic node is precharged high and conditionally discharged by any
+// violating input during evaluate.
+type bank struct {
+	kind DetectorKind
+	// node is the dynamic node: true = precharged (no discharge observed).
+	node bool
+	// evaluated guards against reading a node that was never evaluated,
+	// the classic domino-logic usage error.
+	evaluated bool
+}
+
+func (b *bank) precharge() { b.node = true; b.evaluated = false }
+
+// evaluate discharges the dynamic node if any input bit violates the
+// detected pattern (a 1 for the zero detector, a 0 for the one detector).
+func (b *bank) evaluate(in uint8) {
+	b.evaluated = true
+	switch b.kind {
+	case DetectZeros:
+		if in != 0 {
+			b.node = false
+		}
+	case DetectOnes:
+		if in != 0xFF {
+			b.node = false
+		}
+	}
+}
+
+// Detector is a 24-bit consecutive zero/one detector over bits 31..8 of a
+// 32-bit value, built from three 8-bit dynamic banks and a static AND
+// second stage, mirroring Figure 3.
+type Detector struct {
+	kind  DetectorKind
+	banks [3]bank
+}
+
+// NewDetector returns a detector of the requested kind.
+func NewDetector(kind DetectorKind) *Detector {
+	d := &Detector{kind: kind}
+	for i := range d.banks {
+		d.banks[i].kind = kind
+	}
+	return d
+}
+
+// Detect runs one precharge/evaluate cycle on the upper 24 bits of v and
+// returns whether all of them match the detector's pattern.
+func (d *Detector) Detect(v uint32) bool {
+	for i := range d.banks {
+		d.banks[i].precharge()
+	}
+	d.banks[0].evaluate(uint8(v >> 8))
+	d.banks[1].evaluate(uint8(v >> 16))
+	d.banks[2].evaluate(uint8(v >> 24))
+	out := true
+	for i := range d.banks {
+		if !d.banks[i].evaluated {
+			panic("bitwidth: detector bank read before evaluate")
+		}
+		out = out && d.banks[i].node
+	}
+	return out
+}
+
+// NarrowDetector pairs a zero and a one detector exactly as the helper
+// cluster's writeback path does: a value is narrow if either fires.
+type NarrowDetector struct {
+	zeros *Detector
+	ones  *Detector
+}
+
+// NewNarrowDetector builds the paired detector.
+func NewNarrowDetector() *NarrowDetector {
+	return &NarrowDetector{zeros: NewDetector(DetectZeros), ones: NewDetector(DetectOnes)}
+}
+
+// Narrow reports whether v is representable on the 8-bit helper datapath.
+// It is the circuit-level counterpart of IsNarrow.
+func (n *NarrowDetector) Narrow(v uint32) bool {
+	return n.zeros.Detect(v) || n.ones.Detect(v)
+}

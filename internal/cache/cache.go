@@ -1,0 +1,162 @@
+// Package cache models the memory hierarchy of the Table 1 machine: LRU
+// set-associative caches composed into a DL0/UL1/main-memory hierarchy,
+// plus the trace cache that feeds the frontend.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// LatencyCycles is the access latency in wide-cluster cycles on a hit.
+	LatencyCycles int
+}
+
+// Validate reports the first structural problem.
+func (c Config) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: ways %d must be positive", c.Ways)
+	case c.SizeBytes < c.LineBytes*c.Ways:
+		return fmt.Errorf("cache: size %d smaller than one set (%d)", c.SizeBytes, c.LineBytes*c.Ways)
+	case c.LatencyCycles < 1:
+		return fmt.Errorf("cache: latency %d must be >= 1", c.LatencyCycles)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Stats counts accesses and misses.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses in [0,1].
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is an LRU set-associative cache. Tags only — data values live in
+// the trace.
+type Cache struct {
+	cfg      Config
+	setShift uint
+	setMask  uint32
+	tags     []uint32 // sets × ways
+	valid    []bool
+	age      []uint64 // LRU timestamps
+	ways     int
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		setShift: shift,
+		setMask:  uint32(sets - 1),
+		tags:     make([]uint32, sets*cfg.Ways),
+		valid:    make([]bool, sets*cfg.Ways),
+		age:      make([]uint64, sets*cfg.Ways),
+		ways:     cfg.Ways,
+	}
+}
+
+// Access looks up addr, filling the line on a miss, and reports a hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.setShift
+	set := int(line&c.setMask) * c.ways
+	victim := set
+	oldest := c.age[set]
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.valid[i] && c.tags[i] == line {
+			c.age[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+		} else if c.age[i] < oldest {
+			victim = i
+			oldest = c.age[i]
+		}
+	}
+	c.stats.Misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.age[victim] = c.clock
+	return false
+}
+
+// Probe looks up addr without modifying cache state.
+func (c *Cache) Probe(addr uint32) bool {
+	line := addr >> c.setShift
+	set := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents
+// (measurement warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Hierarchy is the data-side memory system: DL0 backed by UL1 backed by
+// main memory (Table 1: 32KB/8w/3cy, 4MB/16w/13cy, 450 cycles).
+type Hierarchy struct {
+	L1  *Cache
+	L2  *Cache
+	Mem int // main memory latency in wide cycles
+}
+
+// NewHierarchy builds the two-level hierarchy.
+func NewHierarchy(l1, l2 Config, memLatency int) *Hierarchy {
+	if memLatency < 1 {
+		panic("cache: memory latency must be >= 1")
+	}
+	return &Hierarchy{L1: New(l1), L2: New(l2), Mem: memLatency}
+}
+
+// Access returns the total latency in wide cycles for a data access.
+func (h *Hierarchy) Access(addr uint32) int {
+	if h.L1.Access(addr) {
+		return h.L1.cfg.LatencyCycles
+	}
+	if h.L2.Access(addr) {
+		return h.L1.cfg.LatencyCycles + h.L2.cfg.LatencyCycles
+	}
+	return h.L1.cfg.LatencyCycles + h.L2.cfg.LatencyCycles + h.Mem
+}

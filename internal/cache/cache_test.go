@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 32 << 10, LineBytes: 48, Ways: 8, LatencyCycles: 3},
+		{SizeBytes: 32 << 10, LineBytes: 64, Ways: 0, LatencyCycles: 3},
+		{SizeBytes: 64, LineBytes: 64, Ways: 8, LatencyCycles: 3},
+		{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 0},
+		{SizeBytes: 3 * 64 * 8, LineBytes: 64, Ways: 8, LatencyCycles: 1}, // 3 sets
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, LatencyCycles: 1})
+	if c.Access(0x1000) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(0x1004) {
+		t.Error("same-line access must hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line must miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Errorf("miss rate = %f", s.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 8 sets of 64B: addresses 0, 1024, 2048 map to set 0.
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, LatencyCycles: 1})
+	c.Access(0)
+	c.Access(1024)
+	c.Access(0) // refresh 0: LRU victim is now 1024
+	c.Access(2048)
+	if !c.Probe(0) {
+		t.Error("0 must survive (was MRU)")
+	}
+	if c.Probe(1024) {
+		t.Error("1024 must be evicted (was LRU)")
+	}
+	if !c.Probe(2048) {
+		t.Error("2048 must be resident")
+	}
+}
+
+func TestProbeDoesNotModify(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, LatencyCycles: 1})
+	if c.Probe(0x40) {
+		t.Error("probe of empty cache must miss")
+	}
+	if c.Stats().Accesses != 0 {
+		t.Error("probe must not count as access")
+	}
+	c.Access(0x40)
+	if !c.Probe(0x40) {
+		t.Error("probe after access must hit")
+	}
+}
+
+// TestCacheWorkingSetProperty: accessing a working set no larger than the
+// cache repeatedly has no misses after the first pass.
+func TestCacheWorkingSetProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		c := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4, LatencyCycles: 1})
+		base := seed &^ uint32(4095)
+		for pass := 0; pass < 3; pass++ {
+			for off := uint32(0); off < 4096; off += 64 {
+				c.Access(base + off)
+			}
+		}
+		return c.Stats().Misses == 64 // only the first pass misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, LatencyCycles: 3},
+		Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, LatencyCycles: 13},
+		450,
+	)
+	if got := h.Access(0x5000); got != 3+13+450 {
+		t.Errorf("cold access latency = %d", got)
+	}
+	if got := h.Access(0x5000); got != 3 {
+		t.Errorf("L1 hit latency = %d", got)
+	}
+	// Evict from tiny L1 but keep in L2: set 0 conflicts at 0x5000,
+	// 0x5400, 0x5800 (1KB L1 → 8 sets of 64B × 2 ways).
+	h.Access(0x5400)
+	h.Access(0x5800)
+	if got := h.Access(0x5000); got != 3+13 {
+		t.Errorf("L2 hit latency = %d", got)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero memory latency must panic")
+		}
+	}()
+	NewHierarchy(
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, LatencyCycles: 3},
+		Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, LatencyCycles: 13},
+		0,
+	)
+}
+
+func TestTraceCache(t *testing.T) {
+	tc := NewTraceCache(1024, 16, 4, 8)
+	if got := tc.Fetch(0x1000); got != 8 {
+		t.Errorf("cold fetch penalty = %d, want 8", got)
+	}
+	if got := tc.Fetch(0x1000); got != 0 {
+		t.Errorf("warm fetch penalty = %d, want 0", got)
+	}
+	// Same trace line: 16 uops × 4 bytes = 64-byte lines.
+	if got := tc.Fetch(0x103C); got != 0 {
+		t.Errorf("same-line fetch penalty = %d, want 0", got)
+	}
+	if got := tc.Fetch(0x1040); got != 8 {
+		t.Errorf("next-line fetch penalty = %d, want 8", got)
+	}
+}
+
+func TestTraceCacheValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTraceCache(1024, 12, 4, 8) },
+		func() { NewTraceCache(1024, 16, 4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,65 @@
+package cache
+
+// TraceCache models the uop supply of the P4-like frontend (Table 1:
+// 32K uops, 4-way). It is organized in trace lines of uops indexed by PC;
+// a miss stalls fetch for the build penalty while the line is constructed
+// from the UL1 path.
+type TraceCache struct {
+	cache        *Cache
+	lineUops     int
+	buildPenalty int // wide cycles of fetch stall on a miss
+
+	lastLine uint32
+	haveLine bool
+}
+
+// NewTraceCache builds a trace cache holding capacityUops uops in lines of
+// lineUops, with the given associativity and miss build penalty.
+func NewTraceCache(capacityUops, lineUops, ways, buildPenalty int) *TraceCache {
+	if lineUops <= 0 || lineUops&(lineUops-1) != 0 {
+		panic("cache: trace line uop count must be a positive power of two")
+	}
+	if buildPenalty < 0 {
+		panic("cache: negative build penalty")
+	}
+	// Model each uop as 4 "bytes" of PC space; a line covers lineUops
+	// consecutive static uops.
+	cfg := Config{
+		SizeBytes:     capacityUops * 4,
+		LineBytes:     lineUops * 4,
+		Ways:          ways,
+		LatencyCycles: 1,
+	}
+	return &TraceCache{cache: New(cfg), lineUops: lineUops, buildPenalty: buildPenalty}
+}
+
+// Fetch looks up the trace line containing pc and returns the fetch stall
+// in wide cycles (0 on a hit, the build penalty on a miss).
+func (t *TraceCache) Fetch(pc uint32) int {
+	if t.cache.Access(pc) {
+		return 0
+	}
+	return t.buildPenalty
+}
+
+// FetchUop is the per-uop frontend path: it consults the cache only when
+// pc leaves the current trace line, returning the stall in wide cycles.
+func (t *TraceCache) FetchUop(pc uint32) int {
+	line := pc / uint32(t.lineUops*4)
+	if t.haveLine && line == t.lastLine {
+		return 0
+	}
+	t.lastLine = line
+	t.haveLine = true
+	return t.Fetch(pc)
+}
+
+// Redirect invalidates the current-line tracking after a pipeline flush so
+// the next fetch re-checks the cache.
+func (t *TraceCache) Redirect() { t.haveLine = false }
+
+// Stats returns hit/miss counters.
+func (t *TraceCache) Stats() Stats { return t.cache.Stats() }
+
+// ResetStats zeroes the counters without disturbing contents.
+func (t *TraceCache) ResetStats() { t.cache.ResetStats() }

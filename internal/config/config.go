@@ -1,0 +1,166 @@
+// Package config defines the simulated machine configurations: the Table 1
+// monolithic baseline and the helper-cluster augmentation of §2.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Cluster identifiers used across the simulator.
+const (
+	Wide   = 0
+	Helper = 1
+)
+
+// Processor is the full machine description consumed by the timing
+// simulator.
+type Processor struct {
+	// Frontend.
+	FetchWidth        int // uops renamed per wide cycle
+	CommitWidth       int // Table 1: 6
+	MispredictPenalty int // wide cycles of fetch bubble on a branch flush
+	FatalFlushPenalty int // wide cycles of bubble on a width-misprediction flush
+
+	// Trace cache (Table 1: 32K uops, 4-way).
+	TCUops        int
+	TCLineUops    int
+	TCWays        int
+	TCMissPenalty int // wide cycles
+
+	// Window.
+	ROBSize  int
+	PhysRegs int
+
+	// Wide backend (Table 1: 32-entry scheduler, 3 issue).
+	WideIQ    int
+	WideIssue int
+	// FP backend (Table 1: 32-entry scheduler, 3 issue), wide cluster only.
+	FPIQ    int
+	FPIssue int
+
+	// Helper backend (§2): narrow datapath, integer only.
+	HelperEnabled bool
+	HelperIQ      int
+	HelperIssue   int
+	// HelperClockRatio is the helper clock multiplier; §2.2 derives 2×
+	// from the logN ALU/bypass scaling.
+	HelperClockRatio int
+	// HelperWidthBits is the helper datapath width. The paper
+	// conservatively chose 8 (§2.1) and notes wider clusters would
+	// capture more instructions; 8, 16 and 24 are supported.
+	HelperWidthBits int
+
+	// Execution latencies (cycles in the executing cluster's clock for
+	// ALU; wide cycles for the rest).
+	MulLatency  int
+	DivLatency  int
+	FPLatency   int
+	AGULatency  int
+	CopyLatency int // inter-cluster transfer, wide cycles
+
+	// Memory system (Table 1).
+	L1         cache.Config
+	L2         cache.Config
+	MemLatency int
+	MOBSize    int
+	ForwardLat int // store-to-load forward latency, wide cycles
+
+	// Predictors.
+	WidthEntries  int // §3.2: 256
+	BranchPattern int
+	BranchBTB     int
+	BranchHistory int
+}
+
+// PentiumLikeBaseline returns the Table 1 monolithic machine: the helper
+// cluster is disabled; every uop executes in the wide backend.
+func PentiumLikeBaseline() Processor {
+	return Processor{
+		FetchWidth:        6,
+		CommitWidth:       6,
+		MispredictPenalty: 12,
+		FatalFlushPenalty: 2,
+
+		TCUops:        32 << 10,
+		TCLineUops:    16,
+		TCWays:        4,
+		TCMissPenalty: 8,
+
+		ROBSize:  128,
+		PhysRegs: 128,
+
+		WideIQ:    32,
+		WideIssue: 3,
+		FPIQ:      32,
+		FPIssue:   3,
+
+		HelperEnabled:    false,
+		HelperIQ:         32,
+		HelperIssue:      3,
+		HelperClockRatio: 2,
+		HelperWidthBits:  8,
+
+		MulLatency:  3,
+		DivLatency:  20,
+		FPLatency:   4,
+		AGULatency:  1,
+		CopyLatency: 1,
+
+		L1:         cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 3},
+		L2:         cache.Config{SizeBytes: 4 << 20, LineBytes: 64, Ways: 16, LatencyCycles: 13},
+		MemLatency: 450,
+		MOBSize:    48,
+		ForwardLat: 1,
+
+		WidthEntries:  256,
+		BranchPattern: 4096,
+		BranchBTB:     1024,
+		BranchHistory: 12,
+	}
+}
+
+// WithHelper returns the baseline augmented with the 8-bit helper cluster
+// of §2: same frontend and wide backend, plus the 2×-clocked narrow
+// backend.
+func WithHelper() Processor {
+	p := PentiumLikeBaseline()
+	p.HelperEnabled = true
+	return p
+}
+
+// Validate reports the first structural problem.
+func (p Processor) Validate() error {
+	switch {
+	case p.FetchWidth < 1 || p.CommitWidth < 1:
+		return fmt.Errorf("config: fetch/commit width must be >= 1")
+	case p.ROBSize < 2 || p.ROBSize&(p.ROBSize-1) != 0:
+		return fmt.Errorf("config: ROB size %d must be a power of two >= 2", p.ROBSize)
+	case p.PhysRegs < p.FetchWidth:
+		return fmt.Errorf("config: physical registers %d too few", p.PhysRegs)
+	case p.WideIQ < 1 || p.WideIssue < 1 || p.FPIQ < 1 || p.FPIssue < 1:
+		return fmt.Errorf("config: wide/FP queue parameters must be >= 1")
+	case p.HelperEnabled && (p.HelperIQ < 1 || p.HelperIssue < 1):
+		return fmt.Errorf("config: helper queue parameters must be >= 1")
+	case p.HelperClockRatio < 1 || p.HelperClockRatio > 4:
+		return fmt.Errorf("config: helper clock ratio %d out of range", p.HelperClockRatio)
+	case p.HelperWidthBits != 8 && p.HelperWidthBits != 16 && p.HelperWidthBits != 24:
+		return fmt.Errorf("config: helper width %d must be 8, 16 or 24 bits", p.HelperWidthBits)
+	case p.MispredictPenalty < 0 || p.FatalFlushPenalty < 0 || p.TCMissPenalty < 0:
+		return fmt.Errorf("config: penalties must be >= 0")
+	case p.MulLatency < 1 || p.DivLatency < 1 || p.FPLatency < 1 || p.AGULatency < 1 || p.CopyLatency < 1:
+		return fmt.Errorf("config: latencies must be >= 1")
+	case p.MemLatency < 1 || p.MOBSize < 1 || p.ForwardLat < 1:
+		return fmt.Errorf("config: memory system parameters must be >= 1")
+	case p.WidthEntries < 1:
+		return fmt.Errorf("config: width predictor entries must be >= 1")
+	}
+	if err := p.L1.Validate(); err != nil {
+		return fmt.Errorf("config: L1: %w", err)
+	}
+	if err := p.L2.Validate(); err != nil {
+		return fmt.Errorf("config: L2: %w", err)
+	}
+	return nil
+}

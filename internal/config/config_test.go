@@ -1,0 +1,72 @@
+package config
+
+import "testing"
+
+func TestTable1Parameters(t *testing.T) {
+	p := PentiumLikeBaseline()
+	// Table 1 values.
+	if p.L1.SizeBytes != 32<<10 || p.L1.Ways != 8 || p.L1.LatencyCycles != 3 {
+		t.Errorf("DL0 config wrong: %+v", p.L1)
+	}
+	if p.L2.SizeBytes != 4<<20 || p.L2.Ways != 16 || p.L2.LatencyCycles != 13 {
+		t.Errorf("UL1 config wrong: %+v", p.L2)
+	}
+	if p.MemLatency != 450 {
+		t.Errorf("main memory latency = %d, want 450", p.MemLatency)
+	}
+	if p.WideIQ != 32 || p.WideIssue != 3 || p.FPIQ != 32 || p.FPIssue != 3 {
+		t.Error("scheduler parameters must match Table 1 (32 entry, 3 issue)")
+	}
+	if p.CommitWidth != 6 {
+		t.Errorf("commit width = %d, want 6", p.CommitWidth)
+	}
+	if p.TCUops != 32<<10 || p.TCWays != 4 {
+		t.Error("trace cache must be 32K uops, 4-way")
+	}
+	if p.HelperEnabled {
+		t.Error("baseline must not include the helper cluster")
+	}
+	if p.WidthEntries != 256 {
+		t.Errorf("width predictor entries = %d, want the paper's 256", p.WidthEntries)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("baseline must validate: %v", err)
+	}
+}
+
+func TestWithHelper(t *testing.T) {
+	p := WithHelper()
+	if !p.HelperEnabled {
+		t.Fatal("helper must be enabled")
+	}
+	if p.HelperClockRatio != 2 {
+		t.Errorf("helper clock ratio = %d, want the paper's 2x", p.HelperClockRatio)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("helper config must validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	muts := []func(*Processor){
+		func(p *Processor) { p.FetchWidth = 0 },
+		func(p *Processor) { p.ROBSize = 100 },
+		func(p *Processor) { p.PhysRegs = 1 },
+		func(p *Processor) { p.WideIQ = 0 },
+		func(p *Processor) { p.HelperEnabled = true; p.HelperIQ = 0 },
+		func(p *Processor) { p.HelperClockRatio = 9 },
+		func(p *Processor) { p.MispredictPenalty = -1 },
+		func(p *Processor) { p.MulLatency = 0 },
+		func(p *Processor) { p.MemLatency = 0 },
+		func(p *Processor) { p.WidthEntries = 0 },
+		func(p *Processor) { p.L1.Ways = 0 },
+		func(p *Processor) { p.L2.LineBytes = 48 },
+	}
+	for i, mut := range muts {
+		p := PentiumLikeBaseline()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d must fail validation", i)
+		}
+	}
+}

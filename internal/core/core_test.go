@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/steer"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func runSim(t *testing.T, cfg config.Processor, f steer.Features, p synth.Params, n uint64) Result {
+	t.Helper()
+	src := synth.MustNewStream(p)
+	sim, err := New(cfg, f, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Run(n)
+}
+
+func TestNewValidation(t *testing.T) {
+	src := synth.MustNewStream(synth.DefaultParams())
+	bad := config.PentiumLikeBaseline()
+	bad.ROBSize = 100 // not a power of two
+	if _, err := New(bad, steer.Baseline(), src); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+	// Steering features without the helper cluster are contradictory.
+	if _, err := New(config.PentiumLikeBaseline(), steer.F888(), src); err == nil {
+		t.Error("steering without helper must be rejected")
+	}
+}
+
+func TestBaselineCompletesAndBalances(t *testing.T) {
+	r := runSim(t, config.PentiumLikeBaseline(), steer.Baseline(), synth.DefaultParams(), 20000)
+	m := r.Metrics
+	// Commit is 6-wide; a run may overshoot by at most one commit group.
+	if m.Committed < 20000 || m.Committed >= 20000+uint64(config.PentiumLikeBaseline().CommitWidth) {
+		t.Fatalf("committed = %d", m.Committed)
+	}
+	if m.IPC() <= 0.2 || m.IPC() > 6 {
+		t.Errorf("implausible baseline IPC %.2f", m.IPC())
+	}
+	if m.SteeredHelper != 0 || m.CopiesCreated != 0 {
+		t.Errorf("baseline must not use the helper: steered=%d copies=%d", m.SteeredHelper, m.CopiesCreated)
+	}
+	if m.Issues[config.Helper] != 0 {
+		t.Error("baseline helper cluster must never issue")
+	}
+}
+
+func TestHelperSpeedsUpCalibratedWorkload(t *testing.T) {
+	// crafty is a robust helper-cluster winner in the calibrated suite.
+	prof, ok := workload.SpecIntByName("crafty")
+	if !ok {
+		t.Fatal("crafty profile missing")
+	}
+	base := core2(t, config.PentiumLikeBaseline(), steer.Baseline(), prof, 60000)
+	full := core2(t, config.WithHelper(), steer.FCR(), prof, 60000)
+	if full.Metrics.IPC() <= base.Metrics.IPC() {
+		t.Errorf("helper cluster should speed up crafty: %.3f vs %.3f",
+			full.Metrics.IPC(), base.Metrics.IPC())
+	}
+	if full.Metrics.SteeredHelper == 0 {
+		t.Error("full policy must steer work to the helper")
+	}
+	if full.Metrics.CopiesCreated == 0 {
+		t.Error("cross-cluster dataflow must generate copies")
+	}
+}
+
+// core2 runs a calibrated workload profile with warmup.
+func core2(t *testing.T, cfg config.Processor, f steer.Features, p workload.Profile, n uint64) Result {
+	t.Helper()
+	sim, err := New(cfg, f, p.MustStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.RunWarm(n, n/5)
+}
+
+// TestPolicyLadderShape checks the paper's qualitative ordering on the
+// default workload: every policy beats the baseline, BR beats plain 8_8_8,
+// and BR reduces the copy percentage (Figure 8); LR reduces it further
+// (Figure 9).
+func TestPolicyLadderShape(t *testing.T) {
+	p := synth.DefaultParams()
+	base := runSim(t, config.PentiumLikeBaseline(), steer.Baseline(), p, 40000)
+	r888 := runSim(t, config.WithHelper(), steer.F888(), p, 40000)
+	rBR := runSim(t, config.WithHelper(), steer.FBR(), p, 40000)
+	rLR := runSim(t, config.WithHelper(), steer.FLR(), p, 40000)
+
+	if r888.Metrics.IPC() <= base.Metrics.IPC() {
+		t.Errorf("8_8_8 must beat baseline: %.3f vs %.3f", r888.Metrics.IPC(), base.Metrics.IPC())
+	}
+	if rBR.Metrics.IPC() <= r888.Metrics.IPC() {
+		t.Errorf("BR must beat 8_8_8: %.3f vs %.3f", rBR.Metrics.IPC(), r888.Metrics.IPC())
+	}
+	if rBR.Metrics.CopyFrac() >= r888.Metrics.CopyFrac() {
+		t.Errorf("BR must reduce copies (Figure 8): %.3f vs %.3f",
+			rBR.Metrics.CopyFrac(), r888.Metrics.CopyFrac())
+	}
+	if rLR.Metrics.CopyFrac() > rBR.Metrics.CopyFrac() {
+		t.Errorf("LR must not increase copies (Figure 9): %.3f vs %.3f",
+			rLR.Metrics.CopyFrac(), rBR.Metrics.CopyFrac())
+	}
+	if rBR.Metrics.HelperFrac() <= r888.Metrics.HelperFrac() {
+		t.Error("BR must steer more uops to the helper")
+	}
+}
+
+func TestIRReducesImbalance(t *testing.T) {
+	p := synth.DefaultParams()
+	rCP := runSim(t, config.WithHelper(), steer.FCP(), p, 40000)
+	rIR := runSim(t, config.WithHelper(), steer.FIR(), p, 40000)
+	if rIR.Metrics.SteeredSplit == 0 {
+		t.Fatal("IR must split instructions")
+	}
+	if rIR.Metrics.ImbalanceWideToNarrow() >= rCP.Metrics.ImbalanceWideToNarrow() {
+		t.Errorf("IR must reduce wide-to-narrow NREADY imbalance (§3.7): %.3f vs %.3f",
+			rIR.Metrics.ImbalanceWideToNarrow(), rCP.Metrics.ImbalanceWideToNarrow())
+	}
+	if rIR.Metrics.CopyFrac() <= rCP.Metrics.CopyFrac() {
+		t.Error("split prefetch copies must raise the copy percentage (§3.7)")
+	}
+}
+
+func TestIRTunedReducesCopies(t *testing.T) {
+	p := synth.DefaultParams()
+	rIR := runSim(t, config.WithHelper(), steer.FIR(), p, 40000)
+	rT := runSim(t, config.WithHelper(), steer.FIRTuned(), p, 40000)
+	if rT.Metrics.CopyFrac() >= rIR.Metrics.CopyFrac() {
+		t.Errorf("the no-destination tuning must reduce copies (§3.7): %.3f vs %.3f",
+			rT.Metrics.CopyFrac(), rIR.Metrics.CopyFrac())
+	}
+}
+
+func TestConfidenceReducesFatalMispredictions(t *testing.T) {
+	p := synth.DefaultParams()
+	with := runSim(t, config.WithHelper(), steer.F888(), p, 40000)
+	without := runSim(t, config.WithHelper(), steer.F888NoConfidence(), p, 40000)
+	if without.Metrics.FatalFlushes <= with.Metrics.FatalFlushes {
+		t.Errorf("the 2-bit confidence estimator must cut fatal mispredictions (§3.2): %d vs %d",
+			with.Metrics.FatalFlushes, without.Metrics.FatalFlushes)
+	}
+}
+
+func TestWidthAccuracyShape(t *testing.T) {
+	r := runSim(t, config.WithHelper(), steer.F888(), synth.DefaultParams(), 40000)
+	correct, nonFatal, fatal := r.Metrics.WidthAccuracy()
+	if correct < 0.85 {
+		t.Errorf("width prediction accuracy %.3f below the paper's ~93.5%% ballpark", correct)
+	}
+	if fatal > 0.03 {
+		t.Errorf("fatal misprediction rate %.4f too high (paper: 0.83%%)", fatal)
+	}
+	if sum := correct + nonFatal + fatal; sum < 0.99 || sum > 1.01 {
+		t.Errorf("classification fractions must sum to 1: %.3f", sum)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := synth.DefaultParams()
+	a := runSim(t, config.WithHelper(), steer.FCR(), p, 15000)
+	b := runSim(t, config.WithHelper(), steer.FCR(), p, 15000)
+	if a.Metrics != b.Metrics {
+		t.Error("identical runs must produce identical metrics")
+	}
+}
+
+func TestFatalFlushRecovery(t *testing.T) {
+	// Low width locality forces frequent width flips and therefore fatal
+	// mispredictions; the simulator must recover through all of them.
+	p := synth.DefaultParams()
+	p.WidthLocality = 0.5
+	r := runSim(t, config.WithHelper(), steer.F888NoConfidence(), p, 30000)
+	if r.Metrics.FatalFlushes == 0 {
+		t.Fatal("expected fatal flushes under hostile width behaviour")
+	}
+	if r.Metrics.Committed < 30000 {
+		t.Errorf("committed %d of 30000 under fatal pressure", r.Metrics.Committed)
+	}
+}
+
+func TestTinyQueuesStillComplete(t *testing.T) {
+	// §2.2 claims reduced issue queue size has small impact; at minimum
+	// the machine must stay deadlock-free with tiny queues.
+	cfg := config.WithHelper()
+	cfg.WideIQ, cfg.HelperIQ, cfg.FPIQ = 8, 8, 4
+	cfg.MOBSize = 4
+	cfg.ROBSize = 32
+	r := runSim(t, cfg, steer.FCR(), synth.DefaultParams(), 10000)
+	if r.Metrics.Committed < 10000 {
+		t.Errorf("committed %d of 10000 with tiny queues", r.Metrics.Committed)
+	}
+}
+
+func TestHelperClockRatioMatters(t *testing.T) {
+	p := synth.DefaultParams()
+	fast := config.WithHelper()
+	slow := config.WithHelper()
+	slow.HelperClockRatio = 1
+	rf := runSim(t, fast, steer.FCR(), p, 30000)
+	rs := runSim(t, slow, steer.FCR(), p, 30000)
+	if rf.Metrics.IPC() <= rs.Metrics.IPC() {
+		t.Errorf("2x helper clock must beat 1x: %.3f vs %.3f", rf.Metrics.IPC(), rs.Metrics.IPC())
+	}
+}
+
+func TestAllSpecProfilesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	for _, prof := range workload.SpecInt2000() {
+		r := runSim(t, config.WithHelper(), steer.FIR(), prof.Params, 8000)
+		if r.Metrics.Committed < 8000 {
+			t.Errorf("%s: committed %d", prof.Name, r.Metrics.Committed)
+		}
+	}
+}
+
+func TestMemoryBoundWorkload(t *testing.T) {
+	p := synth.DefaultParams()
+	p.WorkingSet = 32 << 20
+	p.StrideBytes = p.WorkingSet >> 12 // page-scale jumps across the set
+	r := runSim(t, config.PentiumLikeBaseline(), steer.Baseline(), p, 30000)
+	small := synth.DefaultParams()
+	small.WorkingSet = 16 << 10
+	r2 := runSim(t, config.PentiumLikeBaseline(), steer.Baseline(), small, 30000)
+	if r.L1.MissRate() <= r2.L1.MissRate() {
+		t.Errorf("big working set must miss more in L1: %.4f vs %.4f", r.L1.MissRate(), r2.L1.MissRate())
+	}
+	if r.Metrics.IPC() >= r2.Metrics.IPC() {
+		t.Errorf("memory-bound run must be slower: %.3f vs %.3f", r.Metrics.IPC(), r2.Metrics.IPC())
+	}
+}

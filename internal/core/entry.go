@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the cycle-based
+// timing model of a monolithic 32-bit out-of-order processor augmented with
+// a 2×-clocked 8-bit helper cluster, together with the data-width aware
+// steering engine (8_8_8, BR, LR, CR, CP, IR) and the copy-instruction
+// inter-cluster communication scheme.
+//
+// Clocking: the simulator advances in ticks of the helper clock. The helper
+// backend acts every tick; the frontend, wide backend, FP backend, commit
+// and memory act every HelperClockRatio-th tick. All reported cycles (IPC)
+// are wide-cluster cycles, matching the paper's baseline-relative speedups.
+package core
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// never marks an availability that has not been scheduled.
+const never = int64(math.MaxInt64)
+
+// entryKind distinguishes trace uops from simulator-synthesized ones.
+type entryKind uint8
+
+const (
+	kindReal  entryKind = iota // a trace uop
+	kindCopy                   // inter-cluster copy (PACT-99 scheme)
+	kindSplit                  // IR split sub-uop (one byte slice)
+)
+
+// entryState is the lifecycle of a ROB entry.
+type entryState uint8
+
+const (
+	stWaiting   entryState = iota // in an issue queue (or not yet issued)
+	stExecuting                   // issued; completes at done
+	stDone                        // result produced; awaiting commit
+)
+
+const maxDeps = 4
+
+// blockSplitWindow is the number of subsequent eligible uops that follow a
+// triggered split into the helper under block-granularity splitting
+// (§3.7's proposed extension).
+const blockSplitWindow = 12
+
+// robEntry is one reorder-buffer entry.
+type robEntry struct {
+	u             isa.Uop
+	kind          entryKind
+	state         entryState
+	cluster       uint8 // execution cluster
+	seq           uint64
+	countsAsInstr bool
+
+	deps  [maxDeps]uint64
+	ndeps uint8
+
+	done  int64    // completion tick in the execution cluster
+	avail [2]int64 // tick the result becomes usable per cluster
+
+	// Steering/width bookkeeping.
+	steered888      bool // helper-steered under the all-narrow rule
+	crSteered       bool // helper-steered under carry-width prediction
+	widthPredNarrow bool // raw predictor call at rename (Figure 5 classes)
+	widthClassify   bool // participates in Figure 5 classification
+	splitHead       bool // first piece of an IR split (counts the steer)
+
+	// Rename undo/commit info.
+	definedReg   uint8 // isa.RegNone when none
+	prevReg      rename.Mapping
+	definedFlags bool
+	prevFlags    rename.Mapping
+	definedFP    uint8 // 0xFF when none
+	prevFP       int64
+	physReg      int32
+	prevPhys     int32
+	crBorrow     int32
+
+	// Copy bookkeeping.
+	hasCopyTo    [2]bool // producer side: a copy toward cluster exists
+	copySrc      uint64  // copy side: producer position
+	copyTarget   uint8   // copy side: destination cluster
+	replicated   bool    // LR: value lands in both register files
+	prefetchCopy bool    // CP: speculative copy, issues at low priority
+
+	// Branch bookkeeping.
+	predCorrect bool
+	// ghr is the global branch history at this entry's rename; flushes
+	// restore it (checkpointed history, as real frontends do).
+	ghr uint32
+	// renameTick is when the entry was dispatched (latency studies).
+	renameTick int64
+
+	isLoad, isStore, isFP bool
+}
+
+// resetEntry initializes e for reuse in the ring.
+func resetEntry(e *robEntry) {
+	*e = robEntry{
+		avail:      [2]int64{never, never},
+		done:       never,
+		definedReg: isa.RegNone,
+		definedFP:  0xFF,
+		physReg:    -1,
+		prevPhys:   -1,
+		crBorrow:   -1,
+	}
+}

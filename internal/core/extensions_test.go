@@ -1,0 +1,85 @@
+package core
+
+// Tests for the paper's proposed extensions implemented beyond the core
+// evaluation: configurable helper datapath width (§2.1) and
+// block-granularity instruction splitting (§3.7).
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+func TestWiderHelperSteersMore(t *testing.T) {
+	prof, _ := workload.SpecIntByName("crafty")
+	run := func(bits int) Result {
+		cfg := config.WithHelper()
+		cfg.HelperWidthBits = bits
+		sim := MustNew(cfg, steer.FCR(), prof.MustStream())
+		return sim.RunWarm(40000, 8000)
+	}
+	r8 := run(8)
+	r16 := run(16)
+	// §2.1: "more narrow instructions would be executed in the narrow
+	// cluster" with a wider datapath.
+	if r16.Metrics.SteeredHelper <= r8.Metrics.SteeredHelper {
+		t.Errorf("16-bit helper must steer more: %d vs %d",
+			r16.Metrics.SteeredHelper, r8.Metrics.SteeredHelper)
+	}
+	// Wider datapath also means fewer fatal width mispredictions: more
+	// values fit.
+	if r16.Metrics.FatalFlushes > r8.Metrics.FatalFlushes {
+		t.Errorf("16-bit helper should not increase fatal flushes: %d vs %d",
+			r16.Metrics.FatalFlushes, r8.Metrics.FatalFlushes)
+	}
+}
+
+func TestHelperWidthValidation(t *testing.T) {
+	cfg := config.WithHelper()
+	cfg.HelperWidthBits = 12
+	if err := cfg.Validate(); err == nil {
+		t.Error("12-bit helper width must be rejected")
+	}
+	for _, bits := range []int{8, 16, 24} {
+		cfg.HelperWidthBits = bits
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%d-bit width must validate: %v", bits, err)
+		}
+	}
+}
+
+func TestBlockSplittingRuns(t *testing.T) {
+	prof, _ := workload.SpecIntByName("eon")
+	runPol := func(pol steer.Features) Result {
+		sim := MustNew(config.WithHelper(), pol, prof.MustStream())
+		return sim.RunWarm(40000, 8000)
+	}
+	rIR := runPol(steer.FIR())
+	rBlk := runPol(steer.FIRBlock())
+	if rBlk.Metrics.Committed < 40000 {
+		t.Fatalf("block splitting run incomplete: %d", rBlk.Metrics.Committed)
+	}
+	// Block mode extends each triggered split across the following
+	// window, so when splitting happens at all it splits at least as
+	// many uops.
+	if rIR.Metrics.SteeredSplit > 0 && rBlk.Metrics.SteeredSplit < rIR.Metrics.SteeredSplit {
+		t.Errorf("block mode must split at least as much: %d vs %d",
+			rBlk.Metrics.SteeredSplit, rIR.Metrics.SteeredSplit)
+	}
+	if rBlk.Policy != "8_8_8+BR+LR+CR+CP+IRblk" {
+		t.Errorf("policy name = %s", rBlk.Policy)
+	}
+}
+
+func TestSplitDestinationChainsInHelper(t *testing.T) {
+	// With the destination mapped to the last split piece, a split's
+	// value must be consumable without deadlock from both clusters.
+	prof, _ := workload.SpecIntByName("gap")
+	sim := MustNew(config.WithHelper(), steer.FIRBlock(), prof.MustStream())
+	r := sim.RunWarm(30000, 5000)
+	if r.Metrics.Committed < 30000 {
+		t.Fatalf("committed %d", r.Metrics.Committed)
+	}
+}

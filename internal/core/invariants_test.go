@@ -1,0 +1,143 @@
+package core
+
+// Integration-level invariant checks and failure-injection tests: the
+// simulator must preserve its accounting identities under every policy and
+// under hostile conditions (width-flip storms, trace-cache thrashing,
+// tiny structures).
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/steer"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// checkInvariants asserts the cross-counter identities of a finished run.
+func checkInvariants(t *testing.T, r Result, n uint64) {
+	t.Helper()
+	m := r.Metrics
+	if m.Committed < n {
+		t.Errorf("committed %d < requested %d", m.Committed, n)
+	}
+	if m.SteeredHelper > m.Committed {
+		t.Errorf("steered (%d) cannot exceed committed (%d)", m.SteeredHelper, m.Committed)
+	}
+	if m.CommittedCopies > m.CopiesCreated {
+		t.Errorf("committed copies (%d) cannot exceed created (%d)", m.CommittedCopies, m.CopiesCreated)
+	}
+	if m.CopyPrefetch > m.CopiesCreated {
+		t.Errorf("prefetched copies (%d) cannot exceed created (%d)", m.CopyPrefetch, m.CopiesCreated)
+	}
+	if m.WidthFatal != m.FatalFlushes {
+		t.Errorf("fatal classifications (%d) must equal fatal flushes (%d)", m.WidthFatal, m.FatalFlushes)
+	}
+	if m.BranchMispredicts > m.Branches {
+		t.Errorf("mispredicts (%d) cannot exceed branches (%d)", m.BranchMispredicts, m.Branches)
+	}
+	if m.WideCycles == 0 || m.Ticks < m.WideCycles {
+		t.Errorf("clock accounting broken: ticks=%d wide=%d", m.Ticks, m.WideCycles)
+	}
+	if ratio := uint64(config.WithHelper().HelperClockRatio); m.Ticks > (m.WideCycles+1)*ratio {
+		t.Errorf("tick/cycle ratio broken: ticks=%d wide=%d", m.Ticks, m.WideCycles)
+	}
+	// Every issue reads at most maxDeps operands.
+	if m.RFReads[0]+m.RFReads[1] > (m.Issues[0]+m.Issues[1]+m.FPOps)*4 {
+		t.Error("register read accounting implausible")
+	}
+}
+
+func TestInvariantsAcrossPolicies(t *testing.T) {
+	prof, _ := workload.SpecIntByName("parser")
+	const n = 25000
+	policies := append(steer.Ladder(), steer.Baseline(), steer.F888NoConfidence(), steer.FIRBlock())
+	for _, pol := range policies {
+		cfg := config.WithHelper()
+		if !pol.Enable888 {
+			cfg = config.PentiumLikeBaseline()
+		}
+		sim := MustNew(cfg, pol, prof.MustStream())
+		r := sim.Run(n)
+		checkInvariants(t, r, n)
+	}
+}
+
+func TestInvariantsUnderWidthStorm(t *testing.T) {
+	// Width locality 0.5 flips value widths on half the instances — a
+	// fatal-misprediction storm. All identities must survive.
+	p := synth.DefaultParams()
+	p.WidthLocality = 0.5
+	sim := MustNew(config.WithHelper(), steer.FIR(), synth.MustNewStream(p))
+	r := sim.Run(25000)
+	checkInvariants(t, r, 25000)
+	if r.Metrics.FatalFlushes == 0 {
+		t.Error("width storm must cause fatal flushes")
+	}
+}
+
+func TestInvariantsUnderTCThrash(t *testing.T) {
+	// A straight-line program far larger than the trace cache sweeps its
+	// lines every lap and thrashes the frontend (loops would pin fetch
+	// to a few resident lines and mask the effect).
+	p := synth.DefaultParams()
+	p.Segments = 400
+	p.LoopFrac, p.DiamondFrac = 0, 0
+	cfg := config.WithHelper()
+	cfg.TCUops = 1 << 10 // 1K-uop trace cache
+	sim := MustNew(cfg, steer.FCR(), synth.MustNewStream(p))
+	r := sim.Run(25000)
+	checkInvariants(t, r, 25000)
+	// Loop-resident fetches rarely cross trace lines, so even a thrashing
+	// frontend shows a small absolute rate; compare against the roomy
+	// default instead.
+	big := MustNew(config.WithHelper(), steer.FCR(), synth.MustNewStream(p)).Run(25000)
+	if r.TC.MissRate() <= big.TC.MissRate() {
+		t.Errorf("tiny trace cache must miss more: %.5f vs %.5f",
+			r.TC.MissRate(), big.TC.MissRate())
+	}
+}
+
+func TestInvariantsWithTinyPhysRegs(t *testing.T) {
+	cfg := config.WithHelper()
+	cfg.PhysRegs = 24 // well below ROB size: rename must stall, not break
+	sim := MustNew(cfg, steer.FCR(), synth.MustNewStream(synth.DefaultParams()))
+	r := sim.Run(15000)
+	checkInvariants(t, r, 15000)
+	if r.Metrics.StallPhys == 0 {
+		t.Error("expected physical-register stalls with a tiny file")
+	}
+}
+
+func TestInvariantsMemoryStress(t *testing.T) {
+	p := synth.DefaultParams()
+	p.WorkingSet = 64 << 20
+	p.StrideBytes = 16 << 10
+	p.FracLoad, p.FracStore = 0.35, 0.15
+	sim := MustNew(config.WithHelper(), steer.FIR(), synth.MustNewStream(p))
+	r := sim.Run(20000)
+	checkInvariants(t, r, 20000)
+}
+
+func TestRunWarmResetsCounters(t *testing.T) {
+	prof, _ := workload.SpecIntByName("gzip")
+	sim := MustNew(config.WithHelper(), steer.FCR(), prof.MustStream())
+	r := sim.RunWarm(10000, 10000)
+	// Counters reflect only the measured region.
+	if r.Metrics.Committed < 10000 || r.Metrics.Committed > 10006 {
+		t.Errorf("measured committed = %d", r.Metrics.Committed)
+	}
+	if r.Metrics.WideCycles == 0 {
+		t.Error("measured cycles empty")
+	}
+}
+
+func TestZeroPenaltyConfigs(t *testing.T) {
+	cfg := config.WithHelper()
+	cfg.MispredictPenalty = 0
+	cfg.FatalFlushPenalty = 0
+	cfg.TCMissPenalty = 0
+	sim := MustNew(cfg, steer.FIR(), synth.MustNewStream(synth.DefaultParams()))
+	r := sim.Run(15000)
+	checkInvariants(t, r, 15000)
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/queue"
+	"repro/internal/rename"
+	"repro/internal/steer"
+	"repro/internal/trace"
+)
+
+// Cluster indexes (aliases of the config constants for brevity).
+const (
+	wide   = config.Wide
+	helper = config.Helper
+)
+
+// Sim is one simulation instance: a machine configuration, a steering
+// policy, and a uop source.
+type Sim struct {
+	cfg   config.Processor
+	feats steer.Features
+
+	window *trace.Window
+	rob    *queue.Ring[robEntry]
+	iq     [2]*queue.IssueQueue
+	fpIQ   *queue.IssueQueue
+	mob    *queue.MOB
+
+	table *rename.Table
+	prf   *rename.PhysRegFile
+	fpMap [8]int64 // FP register namespace producers (-1 = architectural)
+
+	wp  *predict.WidthPredictor
+	bp  *predict.BranchPredictor
+	tc  *cache.TraceCache
+	mem *cache.Hierarchy
+
+	imb *steer.ImbalanceDetector
+
+	// Clock state. tick counts helper cycles; wideTick is true on ticks
+	// where the wide domain (frontend, wide backend, FP, commit) acts.
+	tick  int64
+	ratio int64
+	// helperWidth is the configured helper datapath width in bits.
+	helperWidth uint
+
+	// Frontend state.
+	fetchSeq        uint64
+	fetchStallUntil int64
+	// pendingBranch is the ROB position of a renamed branch that will
+	// mispredict: the frontend is fetching the wrong path, so no further
+	// (trace = correct-path) uops rename until it resolves. -1 = none.
+	pendingBranch int64
+
+	// Entries issued and awaiting completion.
+	executing []uint64
+
+	// Per-wide-cycle issue accounting for the NREADY imbalance metric.
+	readyUnissued [2]int
+	spareSlots    [2]int
+	issueScratch  []int
+
+	// Uops that fatally mispredicted and must re-steer wide on refetch.
+	forcedWide map[uint64]struct{}
+
+	m metrics.Metrics
+
+	// noSplitDebug disables IR splitting (ablation hook).
+	noSplitDebug bool
+
+	// Debounced helper-overload state (§3.7 balance), sampled once per
+	// wide cycle so transient split bursts don't trigger shedding.
+	helperOverloaded bool
+	overloadStreak   int
+	// splitStreak is the remaining block-splitting window (IRBlock).
+	splitStreak int
+
+	// progress watchdog
+	lastCommitTick int64
+}
+
+// New builds a simulator. The source must be infinite (synth streams or
+// cyclic trace replays).
+func New(cfg config.Processor, feats steer.Features, src trace.Source) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if feats.Enable888 && !cfg.HelperEnabled {
+		return nil, fmt.Errorf("core: steering features require the helper cluster")
+	}
+	windowCap := cfg.ROBSize * 4
+	s := &Sim{
+		cfg:           cfg,
+		feats:         feats,
+		window:        trace.NewWindow(src, windowCap),
+		rob:           queue.NewRing[robEntry](cfg.ROBSize),
+		mob:           queue.NewMOB(cfg.MOBSize),
+		table:         rename.NewTable(),
+		prf:           rename.NewPhysRegFile(cfg.PhysRegs),
+		wp:            predict.NewWidthPredictor(cfg.WidthEntries),
+		bp:            predict.NewBranchPredictor(cfg.BranchPattern, cfg.BranchBTB, cfg.BranchHistory),
+		tc:            cache.NewTraceCache(cfg.TCUops, cfg.TCLineUops, cfg.TCWays, cfg.TCMissPenalty),
+		mem:           cache.NewHierarchy(cfg.L1, cfg.L2, cfg.MemLatency),
+		imb:           steer.NewImbalanceDetector(),
+		ratio:         int64(cfg.HelperClockRatio),
+		helperWidth:   uint(cfg.HelperWidthBits),
+		forcedWide:    make(map[uint64]struct{}),
+		pendingBranch: -1,
+	}
+	s.iq[wide] = queue.NewIssueQueue(cfg.WideIQ)
+	s.iq[helper] = queue.NewIssueQueue(cfg.HelperIQ)
+	s.fpIQ = queue.NewIssueQueue(cfg.FPIQ)
+	for i := range s.fpMap {
+		s.fpMap[i] = -1
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good arguments.
+func MustNew(cfg config.Processor, feats steer.Features, src trace.Source) *Sim {
+	s, err := New(cfg, feats, src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ticksPer returns the tick cost of one cycle in the given cluster.
+func (s *Sim) ticksPer(cluster uint8) int64 {
+	if cluster == helper {
+		return 1
+	}
+	return s.ratio
+}
+
+// wideTicks converts wide cycles to ticks.
+func (s *Sim) wideTicks(cycles int) int64 { return int64(cycles) * s.ratio }
+
+// Result is the outcome of a run.
+type Result struct {
+	Metrics metrics.Metrics
+	Width   predict.WidthStats
+	Branch  predict.BranchStats
+	L1      cache.Stats
+	L2      cache.Stats
+	TC      cache.Stats
+	Policy  string
+}
+
+// RunWarm simulates warm committed uops to fill predictors and caches,
+// resets the measurement counters, then simulates n measured uops. The
+// paper's methodology skips each trace's initialization slice (§3.1); this
+// is the equivalent for synthetic streams.
+func (s *Sim) RunWarm(n, warm uint64) Result {
+	if warm > 0 {
+		s.Run(warm)
+		s.m = metrics.Metrics{}
+		s.wp.ResetStats()
+		s.bp.ResetStats()
+		s.tc.ResetStats()
+		s.mem.L1.ResetStats()
+		s.mem.L2.ResetStats()
+	}
+	return s.Run(n)
+}
+
+// Run simulates until n real uops have committed and returns the collected
+// measurements.
+func (s *Sim) Run(n uint64) Result {
+	const watchdogTicks = 1 << 21
+	s.lastCommitTick = s.tick
+	for s.m.Committed < n {
+		s.tick++
+		onWide := s.tick%s.ratio == 0
+		s.m.Ticks++
+		if onWide {
+			s.m.WideCycles++
+		}
+
+		s.writeback()
+		if onWide {
+			s.commit()
+		}
+		s.issueCluster(helper)
+		if onWide {
+			s.issueCluster(wide)
+			s.issueFP()
+			s.sampleImbalance()
+			s.renameStage()
+		}
+
+		if s.tick-s.lastCommitTick > watchdogTicks {
+			panic(fmt.Sprintf("core: no commit for %d ticks at tick %d (rob=%d iqW=%d iqH=%d committed=%d)",
+				watchdogTicks, s.tick, s.rob.Len(), s.iq[wide].Len(), s.iq[helper].Len(), s.m.Committed))
+		}
+	}
+	return Result{
+		Metrics: s.m,
+		Width:   s.wp.Stats(),
+		Branch:  s.bp.Stats(),
+		L1:      s.mem.L1.Stats(),
+		L2:      s.mem.L2.Stats(),
+		TC:      s.tc.Stats(),
+		Policy:  s.feats.Name(),
+	}
+}
+
+// Metrics exposes the live counters (tests and incremental harnesses).
+func (s *Sim) Metrics() *metrics.Metrics { return &s.m }
+
+// depReady reports whether dependency position p has its value available
+// in cluster c at the current tick.
+func (s *Sim) depReady(p uint64, c uint8) bool {
+	if p < s.rob.Head() {
+		return true // committed: architectural state visible everywhere
+	}
+	return s.rob.At(p).avail[c] <= s.tick
+}
+
+// entryReady reports whether all dependencies of e are available in its
+// execution cluster.
+func (s *Sim) entryReady(e *robEntry) bool {
+	for i := uint8(0); i < e.ndeps; i++ {
+		if !s.depReady(e.deps[i], e.cluster) {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleImbalance accumulates the NREADY metric at each wide-cycle
+// boundary: ready-but-unissued uops in one cluster that had spare issue
+// slots in the other (§3.7).
+func (s *Sim) sampleImbalance() {
+	if !s.cfg.HelperEnabled {
+		return
+	}
+	s.m.IQOccSum[wide] += uint64(s.iq[wide].Len())
+	s.m.IQOccSum[helper] += uint64(s.iq[helper].Len())
+
+	// Debounce the §3.7 overload signal: two consecutive overloaded wide
+	// cycles arm it, one calm cycle clears it.
+	if s.imb.HelperOverloaded(s.iq[helper].Len(), s.iq[helper].Cap(),
+		s.iq[wide].Len(), s.iq[wide].Cap()) {
+		s.overloadStreak++
+	} else {
+		s.overloadStreak = 0
+	}
+	s.helperOverloaded = s.overloadStreak >= 2
+
+	w2n := s.readyUnissued[wide]
+	if spare := s.spareSlots[helper]; spare < w2n {
+		w2n = spare
+	}
+	if w2n > 0 {
+		s.m.NReadyWideToNarrow += uint64(w2n)
+	}
+	n2w := s.readyUnissued[helper]
+	if spare := s.spareSlots[wide]; spare < n2w {
+		n2w = spare
+	}
+	if n2w > 0 {
+		s.m.NReadyNarrowToWide += uint64(n2w)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import "repro/internal/isa"
+
+// commit retires up to CommitWidth done entries from the ROB head per wide
+// cycle, releasing rename and memory resources.
+func (s *Sim) commit() {
+	for budget := s.cfg.CommitWidth; budget > 0 && !s.rob.Empty(); budget-- {
+		pos := s.rob.Head()
+		e := s.rob.At(pos)
+		if e.state != stDone {
+			return
+		}
+
+		if e.isStore {
+			s.mob.RetireStore(pos)
+			// The store drains to the memory system at retirement; the
+			// access warms the caches but does not stall commit (write
+			// buffering).
+			s.mem.Access(e.u.MemAddr)
+		}
+		if e.definedReg != isa.RegNone {
+			s.table.Commit(e.definedReg, int64(pos))
+			if e.prevPhys >= 0 {
+				// The previous definition of this architectural register
+				// is dead; CR borrows may defer the actual release.
+				s.prf.Free(e.prevPhys)
+			}
+		}
+		if e.definedFlags {
+			s.table.Commit(isa.RegFlags, int64(pos))
+		}
+		if e.definedFP != 0xFF && s.fpMap[e.definedFP] == int64(pos) {
+			s.fpMap[e.definedFP] = -1
+		}
+		if e.crBorrow >= 0 {
+			s.prf.Unborrow(e.crBorrow)
+		}
+
+		switch e.kind {
+		case kindReal:
+			s.m.Committed++
+			s.lastCommitTick = s.tick
+			if e.cluster == helper {
+				s.m.SteeredHelper++
+			}
+			// CP decay (§3.6): a producer that retires without ever
+			// incurring a copy clears its prefetch bit.
+			if s.feats.EnableCP && e.u.HasDest() &&
+				!e.hasCopyTo[wide] && !e.hasCopyTo[helper] {
+				s.wp.UpdateCopy(e.u.PC, false)
+			}
+			delete(s.forcedWide, e.seq)
+			s.window.Release(e.seq)
+		case kindCopy:
+			s.m.CommittedCopies++
+		case kindSplit:
+			if e.splitHead {
+				s.m.Committed++
+				s.m.SteeredHelper++
+				s.lastCommitTick = s.tick
+				delete(s.forcedWide, e.seq)
+				s.window.Release(e.seq)
+			} else {
+				s.m.CommittedSplits++
+			}
+		}
+		s.rob.Pop()
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitwidth"
+	"repro/internal/isa"
+)
+
+// issueCluster selects up to the cluster's issue width of ready entries,
+// oldest first, and schedules their execution.
+func (s *Sim) issueCluster(c uint8) {
+	if c == helper && !s.cfg.HelperEnabled {
+		s.readyUnissued[helper] = 0
+		s.spareSlots[helper] = 0
+		return
+	}
+	budget := s.cfg.WideIssue
+	if c == helper {
+		budget = s.cfg.HelperIssue
+	}
+	q := s.iq[c]
+	take := s.issueScratch[:0]
+	readyLeft := 0
+	// Two select passes: demand work first, then prefetched copies —
+	// speculative transfers must not displace real instructions.
+	for pass := 0; pass < 2 && budget > 0; pass++ {
+		k := 0
+		for i, pos := range q.Entries() {
+			if k < len(take) && take[k] == i {
+				k++
+				continue // already selected in pass 0
+			}
+			e := s.rob.At(pos)
+			if (e.prefetchCopy) != (pass == 1) {
+				continue
+			}
+			if !s.entryReady(e) {
+				continue
+			}
+			if budget == 0 {
+				break
+			}
+			s.issueEntry(pos, e)
+			take = insertSorted(take, i)
+			budget--
+		}
+	}
+	// NREADY (§3.7): ready but unissued; count entries the other cluster
+	// could in principle have executed (splittable ALU work for
+	// wide→narrow, anything non-copy for narrow→wide).
+	if budget == 0 {
+		k := 0
+		for i, pos := range q.Entries() {
+			if k < len(take) && take[k] == i {
+				k++
+				continue
+			}
+			e := s.rob.At(pos)
+			if !s.entryReady(e) {
+				continue
+			}
+			if c == wide {
+				if e.kind == kindReal && e.u.Class == isa.ClassALU {
+					readyLeft++
+				}
+			} else if e.kind != kindCopy {
+				readyLeft++
+			}
+		}
+	}
+	q.RemoveIndexes(take)
+	s.issueScratch = take[:0]
+	s.m.Issues[c] += uint64(len(take))
+	s.readyUnissued[c] = readyLeft
+	s.spareSlots[c] = budget
+}
+
+// insertSorted inserts v into an ascending slice of indexes.
+func insertSorted(s []int, v int) []int {
+	i := len(s)
+	for i > 0 && s[i-1] > v {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// issueFP issues from the wide cluster's FP scheduler.
+func (s *Sim) issueFP() {
+	budget := s.cfg.FPIssue
+	take := s.issueScratch[:0]
+	for i, pos := range s.fpIQ.Entries() {
+		if budget == 0 {
+			break
+		}
+		e := s.rob.At(pos)
+		if !s.entryReady(e) {
+			continue
+		}
+		s.issueEntry(pos, e)
+		take = append(take, i)
+		budget--
+	}
+	s.fpIQ.RemoveIndexes(take)
+	s.issueScratch = take[:0]
+	s.m.FPOps += uint64(len(take))
+}
+
+// issueEntry schedules the entry's execution and advertises its result
+// availability (full bypass within a cluster: dependents may issue on the
+// completion tick).
+func (s *Sim) issueEntry(pos uint64, e *robEntry) {
+	e.state = stExecuting
+	s.m.RFReads[e.cluster] += uint64(e.ndeps)
+	s.m.IssueWaitTicks[e.cluster] += uint64(s.tick - e.renameTick)
+
+	cyc := s.ticksPer(e.cluster)
+	var done int64
+	switch {
+	case e.kind == kindCopy:
+		// Read in the holding cluster, transfer across.
+		done = s.tick + cyc + s.wideTicks(s.cfg.CopyLatency)
+		e.avail[e.copyTarget] = done
+		if e.copySrc >= s.rob.Head() {
+			src := s.rob.At(e.copySrc)
+			if src.avail[e.copyTarget] > done {
+				src.avail[e.copyTarget] = done
+			}
+		}
+	case e.isLoad:
+		lat := cyc * int64(s.cfg.AGULatency)
+		if s.mob.Forward(pos, e.u.MemAddr, e.u.MemSize) {
+			lat += s.wideTicks(s.cfg.ForwardLat)
+		} else {
+			lat += s.wideTicks(s.mem.Access(e.u.MemAddr))
+		}
+		done = s.tick + lat
+		e.avail[wide] = done
+		if e.replicated {
+			e.avail[helper] = done
+		}
+		s.m.AGUOps[e.cluster]++
+	case e.isStore:
+		done = s.tick + cyc*int64(s.cfg.AGULatency)
+		s.m.AGUOps[e.cluster]++
+	case e.isFP:
+		done = s.tick + s.wideTicks(s.cfg.FPLatency)
+		e.avail[wide] = done
+	case e.u.Class == isa.ClassMul:
+		done = s.tick + s.wideTicks(s.cfg.MulLatency)
+		e.avail[wide] = done
+		s.m.ALUOps[e.cluster]++
+	case e.u.Class == isa.ClassDiv:
+		done = s.tick + s.wideTicks(s.cfg.DivLatency)
+		e.avail[wide] = done
+		s.m.ALUOps[e.cluster]++
+	default: // ALU, branch, split piece
+		done = s.tick + cyc
+		e.avail[e.cluster] = done
+		s.m.ALUOps[e.cluster]++
+	}
+	e.done = done
+	s.executing = append(s.executing, pos)
+}
+
+// writeback completes due executions, performing the width checks that
+// trigger fatal-misprediction flushes and resolving branches.
+func (s *Sim) writeback() {
+	if len(s.executing) == 0 {
+		return
+	}
+	keep := s.executing[:0]
+	var due []uint64
+	for _, pos := range s.executing {
+		if pos < s.rob.Head() || pos >= s.rob.Tail() {
+			continue // squashed
+		}
+		e := s.rob.At(pos)
+		if e.state != stExecuting {
+			continue
+		}
+		if e.done <= s.tick {
+			due = append(due, pos)
+		} else {
+			keep = append(keep, pos)
+		}
+	}
+	s.executing = keep
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, pos := range due {
+		if pos < s.rob.Head() || pos >= s.rob.Tail() {
+			continue // flushed by an earlier completion this tick
+		}
+		e := s.rob.At(pos)
+		if e.state != stExecuting {
+			continue
+		}
+		s.completeEntry(pos, e)
+	}
+}
+
+// narrowValue reports whether v fits the configured helper datapath.
+func (s *Sim) narrowValue(v uint32) bool {
+	return bitwidth.IsNarrowAt(v, s.helperWidth)
+}
+
+// actualNarrowResult reports whether the uop's produced value fits the
+// helper datapath.
+func (s *Sim) actualNarrowResult(u *isa.Uop) bool { return s.narrowValue(u.DstVal) }
+
+// fatalWidth checks a helper-steered real uop at writeback: under 8_8_8
+// every source and the result must really be narrow; under CR the carry
+// must really be contained. A violation squashes from this uop (§3.2).
+func (s *Sim) fatalWidth(e *robEntry) bool {
+	u := &e.u
+	w := s.helperWidth
+	if e.steered888 {
+		for i := 0; i < int(u.NSrc); i++ {
+			if u.SrcReg[i] == isa.RegNone {
+				continue
+			}
+			if !bitwidth.IsNarrowAt(u.SrcVal[i], w) {
+				return true
+			}
+		}
+		if (u.HasDest() || u.WritesFlags) && !s.actualNarrowResult(u) {
+			return true
+		}
+		return false
+	}
+	if e.crSteered {
+		if e.isLoad {
+			wideSrc, ok := bitwidth.CRShapeAt(u.SrcVal[0], u.SrcVal[1], u.MemAddr, w)
+			return !ok || !bitwidth.CarryNotPropagatedAt(wideSrc, u.MemAddr, w)
+		}
+		b := u.SrcVal[1]
+		if u.NSrc < 2 && u.HasImm {
+			b = u.Imm
+		}
+		return !bitwidth.CRCheckAt(u.Op, u.SrcVal[0], b, u.DstVal, w)
+	}
+	return false
+}
+
+// completeEntry finishes one execution: fatal width checks, predictor
+// training, width-table writeback, and branch resolution.
+func (s *Sim) completeEntry(pos uint64, e *robEntry) {
+	if e.kind == kindReal && e.cluster == helper && s.fatalWidth(e) {
+		// Fatal width misprediction: train the predictor on the truth,
+		// force this uop wide, flush and refetch from it (§3.2).
+		s.trainWidth(pos, e, false)
+		s.m.WidthFatal++
+		s.m.FatalFlushes++
+		s.forcedWide[e.seq] = struct{}{}
+		s.flushFrom(pos, e.seq, s.cfg.FatalFlushPenalty)
+		return
+	}
+
+	e.state = stDone
+	if e.definedReg != isa.RegNone || e.definedFlags {
+		s.m.RFWrites[e.cluster]++
+	}
+
+	switch e.kind {
+	case kindReal:
+		s.trainWidth(pos, e, true)
+		if e.u.Class == isa.ClassBranch {
+			s.m.BranchResolveTicks += uint64(s.tick - e.renameTick)
+			// Counters train at resolution, under the prediction-time
+			// history (commit-time training lags too far behind tight
+			// loops).
+			s.bp.Train(e.u.PC, e.ghr, e.u.Taken, e.u.Target)
+			if !e.predCorrect {
+				// The frontend has been fetching the wrong path since
+				// this branch renamed; redirect costs the refill
+				// penalty from resolution (§3.1's deep P4-like pipe).
+				s.m.BranchMispredicts++
+				if until := s.tick + s.wideTicks(s.cfg.MispredictPenalty); until > s.fetchStallUntil {
+					s.fetchStallUntil = until
+				}
+				if s.pendingBranch == int64(pos) {
+					s.pendingBranch = -1
+				}
+				s.tc.Redirect()
+			}
+		}
+	default:
+		// Split destination copies install the actual width when they
+		// deliver the assembled value.
+		if e.definedReg != isa.RegNone {
+			s.table.Writeback(e.definedReg, int64(pos), s.narrowValue(e.u.DstVal))
+		}
+		if e.definedFlags {
+			s.table.Writeback(isa.RegFlags, int64(pos), s.narrowValue(e.u.DstVal))
+		}
+	}
+}
+
+// trainWidth updates the width predictor, the rename width table and the
+// CR carry bit with the actual outcome, and classifies the prediction for
+// the Figure 5 accuracy study when classify is set.
+func (s *Sim) trainWidth(pos uint64, e *robEntry, classify bool) {
+	u := &e.u
+	hasResult := (u.HasDest() || u.WritesFlags) &&
+		u.Class != isa.ClassFP && u.Class != isa.ClassStore && !u.Class.IsControl()
+	if hasResult {
+		actual := s.actualNarrowResult(u)
+		s.wp.UpdateResult(u.PC, actual)
+		if e.definedReg != isa.RegNone {
+			s.table.Writeback(e.definedReg, int64(pos), actual)
+		}
+		if e.definedFlags {
+			s.table.Writeback(isa.RegFlags, int64(pos), actual)
+		}
+		if classify && e.widthClassify {
+			if e.widthPredNarrow == actual {
+				s.m.WidthCorrect++
+			} else {
+				s.m.WidthNonFatal++
+			}
+		}
+	}
+
+	// CR carry-bit training (§3.5): set at writeback when the 8-32-32
+	// preconditions hold and the carry stayed contained.
+	if s.feats.EnableCR {
+		switch u.Class {
+		case isa.ClassALU:
+			if u.NSrc >= 1 && bitwidth.CREligibleOp(u.Op) {
+				b := u.SrcVal[1]
+				if u.NSrc < 2 {
+					if !u.HasImm {
+						return
+					}
+					b = u.Imm
+				}
+				s.wp.UpdateCarry(u.PC, bitwidth.CRCheckAt(u.Op, u.SrcVal[0], b, u.DstVal, s.helperWidth))
+			}
+		case isa.ClassLoad, isa.ClassStore:
+			wideSrc, ok := bitwidth.CRShapeAt(u.SrcVal[0], u.SrcVal[1], u.MemAddr, s.helperWidth)
+			s.wp.UpdateCarry(u.PC, ok && bitwidth.CarryNotPropagatedAt(wideSrc, u.MemAddr, s.helperWidth))
+		}
+	}
+}
+
+// flushFrom squashes all entries at positions >= truncatePos, restores
+// rename state, rewinds fetch to seq and applies the penalty bubble.
+func (s *Sim) flushFrom(truncatePos uint64, seq uint64, penaltyWideCycles int) {
+	for p := s.rob.Tail(); p > truncatePos; p-- {
+		e := s.rob.At(p - 1)
+		if e.kind == kindCopy && e.copySrc >= s.rob.Head() && e.copySrc < truncatePos {
+			// The producer survives: allow a future demand copy.
+			s.rob.At(e.copySrc).hasCopyTo[e.copyTarget] = false
+		}
+		if e.crBorrow >= 0 {
+			s.prf.Unborrow(e.crBorrow)
+		}
+		if e.definedFlags {
+			s.table.Restore(isa.RegFlags, e.prevFlags)
+		}
+		if e.definedReg != isa.RegNone {
+			s.table.Restore(e.definedReg, e.prevReg)
+		}
+		if e.definedFP != 0xFF {
+			s.fpMap[e.definedFP] = e.prevFP
+		}
+		if e.physReg >= 0 {
+			s.prf.Free(e.physReg)
+		}
+	}
+	// Restore the branch-history checkpoint of the first squashed entry
+	// so refetched branches predict under the history they originally
+	// saw (no replay pollution).
+	if truncatePos < s.rob.Tail() {
+		s.bp.RestoreHistory(s.rob.At(truncatePos).ghr)
+	}
+	s.rob.TruncateTo(truncatePos)
+	s.iq[wide].FlushFrom(truncatePos)
+	s.iq[helper].FlushFrom(truncatePos)
+	s.fpIQ.FlushFrom(truncatePos)
+	s.mob.FlushFrom(truncatePos)
+
+	s.fetchSeq = seq
+	if until := s.tick + s.wideTicks(penaltyWideCycles); until > s.fetchStallUntil {
+		s.fetchStallUntil = until
+	}
+	if s.pendingBranch >= int64(truncatePos) {
+		s.pendingBranch = -1 // the wrong-path branch itself was squashed
+	}
+	s.tc.Redirect()
+}

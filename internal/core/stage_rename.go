@@ -1,0 +1,641 @@
+package core
+
+import (
+	"repro/internal/bitwidth"
+	"repro/internal/isa"
+	"repro/internal/steer"
+)
+
+// decision is the steering outcome for one uop.
+type decision struct {
+	cluster         uint8
+	split           bool
+	steered888      bool
+	crSteered       bool
+	widthPredNarrow bool // raw result-width prediction (Figure 5 classes)
+	widthClassify   bool
+	predNarrowConf  bool // prediction held with high confidence
+}
+
+// renameStage renames, steers and dispatches up to FetchWidth uops per
+// wide cycle, creating demand copies, prefetched copies and IR splits as
+// the active policy dictates.
+func (s *Sim) renameStage() {
+	if s.tick < s.fetchStallUntil || s.pendingBranch >= 0 {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		u := s.window.Get(s.fetchSeq)
+
+		if pen := s.tc.FetchUop(u.PC); pen > 0 {
+			s.fetchStallUntil = s.tick + s.wideTicks(pen)
+			return
+		}
+
+		if u.Class == isa.ClassStore && s.mob.Full() {
+			s.m.StallMOB++
+			return
+		}
+		needsPhys := u.HasDest() && u.Class != isa.ClassFP
+		if needsPhys && s.prf.FreeCount() < 1 {
+			s.m.StallPhys++
+			return
+		}
+
+		d := s.steerUop(u)
+
+		// Exact capacity check for everything this uop will insert: its
+		// own entry, demand copies, and split pieces/copies (prefetched
+		// copies are droppable hints and reserve nothing).
+		var needIQ [2]int
+		var needFP, needROB int
+		switch {
+		case d.split:
+			needIQ[helper] = steer.SplitPieces
+			if u.HasDest() {
+				needIQ[helper] += steer.SplitPieces // split copies issue from the helper
+			}
+		case u.Class == isa.ClassFP:
+			needFP = 1
+		case u.Class != isa.ClassJump:
+			needIQ[d.cluster]++
+		}
+		for i := 0; i < int(u.NSrc); i++ {
+			r := u.SrcReg[i]
+			if r == isa.RegNone {
+				continue
+			}
+			if c, ok := s.copyNeeded(r, d.cluster); ok {
+				needIQ[c]++
+			}
+		}
+		needROB = needIQ[wide] + needIQ[helper] + needFP
+		if u.Class == isa.ClassJump {
+			needROB++ // jumps retire from the ROB without queueing
+		}
+		if s.rob.Cap()-s.rob.Len() < needROB {
+			s.m.StallROB++
+			return
+		}
+		if s.iq[wide].Cap()-s.iq[wide].Len() < needIQ[wide] ||
+			s.iq[helper].Cap()-s.iq[helper].Len() < needIQ[helper] ||
+			s.fpIQ.Cap()-s.fpIQ.Len() < needFP {
+			s.m.StallIQ++
+			return
+		}
+
+		s.m.Renames++
+		if d.split {
+			s.renameSplit(u, d)
+		} else {
+			s.renameOne(u, d)
+		}
+		s.fetchSeq++
+
+		// A branch the predictor gets wrong sends fetch down the wrong
+		// path: no further correct-path uops arrive until it resolves.
+		if s.pendingBranch >= 0 {
+			return
+		}
+		// A taken control transfer ends the fetch group.
+		if (u.Class == isa.ClassBranch || u.Class == isa.ClassJump) && u.Taken {
+			return
+		}
+	}
+}
+
+// srcNarrow reads the rename width table for a register operand: the
+// actual width if the producer has written back, the prediction otherwise
+// (§3.2).
+func (s *Sim) srcNarrow(reg uint8) bool {
+	return s.table.Lookup(reg).Narrow
+}
+
+// steerUop implements the data-width aware instruction selection policy:
+// 8_8_8, then CR, then IR splitting, with BR for branches (§3.2-§3.7).
+func (s *Sim) steerUop(u *isa.Uop) decision {
+	d := decision{cluster: wide}
+	f := s.feats
+	if !s.cfg.HelperEnabled || !f.Enable888 {
+		return d
+	}
+
+	predNarrow, conf := s.wp.PredictResult(u.PC)
+	s.m.PredictorLookups++
+	d.widthPredNarrow = predNarrow
+	d.predNarrowConf = conf
+	d.widthClassify = (u.HasDest() || u.WritesFlags) &&
+		u.Class != isa.ClassFP && u.Class != isa.ClassStore
+
+	if _, forced := s.forcedWide[u.Seq]; forced {
+		return d
+	}
+
+	// Scheme (5) balance: when the helper cluster is overloaded, narrow
+	// instructions steer wide until balance is restored (§1, §3.7).
+	// Applied only under IR, as in the paper, and only to uops whose
+	// wide placement generates no copies — shedding the head of a new
+	// dependence chain relieves pressure, cutting a live narrow chain
+	// would just trade queue slots for cross-cluster traffic.
+	helperOverloaded := f.EnableIR && s.helperOverloaded &&
+		!s.anySourceNeedsCopy(u, wide)
+
+	switch u.Class {
+	case isa.ClassBranch:
+		// BR (§3.3): frontend-resolvable conditional branches follow
+		// their in-flight flags producer into the helper cluster — if
+		// the producer already committed no copy would be generated
+		// either way, so the branch stays wide.
+		if f.EnableBR && u.FrontendResolvable {
+			m := s.table.Lookup(isa.RegFlags)
+			if m.Cluster == helper && m.Producer >= 0 && uint64(m.Producer) >= s.rob.Head() {
+				d.cluster = helper
+			}
+		}
+		return d
+
+	case isa.ClassLoad:
+		// CR for address generation (§3.5, Figure 10): one narrow and
+		// one wide address operand with a predicted-contained carry.
+		// The wide operand (typically a long-lived base register) must
+		// already be visible to the helper — paying a fresh copy to move
+		// address math across clusters would defeat the purpose. This is
+		// the model's stand-in for the related work's shared address
+		// register file (§4).
+		if f.EnableCR && !helperOverloaded &&
+			s.srcNarrow(u.SrcReg[0]) != s.srcNarrow(u.SrcReg[1]) &&
+			!s.anySourceNeedsCopy(u, helper) {
+			carryOK, cconf := s.wp.PredictCarry(u.PC)
+			if carryOK && (cconf || !f.UseConfidence) {
+				d.cluster = helper
+				d.crSteered = true
+			}
+		}
+		return d
+
+	case isa.ClassALU:
+		// 8_8_8 (§3.2): all sources and the result narrow.
+		allNarrow := true
+		wideSrcs, srcs := 0, 0
+		for i := 0; i < int(u.NSrc); i++ {
+			if u.SrcReg[i] == isa.RegNone {
+				continue
+			}
+			srcs++
+			if !s.srcNarrow(u.SrcReg[i]) {
+				allNarrow = false
+				wideSrcs++
+			}
+		}
+		if u.HasImm {
+			srcs++
+			if !bitwidth.IsNarrowAt(u.Imm, s.helperWidth) {
+				allNarrow = false
+				wideSrcs++
+			}
+		}
+		// The IA-32 internal machine state can add implicit wide
+		// operands (§3.2), which disqualify the all-narrow condition.
+		if allNarrow && !u.ImplicitWide && predNarrow &&
+			(conf || !f.UseConfidence) && !helperOverloaded {
+			d.cluster = helper
+			d.steered888 = true
+			return d
+		}
+		// CR (§3.5): 8-32-32 with a predicted-contained carry; the wide
+		// source must already be helper-visible (see the load case).
+		if f.EnableCR && !helperOverloaded && srcs == 2 && wideSrcs == 1 && !predNarrow &&
+			bitwidth.CREligibleOp(u.Op) && !s.anySourceNeedsCopy(u, helper) {
+			carryOK, cconf := s.wp.PredictCarry(u.PC)
+			if carryOK && (cconf || !f.UseConfidence) {
+				d.cluster = helper
+				d.crSteered = true
+				return d
+			}
+		}
+		// IR (§3.7): split when genuine wide-to-narrow imbalance holds —
+		// the wide backend left ready work unissued last cycle (the
+		// NREADY condition) while the helper had spare slots — and the
+		// split can start immediately (sources helper-visible and
+		// ready), so the pieces absorb idle helper bandwidth instead of
+		// queueing waiting state behind cross-cluster copies.
+		//
+		// Block mode (the §3.7 proposed extension): once a split
+		// triggers, the rest of the block follows it into the helper so
+		// chained wide work crosses no cluster boundary; readiness is
+		// not required because the chain's producers are themselves
+		// split pieces already in the helper.
+		if f.EnableIR && !s.noSplitDebug && steer.SplitEligible(u, f.IRNoDestOnly) {
+			trigger := s.readyUnissued[wide] >= 2 &&
+				s.iq[helper].Len() < s.iq[helper].Cap()/4 &&
+				!s.anySourceNeedsCopy(u, helper) &&
+				s.sourcesReadyIn(u, helper)
+			blockFollow := f.IRBlock && s.splitStreak > 0 &&
+				!s.anySourceNeedsCopy(u, helper) &&
+				s.iq[helper].Len() < s.iq[helper].Cap()/2
+			if trigger || blockFollow {
+				if f.IRBlock && trigger {
+					s.splitStreak = blockSplitWindow
+				}
+				d.cluster = helper
+				d.split = true
+				return d
+			}
+		}
+		if s.splitStreak > 0 {
+			s.splitStreak--
+		}
+		return d
+
+	default:
+		// Mul/div (no helper units), FP, stores, jumps stay wide.
+		return d
+	}
+}
+
+// sourcesReadyIn reports whether every register operand of u is already
+// available (or about to be) in cluster c.
+func (s *Sim) sourcesReadyIn(u *isa.Uop, c uint8) bool {
+	for i := 0; i < int(u.NSrc); i++ {
+		r := u.SrcReg[i]
+		if r == isa.RegNone {
+			continue
+		}
+		m := s.table.Lookup(r)
+		if m.Producer < 0 {
+			continue
+		}
+		if !s.depReady(uint64(m.Producer), c) {
+			return false
+		}
+	}
+	return true
+}
+
+// anySourceNeedsCopy reports whether steering u to cluster target would
+// generate at least one demand copy for its register operands.
+func (s *Sim) anySourceNeedsCopy(u *isa.Uop, target uint8) bool {
+	for i := 0; i < int(u.NSrc); i++ {
+		r := u.SrcReg[i]
+		if r == isa.RegNone {
+			continue
+		}
+		if _, need := s.copyNeeded(r, target); need {
+			return true
+		}
+	}
+	return false
+}
+
+// copyNeeded reports whether steering a consumer to cluster target would
+// require a demand copy for operand reg, and in which cluster that copy
+// would issue.
+func (s *Sim) copyNeeded(reg uint8, target uint8) (execCluster uint8, ok bool) {
+	m := s.table.Lookup(reg)
+	if m.Producer < 0 || uint64(m.Producer) < s.rob.Head() {
+		return 0, false // architectural value: visible everywhere
+	}
+	p := s.rob.At(uint64(m.Producer))
+	if p.willAvail(target) || p.hasCopyTo[target] {
+		return 0, false
+	}
+	return copyExecCluster(p), true
+}
+
+// copyExecCluster picks the cluster a copy of p's value issues from: one
+// that will actually hold the value (a split's reassembled destination
+// lands in the wide file even though the pieces ran in the helper).
+func copyExecCluster(p *robEntry) uint8 {
+	if p.willAvail(p.cluster) {
+		return p.cluster
+	}
+	if p.willAvail(wide) {
+		return wide
+	}
+	return helper
+}
+
+// addDeps collects the in-flight producers of the uop's register operands
+// and creates the demand copies the PACT-99 scheme requires.
+func (s *Sim) addDeps(u *isa.Uop, e *robEntry, target uint8) {
+	for i := 0; i < int(u.NSrc); i++ {
+		r := u.SrcReg[i]
+		if r == isa.RegNone {
+			continue
+		}
+		m := s.table.Lookup(r)
+		if m.Producer < 0 || uint64(m.Producer) < s.rob.Head() {
+			continue
+		}
+		pos := uint64(m.Producer)
+		e.deps[e.ndeps] = pos
+		e.ndeps++
+		s.demandCopy(pos, target)
+	}
+}
+
+// demandCopy creates a copy toward target for the value produced at pos,
+// unless one is unnecessary or already on its way.
+func (s *Sim) demandCopy(pos uint64, target uint8) {
+	p := s.rob.At(pos)
+	if p.willAvail(target) || p.hasCopyTo[target] {
+		return
+	}
+	s.addCopy(pos, target, false)
+}
+
+// willAvail reports whether the entry's value will become available in
+// cluster c without a copy.
+func (e *robEntry) willAvail(c uint8) bool {
+	switch e.kind {
+	case kindCopy:
+		return c == e.copyTarget
+	default:
+		if e.cluster == c {
+			return true
+		}
+		if e.isLoad {
+			// Loads always deliver to the wide register file via the
+			// shared MOB; replication (LR) adds the helper file.
+			return c == wide || e.replicated
+		}
+		return e.replicated
+	}
+}
+
+// addCopy pushes a copy uop: it issues in a cluster holding the value and
+// transfers it to target (§1, copy scheme of [6]).
+func (s *Sim) addCopy(srcPos uint64, target uint8, prefetch bool) {
+	src := s.rob.At(srcPos)
+	if src.willAvail(target) || src.hasCopyTo[target] {
+		return
+	}
+	execIn := copyExecCluster(src)
+	if s.iq[execIn].Full() || s.rob.Full() {
+		if prefetch {
+			return // prefetches are hints; drop under pressure
+		}
+		panic("core: copy capacity violated despite preflight")
+	}
+	var e robEntry
+	resetEntry(&e)
+	e.kind = kindCopy
+	e.cluster = execIn
+	e.copySrc = srcPos
+	e.copyTarget = target
+	e.prefetchCopy = prefetch
+	e.seq = s.fetchSeq
+	e.u.PC = src.u.PC
+	e.u.Class = isa.ClassCopy
+	e.deps[0] = srcPos
+	e.ndeps = 1
+	e.ghr = s.bp.History()
+	e.renameTick = s.tick
+	pos := s.rob.Push(e)
+	s.iq[execIn].Add(pos)
+	s.m.IQWrites[execIn]++
+	src = s.rob.At(srcPos) // re-resolve: Push may not invalidate, but be safe
+	src.hasCopyTo[target] = true
+	s.m.CopiesCreated++
+	if prefetch {
+		s.m.CopyPrefetch++
+	} else if s.feats.EnableCP && src.kind == kindReal {
+		// CP training (§3.6): the producer incurred a demand copy; set
+		// its prediction bit so the next instance prefetches.
+		s.wp.UpdateCopy(src.u.PC, true)
+	}
+}
+
+// renameOne dispatches a non-split uop.
+func (s *Sim) renameOne(u *isa.Uop, d decision) {
+	var e robEntry
+	resetEntry(&e)
+	e.u = *u
+	e.kind = kindReal
+	e.cluster = d.cluster
+	e.seq = u.Seq
+	e.countsAsInstr = true
+	e.steered888 = d.steered888
+	e.crSteered = d.crSteered
+	e.widthPredNarrow = d.widthPredNarrow
+	e.widthClassify = d.widthClassify
+	e.isLoad = u.Class == isa.ClassLoad
+	e.isStore = u.Class == isa.ClassStore
+	e.isFP = u.Class == isa.ClassFP
+
+	if e.isLoad {
+		// LR (§3.4): predicted-narrow load values are allocated in both
+		// register files; helper-executed narrow loads likewise deliver
+		// to both.
+		narrowLoad := d.widthPredNarrow && d.predNarrowConf
+		e.replicated = narrowLoad && (s.feats.EnableLR || d.cluster == helper)
+	}
+
+	if e.isFP {
+		for i := 0; i < int(u.NSrc); i++ {
+			if p := s.fpMap[u.SrcReg[i]&7]; p >= 0 && uint64(p) >= s.rob.Head() {
+				e.deps[e.ndeps] = uint64(p)
+				e.ndeps++
+			}
+		}
+	} else {
+		s.addDeps(u, &e, d.cluster)
+	}
+
+	e.ghr = s.bp.History()
+	e.renameTick = s.tick
+	pos := s.rob.Push(e)
+	en := s.rob.At(pos)
+
+	// Rename defines (with undo state for flushes).
+	if u.HasDest() && !e.isFP {
+		phys := s.prf.Alloc()
+		en.physReg = phys
+		valueCluster := d.cluster
+		if e.isLoad && !e.replicated {
+			valueCluster = wide // MOB delivers to the wide file
+		}
+		prev := s.table.Define(u.DstReg, int64(pos), valueCluster, d.widthPredNarrow, phys)
+		en.definedReg = u.DstReg
+		en.prevReg = prev
+		en.prevPhys = prev.Phys
+	}
+	if u.WritesFlags {
+		prev := s.table.Define(isa.RegFlags, int64(pos), d.cluster, d.widthPredNarrow, -1)
+		en.definedFlags = true
+		en.prevFlags = prev
+	}
+	if e.isFP && u.HasDest() {
+		fp := u.DstReg & 7
+		en.definedFP = fp
+		en.prevFP = s.fpMap[fp]
+		s.fpMap[fp] = int64(pos)
+	}
+
+	// CR borrow (§3.5): pin the wide source's physical register, whose
+	// upper 24 bits reconstruct the full value.
+	if d.crSteered && u.Class == isa.ClassALU {
+		for i := 0; i < int(u.NSrc); i++ {
+			r := u.SrcReg[i]
+			if r == isa.RegNone || s.srcNarrow(r) {
+				continue
+			}
+			if m := s.table.Lookup(r); m.Phys >= 0 && s.prf.Live(m.Phys) {
+				s.prf.Borrow(m.Phys)
+				en.crBorrow = m.Phys
+			}
+			break
+		}
+	}
+
+	// Dispatch.
+	switch {
+	case u.Class == isa.ClassJump:
+		en.state = stDone
+		en.done = s.tick
+	case e.isFP:
+		s.fpIQ.Add(pos)
+	default:
+		s.iq[d.cluster].Add(pos)
+		s.m.IQWrites[d.cluster]++
+	}
+
+	if e.isStore {
+		s.mob.AddStore(pos, u.MemAddr, u.MemSize)
+	}
+
+	if u.Class == isa.ClassBranch {
+		s.m.Branches++
+		predTaken, predTarget, known := s.bp.Predict(u.PC)
+		targetOK := !u.Taken || (known && predTarget == u.Target)
+		en.predCorrect = predTaken == u.Taken && targetOK
+		// Trace-driven frontends shift the actual outcome into the
+		// speculative history; a flush restores the checkpoint.
+		s.bp.SpecUpdateHistory(u.Taken)
+		if !en.predCorrect {
+			s.pendingBranch = int64(pos)
+		}
+	}
+	if u.Class == isa.ClassJump {
+		en.predCorrect = true
+	}
+
+	// CP (§3.6): eager copies at the producer. The hybrid policy uses
+	// the CP bit for narrow-to-wide prefetches; wide-to-narrow
+	// prefetches additionally require a narrow result prediction (the
+	// load-byte-in-the-wide-backend case). Prefetches are opportunistic:
+	// they are skipped when the issuing queue is crowded, because a hint
+	// must not displace demand work.
+	if s.feats.EnableCP && u.HasDest() && u.Class != isa.ClassFP && s.wp.PredictCopy(u.PC) &&
+		s.rob.Len() < s.rob.Cap()*3/4 {
+		roomy := func(c uint8) bool { return s.iq[c].Len() < s.iq[c].Cap()*3/4 }
+		if d.cluster == helper && roomy(helper) {
+			s.addCopy(pos, wide, true)
+		} else if d.cluster == wide && d.widthPredNarrow && d.predNarrowConf && roomy(wide) {
+			s.addCopy(pos, helper, true)
+		}
+	}
+}
+
+// renameSplit implements IR (§3.7): the uop becomes four chained narrow
+// sub-uops in the helper cluster; when it has a destination, four copy
+// uops prefetch the full value to the wide cluster, and the destination
+// maps to the last copy.
+func (s *Sim) renameSplit(u *isa.Uop, d decision) {
+	var srcDeps [isa.MaxSrcs]uint64
+	nsrc := 0
+	for i := 0; i < int(u.NSrc); i++ {
+		r := u.SrcReg[i]
+		if r == isa.RegNone {
+			continue
+		}
+		m := s.table.Lookup(r)
+		if m.Producer >= 0 && uint64(m.Producer) >= s.rob.Head() {
+			srcDeps[nsrc] = uint64(m.Producer)
+			nsrc++
+			s.demandCopy(uint64(m.Producer), helper)
+		}
+	}
+
+	var prev uint64
+	hasPrev := false
+	var lastPiece uint64
+	for i := 0; i < steer.SplitPieces; i++ {
+		var e robEntry
+		resetEntry(&e)
+		e.kind = kindSplit
+		e.cluster = helper
+		e.seq = u.Seq
+		e.u.PC = u.PC
+		e.u.Class = isa.ClassALU
+		e.u.Op = u.Op
+		e.u.DstVal = u.DstVal
+		e.countsAsInstr = i == 0
+		e.splitHead = i == 0
+		for k := 0; k < nsrc; k++ {
+			e.deps[e.ndeps] = srcDeps[k]
+			e.ndeps++
+		}
+		if hasPrev {
+			// Byte slices chain through the carry, least significant
+			// first (§3.7).
+			e.deps[e.ndeps] = prev
+			e.ndeps++
+		}
+		e.ghr = s.bp.History()
+		e.renameTick = s.tick
+		pos := s.rob.Push(e)
+		s.iq[helper].Add(pos)
+		s.m.IQWrites[helper]++
+		prev = pos
+		hasPrev = true
+		lastPiece = pos
+	}
+
+	if u.WritesFlags {
+		en := s.rob.At(lastPiece)
+		prevF := s.table.Define(isa.RegFlags, int64(lastPiece), helper, d.widthPredNarrow, -1)
+		en.definedFlags = true
+		en.prevFlags = prevF
+	}
+
+	if u.HasDest() {
+		// Four copies reassemble the value in the wide file. The
+		// destination maps to the last piece in the helper cluster, so
+		// consumers that are themselves split (or otherwise
+		// helper-steered) chain locally — the block-granularity insight
+		// of §3.7's proposed extension — while wide consumers become
+		// ready when the reassembly copies land (the copies advertise
+		// the piece's wide availability).
+		for i := 0; i < steer.SplitPieces; i++ {
+			var e robEntry
+			resetEntry(&e)
+			e.kind = kindCopy
+			e.cluster = helper
+			e.copySrc = lastPiece
+			e.copyTarget = wide
+			e.seq = u.Seq
+			e.u.PC = u.PC
+			e.u.Class = isa.ClassCopy
+			e.u.DstVal = u.DstVal
+			e.deps[0] = lastPiece
+			e.ndeps = 1
+			e.ghr = s.bp.History()
+			e.renameTick = s.tick
+			pos := s.rob.Push(e)
+			s.iq[helper].Add(pos)
+			s.m.IQWrites[helper]++
+			s.m.CopiesCreated++
+			s.m.CopyPrefetch++
+		}
+		en := s.rob.At(lastPiece)
+		en.hasCopyTo[wide] = true // reassembly is already on its way
+		phys := s.prf.Alloc()
+		en.physReg = phys
+		prevD := s.table.Define(u.DstReg, int64(lastPiece), helper, d.widthPredNarrow, phys)
+		en.definedReg = u.DstReg
+		en.prevReg = prevD
+		en.prevPhys = prevD.Phys
+	}
+	s.m.SteeredSplit++
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3): trace-level characterizations (Figures 1, 11, 13),
+// the steering-policy ladder over SPEC Int 2000 (Figures 5-9, 12, the CP
+// and IR studies), the configuration and workload inventories (Tables 1,
+// 2), and the 412-application wrap-up (Figure 14).
+//
+// Simulations for different workloads are independent, so sweeps fan out
+// over a worker pool.
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// Options scales the experiment suite.
+type Options struct {
+	// SpecUops is the committed-uop budget per SPEC trace (the paper
+	// simulated 100M-instruction traces; the default here keeps the full
+	// suite in seconds while preserving the shapes).
+	SpecUops uint64
+	// SuiteUops is the budget per trace of the 412-application suite.
+	SuiteUops uint64
+	// Warmup is the per-run warm-up budget in committed uops (predictors
+	// and caches fill, counters reset) — the synthetic equivalent of the
+	// paper's skipping of each trace's initialization slice (§3.1).
+	Warmup uint64
+	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{SpecUops: 150_000, SuiteUops: 30_000, Warmup: 30_000}
+}
+
+// Quick returns a reduced scale for tests.
+func Quick() Options {
+	return Options{SpecUops: 20_000, SuiteUops: 5_000, Warmup: 5_000}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelMap evaluates fn for 0..n-1 on a bounded worker pool.
+func parallelMap[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	work := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				out[i] = fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return out
+}
+
+// runOne simulates one workload under one policy with warmup.
+func runOne(p workload.Profile, feats steer.Features, n, warm uint64) core.Result {
+	cfg := config.PentiumLikeBaseline()
+	if feats.Enable888 {
+		cfg = config.WithHelper()
+	}
+	return core.MustNew(cfg, feats, p.MustStream()).RunWarm(n, warm)
+}
+
+// SpecSweep holds one full policy-ladder sweep over the 12 SPEC traces;
+// the figure builders read from it so the expensive runs happen once.
+type SpecSweep struct {
+	Opts     Options
+	Apps     []string
+	Baseline map[string]core.Result
+	Policies []steer.Features
+	ByPolicy map[string]map[string]core.Result // policy name → app → result
+	// NoConfidence holds the 8_8_8 runs without the confidence estimator
+	// (the §3.2 fatal-rate comparison).
+	NoConfidence map[string]core.Result
+}
+
+// RunSpecSweep runs baseline + the full ladder (+ the no-confidence
+// variant) over the 12 SPEC profiles in parallel.
+func RunSpecSweep(o Options) *SpecSweep {
+	profiles := workload.SpecInt2000()
+	policies := steer.Ladder()
+	s := &SpecSweep{
+		Opts:         o,
+		Policies:     policies,
+		Baseline:     make(map[string]core.Result, len(profiles)),
+		ByPolicy:     make(map[string]map[string]core.Result, len(policies)),
+		NoConfidence: make(map[string]core.Result, len(profiles)),
+	}
+	for _, p := range profiles {
+		s.Apps = append(s.Apps, p.Name)
+	}
+	for _, f := range policies {
+		s.ByPolicy[f.Name()] = make(map[string]core.Result, len(profiles))
+	}
+
+	type job struct {
+		app   string
+		prof  workload.Profile
+		feats steer.Features
+		kind  int // 0 baseline, 1 policy, 2 no-confidence
+	}
+	var jobs []job
+	for _, p := range profiles {
+		jobs = append(jobs, job{app: p.Name, prof: p, feats: steer.Baseline(), kind: 0})
+		for _, f := range policies {
+			jobs = append(jobs, job{app: p.Name, prof: p, feats: f, kind: 1})
+		}
+		jobs = append(jobs, job{app: p.Name, prof: p, feats: steer.F888NoConfidence(), kind: 2})
+	}
+	results := parallelMap(len(jobs), o.workers(), func(i int) core.Result {
+		return runOne(jobs[i].prof, jobs[i].feats, o.SpecUops, o.Warmup)
+	})
+	for i, j := range jobs {
+		switch j.kind {
+		case 0:
+			s.Baseline[j.app] = results[i]
+		case 1:
+			s.ByPolicy[j.feats.Name()][j.app] = results[i]
+		case 2:
+			s.NoConfidence[j.app] = results[i]
+		}
+	}
+	return s
+}
+
+// speedup returns the percent speedup of app under policy vs baseline.
+func (s *SpecSweep) speedup(policy, app string) float64 {
+	r := s.ByPolicy[policy][app].Metrics
+	b := s.Baseline[app].Metrics
+	return 100 * metrics.Speedup(&r, &b)
+}

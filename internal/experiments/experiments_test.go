@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecSweepAndFigures(t *testing.T) {
+	o := Quick()
+	s := RunSpecSweep(o)
+	if len(s.Apps) != 12 {
+		t.Fatalf("apps = %d", len(s.Apps))
+	}
+	if len(s.Baseline) != 12 || len(s.NoConfidence) != 12 {
+		t.Fatal("sweep incomplete")
+	}
+	for name, byApp := range s.ByPolicy {
+		if len(byApp) != 12 {
+			t.Errorf("policy %s has %d apps", name, len(byApp))
+		}
+	}
+
+	fig5 := Fig5(s)
+	if fig5.Rows() != 13 { // 12 apps + AVG
+		t.Errorf("fig5 rows = %d", fig5.Rows())
+	}
+	// Correct + non-fatal + fatal ≈ 100 per app.
+	for r := 0; r < 12; r++ {
+		sum := fig5.Value(r, 0) + fig5.Value(r, 1) + fig5.Value(r, 2)
+		if sum < 99 || sum > 101 {
+			t.Errorf("fig5 row %s sums to %.1f", fig5.Label(r), sum)
+		}
+	}
+	// Confidence must not increase the fatal rate on average.
+	avg := fig5.Rows() - 1
+	if fig5.Value(avg, 2) > fig5.Value(avg, 3)+0.5 {
+		t.Errorf("fatal with confidence (%.2f) must not exceed without (%.2f)",
+			fig5.Value(avg, 2), fig5.Value(avg, 3))
+	}
+
+	fig6 := Fig6(s)
+	if fig6.Rows() != 13 {
+		t.Errorf("fig6 rows = %d", fig6.Rows())
+	}
+	// The BR+LR rung is robustly positive even at test scale (the 8_8_8
+	// entry point hovers near zero on short runs, as in the paper's
+	// worst applications).
+	var sumLR float64
+	for _, app := range s.Apps {
+		sumLR += s.speedup("8_8_8+BR+LR", app)
+	}
+	if sumLR/float64(len(s.Apps)) <= 0 {
+		t.Error("8_8_8+BR+LR average speedup must be positive")
+	}
+
+	fig8 := Fig8(s)
+	r := fig8.Rows() - 1
+	if fig8.Value(r, 1) >= fig8.Value(r, 0) {
+		t.Errorf("BR must cut average copies: %.1f vs %.1f", fig8.Value(r, 1), fig8.Value(r, 0))
+	}
+
+	fig9 := Fig9(s)
+	r = fig9.Rows() - 1
+	if fig9.Value(r, 2) > fig9.Value(r, 1)+0.5 {
+		t.Errorf("LR must not raise copies: %.1f vs %.1f", fig9.Value(r, 2), fig9.Value(r, 1))
+	}
+
+	ir := IRStudy(s)
+	if ir.Rows() != 3 {
+		t.Fatalf("IR rows = %d", ir.Rows())
+	}
+	// IR reduces the wide-to-narrow NREADY imbalance vs CP.
+	if ir.Value(1, 3) >= ir.Value(0, 3) {
+		t.Errorf("IR must cut w2n imbalance: %.2f vs %.2f", ir.Value(1, 3), ir.Value(0, 3))
+	}
+	// The tuned variant has fewer copies than full IR.
+	if ir.Value(2, 2) >= ir.Value(1, 2) {
+		t.Errorf("IRnd must cut copies: %.2f vs %.2f", ir.Value(2, 2), ir.Value(1, 2))
+	}
+
+	ed := EnergyDelay(s)
+	if ed.Rows() != 13 {
+		t.Errorf("ed rows = %d", ed.Rows())
+	}
+
+	ladder := SpecLadder(s)
+	if ladder.Rows() != 7 {
+		t.Errorf("ladder rows = %d", ladder.Rows())
+	}
+	cp := CPStudy(s)
+	if cp.Rows() != 2 {
+		t.Errorf("cp rows = %d", cp.Rows())
+	}
+}
+
+func TestTraceFigures(t *testing.T) {
+	o := Quick()
+	fig1 := Fig1(o)
+	if fig1.Rows() != 13 {
+		t.Fatalf("fig1 rows = %d", fig1.Rows())
+	}
+	avg := fig1.Rows() - 1
+	if v := fig1.Value(avg, 0); v < 40 || v > 90 {
+		t.Errorf("fig1 avg narrow dependency %.1f%% off calibration", v)
+	}
+
+	fig11 := Fig11(o)
+	if v := fig11.Value(fig11.Rows()-1, 1); v < 20 || v > 100 {
+		t.Errorf("fig11 avg load containment %.1f%% implausible", v)
+	}
+
+	fig13 := Fig13(o)
+	if v := fig13.Value(fig13.Rows()-1, 0); v < 1 || v > 10 {
+		t.Errorf("fig13 avg distance %.1f implausible", v)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1 := Table1()
+	if !strings.Contains(t1.Render(), "450") {
+		t.Error("Table 1 must include the 450-cycle memory latency")
+	}
+	t2 := Table2()
+	if t2.Rows() != 8 { // 7 categories + total
+		t.Errorf("table2 rows = %d", t2.Rows())
+	}
+	if t2.Value(7, 0) != 412 {
+		t.Errorf("suite total = %.0f, want 412", t2.Value(7, 0))
+	}
+}
+
+func TestFig14Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	o := Quick()
+	o.SuiteUops = 2000
+	table, series := Fig14(o)
+	if table.Rows() != 8 { // 7 categories + overall
+		t.Fatalf("fig14 rows = %d", table.Rows())
+	}
+	if len(series.Values) != 412 {
+		t.Fatalf("series n = %d", len(series.Values))
+	}
+	if series.Curve(60, 10) == "" {
+		t.Error("curve rendering failed")
+	}
+}

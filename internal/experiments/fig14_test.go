@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestFig14CategoryShape validates the paper's Figure 14 narrative at a
+// reduced scale: regular/arithmetic-heavy categories (kernels, enc, mm,
+// ws) beat the branchy office/productivity categories.
+func TestFig14CategoryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite sweep")
+	}
+	o := Options{SuiteUops: 6_000, Warmup: 2_000}
+	table, series := Fig14(o)
+
+	get := func(name string) float64 {
+		for r := 0; r < table.Rows(); r++ {
+			if table.Label(r) == name {
+				return table.Value(r, 0)
+			}
+		}
+		t.Fatalf("category %s missing", name)
+		return 0
+	}
+
+	regular := (get("kernels") + get("enc") + get("mm") + get("ws")) / 4
+	irregular := (get("office") + get("prod")) / 2
+	if regular <= irregular {
+		t.Errorf("regular categories (%.1f%%) must beat office/prod (%.1f%%) — Figure 14",
+			regular, irregular)
+	}
+	if len(series.Values) != 412 {
+		t.Fatalf("series n = %d", len(series.Values))
+	}
+	// The sorted curve has a positive tail: the top decile gains solidly.
+	if q := series.Quantile(0.9); q <= 0 {
+		t.Errorf("top-decile speedup %.1f%% must be positive", q)
+	}
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// Fig1 reproduces Figure 1 plus the §1 operand-mix statistics: the
+// percentage of register operands that are narrow data-width dependent,
+// and the one-narrow / two-narrow-wide / two-narrow-narrow ALU mix.
+func Fig1(o Options) *report.Table {
+	profiles := workload.SpecInt2000()
+	rows := parallelMap(len(profiles), o.workers(), func(i int) analysis.NarrowDependency {
+		return analysis.MeasureNarrowDependency(profiles[i].MustStream(), int(o.SpecUops))
+	})
+	t := report.NewTable("Figure 1 — narrow data-width dependent register operands (%)",
+		"narrowdep", "1narrow", "2narrow-wide", "2narrow-narrow")
+	for i, p := range profiles {
+		d := rows[i]
+		t.AddRow(p.Name, 100*d.Frac, 100*d.OneNarrowFrac,
+			100*d.TwoNarrowWideResFrac, 100*d.TwoNarrowNarrowResFrac)
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig5 reproduces Figure 5: width prediction accuracy classified as
+// correct / non-fatal / fatal under the 8_8_8 scheme, plus the §3.2
+// confidence-estimator comparison (fatal rate with vs without it).
+func Fig5(s *SpecSweep) *report.Table {
+	t := report.NewTable("Figure 5 — width prediction accuracy (%) under 8_8_8",
+		"correct", "non-fatal", "fatal", "fatal-noconf")
+	for _, app := range s.Apps {
+		r := s.ByPolicy["8_8_8"][app].Metrics
+		c, n, f := r.WidthAccuracy()
+		nc := s.NoConfidence[app].Metrics
+		_, _, fNo := nc.WidthAccuracy()
+		t.AddRow(app, 100*c, 100*n, 100*f, 100*fNo)
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig6 reproduces Figure 6: per-application performance of 8_8_8 over the
+// monolithic baseline (paper average ≈ +6.2%).
+func Fig6(s *SpecSweep) *report.Table {
+	t := report.NewTable("Figure 6 — performance of the 8_8_8 scheme (%)", "speedup")
+	for _, app := range s.Apps {
+		t.AddRow(app, s.speedup("8_8_8", app))
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig7 reproduces Figure 7: instructions steered to the helper cluster and
+// inter-cluster copies under 8_8_8 (paper: ≈15% steered).
+func Fig7(s *SpecSweep) *report.Table {
+	t := report.NewTable("Figure 7 — helper cluster instructions and copies under 8_8_8 (%)",
+		"helper", "copies")
+	for _, app := range s.Apps {
+		m := s.ByPolicy["8_8_8"][app].Metrics
+		t.AddRow(app, 100*m.HelperFrac(), 100*m.CopyFrac())
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig8 reproduces Figure 8: copy percentage of 8_8_8 vs 8_8_8+BR (paper:
+// BR raises steering to 19.5% and cuts copies to 10.8%).
+func Fig8(s *SpecSweep) *report.Table {
+	t := report.NewTable("Figure 8 — copy percentage with the BR scheme (%)",
+		"8_8_8", "8_8_8+BR")
+	for _, app := range s.Apps {
+		a := s.ByPolicy["8_8_8"][app].Metrics
+		b := s.ByPolicy["8_8_8+BR"][app].Metrics
+		t.AddRow(app, 100*a.CopyFrac(), 100*b.CopyFrac())
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig9 reproduces Figure 9: copy percentage after adding LR (paper: 6.4%).
+func Fig9(s *SpecSweep) *report.Table {
+	t := report.NewTable("Figure 9 — copy percentage with the LR scheme (%)",
+		"8_8_8", "8_8_8+BR", "8_8_8+BR+LR")
+	for _, app := range s.Apps {
+		a := s.ByPolicy["8_8_8"][app].Metrics
+		b := s.ByPolicy["8_8_8+BR"][app].Metrics
+		c := s.ByPolicy["8_8_8+BR+LR"][app].Metrics
+		t.AddRow(app, 100*a.CopyFrac(), 100*b.CopyFrac(), 100*c.CopyFrac())
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig11 reproduces Figure 11: for 8-32-32 shaped operations, the fraction
+// whose carry does not propagate beyond the low byte, split into
+// arithmetic and loads.
+func Fig11(o Options) *report.Table {
+	profiles := workload.SpecInt2000()
+	rows := parallelMap(len(profiles), o.workers(), func(i int) analysis.CarryStudy {
+		return analysis.MeasureCarry(profiles[i].MustStream(), int(o.SpecUops))
+	})
+	t := report.NewTable("Figure 11 — carry not propagated beyond 8 bits (%)",
+		"arith", "load")
+	for i, p := range profiles {
+		t.AddRow(p.Name, 100*rows[i].ArithFrac(), 100*rows[i].LoadFrac())
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig12 reproduces Figure 12: performance of the full CR ladder vs plain
+// 8_8_8 (paper: +14.5% avg, 47.5% steered).
+func Fig12(s *SpecSweep) *report.Table {
+	t := report.NewTable("Figure 12 — performance with carry-width prediction (%)",
+		"8_8_8", "8_8_8+BR+LR+CR")
+	for _, app := range s.Apps {
+		t.AddRow(app, s.speedup("8_8_8", app), s.speedup("8_8_8+BR+LR+CR", app))
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig13 reproduces Figure 13: average producer-consumer distance in uops.
+func Fig13(o Options) *report.Table {
+	profiles := workload.SpecInt2000()
+	rows := parallelMap(len(profiles), o.workers(), func(i int) analysis.DistanceStudy {
+		return analysis.MeasureDistance(profiles[i].MustStream(), int(o.SpecUops))
+	})
+	t := report.NewTable("Figure 13 — average producer-consumer distance (uops)", "distance")
+	for i, p := range profiles {
+		t.AddRow(p.Name, rows[i].Average())
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// CPStudy reproduces §3.6: copy prefetching raises the copy percentage
+// (paper: 21.4%) for additional performance (paper: +16.7%).
+func CPStudy(s *SpecSweep) *report.Table {
+	t := report.NewTable("§3.6 — copy prefetching (averages over SPEC Int)",
+		"speedup", "helper", "copies", "prefetches")
+	for _, policy := range []string{"8_8_8+BR+LR+CR", "8_8_8+BR+LR+CR+CP"} {
+		var spd, hf, cf, pf float64
+		for _, app := range s.Apps {
+			m := s.ByPolicy[policy][app].Metrics
+			spd += s.speedup(policy, app)
+			hf += 100 * m.HelperFrac()
+			cf += 100 * m.CopyFrac()
+			if m.CopiesCreated > 0 {
+				pf += 100 * float64(m.CopyPrefetch) / float64(m.CopiesCreated)
+			}
+		}
+		n := float64(len(s.Apps))
+		t.AddRow(policy, spd/n, hf/n, cf/n, pf/n)
+	}
+	return t
+}
+
+// IRStudy reproduces §3.7: instruction splitting for imbalance reduction,
+// the tuned no-destination variant, the NREADY imbalance before and after,
+// and the energy-delay² comparison.
+func IRStudy(s *SpecSweep) *report.Table {
+	t := report.NewTable("§3.7 — instruction splitting (averages over SPEC Int)",
+		"speedup", "helper", "copies", "w2n-imb", "n2w-imb")
+	for _, policy := range []string{"8_8_8+BR+LR+CR+CP", "8_8_8+BR+LR+CR+CP+IR", "8_8_8+BR+LR+CR+CP+IRnd"} {
+		var spd, hf, cf, w2n, n2w float64
+		for _, app := range s.Apps {
+			m := s.ByPolicy[policy][app].Metrics
+			spd += s.speedup(policy, app)
+			hf += 100 * m.HelperFrac()
+			cf += 100 * m.CopyFrac()
+			w2n += 100 * m.ImbalanceWideToNarrow()
+			n2w += 100 * m.ImbalanceNarrowToWide()
+		}
+		n := float64(len(s.Apps))
+		t.AddRow(policy, spd/n, hf/n, cf/n, w2n/n, n2w/n)
+	}
+	return t
+}
+
+// EnergyDelay reproduces the §3.7 wrap-up comparison: energy-delay² of the
+// most aggressive helper configuration vs the monolithic baseline (paper:
+// helper 5.1% more ED²-efficient).
+func EnergyDelay(s *SpecSweep) *report.Table {
+	baseModel := power.New(config.PentiumLikeBaseline())
+	helperModel := power.New(config.WithHelper())
+	t := report.NewTable("§3.7 — energy-delay² (IR configuration vs baseline)",
+		"energy-ratio", "delay-ratio", "ed2-gain%")
+	var sumE, sumD, sumG float64
+	for _, app := range s.Apps {
+		b := s.Baseline[app]
+		h := s.ByPolicy["8_8_8+BR+LR+CR+CP+IR"][app]
+		bm, hm := b.Metrics, h.Metrics
+		rb := baseModel.Estimate(&bm, b.L1, b.L2, b.TC)
+		rh := helperModel.Estimate(&hm, h.L1, h.L2, h.TC)
+		eRatio := rh.EnergyNJ / rb.EnergyNJ
+		dRatio := float64(rh.WideCycles) / float64(rb.WideCycles)
+		gain := 100 * power.ED2Gain(rh, rb)
+		t.AddRow(app, eRatio, dRatio, gain)
+		sumE += eRatio
+		sumD += dRatio
+		sumG += gain
+	}
+	n := float64(len(s.Apps))
+	t.AddRow("AVG", sumE/n, sumD/n, sumG/n)
+	return t
+}
+
+// Table1 renders the Table 1 machine parameters.
+func Table1() *report.Table {
+	p := config.PentiumLikeBaseline()
+	t := report.NewTable("Table 1 — monolithic baseline parameters", "value")
+	t.Precision = 0
+	t.AddRow("trace cache (uops)", float64(p.TCUops))
+	t.AddRow("trace cache ways", float64(p.TCWays))
+	t.AddRow("DL0 size (KB)", float64(p.L1.SizeBytes>>10))
+	t.AddRow("DL0 ways", float64(p.L1.Ways))
+	t.AddRow("DL0 latency (cycles)", float64(p.L1.LatencyCycles))
+	t.AddRow("UL1 size (MB)", float64(p.L2.SizeBytes>>20))
+	t.AddRow("UL1 ways", float64(p.L2.Ways))
+	t.AddRow("UL1 latency (cycles)", float64(p.L2.LatencyCycles))
+	t.AddRow("int scheduler entries", float64(p.WideIQ))
+	t.AddRow("int issue width", float64(p.WideIssue))
+	t.AddRow("fp scheduler entries", float64(p.FPIQ))
+	t.AddRow("fp issue width", float64(p.FPIssue))
+	t.AddRow("commit width", float64(p.CommitWidth))
+	t.AddRow("main memory (cycles)", float64(p.MemLatency))
+	t.AddRow("width predictor entries", float64(p.WidthEntries))
+	return t
+}
+
+// Table2 renders the Table 2 workload inventory.
+func Table2() *report.Table {
+	t := report.NewTable("Table 2 — workload categories", "traces")
+	t.Precision = 0
+	total := 0
+	for _, c := range workload.Categories() {
+		t.AddRow(fmt.Sprintf("%s (%s)", c.Name, c.Description), float64(c.Count))
+		total += c.Count
+	}
+	t.AddRow("total", float64(total))
+	return t
+}
+
+// Fig14 reproduces Figure 14: average speedup of the IR policy per
+// workload category (left panel) and the sorted per-application speedup
+// curve over the full 412-trace suite (right panel).
+func Fig14(o Options) (*report.Table, report.Series) {
+	suite := workload.Suite()
+	type out struct {
+		category string
+		speedup  float64
+	}
+	results := parallelMap(len(suite), o.workers(), func(i int) out {
+		p := suite[i]
+		warm := o.SuiteUops / 4
+		base := runOne(p, steer.Baseline(), o.SuiteUops, warm)
+		ir := runOne(p, steer.FIR(), o.SuiteUops, warm)
+		bm, im := base.Metrics, ir.Metrics
+		return out{category: p.Category, speedup: 100 * metrics.Speedup(&im, &bm)}
+	})
+
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	var series report.Series
+	series.Name = "Figure 14 — per-application speedup over baseline (%), sorted"
+	for _, r := range results {
+		sums[r.category] += r.speedup
+		counts[r.category]++
+		series.Values = append(series.Values, r.speedup)
+	}
+	t := report.NewTable("Figure 14 — helper cluster performance by workload category (%)",
+		"speedup", "traces")
+	for _, c := range workload.Categories() {
+		t.AddRow(c.Name, sums[c.Name]/float64(counts[c.Name]), float64(counts[c.Name]))
+	}
+	t.AddRow("AVG(all)", series.Mean(), float64(len(series.Values)))
+	return t, series
+}
+
+// SpecLadder summarizes the full policy ladder over SPEC Int — the §3
+// narrative in one table.
+func SpecLadder(s *SpecSweep) *report.Table {
+	t := report.NewTable("Policy ladder — SPEC Int 2000 averages",
+		"speedup", "helper", "copies", "fatal-flushes")
+	for _, f := range s.Policies {
+		name := f.Name()
+		var spd, hf, cf, ff float64
+		for _, app := range s.Apps {
+			m := s.ByPolicy[name][app].Metrics
+			spd += s.speedup(name, app)
+			hf += 100 * m.HelperFrac()
+			cf += 100 * m.CopyFrac()
+			ff += float64(m.FatalFlushes)
+		}
+		n := float64(len(s.Apps))
+		t.AddRow(name, spd/n, hf/n, cf/n, ff/n)
+	}
+	return t
+}

@@ -1,0 +1,236 @@
+// Package isa defines the IA-32-like micro-operation (uop) model used by the
+// helper-cluster simulator.
+//
+// The paper's machine translates IA-32 instructions into uops in the trace
+// cache; the simulator operates purely on uops. Each uop carries the actual
+// values it consumed and produced when the trace was generated, so the
+// timing model can observe genuine data widths, carry propagation and flags
+// behaviour instead of sampled labels.
+package isa
+
+import "fmt"
+
+// Class is the coarse functional class of a uop. It determines which
+// functional unit executes it and which steering rules apply.
+type Class uint8
+
+// Uop classes. ClassCopy is never found in traces; the simulator injects
+// copy uops for inter-cluster communication (Canal/Parcerisa/González
+// PACT-99 scheme referenced by the paper).
+const (
+	ClassALU    Class = iota // single-cycle integer arithmetic/logic
+	ClassMul                 // integer multiply (wide cluster only)
+	ClassDiv                 // integer divide (wide cluster only)
+	ClassLoad                // memory load (AGU + cache access)
+	ClassStore               // memory store (AGU; data written at commit)
+	ClassBranch              // conditional branch, reads the flags register
+	ClassJump                // unconditional or indirect jump
+	ClassFP                  // floating point (wide cluster FP queue only)
+	ClassCopy                // inter-cluster copy, simulator-internal
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"alu", "mul", "div", "load", "store", "branch", "jump", "fp", "copy",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// IsControl reports whether the class redirects control flow.
+func (c Class) IsControl() bool { return c == ClassBranch || c == ClassJump }
+
+// ALUOp identifies the concrete integer operation of a ClassALU (or the
+// address-generation add of loads/stores). The carry-width analysis of the
+// CR scheme needs to know the exact operation to decide whether the upper
+// 24 bits of the wide source survive.
+type ALUOp uint8
+
+// Integer operations. OpCmp and OpTest write only the flags register; they
+// have no destination register, which makes them the preferred candidates
+// for the tuned IR splitting heuristic (§3.7).
+const (
+	OpAdd ALUOp = iota
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMov
+	OpCmp
+	OpTest
+	OpInc
+	OpDec
+	OpNeg
+	OpNot
+	OpLea // address arithmetic executed on an AGU/ALU
+	NumALUOps
+)
+
+var aluOpNames = [NumALUOps]string{
+	"add", "sub", "and", "or", "xor", "shl", "shr", "mov",
+	"cmp", "test", "inc", "dec", "neg", "not", "lea",
+}
+
+func (op ALUOp) String() string {
+	if int(op) < len(aluOpNames) {
+		return aluOpNames[op]
+	}
+	return fmt.Sprintf("aluop(%d)", uint8(op))
+}
+
+// WritesDest reports whether the operation produces a destination register
+// value (OpCmp and OpTest only write flags).
+func (op ALUOp) WritesDest() bool { return op != OpCmp && op != OpTest }
+
+// Architectural registers. The model uses 16 general-purpose identifiers
+// (the IA-32 internal machine state of the paper's frontend exposes more
+// names than the 8 architectural IA-32 registers) plus a flags register.
+const (
+	NumGPR   = 16   // general-purpose architectural registers, ids 0..15
+	RegFlags = 16   // the flags register written by arithmetic, read by branches
+	NumRegs  = 17   // total architectural name space
+	RegNone  = 0xFF // absent operand
+)
+
+// RegName returns a printable name for an architectural register id.
+func RegName(r uint8) string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r == RegFlags:
+		return "flags"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// MaxSrcs is the maximum number of register sources a uop can carry. The
+// IA-32 internal machine state can require more than 2 sources (§3.2), e.g.
+// address base + index + data for a store.
+const MaxSrcs = 3
+
+// Uop is one executed micro-operation of a trace: its static identity (PC,
+// class, operation, register names) plus the dynamic facts of this execution
+// (values, memory address, branch direction). Values are recorded by the
+// functional executor that produced the trace.
+type Uop struct {
+	Seq uint64 // dynamic sequence number within the trace
+	PC  uint32 // static uop address (trace cache / predictor index)
+
+	Class Class
+	Op    ALUOp // valid for ClassALU, and address math of loads/stores
+
+	NSrc   uint8
+	SrcReg [MaxSrcs]uint8  // architectural source registers (RegNone padded)
+	SrcVal [MaxSrcs]uint32 // actual source values at execution
+
+	DstReg uint8  // destination architectural register or RegNone
+	DstVal uint32 // actual result value (destination register or load data)
+
+	Imm    uint32 // immediate operand when HasImm
+	HasImm bool
+
+	ReadsFlags  bool // branches; also adc-like ops if generated
+	WritesFlags bool // arithmetic producing condition codes
+
+	// Branch facts (ClassBranch/ClassJump).
+	Taken  bool
+	Target uint32
+	// FrontendResolvable marks EIP+immediate conditional branches whose
+	// target the BR scheme resolves in the frontend (§3.3), making them
+	// eligible for helper-cluster steering.
+	FrontendResolvable bool
+
+	// ImplicitWide marks uops whose IA-32 internal machine state carries
+	// an implicit wide operand (segment bases, stack pointer updates,
+	// partial-register merges). §3.2 observes that "all the input
+	// operands (which can be more than 2 in the IA-32 internal machine
+	// state) ... must be narrow" for 8_8_8 steering, and that this
+	// "occurs less frequently" — these uops are the reason.
+	ImplicitWide bool
+
+	// Memory facts (ClassLoad/ClassStore).
+	MemAddr uint32
+	MemSize uint8 // access size in bytes: 1, 2 or 4
+}
+
+// HasDest reports whether the uop writes a destination register.
+func (u *Uop) HasDest() bool { return u.DstReg != RegNone }
+
+// SourceRegs returns the live source register ids (excluding RegNone).
+func (u *Uop) SourceRegs() []uint8 {
+	regs := make([]uint8, 0, MaxSrcs)
+	for i := 0; i < int(u.NSrc); i++ {
+		if u.SrcReg[i] != RegNone {
+			regs = append(regs, u.SrcReg[i])
+		}
+	}
+	return regs
+}
+
+// String renders a compact single-line disassembly-like description.
+func (u *Uop) String() string {
+	switch u.Class {
+	case ClassBranch, ClassJump:
+		dir := "nt"
+		if u.Taken {
+			dir = "t"
+		}
+		return fmt.Sprintf("%#x: %s -> %#x (%s)", u.PC, u.Class, u.Target, dir)
+	case ClassLoad, ClassStore:
+		return fmt.Sprintf("%#x: %s %s, [%#x]%d", u.PC, u.Class, RegName(u.DstReg), u.MemAddr, u.MemSize)
+	default:
+		s := fmt.Sprintf("%#x: %s.%s %s", u.PC, u.Class, u.Op, RegName(u.DstReg))
+		for i := 0; i < int(u.NSrc); i++ {
+			s += fmt.Sprintf(" %s=%#x", RegName(u.SrcReg[i]), u.SrcVal[i])
+		}
+		if u.HasImm {
+			s += fmt.Sprintf(" imm=%#x", u.Imm)
+		}
+		return s
+	}
+}
+
+// Eval computes the result of an ALU operation on two operands, mirroring
+// the functional executor's semantics. Shift counts are masked to 5 bits as
+// on IA-32. OpCmp behaves like OpSub and OpTest like OpAnd for the flags
+// value; their register result is discarded by the caller.
+func Eval(op ALUOp, a, b uint32) uint32 {
+	switch op {
+	case OpAdd, OpLea:
+		return a + b
+	case OpSub, OpCmp:
+		return a - b
+	case OpAnd, OpTest:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 31)
+	case OpShr:
+		return a >> (b & 31)
+	case OpMov:
+		return b
+	case OpInc:
+		return a + 1
+	case OpDec:
+		return a - 1
+	case OpNeg:
+		return -a
+	case OpNot:
+		return ^a
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,121 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassStrings(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Class(200).String() != "class(200)" {
+		t.Error("out-of-range class should fall back to numeric form")
+	}
+}
+
+func TestALUOpStrings(t *testing.T) {
+	for op := ALUOp(0); op < NumALUOps; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "aluop(") {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() || ClassALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !ClassBranch.IsControl() || !ClassJump.IsControl() || ClassLoad.IsControl() {
+		t.Error("IsControl wrong")
+	}
+}
+
+func TestWritesDest(t *testing.T) {
+	if OpCmp.WritesDest() || OpTest.WritesDest() {
+		t.Error("cmp/test write only flags")
+	}
+	if !OpAdd.WritesDest() || !OpMov.WritesDest() {
+		t.Error("add/mov write a destination")
+	}
+}
+
+func TestRegName(t *testing.T) {
+	if RegName(0) != "r0" || RegName(RegFlags) != "flags" || RegName(RegNone) != "-" {
+		t.Error("RegName wrong")
+	}
+}
+
+func TestUopHelpers(t *testing.T) {
+	u := Uop{Class: ClassALU, Op: OpAdd, DstReg: 3, NSrc: 2}
+	u.SrcReg = [MaxSrcs]uint8{1, 2, RegNone}
+	if !u.HasDest() {
+		t.Error("uop with DstReg=3 has a destination")
+	}
+	if got := u.SourceRegs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("SourceRegs = %v", got)
+	}
+	u.DstReg = RegNone
+	if u.HasDest() {
+		t.Error("RegNone destination must report no dest")
+	}
+}
+
+func TestUopString(t *testing.T) {
+	br := Uop{Class: ClassBranch, PC: 0x40, Taken: true, Target: 0x80}
+	if s := br.String(); !strings.Contains(s, "branch") || !strings.Contains(s, "(t)") {
+		t.Errorf("branch string: %s", s)
+	}
+	ld := Uop{Class: ClassLoad, PC: 0x44, DstReg: 2, MemAddr: 0x1000, MemSize: 4}
+	if s := ld.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0x1000") {
+		t.Errorf("load string: %s", s)
+	}
+	alu := Uop{Class: ClassALU, Op: OpXor, PC: 0x48, DstReg: 1, NSrc: 1, HasImm: true, Imm: 7}
+	alu.SrcReg[0] = 1
+	if s := alu.String(); !strings.Contains(s, "xor") || !strings.Contains(s, "imm=0x7") {
+		t.Errorf("alu string: %s", s)
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	cases := []struct {
+		op   ALUOp
+		a, b uint32
+		want uint32
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpLea, 0x1000, 0x24, 0x1024},
+		{OpSub, 5, 7, 0xFFFFFFFE},
+		{OpCmp, 5, 5, 0},
+		{OpAnd, 0xF0F0, 0x0FF0, 0x00F0},
+		{OpTest, 0xF0F0, 0x0FF0, 0x00F0},
+		{OpOr, 0xF0, 0x0F, 0xFF},
+		{OpXor, 0xFF, 0x0F, 0xF0},
+		{OpShl, 1, 4, 16},
+		{OpShl, 1, 36, 16}, // IA-32 masks the count to 5 bits
+		{OpShr, 16, 4, 1},
+		{OpMov, 99, 42, 42},
+		{OpInc, 41, 0, 42},
+		{OpDec, 43, 0, 42},
+		{OpNeg, 1, 0, 0xFFFFFFFF},
+		{OpNot, 0, 0, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Eval(c.op, c.a, c.b); got != c.want {
+			t.Errorf("Eval(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestEvalAddSubInverse: property — sub undoes add.
+func TestEvalAddSubInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return Eval(OpSub, Eval(OpAdd, a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

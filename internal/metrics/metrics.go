@@ -1,0 +1,137 @@
+// Package metrics collects the measurements the paper reports: IPC and
+// speedups, helper-cluster occupancy, copy percentages, width prediction
+// accuracy (correct / non-fatal / fatal, Figure 5), the NREADY workload
+// imbalance metric of §3.7, and the event counts the power model consumes.
+package metrics
+
+// Metrics is the full counter set of one simulation run.
+type Metrics struct {
+	// Time.
+	Ticks      uint64 // helper-clock ticks
+	WideCycles uint64
+
+	// Work.
+	Committed       uint64 // real (trace) uops committed
+	CommittedCopies uint64 // copy uops committed
+	CommittedSplits uint64 // split sub-uops committed (beyond the first)
+
+	// Steering.
+	SteeredHelper uint64 // real uops steered to the helper cluster
+	SteeredSplit  uint64 // real uops split by IR
+	CopiesCreated uint64 // inter-cluster copy uops created
+	CopyPrefetch  uint64 // of which created eagerly by CP
+
+	// Width prediction outcomes, classified at writeback (Figure 5):
+	// Correct — prediction matched the actual width;
+	// NonFatal — mispredicted but the uop ran in the wide cluster (missed
+	// opportunity, no recovery);
+	// Fatal — mispredicted on a uop steered to the helper (flush).
+	WidthCorrect  uint64
+	WidthNonFatal uint64
+	WidthFatal    uint64
+	FatalFlushes  uint64
+
+	// Branches.
+	Branches          uint64
+	BranchMispredicts uint64
+
+	// NREADY imbalance (§3.7): ready-but-unissued uops that had spare
+	// issue slots in the other cluster.
+	NReadyWideToNarrow uint64
+	NReadyNarrowToWide uint64
+
+	// Stall accounting (wide cycles when rename made no progress).
+	StallROB  uint64
+	StallIQ   uint64
+	StallPhys uint64
+	StallMOB  uint64
+
+	// Power-model event counts, per cluster where applicable.
+	IQWrites [2]uint64
+	Issues   [2]uint64
+	IQOccSum [2]uint64 // issue-queue occupancy integral, sampled per wide cycle
+
+	// Latency integrals (ticks), for pipeline diagnostics.
+	BranchResolveTicks uint64    // rename→resolution over all branches
+	IssueWaitTicks     [2]uint64 // rename→issue per cluster
+	RFReads            [2]uint64
+	RFWrites           [2]uint64
+	ALUOps             [2]uint64
+	AGUOps             [2]uint64
+	FPOps              uint64
+	PredictorLookups   uint64
+	Renames            uint64
+}
+
+// IPC returns committed real uops per wide cycle.
+func (m *Metrics) IPC() float64 {
+	if m.WideCycles == 0 {
+		return 0
+	}
+	return float64(m.Committed) / float64(m.WideCycles)
+}
+
+// HelperFrac returns the fraction of committed real uops steered to the
+// helper cluster.
+func (m *Metrics) HelperFrac() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.SteeredHelper) / float64(m.Committed)
+}
+
+// CopyFrac returns copies created per committed real uop (the paper's
+// "copy percentage").
+func (m *Metrics) CopyFrac() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.CopiesCreated) / float64(m.Committed)
+}
+
+// WidthAccuracy returns the Figure 5 triple as fractions of all
+// classified width predictions.
+func (m *Metrics) WidthAccuracy() (correct, nonFatal, fatal float64) {
+	total := m.WidthCorrect + m.WidthNonFatal + m.WidthFatal
+	if total == 0 {
+		return 0, 0, 0
+	}
+	f := float64(total)
+	return float64(m.WidthCorrect) / f, float64(m.WidthNonFatal) / f, float64(m.WidthFatal) / f
+}
+
+// ImbalanceWideToNarrow returns the §3.7 NREADY wide-to-narrow imbalance
+// normalized per committed uop.
+func (m *Metrics) ImbalanceWideToNarrow() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.NReadyWideToNarrow) / float64(m.Committed)
+}
+
+// ImbalanceNarrowToWide returns the narrow-to-wide NREADY imbalance
+// normalized per committed uop.
+func (m *Metrics) ImbalanceNarrowToWide() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.NReadyNarrowToWide) / float64(m.Committed)
+}
+
+// BranchMispredictRate returns mispredicts per branch.
+func (m *Metrics) BranchMispredictRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.BranchMispredicts) / float64(m.Branches)
+}
+
+// Speedup returns the relative performance of m against a baseline run of
+// the same workload: positive means m is faster.
+func Speedup(m, baseline *Metrics) float64 {
+	b := baseline.IPC()
+	if b == 0 {
+		return 0
+	}
+	return m.IPC()/b - 1
+}

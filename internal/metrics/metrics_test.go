@@ -1,0 +1,65 @@
+package metrics
+
+import "testing"
+
+func TestRates(t *testing.T) {
+	m := Metrics{
+		WideCycles:        1000,
+		Committed:         1500,
+		SteeredHelper:     300,
+		CopiesCreated:     150,
+		Branches:          100,
+		BranchMispredicts: 8,
+	}
+	if got := m.IPC(); got != 1.5 {
+		t.Errorf("IPC = %f", got)
+	}
+	if got := m.HelperFrac(); got != 0.2 {
+		t.Errorf("HelperFrac = %f", got)
+	}
+	if got := m.CopyFrac(); got != 0.1 {
+		t.Errorf("CopyFrac = %f", got)
+	}
+	if got := m.BranchMispredictRate(); got != 0.08 {
+		t.Errorf("mispredict rate = %f", got)
+	}
+}
+
+func TestZeroSafety(t *testing.T) {
+	var m Metrics
+	if m.IPC() != 0 || m.HelperFrac() != 0 || m.CopyFrac() != 0 ||
+		m.BranchMispredictRate() != 0 ||
+		m.ImbalanceWideToNarrow() != 0 || m.ImbalanceNarrowToWide() != 0 {
+		t.Error("zero metrics must yield zero rates")
+	}
+	c, n, f := m.WidthAccuracy()
+	if c != 0 || n != 0 || f != 0 {
+		t.Error("zero accuracy must be zeros")
+	}
+}
+
+func TestWidthAccuracy(t *testing.T) {
+	m := Metrics{WidthCorrect: 93, WidthNonFatal: 6, WidthFatal: 1}
+	c, n, f := m.WidthAccuracy()
+	if c != 0.93 || n != 0.06 || f != 0.01 {
+		t.Errorf("accuracy = %f %f %f", c, n, f)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	m := Metrics{Committed: 1000, NReadyWideToNarrow: 220, NReadyNarrowToWide: 20}
+	if m.ImbalanceWideToNarrow() != 0.22 || m.ImbalanceNarrowToWide() != 0.02 {
+		t.Error("imbalance normalization wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Metrics{WideCycles: 1000, Committed: 1000}
+	fast := &Metrics{WideCycles: 800, Committed: 1000}
+	if got := Speedup(fast, base); got < 0.249 || got > 0.251 {
+		t.Errorf("speedup = %f, want 0.25", got)
+	}
+	if Speedup(fast, &Metrics{}) != 0 {
+		t.Error("zero baseline must yield zero speedup")
+	}
+}

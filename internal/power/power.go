@@ -1,0 +1,157 @@
+// Package power is the Wattch-like architectural power model of §3.1: it
+// converts the event counts collected by the timing simulator into energy,
+// including the helper cluster's 8-bit datapath, its 2× clock network and
+// the width predictors, and computes the energy-delay² comparison of §3.7.
+//
+// As in Wattch, structure energies are analytical: they scale with entry
+// count, port count and datapath width. Absolute joules are not meaningful
+// — only the relative comparison between configurations of the same
+// technology is, which is exactly how the paper uses them.
+package power
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+// Unit energies in picojoules for the wide (32-bit) structures; narrow
+// structures scale these by datapath width. The constants follow Wattch's
+// relative ordering (memory ≫ caches ≫ register files ≫ logic).
+const (
+	pjRFReadWide  = 0.9
+	pjRFWriteWide = 1.1
+	pjIQWrite     = 1.0 // CAM write, scales with data width
+	pjIQSelect    = 0.8
+	pjALUWide     = 2.2 // §2.2: ALU energy scales ~linearly with width
+	pjAGUWide     = 1.8
+	pjFPU         = 6.0
+	pjL1Access    = 4.0
+	pjL2Access    = 24.0
+	pjMemAccess   = 220.0
+	pjTCAccess    = 2.5
+	pjRename      = 1.2
+	pjWidthPred   = 0.15 // 256×1-bit tagless table (§3.2)
+	pjBranchPred  = 0.6
+	pjCopyWire    = 1.6 // inter-cluster transfer per copy
+	pjWideClock   = 6.0 // per wide cycle
+	pjHelperClock = 1.1 // per helper tick: small domain at 2× frequency
+	pjLeakPerTick = 0.9 // baseline leakage per tick
+	pjLeakHelper  = 0.2 // additional helper-cluster leakage per tick
+)
+
+// widthScale returns the energy ratio of a narrow datapath to the 32-bit
+// one; slightly above the naive width/32 because control overhead does not
+// shrink with the datapath (§2.1).
+func widthScale(bits int) float64 {
+	return 0.07 + float64(bits)/32*0.92
+}
+
+// Breakdown itemizes estimated energy in nanojoules.
+type Breakdown struct {
+	Frontend   float64 // trace cache, rename, predictors
+	RegFiles   float64
+	IssueQueue float64
+	Execute    float64 // ALUs, AGUs, FPU
+	Memory     float64 // DL0, UL1, main memory
+	Copies     float64 // inter-cluster wires
+	Clock      float64
+	Leakage    float64
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() float64 {
+	return b.Frontend + b.RegFiles + b.IssueQueue + b.Execute +
+		b.Memory + b.Copies + b.Clock + b.Leakage
+}
+
+// Report is the outcome of an estimate.
+type Report struct {
+	Breakdown Breakdown
+	// EnergyNJ is the total estimated energy in nanojoules.
+	EnergyNJ float64
+	// WideCycles is the run's delay in wide-cluster cycles.
+	WideCycles uint64
+	// ED2 is energy × delay² (nJ·cycle²), the §3.7 efficiency metric.
+	ED2 float64
+}
+
+// Model estimates energy for one machine configuration.
+type Model struct {
+	cfg config.Processor
+}
+
+// New builds a model for the configuration.
+func New(cfg config.Processor) *Model { return &Model{cfg: cfg} }
+
+// scaleFor returns the datapath-width energy scale of a cluster.
+func (mod *Model) scaleFor(cluster int) float64 {
+	if cluster == config.Helper {
+		bits := mod.cfg.HelperWidthBits
+		if bits == 0 {
+			bits = 8
+		}
+		return widthScale(bits)
+	}
+	return 1
+}
+
+// Estimate converts event counts into energy.
+func (mod *Model) Estimate(m *metrics.Metrics, l1, l2, tc cache.Stats) Report {
+	var b Breakdown
+	pj := func(v float64) float64 { return v / 1000 } // pJ → nJ
+
+	// Frontend: one TC access per fetched line approximated by accesses
+	// recorded in the trace-cache stats, a rename-table access and width
+	// predictor lookup per rename, and a branch predictor access per
+	// branch.
+	b.Frontend = pj(float64(tc.Accesses)*pjTCAccess +
+		float64(m.Renames)*pjRename +
+		float64(m.PredictorLookups)*pjWidthPred +
+		float64(m.Branches)*pjBranchPred)
+
+	for c := 0; c < 2; c++ {
+		s := mod.scaleFor(c)
+		b.RegFiles += pj(float64(m.RFReads[c])*pjRFReadWide*s +
+			float64(m.RFWrites[c])*pjRFWriteWide*s)
+		b.IssueQueue += pj(float64(m.IQWrites[c])*pjIQWrite*s +
+			float64(m.Issues[c])*pjIQSelect)
+		b.Execute += pj(float64(m.ALUOps[c])*pjALUWide*s +
+			float64(m.AGUOps[c])*pjAGUWide*s)
+	}
+	b.Execute += pj(float64(m.FPOps) * pjFPU)
+
+	memAccesses := l2.Misses // filled from memory
+	b.Memory = pj(float64(l1.Accesses)*pjL1Access +
+		float64(l2.Accesses)*pjL2Access +
+		float64(memAccesses)*pjMemAccess)
+
+	b.Copies = pj(float64(m.CopiesCreated) * pjCopyWire)
+
+	b.Clock = pj(float64(m.WideCycles) * pjWideClock)
+	leak := float64(m.Ticks) * pjLeakPerTick
+	if mod.cfg.HelperEnabled {
+		b.Clock += pj(float64(m.Ticks) * pjHelperClock)
+		leak += float64(m.Ticks) * pjLeakHelper
+	}
+	b.Leakage = pj(leak)
+
+	total := b.Total()
+	d := float64(m.WideCycles)
+	return Report{
+		Breakdown:  b,
+		EnergyNJ:   total,
+		WideCycles: m.WideCycles,
+		ED2:        total * d * d,
+	}
+}
+
+// ED2Gain returns the relative energy-delay² advantage of r over base:
+// positive means r is more efficient (the paper reports 5.1% for the IR
+// configuration, §3.7).
+func ED2Gain(r, base Report) float64 {
+	if base.ED2 == 0 {
+		return 0
+	}
+	return 1 - r.ED2/base.ED2
+}

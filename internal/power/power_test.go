@@ -1,0 +1,114 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+func sampleMetrics() metrics.Metrics {
+	m := metrics.Metrics{
+		Ticks:            20000,
+		WideCycles:       10000,
+		Committed:        15000,
+		Renames:          16000,
+		PredictorLookups: 15000,
+		Branches:         1500,
+		CopiesCreated:    1200,
+		FPOps:            100,
+	}
+	m.RFReads = [2]uint64{20000, 8000}
+	m.RFWrites = [2]uint64{9000, 5000}
+	m.IQWrites = [2]uint64{12000, 6000}
+	m.Issues = [2]uint64{12000, 6000}
+	m.ALUOps = [2]uint64{8000, 5000}
+	m.AGUOps = [2]uint64{3000, 500}
+	return m
+}
+
+func sampleCaches() (l1, l2, tc cache.Stats) {
+	l1 = cache.Stats{Accesses: 4000, Misses: 100}
+	l2 = cache.Stats{Accesses: 100, Misses: 10}
+	tc = cache.Stats{Accesses: 3000, Misses: 20}
+	return
+}
+
+func TestEstimatePositiveAndConsistent(t *testing.T) {
+	m := sampleMetrics()
+	l1, l2, tc := sampleCaches()
+	r := New(config.WithHelper()).Estimate(&m, l1, l2, tc)
+	if r.EnergyNJ <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if r.ED2 != r.EnergyNJ*float64(m.WideCycles)*float64(m.WideCycles) {
+		t.Error("ED2 must be energy × delay²")
+	}
+	b := r.Breakdown
+	if got := b.Total(); got < r.EnergyNJ*0.999 || got > r.EnergyNJ*1.001 {
+		t.Errorf("breakdown total %.3f != energy %.3f", got, r.EnergyNJ)
+	}
+	for name, v := range map[string]float64{
+		"frontend": b.Frontend, "regfiles": b.RegFiles, "iq": b.IssueQueue,
+		"execute": b.Execute, "memory": b.Memory, "copies": b.Copies,
+		"clock": b.Clock, "leakage": b.Leakage,
+	} {
+		if v < 0 {
+			t.Errorf("%s energy negative", name)
+		}
+	}
+}
+
+func TestHelperClusterCostsEnergy(t *testing.T) {
+	m := sampleMetrics()
+	l1, l2, tc := sampleCaches()
+	withHelper := New(config.WithHelper()).Estimate(&m, l1, l2, tc)
+	baseline := New(config.PentiumLikeBaseline()).Estimate(&m, l1, l2, tc)
+	if withHelper.EnergyNJ <= baseline.EnergyNJ {
+		t.Error("the helper cluster's clock and leakage must add energy for identical events")
+	}
+}
+
+func TestNarrowDatapathCheaper(t *testing.T) {
+	// Moving the same ALU work from wide to helper should cut execute
+	// energy by the width scale.
+	mWide := sampleMetrics()
+	mWide.ALUOps = [2]uint64{10000, 0}
+	mHelper := sampleMetrics()
+	mHelper.ALUOps = [2]uint64{0, 10000}
+	l1, l2, tc := sampleCaches()
+	model := New(config.WithHelper())
+	rw := model.Estimate(&mWide, l1, l2, tc)
+	rh := model.Estimate(&mHelper, l1, l2, tc)
+	if rh.Breakdown.Execute >= rw.Breakdown.Execute {
+		t.Errorf("8-bit ALU ops must be cheaper: %.3f vs %.3f",
+			rh.Breakdown.Execute, rw.Breakdown.Execute)
+	}
+}
+
+func TestED2Gain(t *testing.T) {
+	a := Report{ED2: 80}
+	b := Report{ED2: 100}
+	if got := ED2Gain(a, b); got < 0.199 || got > 0.201 {
+		t.Errorf("gain = %f, want 0.2", got)
+	}
+	if ED2Gain(a, Report{}) != 0 {
+		t.Error("zero baseline must yield zero gain")
+	}
+}
+
+func TestFasterRunWinsED2(t *testing.T) {
+	// A run 20% faster with the same events wins ED² even with the
+	// helper's extra static power.
+	m := sampleMetrics()
+	l1, l2, tc := sampleCaches()
+	fast := m
+	fast.WideCycles = 8000
+	fast.Ticks = 16000
+	rb := New(config.PentiumLikeBaseline()).Estimate(&m, l1, l2, tc)
+	rf := New(config.WithHelper()).Estimate(&fast, l1, l2, tc)
+	if ED2Gain(rf, rb) <= 0 {
+		t.Errorf("20%% delay cut must win ED²: gain = %f", ED2Gain(rf, rb))
+	}
+}

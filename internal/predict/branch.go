@@ -1,0 +1,152 @@
+package predict
+
+// BranchPredictor is a conventional gshare predictor with a direct-mapped
+// branch target buffer. The paper does not study branch prediction — it is
+// pipeline substrate — but the deep P4-like pipeline needs realistic
+// control-flow bubbles for the speedup numbers to mean anything.
+type BranchPredictor struct {
+	counters []uint8 // 2-bit saturating counters
+	mask     uint32
+	history  uint32
+	histMask uint32
+
+	btbTags    []uint32
+	btbTargets []uint32
+	btbMask    uint32
+
+	stats BranchStats
+}
+
+// BranchStats counts direction and target outcomes.
+type BranchStats struct {
+	Predictions   uint64
+	DirectionHits uint64
+	TargetHits    uint64
+}
+
+// NewBranchPredictor builds a gshare predictor with the given pattern table
+// size and BTB size (both powers of two) and history length in bits.
+func NewBranchPredictor(patternEntries, btbEntries, historyBits int) *BranchPredictor {
+	if patternEntries <= 0 || patternEntries&(patternEntries-1) != 0 {
+		panic("predict: pattern table size must be a positive power of two")
+	}
+	if btbEntries <= 0 || btbEntries&(btbEntries-1) != 0 {
+		panic("predict: BTB size must be a positive power of two")
+	}
+	if historyBits <= 0 || historyBits > 31 {
+		panic("predict: history bits out of range")
+	}
+	return &BranchPredictor{
+		counters:   make([]uint8, patternEntries),
+		mask:       uint32(patternEntries - 1),
+		histMask:   (1 << historyBits) - 1,
+		btbTags:    make([]uint32, btbEntries),
+		btbTargets: make([]uint32, btbEntries),
+		btbMask:    uint32(btbEntries - 1),
+	}
+}
+
+func (b *BranchPredictor) patternIndex(pc uint32) uint32 {
+	return (pc ^ b.history) & b.mask
+}
+
+// Predict returns the predicted direction and target for the branch at pc.
+// targetKnown is false on a BTB miss, in which case a taken prediction
+// still redirects fetch only once the branch resolves.
+func (b *BranchPredictor) Predict(pc uint32) (taken bool, target uint32, targetKnown bool) {
+	taken = b.counters[b.patternIndex(pc)] >= 2
+	slot := pc & b.btbMask
+	if b.btbTags[slot] == pc {
+		return taken, b.btbTargets[slot], true
+	}
+	return taken, 0, false
+}
+
+// History returns the speculative global history register, checkpointed by
+// the pipeline at rename so a flush can restore it.
+func (b *BranchPredictor) History() uint32 { return b.history }
+
+// RestoreHistory rewinds the global history register to a checkpoint
+// (misprediction recovery).
+func (b *BranchPredictor) RestoreHistory(h uint32) { b.history = h & b.histMask }
+
+// SpecUpdateHistory shifts a (speculative) outcome into the global history
+// at prediction time.
+func (b *BranchPredictor) SpecUpdateHistory(taken bool) {
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	b.history = ((b.history << 1) | bit) & b.histMask
+}
+
+// Train updates the pattern counters and BTB with a resolved outcome using
+// the history the prediction was made under; it does not touch the
+// speculative history (the pipeline owns that via SpecUpdateHistory /
+// RestoreHistory).
+func (b *BranchPredictor) Train(pc uint32, historyAtPredict uint32, taken bool, target uint32) {
+	idx := (pc ^ (historyAtPredict & b.histMask)) & b.mask
+	if taken {
+		if b.counters[idx] < 3 {
+			b.counters[idx]++
+		}
+		slot := pc & b.btbMask
+		b.btbTags[slot] = pc
+		b.btbTargets[slot] = target
+	} else if b.counters[idx] > 0 {
+		b.counters[idx]--
+	}
+	b.stats.Predictions++
+}
+
+// PredictAt evaluates a prediction under an explicit history value.
+func (b *BranchPredictor) PredictAt(pc uint32, historyAtPredict uint32) (taken bool, target uint32, targetKnown bool) {
+	idx := (pc ^ (historyAtPredict & b.histMask)) & b.mask
+	taken = b.counters[idx] >= 2
+	slot := pc & b.btbMask
+	if b.btbTags[slot] == pc {
+		return taken, b.btbTargets[slot], true
+	}
+	return taken, 0, false
+}
+
+// Update trains direction, history and BTB with the resolved outcome, and
+// returns whether the prediction made from the current state would have
+// been fully correct (direction, and target when taken).
+func (b *BranchPredictor) Update(pc uint32, taken bool, target uint32) (correct bool) {
+	idx := b.patternIndex(pc)
+	predTaken := b.counters[idx] >= 2
+	slot := pc & b.btbMask
+	targetOK := !taken || (b.btbTags[slot] == pc && b.btbTargets[slot] == target)
+	correct = predTaken == taken && targetOK
+
+	b.stats.Predictions++
+	if predTaken == taken {
+		b.stats.DirectionHits++
+	}
+	if targetOK {
+		b.stats.TargetHits++
+	}
+
+	if taken {
+		if b.counters[idx] < 3 {
+			b.counters[idx]++
+		}
+		b.btbTags[slot] = pc
+		b.btbTargets[slot] = target
+	} else if b.counters[idx] > 0 {
+		b.counters[idx]--
+	}
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	b.history = ((b.history << 1) | bit) & b.histMask
+	return correct
+}
+
+// Stats returns accumulated counters.
+func (b *BranchPredictor) Stats() BranchStats { return b.stats }
+
+// ResetStats zeroes the counters, keeping the learned state.
+func (b *BranchPredictor) ResetStats() { b.stats = BranchStats{} }

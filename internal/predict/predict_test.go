@@ -1,0 +1,217 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthPredictorSizing(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d should panic", n)
+				}
+			}()
+			NewWidthPredictor(n)
+		}()
+	}
+	if NewWidthPredictor(256).Size() != 256 {
+		t.Error("size mismatch")
+	}
+}
+
+func TestWidthPredictorLastValue(t *testing.T) {
+	p := NewWidthPredictor(256)
+	pc := uint32(0x1234)
+
+	// Fresh entry predicts wide (lastNarrow=false) without confidence.
+	narrow, conf := p.PredictResult(pc)
+	if narrow || conf {
+		t.Error("fresh entry must predict wide, unconfident")
+	}
+
+	// Train narrow repeatedly: prediction flips and gains confidence.
+	for i := 0; i < 4; i++ {
+		p.UpdateResult(pc, true)
+	}
+	narrow, conf = p.PredictResult(pc)
+	if !narrow || !conf {
+		t.Error("after narrow training, expect confident narrow")
+	}
+
+	// One wide outcome drops confidence but not (yet) the prediction.
+	p.UpdateResult(pc, false)
+	narrow, _ = p.PredictResult(pc)
+	if narrow {
+		t.Error("last-value predictor must flip to wide after a wide outcome")
+	}
+}
+
+func TestWidthPredictorConfidenceDamping(t *testing.T) {
+	p := NewWidthPredictor(64)
+	pc := uint32(8)
+	// Alternating widths: the 2-bit estimator should never reach the
+	// confident states, which is exactly how the paper suppressed fatal
+	// mispredictions.
+	for i := 0; i < 50; i++ {
+		p.UpdateResult(pc, i%2 == 0)
+		if _, conf := p.PredictResult(pc); conf && i > 2 {
+			t.Fatalf("alternating widths must stay unconfident (iter %d)", i)
+		}
+	}
+}
+
+func TestWidthPredictorAliasing(t *testing.T) {
+	p := NewWidthPredictor(16)
+	// PCs 0 and 16 alias in a 16-entry tagless table.
+	for i := 0; i < 4; i++ {
+		p.UpdateResult(0, true)
+	}
+	narrow, _ := p.PredictResult(16)
+	if !narrow {
+		t.Error("tagless table must alias PC 16 onto PC 0's entry")
+	}
+}
+
+func TestWidthPredictorStats(t *testing.T) {
+	p := NewWidthPredictor(64)
+	for i := 0; i < 10; i++ {
+		p.UpdateResult(4, true)
+	}
+	p.UpdateResult(4, false)
+	s := p.Stats()
+	if s.Lookups != 11 || s.Incorrect < 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	// First update counts as incorrect (entry starts wide), last flips.
+	if got := s.Accuracy(); got <= 0.5 || got >= 1 {
+		t.Errorf("accuracy = %f", got)
+	}
+	p.Reset()
+	if p.Stats().Lookups != 0 {
+		t.Error("reset must clear stats")
+	}
+	if s := (WidthStats{}); s.Accuracy() != 0 {
+		t.Error("empty accuracy must be 0")
+	}
+}
+
+func TestCarryBit(t *testing.T) {
+	p := NewWidthPredictor(256)
+	pc := uint32(0x40)
+	if _, conf := p.PredictCarry(pc); conf {
+		t.Error("fresh carry bit must be unconfident")
+	}
+	for i := 0; i < 3; i++ {
+		p.UpdateCarry(pc, true)
+	}
+	contained, conf := p.PredictCarry(pc)
+	if !contained || !conf {
+		t.Error("trained carry bit should be confident contained")
+	}
+	p.UpdateCarry(pc, false)
+	p.UpdateCarry(pc, false)
+	p.UpdateCarry(pc, false)
+	contained, _ = p.PredictCarry(pc)
+	if contained {
+		t.Error("carry bit must learn propagation")
+	}
+}
+
+func TestCopyBit(t *testing.T) {
+	p := NewWidthPredictor(256)
+	pc := uint32(0x99)
+	if p.PredictCopy(pc) {
+		t.Error("fresh copy bit must be unset")
+	}
+	p.UpdateCopy(pc, true)
+	if !p.PredictCopy(pc) {
+		t.Error("copy bit set at writeback must predict a prefetch")
+	}
+	p.UpdateCopy(pc, false)
+	if p.PredictCopy(pc) {
+		t.Error("copy bit is last-value based")
+	}
+}
+
+// TestWidthPredictorIsLastValue: property — after UpdateResult(pc, w) the
+// entry predicts w (confidence aside).
+func TestWidthPredictorIsLastValue(t *testing.T) {
+	p := NewWidthPredictor(1024)
+	f := func(pc uint32, w bool) bool {
+		p.UpdateResult(pc, w)
+		narrow, _ := p.PredictResult(pc)
+		return narrow == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchPredictorSizing(t *testing.T) {
+	for _, bad := range [][3]int{{0, 16, 8}, {16, 0, 8}, {12, 16, 8}, {16, 16, 0}, {16, 16, 40}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("args %v should panic", bad)
+				}
+			}()
+			NewBranchPredictor(bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	b := NewBranchPredictor(4096, 1024, 12)
+	pc, target := uint32(0x100), uint32(0x80)
+	// A loop-bottom branch taken 9 of 10 times becomes well predicted.
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		taken := i%10 != 9
+		predTaken, predTarget, known := b.Predict(pc)
+		if b.Update(pc, taken, target) {
+			correct++
+		}
+		_ = predTaken
+		_ = predTarget
+		_ = known
+	}
+	if correct < 800 {
+		t.Errorf("loop branch predicted correctly only %d/1000", correct)
+	}
+	s := b.Stats()
+	if s.Predictions != 1000 || s.DirectionHits < 800 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBranchPredictorBTB(t *testing.T) {
+	b := NewBranchPredictor(256, 16, 8)
+	pc, target := uint32(0x10), uint32(0xABCD)
+	if _, _, known := b.Predict(pc); known {
+		t.Error("BTB must miss before training")
+	}
+	b.Update(pc, true, target)
+	_, got, known := b.Predict(pc)
+	if !known || got != target {
+		t.Errorf("BTB after update: known=%v target=%#x", known, got)
+	}
+	// A conflicting branch evicts the direct-mapped entry.
+	b.Update(pc+16, true, 0x9999)
+	if _, _, known := b.Predict(pc); known {
+		t.Error("direct-mapped BTB must evict on conflict")
+	}
+}
+
+func TestBranchPredictorNotTakenCorrectWithoutBTB(t *testing.T) {
+	b := NewBranchPredictor(256, 16, 8)
+	pc := uint32(0x30)
+	// Never-taken branches should be fully correct even with a cold BTB.
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false, 0)
+	}
+	if !b.Update(pc, false, 0) {
+		t.Error("not-taken branch with trained counter must be correct")
+	}
+}

@@ -1,0 +1,154 @@
+// Package predict implements the prediction structures of the helper
+// cluster: the PC-indexed data-width predictor of Figure 4 (a tagless
+// last-width table with a 2-bit confidence estimator), the carry-width
+// extension bit of the CR scheme, the copy-prefetch bit of the CP scheme,
+// and a conventional branch predictor substrate for the pipeline frontend.
+package predict
+
+// DefaultWidthEntries is the width-predictor table size the paper settled
+// on: "a size of 256 entries was found to be a good compromise between
+// complexity and performance" (§3.2).
+const DefaultWidthEntries = 256
+
+// confidence thresholds for the 2-bit saturating estimator: a prediction is
+// acted upon only in the high-confidence states (§3.2 fine-tuning that cut
+// fatal mispredictions from 2.11% to 0.83%).
+const (
+	confMax       = 3
+	confThreshold = 2
+)
+
+type widthEntry struct {
+	lastNarrow bool  // width of the last result produced at this PC
+	conf       uint8 // 2-bit saturating confidence of lastNarrow
+
+	// CR extension (§3.5): did the last 8-32-32 instance at this PC keep
+	// the carry contained below bit 8?
+	carryOK   bool
+	carryConf uint8
+
+	// CP extension (§3.6): did the last instance at this PC generate a
+	// narrow-to-wide copy? Set at writeback, triggers a prefetch next time.
+	copyLikely bool
+}
+
+// WidthStats counts predictor outcomes for the Figure 5 accuracy study.
+type WidthStats struct {
+	Lookups   uint64
+	Correct   uint64
+	Incorrect uint64
+}
+
+// Accuracy returns the fraction of correct predictions, in [0,1].
+func (s WidthStats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Lookups)
+}
+
+// WidthPredictor is the tagless table-based data-width predictor of
+// Figure 4. The table is indexed by PC; each entry stores a single
+// last-width bit plus a 2-bit confidence estimator, with two extra bits
+// serving the CR and CP schemes.
+type WidthPredictor struct {
+	entries []widthEntry
+	mask    uint32
+	stats   WidthStats
+}
+
+// NewWidthPredictor creates a predictor with the given number of entries,
+// which must be a power of two; the paper's design point is
+// DefaultWidthEntries.
+func NewWidthPredictor(entries int) *WidthPredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predict: width predictor size must be a positive power of two")
+	}
+	return &WidthPredictor{
+		entries: make([]widthEntry, entries),
+		mask:    uint32(entries - 1),
+	}
+}
+
+func (p *WidthPredictor) index(pc uint32) *widthEntry {
+	return &p.entries[pc&p.mask]
+}
+
+// PredictResult returns the predicted narrowness of the result produced at
+// pc and whether the prediction is held with high confidence. Callers that
+// use the confidence estimator only act on confident predictions.
+func (p *WidthPredictor) PredictResult(pc uint32) (narrow, confident bool) {
+	e := p.index(pc)
+	return e.lastNarrow, e.conf >= confThreshold
+}
+
+// UpdateResult trains the entry with the actual result width observed at
+// writeback and records prediction accuracy.
+func (p *WidthPredictor) UpdateResult(pc uint32, narrow bool) {
+	e := p.index(pc)
+	p.stats.Lookups++
+	if e.lastNarrow == narrow {
+		p.stats.Correct++
+		if e.conf < confMax {
+			e.conf++
+		}
+	} else {
+		p.stats.Incorrect++
+		if e.conf > 0 {
+			e.conf--
+		}
+		e.lastNarrow = narrow
+	}
+}
+
+// PredictCarry returns the CR-bit prediction: whether the next 8-32-32
+// instance at pc will keep its carry contained, and the confidence of that
+// prediction (the CR scheme reuses the 2-bit confidence discipline, §3.5).
+func (p *WidthPredictor) PredictCarry(pc uint32) (contained, confident bool) {
+	e := p.index(pc)
+	return e.carryOK, e.carryConf >= confThreshold
+}
+
+// UpdateCarry trains the CR bit with the writeback-time carry check.
+func (p *WidthPredictor) UpdateCarry(pc uint32, contained bool) {
+	e := p.index(pc)
+	if e.carryOK == contained {
+		if e.carryConf < confMax {
+			e.carryConf++
+		}
+	} else {
+		if e.carryConf > 0 {
+			e.carryConf--
+		}
+		e.carryOK = contained
+	}
+}
+
+// PredictCopy returns the CP bit: whether the last instance at pc generated
+// a cross-cluster copy, which triggers a prefetch at the producer (§3.6).
+func (p *WidthPredictor) PredictCopy(pc uint32) bool {
+	return p.index(pc).copyLikely
+}
+
+// UpdateCopy records at writeback whether this instance incurred a copy.
+func (p *WidthPredictor) UpdateCopy(pc uint32, copied bool) {
+	p.index(pc).copyLikely = copied
+}
+
+// Stats returns accumulated accuracy counters.
+func (p *WidthPredictor) Stats() WidthStats { return p.stats }
+
+// ResetStats zeroes the accuracy counters, keeping the learned table
+// (measurement warmup).
+func (p *WidthPredictor) ResetStats() { p.stats = WidthStats{} }
+
+// Reset clears all entries and statistics.
+func (p *WidthPredictor) Reset() {
+	for i := range p.entries {
+		p.entries[i] = widthEntry{}
+	}
+	p.stats = WidthStats{}
+}
+
+// Size returns the number of table entries.
+func (p *WidthPredictor) Size() int { return len(p.entries) }

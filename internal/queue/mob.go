@@ -1,0 +1,84 @@
+package queue
+
+// MOB is the single shared memory order buffer (§3.4: "there is a single
+// Memory Order Buffer"). It tracks in-flight stores so loads can forward
+// from the youngest older store to the same address.
+type MOB struct {
+	stores []mobStore
+	cap    int
+}
+
+type mobStore struct {
+	pos  uint64 // ROB position of the store
+	addr uint32
+	size uint8
+}
+
+// NewMOB creates a MOB with room for capacity in-flight stores.
+func NewMOB(capacity int) *MOB {
+	if capacity < 1 {
+		panic("queue: MOB capacity must be >= 1")
+	}
+	return &MOB{cap: capacity}
+}
+
+// Full reports whether another store can be tracked.
+func (m *MOB) Full() bool { return len(m.stores) >= m.cap }
+
+// Len returns the number of in-flight stores.
+func (m *MOB) Len() int { return len(m.stores) }
+
+// AddStore registers an in-flight store in program order.
+func (m *MOB) AddStore(pos uint64, addr uint32, size uint8) {
+	if m.Full() {
+		panic("queue: MOB overflow")
+	}
+	m.stores = append(m.stores, mobStore{pos: pos, addr: addr, size: size})
+}
+
+// Forward reports whether a load at ROB position loadPos covering
+// [addr, addr+size) can forward from an older in-flight store. Forwarding
+// requires the youngest older store overlapping the load to cover it
+// fully (same address, size >= load size) — partial overlaps do not
+// forward and the load waits for the cache.
+func (m *MOB) Forward(loadPos uint64, addr uint32, size uint8) bool {
+	for i := len(m.stores) - 1; i >= 0; i-- {
+		st := &m.stores[i]
+		if st.pos >= loadPos {
+			continue
+		}
+		if overlaps(st.addr, st.size, addr, size) {
+			return st.addr == addr && st.size >= size
+		}
+	}
+	return false
+}
+
+// RetireStore drops the store at ROB position pos (it committed to the
+// cache).
+func (m *MOB) RetireStore(pos uint64) {
+	for i, st := range m.stores {
+		if st.pos == pos {
+			m.stores = append(m.stores[:i], m.stores[i+1:]...)
+			return
+		}
+	}
+}
+
+// FlushFrom removes all stores at ROB positions >= pos.
+func (m *MOB) FlushFrom(pos uint64) {
+	out := m.stores[:0]
+	for _, st := range m.stores {
+		if st.pos < pos {
+			out = append(out, st)
+		}
+	}
+	m.stores = out
+}
+
+// Reset empties the MOB.
+func (m *MOB) Reset() { m.stores = m.stores[:0] }
+
+func overlaps(a uint32, as uint8, b uint32, bs uint8) bool {
+	return a < b+uint32(bs) && b < a+uint32(as)
+}

@@ -1,0 +1,151 @@
+// Package queue provides the backend buffering structures of the pipeline:
+// a generic circular reorder buffer, bounded issue queues with occupancy
+// accounting (the NREADY imbalance metric and the IR imbalance detector
+// both read occupancies), and the shared memory order buffer.
+package queue
+
+import "fmt"
+
+// Ring is a bounded circular buffer indexed by monotonically increasing
+// sequence positions — the shape of a reorder buffer: allocate at the
+// tail, retire from the head, flush back to a position.
+type Ring[T any] struct {
+	buf  []T
+	head uint64 // oldest live position
+	tail uint64 // next position to allocate
+}
+
+// NewRing creates a ring with the given capacity (power of two).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("queue: ring capacity must be a positive power of two")
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of live entries.
+func (r *Ring[T]) Len() int { return int(r.tail - r.head) }
+
+// Cap returns the capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Full reports whether no more entries can be allocated.
+func (r *Ring[T]) Full() bool { return r.Len() == len(r.buf) }
+
+// Empty reports whether no entries are live.
+func (r *Ring[T]) Empty() bool { return r.head == r.tail }
+
+// Head returns the position of the oldest live entry.
+func (r *Ring[T]) Head() uint64 { return r.head }
+
+// Tail returns the next position to be allocated.
+func (r *Ring[T]) Tail() uint64 { return r.tail }
+
+// Push allocates a new entry position and returns it.
+func (r *Ring[T]) Push(v T) uint64 {
+	if r.Full() {
+		panic("queue: ring overflow")
+	}
+	pos := r.tail
+	r.buf[pos&uint64(len(r.buf)-1)] = v
+	r.tail++
+	return pos
+}
+
+// At returns a pointer to the entry at position pos, which must be live.
+func (r *Ring[T]) At(pos uint64) *T {
+	if pos < r.head || pos >= r.tail {
+		panic(fmt.Sprintf("queue: position %d not live [%d,%d)", pos, r.head, r.tail))
+	}
+	return &r.buf[pos&uint64(len(r.buf)-1)]
+}
+
+// Pop retires the oldest entry.
+func (r *Ring[T]) Pop() T {
+	if r.Empty() {
+		panic("queue: pop from empty ring")
+	}
+	v := r.buf[r.head&uint64(len(r.buf)-1)]
+	r.head++
+	return v
+}
+
+// TruncateTo flushes all entries at positions >= pos (misprediction
+// recovery squashes the tail of the ROB).
+func (r *Ring[T]) TruncateTo(pos uint64) {
+	if pos < r.head {
+		pos = r.head
+	}
+	if pos > r.tail {
+		panic(fmt.Sprintf("queue: truncate to %d beyond tail %d", pos, r.tail))
+	}
+	r.tail = pos
+}
+
+// IssueQueue is a bounded, age-ordered list of ROB positions waiting to
+// issue in one cluster.
+type IssueQueue struct {
+	entries []uint64
+	cap     int
+}
+
+// NewIssueQueue creates a queue with the given capacity.
+func NewIssueQueue(capacity int) *IssueQueue {
+	if capacity < 1 {
+		panic("queue: issue queue capacity must be >= 1")
+	}
+	return &IssueQueue{cap: capacity}
+}
+
+// Len returns the occupancy.
+func (q *IssueQueue) Len() int { return len(q.entries) }
+
+// Cap returns the capacity.
+func (q *IssueQueue) Cap() int { return q.cap }
+
+// Full reports whether the queue cannot accept another entry.
+func (q *IssueQueue) Full() bool { return len(q.entries) >= q.cap }
+
+// Add inserts a ROB position; entries are added in program order so the
+// slice stays age-ordered.
+func (q *IssueQueue) Add(pos uint64) {
+	if q.Full() {
+		panic("queue: issue queue overflow")
+	}
+	q.entries = append(q.entries, pos)
+}
+
+// Entries exposes the age-ordered occupancy for the scheduler scan.
+func (q *IssueQueue) Entries() []uint64 { return q.entries }
+
+// RemoveIndexes deletes the entries at the given ascending slice indexes
+// (the ones selected for issue this cycle), preserving age order.
+func (q *IssueQueue) RemoveIndexes(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	out := q.entries[:0]
+	k := 0
+	for i, e := range q.entries {
+		if k < len(idxs) && i == idxs[k] {
+			k++
+			continue
+		}
+		out = append(out, e)
+	}
+	q.entries = out
+}
+
+// FlushFrom removes all entries at ROB positions >= pos.
+func (q *IssueQueue) FlushFrom(pos uint64) {
+	out := q.entries[:0]
+	for _, e := range q.entries {
+		if e < pos {
+			out = append(out, e)
+		}
+	}
+	q.entries = out
+}
+
+// Reset empties the queue.
+func (q *IssueQueue) Reset() { q.entries = q.entries[:0] }

@@ -1,0 +1,259 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing[int](4)
+	if !r.Empty() || r.Full() || r.Cap() != 4 {
+		t.Fatal("fresh ring state wrong")
+	}
+	p0 := r.Push(10)
+	p1 := r.Push(11)
+	if p0 != 0 || p1 != 1 || r.Len() != 2 {
+		t.Fatalf("push positions %d %d len %d", p0, p1, r.Len())
+	}
+	if *r.At(p1) != 11 {
+		t.Error("At returned wrong entry")
+	}
+	*r.At(p0) = 99
+	if got := r.Pop(); got != 99 {
+		t.Errorf("pop = %d", got)
+	}
+	if r.Head() != 1 || r.Tail() != 2 {
+		t.Errorf("head/tail = %d/%d", r.Head(), r.Tail())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[uint64](4)
+	for i := uint64(0); i < 100; i++ {
+		pos := r.Push(i)
+		if pos != i {
+			t.Fatalf("position %d != %d", pos, i)
+		}
+		if got := r.Pop(); got != i {
+			t.Fatalf("pop %d != %d", got, i)
+		}
+	}
+}
+
+func TestRingOverflowUnderflow(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	r.Push(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("overflow must panic")
+			}
+		}()
+		r.Push(3)
+	}()
+	r.Pop()
+	r.Pop()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("underflow must panic")
+			}
+		}()
+		r.Pop()
+	}()
+}
+
+func TestRingTruncate(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 6; i++ {
+		r.Push(i)
+	}
+	r.Pop() // head = 1
+	r.TruncateTo(3)
+	if r.Len() != 2 || r.Tail() != 3 {
+		t.Errorf("after truncate: len=%d tail=%d", r.Len(), r.Tail())
+	}
+	// Truncate below head clamps.
+	r.TruncateTo(0)
+	if r.Tail() != r.Head() {
+		t.Error("truncate below head must empty the ring")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("truncate beyond tail must panic")
+			}
+		}()
+		r.TruncateTo(100)
+	}()
+}
+
+func TestRingAtBounds(t *testing.T) {
+	r := NewRing[int](4)
+	r.Push(5)
+	for _, pos := range []uint64{1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) must panic", pos)
+				}
+			}()
+			r.At(pos)
+		}()
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	for _, n := range []int{0, 3, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d must panic", n)
+				}
+			}()
+			NewRing[int](n)
+		}()
+	}
+}
+
+func TestIssueQueue(t *testing.T) {
+	q := NewIssueQueue(3)
+	q.Add(10)
+	q.Add(11)
+	q.Add(14)
+	if !q.Full() || q.Len() != 3 || q.Cap() != 3 {
+		t.Fatal("occupancy wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("overflow must panic")
+			}
+		}()
+		q.Add(15)
+	}()
+	// Remove the first and third entries (issued this cycle).
+	q.RemoveIndexes([]int{0, 2})
+	if q.Len() != 1 || q.Entries()[0] != 11 {
+		t.Errorf("after removal: %v", q.Entries())
+	}
+	q.RemoveIndexes(nil)
+	if q.Len() != 1 {
+		t.Error("empty removal must be a no-op")
+	}
+}
+
+func TestIssueQueueFlush(t *testing.T) {
+	q := NewIssueQueue(8)
+	for _, p := range []uint64{3, 5, 9, 12} {
+		q.Add(p)
+	}
+	q.FlushFrom(9)
+	if q.Len() != 2 || q.Entries()[1] != 5 {
+		t.Errorf("after flush: %v", q.Entries())
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Error("reset must empty")
+	}
+}
+
+func TestMOBForwarding(t *testing.T) {
+	m := NewMOB(8)
+	m.AddStore(5, 0x1000, 4)
+	m.AddStore(8, 0x1000, 4)
+	// Load younger than both forwards from the youngest older store.
+	if !m.Forward(10, 0x1000, 4) {
+		t.Error("full-cover forward must succeed")
+	}
+	// Load between the stores forwards from the older one only.
+	if !m.Forward(7, 0x1000, 4) {
+		t.Error("forward from older store must succeed")
+	}
+	// Load older than all stores cannot forward.
+	if m.Forward(3, 0x1000, 4) {
+		t.Error("load older than stores must not forward")
+	}
+	// Partial overlap does not forward.
+	m.AddStore(9, 0x2000, 1)
+	if m.Forward(10, 0x2000, 4) {
+		t.Error("partial cover must not forward")
+	}
+	// Narrower load fully covered by a wider store forwards only on exact
+	// address match per the model.
+	m.AddStore(11, 0x3000, 4)
+	if !m.Forward(12, 0x3000, 1) {
+		t.Error("same-address narrower load forwards")
+	}
+	if m.Forward(12, 0x3002, 1) {
+		t.Error("offset load within store does not forward in this model")
+	}
+}
+
+func TestMOBRetireFlush(t *testing.T) {
+	m := NewMOB(4)
+	m.AddStore(1, 0x10, 4)
+	m.AddStore(2, 0x20, 4)
+	m.AddStore(3, 0x30, 4)
+	m.RetireStore(1)
+	if m.Len() != 2 {
+		t.Errorf("len after retire = %d", m.Len())
+	}
+	m.RetireStore(99) // absent: no-op
+	m.FlushFrom(3)
+	if m.Len() != 1 {
+		t.Errorf("len after flush = %d", m.Len())
+	}
+	if m.Forward(9, 0x30, 4) {
+		t.Error("flushed store must not forward")
+	}
+	m.Reset()
+	if m.Len() != 0 || m.Full() {
+		t.Error("reset state wrong")
+	}
+}
+
+func TestMOBOverflow(t *testing.T) {
+	m := NewMOB(1)
+	m.AddStore(1, 0, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MOB overflow must panic")
+			}
+		}()
+		m.AddStore(2, 4, 4)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero capacity must panic")
+			}
+		}()
+		NewMOB(0)
+	}()
+}
+
+// TestRingFIFOProperty: pushes pop in order under arbitrary interleaving.
+func TestRingFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRing[int](64)
+		next, expect := 0, 0
+		for _, push := range ops {
+			if push && !r.Full() {
+				r.Push(next)
+				next++
+			} else if !push && !r.Empty() {
+				if r.Pop() != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package rename implements the register rename machinery the steering
+// policies read: the rename table with its 1-bit width field (Figure 4's
+// "width table"), producer tracking per architectural register, and the
+// physical register file with the reference-counted deallocation the CR
+// scheme requires (§3.5).
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NoProducer marks an architectural register whose latest value has been
+// committed (no in-flight producer).
+const NoProducer = int64(-1)
+
+// Mapping is the rename-table state of one architectural register.
+type Mapping struct {
+	// Producer is the ROB position of the in-flight producer, or NoProducer.
+	Producer int64
+	// Cluster is the cluster where the latest value lives/will live.
+	Cluster uint8
+	// Narrow is the width-table bit: the (predicted or actual) narrowness
+	// of the latest value bound to this register.
+	Narrow bool
+	// Actual reports whether Narrow reflects a written-back value rather
+	// than a prediction; §3.2: "the actual width is read if the producer
+	// instruction has already written back the result; if not, the
+	// prediction is read".
+	Actual bool
+	// Phys is the physical register currently bound, or -1.
+	Phys int32
+}
+
+// Table is the rename table over the integer architectural namespace
+// (general registers + flags).
+type Table struct {
+	regs [isa.NumRegs]Mapping
+}
+
+// NewTable returns a table with every register architectural (committed),
+// wide, and actual — the conservative cold state.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.regs {
+		t.regs[i] = Mapping{Producer: NoProducer, Phys: -1, Actual: true}
+	}
+	return t
+}
+
+// Lookup returns the current mapping of reg.
+func (t *Table) Lookup(reg uint8) Mapping {
+	return t.regs[reg]
+}
+
+// Define binds reg to a new in-flight producer and returns the previous
+// mapping so the caller can restore it on a flush (walk young→old calling
+// Restore) and free the previous physical register at commit.
+func (t *Table) Define(reg uint8, producer int64, cluster uint8, predictedNarrow bool, phys int32) Mapping {
+	prev := t.regs[reg]
+	t.regs[reg] = Mapping{
+		Producer: producer,
+		Cluster:  cluster,
+		Narrow:   predictedNarrow,
+		Actual:   false,
+		Phys:     phys,
+	}
+	return prev
+}
+
+// Restore undoes a Define during misprediction recovery.
+func (t *Table) Restore(reg uint8, prev Mapping) {
+	t.regs[reg] = prev
+}
+
+// Writeback records the actual width of a produced value, updating the
+// width table only if reg is still mapped to this producer.
+func (t *Table) Writeback(reg uint8, producer int64, narrow bool) {
+	if t.regs[reg].Producer == producer {
+		t.regs[reg].Narrow = narrow
+		t.regs[reg].Actual = true
+	}
+}
+
+// Commit clears the producer once it retires, leaving the width bit as the
+// architectural state.
+func (t *Table) Commit(reg uint8, producer int64) {
+	if t.regs[reg].Producer == producer {
+		t.regs[reg].Producer = NoProducer
+	}
+}
+
+// PhysRegFile models physical register allocation with the CR scheme's
+// reference-counted deallocation: a wide register whose upper 24 bits are
+// borrowed by 8-32-32 instructions executing in the helper cluster must
+// not be freed until its renamer commits AND the borrow counter is zero.
+type PhysRegFile struct {
+	size     int
+	free     []int32
+	refs     []int32 // CR borrow counters
+	deferred []bool  // free requested while still borrowed
+	live     []bool
+}
+
+// NewPhysRegFile creates a file with size registers, all free.
+func NewPhysRegFile(size int) *PhysRegFile {
+	if size < 1 {
+		panic("rename: physical register file must have at least one register")
+	}
+	f := &PhysRegFile{
+		size:     size,
+		refs:     make([]int32, size),
+		deferred: make([]bool, size),
+		live:     make([]bool, size),
+	}
+	for i := size - 1; i >= 0; i-- {
+		f.free = append(f.free, int32(i))
+	}
+	return f
+}
+
+// Alloc takes a free register, returning -1 when the file is exhausted
+// (the renamer must stall).
+func (f *PhysRegFile) Alloc() int32 {
+	n := len(f.free)
+	if n == 0 {
+		return -1
+	}
+	r := f.free[n-1]
+	f.free = f.free[:n-1]
+	f.live[r] = true
+	return r
+}
+
+// Borrow increments the CR counter: an 8-32-32 instruction's destination
+// now points at r for its upper 24 bits.
+func (f *PhysRegFile) Borrow(r int32) {
+	f.check(r)
+	f.refs[r]++
+}
+
+// Unborrow decrements the CR counter (the borrowing definition was
+// deallocated); if the register's free was deferred and the counter
+// reached zero it is freed now.
+func (f *PhysRegFile) Unborrow(r int32) {
+	f.check(r)
+	if f.refs[r] == 0 {
+		panic(fmt.Sprintf("rename: unborrow of r%d with zero counter", r))
+	}
+	f.refs[r]--
+	if f.refs[r] == 0 && f.deferred[r] {
+		f.deferred[r] = false
+		f.release(r)
+	}
+}
+
+// Free releases r when its renamer commits; if CR borrows are outstanding
+// the free is deferred until the counter drains — the paper's
+// zero-check-in-parallel-with-commit mechanism.
+func (f *PhysRegFile) Free(r int32) {
+	f.check(r)
+	if f.refs[r] > 0 {
+		f.deferred[r] = true
+		return
+	}
+	f.release(r)
+}
+
+func (f *PhysRegFile) release(r int32) {
+	f.live[r] = false
+	f.free = append(f.free, r)
+}
+
+func (f *PhysRegFile) check(r int32) {
+	if r < 0 || int(r) >= f.size {
+		panic(fmt.Sprintf("rename: physical register %d out of range", r))
+	}
+	if !f.live[r] {
+		panic(fmt.Sprintf("rename: operation on dead physical register %d", r))
+	}
+}
+
+// FreeCount returns the number of allocatable registers.
+func (f *PhysRegFile) FreeCount() int { return len(f.free) }
+
+// Live reports whether r is currently allocated.
+func (f *PhysRegFile) Live(r int32) bool { return r >= 0 && int(r) < f.size && f.live[r] }
+
+// Refs returns the CR borrow counter of r.
+func (f *PhysRegFile) Refs(r int32) int32 { return f.refs[r] }

@@ -1,0 +1,201 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestTableColdState(t *testing.T) {
+	tb := NewTable()
+	for r := uint8(0); r < isa.NumRegs; r++ {
+		m := tb.Lookup(r)
+		if m.Producer != NoProducer || !m.Actual || m.Narrow {
+			t.Errorf("r%d cold state wrong: %+v", r, m)
+		}
+	}
+}
+
+func TestDefineLookupRestore(t *testing.T) {
+	tb := NewTable()
+	prev := tb.Define(3, 7, 1, true, 42)
+	m := tb.Lookup(3)
+	if m.Producer != 7 || m.Cluster != 1 || !m.Narrow || m.Actual || m.Phys != 42 {
+		t.Errorf("mapping after define: %+v", m)
+	}
+	tb.Restore(3, prev)
+	if got := tb.Lookup(3); got != prev {
+		t.Errorf("restore mismatch: %+v vs %+v", got, prev)
+	}
+}
+
+func TestWritebackUpdatesWidthTable(t *testing.T) {
+	tb := NewTable()
+	tb.Define(5, 9, 0, true, -1)
+	tb.Writeback(5, 9, false)
+	m := tb.Lookup(5)
+	if m.Narrow || !m.Actual {
+		t.Errorf("writeback must install actual width: %+v", m)
+	}
+	// A stale writeback (different producer) must not disturb the table.
+	tb.Define(5, 10, 1, true, -1)
+	tb.Writeback(5, 9, false)
+	if m := tb.Lookup(5); !m.Narrow || m.Actual {
+		t.Errorf("stale writeback must be ignored: %+v", m)
+	}
+}
+
+func TestCommitClearsProducer(t *testing.T) {
+	tb := NewTable()
+	tb.Define(2, 4, 1, true, -1)
+	tb.Commit(2, 4)
+	if m := tb.Lookup(2); m.Producer != NoProducer {
+		t.Errorf("commit must clear producer: %+v", m)
+	}
+	// Commit of an overwritten definition must not clear the newer one.
+	tb.Define(2, 5, 0, false, -1)
+	tb.Commit(2, 4)
+	if m := tb.Lookup(2); m.Producer != 5 {
+		t.Errorf("stale commit must be ignored: %+v", m)
+	}
+}
+
+func TestPhysRegAllocFree(t *testing.T) {
+	f := NewPhysRegFile(4)
+	if f.FreeCount() != 4 {
+		t.Fatalf("free count = %d", f.FreeCount())
+	}
+	var regs []int32
+	for i := 0; i < 4; i++ {
+		r := f.Alloc()
+		if r < 0 {
+			t.Fatal("alloc failed with free registers")
+		}
+		regs = append(regs, r)
+	}
+	if f.Alloc() != -1 {
+		t.Error("exhausted file must return -1")
+	}
+	f.Free(regs[0])
+	if f.FreeCount() != 1 {
+		t.Errorf("free count after free = %d", f.FreeCount())
+	}
+	if r := f.Alloc(); r != regs[0] {
+		t.Errorf("expected recycled register %d, got %d", regs[0], r)
+	}
+}
+
+func TestPhysRegCRDeferredFree(t *testing.T) {
+	f := NewPhysRegFile(2)
+	r := f.Alloc()
+	f.Borrow(r)
+	f.Borrow(r)
+	f.Free(r) // renamer commits while borrows outstanding → deferred
+	if !f.Live(r) {
+		t.Fatal("borrowed register must not be freed")
+	}
+	f.Unborrow(r)
+	if !f.Live(r) {
+		t.Fatal("still one borrow outstanding")
+	}
+	f.Unborrow(r)
+	if f.Live(r) {
+		t.Fatal("register must be freed once the counter drains")
+	}
+	if f.FreeCount() != 2 {
+		t.Errorf("free count = %d", f.FreeCount())
+	}
+}
+
+func TestPhysRegMisuse(t *testing.T) {
+	f := NewPhysRegFile(2)
+	r := f.Alloc()
+	cases := []func(){
+		func() { f.Borrow(99) },
+		func() { f.Unborrow(r) }, // zero counter
+		func() { f.Free(-1) },
+		func() { NewPhysRegFile(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d must panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Double free via dead register.
+	f.Free(r)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double free must panic")
+			}
+		}()
+		f.Free(r)
+	}()
+}
+
+// TestPhysRegNeverFreedWhileBorrowed: property — under random interleaved
+// borrow/unborrow/free sequences, a register with a nonzero counter is
+// never on the free list.
+func TestPhysRegNeverFreedWhileBorrowed(t *testing.T) {
+	f := func(ops []uint8) bool {
+		file := NewPhysRegFile(8)
+		type st struct {
+			reg      int32
+			borrows  int
+			freeable bool
+		}
+		var live []st
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if r := file.Alloc(); r >= 0 {
+					live = append(live, st{reg: r, freeable: true})
+				}
+			case 1:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					file.Borrow(live[i].reg)
+					live[i].borrows++
+				}
+			case 2:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					if live[i].borrows > 0 {
+						file.Unborrow(live[i].reg)
+						live[i].borrows--
+						if !live[i].freeable && live[i].borrows == 0 {
+							live = append(live[:i], live[i+1:]...)
+						}
+					}
+				}
+			case 3:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					if live[i].freeable {
+						file.Free(live[i].reg)
+						live[i].freeable = false
+						if live[i].borrows == 0 {
+							live = append(live[:i], live[i+1:]...)
+						}
+					}
+				}
+			}
+			// Invariant: every tracked register with borrows is live.
+			for _, s := range live {
+				if s.borrows > 0 && !file.Live(s.reg) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package report renders experiment results: aligned text tables, CSV, and
+// ASCII curves for the Figure 14 style speedup distributions.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a labeled grid of float values.
+type Table struct {
+	Title   string
+	Columns []string // value column headers (row label column excluded)
+	rows    []row
+	// Precision is the number of decimals rendered (default 2).
+	Precision int
+}
+
+type row struct {
+	label  string
+	values []float64
+}
+
+// NewTable creates a table with the given title and value columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns, Precision: 2}
+}
+
+// AddRow appends a row; the number of values must match the columns.
+func (t *Table) AddRow(label string, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row %q has %d values for %d columns", label, len(values), len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{label: label, values: values})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Value returns the cell at (row, col).
+func (t *Table) Value(r, c int) float64 { return t.rows[r].values[c] }
+
+// Label returns the label of row r.
+func (t *Table) Label(r int) string { return t.rows[r].label }
+
+// ColumnMean returns the arithmetic mean of a column.
+func (t *Table) ColumnMean(c int) float64 {
+	if len(t.rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range t.rows {
+		sum += r.values[c]
+	}
+	return sum / float64(len(t.rows))
+}
+
+// AddMeanRow appends an "AVG" row of column means (the figures' AVG bars).
+func (t *Table) AddMeanRow() {
+	means := make([]float64, len(t.Columns))
+	n := len(t.rows)
+	for c := range t.Columns {
+		means[c] = t.ColumnMean(c)
+	}
+	if n > 0 {
+		t.rows = append(t.rows, row{label: "AVG", values: means})
+	}
+}
+
+// Render produces an aligned text rendering.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("-", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	labelW := 5
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		cells[i] = make([]string, len(r.values))
+		for c, v := range r.values {
+			cells[i][c] = fmt.Sprintf("%.*f", t.Precision, v)
+		}
+	}
+	for c, h := range t.Columns {
+		colW[c] = len(h)
+		for i := range cells {
+			if len(cells[i][c]) > colW[c] {
+				colW[c] = len(cells[i][c])
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", labelW, "")
+	for c, h := range t.Columns {
+		fmt.Fprintf(&sb, "  %*s", colW[c], h)
+	}
+	sb.WriteByte('\n')
+	for i, r := range t.rows {
+		fmt.Fprintf(&sb, "%-*s", labelW, r.label)
+		for c := range r.values {
+			fmt.Fprintf(&sb, "  %*s", colW[c], cells[i][c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV produces a comma-separated rendering.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("name")
+	for _, h := range t.Columns {
+		sb.WriteByte(',')
+		sb.WriteString(h)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		sb.WriteString(r.label)
+		for _, v := range r.values {
+			fmt.Fprintf(&sb, ",%g", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is an ordered sequence of values (the Figure 14 S-curve).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Sorted returns a copy of the series sorted ascending.
+func (s Series) Sorted() Series {
+	v := append([]float64(nil), s.Values...)
+	sort.Float64s(v)
+	return Series{Name: s.Name, Values: v}
+}
+
+// Mean returns the arithmetic mean.
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sorted values.
+func (s Series) Quantile(q float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	v := s.Sorted().Values
+	idx := q * float64(len(v)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return v[lo]
+	}
+	frac := idx - float64(lo)
+	return v[lo]*(1-frac) + v[hi]*frac
+}
+
+// Curve renders the sorted series as an ASCII plot with the given width
+// and height (the Figure 14 right panel).
+func (s Series) Curve(width, height int) string {
+	if width < 2 || height < 2 || len(s.Values) == 0 {
+		return ""
+	}
+	v := s.Sorted().Values
+	min, max := v[0], v[len(v)-1]
+	if max == min {
+		max = min + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for x := 0; x < width; x++ {
+		idx := x * (len(v) - 1) / (width - 1)
+		y := int(float64(height-1) * (v[idx] - min) / (max - min))
+		grid[height-1-y][x] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (min %.2f, mean %.2f, max %.2f, n=%d)\n",
+		s.Name, min, s.Mean(), max, len(v))
+	for _, line := range grid {
+		sb.WriteString(string(line))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

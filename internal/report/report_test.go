@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("Demo", "a", "b")
+	tb.AddRow("x", 1.5, 2.25)
+	tb.AddRow("y", 3, 4)
+	if tb.Rows() != 2 || tb.Value(1, 1) != 4 || tb.Label(0) != "x" {
+		t.Fatal("accessors wrong")
+	}
+	if got := tb.ColumnMean(0); got != 2.25 {
+		t.Errorf("mean = %f", got)
+	}
+	tb.AddMeanRow()
+	if tb.Rows() != 3 || tb.Label(2) != "AVG" {
+		t.Error("mean row wrong")
+	}
+	out := tb.Render()
+	for _, want := range []string{"Demo", "a", "b", "x", "1.50", "AVG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMismatchedRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row must panic")
+		}
+	}()
+	NewTable("t", "a").AddRow("x", 1, 2)
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "col")
+	tb.AddRow("r", 0.5)
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,col\n") || !strings.Contains(csv, "r,0.5") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestEmptyTableMean(t *testing.T) {
+	tb := NewTable("t", "col")
+	if tb.ColumnMean(0) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	tb.AddMeanRow()
+	if tb.Rows() != 0 {
+		t.Error("mean row on empty table must be a no-op")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "demo", Values: []float64{3, 1, 2}}
+	sorted := s.Sorted()
+	if sorted.Values[0] != 1 || sorted.Values[2] != 3 {
+		t.Error("sort wrong")
+	}
+	if s.Values[0] != 3 {
+		t.Error("Sorted must not mutate the original")
+	}
+	if s.Mean() != 2 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("median = %f", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %f", got)
+	}
+	if got := s.Quantile(1); got != 3 {
+		t.Errorf("q1 = %f", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("empty series stats must be 0")
+	}
+	if s.Curve(40, 8) != "" {
+		t.Error("empty curve must be empty")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	s := Series{Name: "spd", Values: make([]float64, 100)}
+	for i := range s.Values {
+		s.Values[i] = float64(i) / 10
+	}
+	out := s.Curve(40, 8)
+	if !strings.Contains(out, "spd") || !strings.Contains(out, "*") {
+		t.Errorf("curve wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Errorf("curve has %d lines", len(lines))
+	}
+	// Constant series must not divide by zero.
+	flat := Series{Name: "flat", Values: []float64{5, 5, 5}}
+	if flat.Curve(10, 4) == "" {
+		t.Error("flat curve must render")
+	}
+}

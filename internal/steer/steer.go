@@ -1,0 +1,201 @@
+// Package steer defines the data-width aware instruction selection
+// policies of the paper: the feature set that composes the 8_8_8 base
+// scheme with BR, LR, CR, CP and IR (§3.2-§3.7), plus the pure decision
+// helpers (split eligibility, the occupancy-based imbalance detector) the
+// timing simulator consults.
+package steer
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Features selects which steering schemes are active. The paper's results
+// ladder corresponds to turning these on cumulatively.
+type Features struct {
+	// Enable888 steers uops whose sources and result are all predicted
+	// narrow to the helper cluster (§3.2).
+	Enable888 bool
+	// EnableBR steers conditional branches whose flags producer ran in
+	// the helper cluster to the helper cluster (§3.3).
+	EnableBR bool
+	// EnableLR replicates predicted-narrow load values into both register
+	// files (§3.4).
+	EnableLR bool
+	// EnableCR steers 8-32-32 operations with a predicted-contained carry
+	// to the helper cluster (§3.5).
+	EnableCR bool
+	// EnableCP prefetches inter-cluster copies at the producer (§3.6).
+	EnableCP bool
+	// EnableIR splits wide ALU uops into four chained narrow uops when
+	// the helper cluster is underutilized (§3.7).
+	EnableIR bool
+	// IRNoDestOnly is the §3.7 fine tuning: split only uops without a
+	// destination register, trading steered coverage for fewer copies.
+	IRNoDestOnly bool
+	// IRBlock enables the paper's proposed future extension (§3.7): once
+	// imbalance triggers a split, "complete blocks of wide instructions
+	// are split up and sent in their entirety to the narrow cluster" —
+	// subsequent eligible uops in the window split too, chaining through
+	// helper-resident split results without inter-cluster copies.
+	IRBlock bool
+	// UseConfidence gates helper steering on the 2-bit confidence
+	// estimator (§3.2 reduced fatal mispredictions 2.11% → 0.83%).
+	UseConfidence bool
+}
+
+// Name renders the paper's scheme naming, e.g. "8_8_8+BR+LR".
+func (f Features) Name() string {
+	if !f.Enable888 {
+		return "baseline"
+	}
+	var b strings.Builder
+	b.WriteString("8_8_8")
+	if f.EnableBR {
+		b.WriteString("+BR")
+	}
+	if f.EnableLR {
+		b.WriteString("+LR")
+	}
+	if f.EnableCR {
+		b.WriteString("+CR")
+	}
+	if f.EnableCP {
+		b.WriteString("+CP")
+	}
+	if f.EnableIR {
+		switch {
+		case f.IRNoDestOnly:
+			b.WriteString("+IRnd")
+		case f.IRBlock:
+			b.WriteString("+IRblk")
+		default:
+			b.WriteString("+IR")
+		}
+	}
+	return b.String()
+}
+
+// The paper's cumulative policy ladder.
+
+// Baseline returns the no-steering policy (monolithic behaviour).
+func Baseline() Features { return Features{} }
+
+// F888 returns the §3.2 scheme.
+func F888() Features { return Features{Enable888: true, UseConfidence: true} }
+
+// F888NoConfidence returns 8_8_8 without the confidence estimator (the
+// 2.11% fatal-rate datapoint of §3.2).
+func F888NoConfidence() Features { return Features{Enable888: true} }
+
+// FBR adds branch steering (§3.3).
+func FBR() Features { f := F888(); f.EnableBR = true; return f }
+
+// FLR adds load replication (§3.4).
+func FLR() Features { f := FBR(); f.EnableLR = true; return f }
+
+// FCR adds carry-width prediction (§3.5).
+func FCR() Features { f := FLR(); f.EnableCR = true; return f }
+
+// FCP adds copy prefetching (§3.6).
+func FCP() Features { f := FCR(); f.EnableCP = true; return f }
+
+// FIR adds instruction splitting (§3.7).
+func FIR() Features { f := FCP(); f.EnableIR = true; return f }
+
+// FIRTuned is the §3.7 fine tuning (split no-destination uops only).
+func FIRTuned() Features { f := FIR(); f.IRNoDestOnly = true; return f }
+
+// FIRBlock is the §3.7 proposed future extension: block-granularity
+// splitting.
+func FIRBlock() Features { f := FIR(); f.IRBlock = true; return f }
+
+// Ladder returns the cumulative policies in paper order.
+func Ladder() []Features {
+	return []Features{F888(), FBR(), FLR(), FCR(), FCP(), FIR(), FIRTuned()}
+}
+
+// SplitEligible reports whether a uop may be IR-split into four chained
+// narrow uops: plain single-cycle ALU work only — memory, control,
+// multiply/divide and FP never split.
+func SplitEligible(u *isa.Uop, noDestOnly bool) bool {
+	if u.Class != isa.ClassALU {
+		return false
+	}
+	switch u.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpCmp, isa.OpTest, isa.OpInc, isa.OpDec, isa.OpNot, isa.OpMov:
+	default:
+		return false // shifts move bits across chunk boundaries
+	}
+	if noDestOnly && u.HasDest() {
+		return false
+	}
+	return true
+}
+
+// SplitPieces is the number of narrow uops a split produces (32/8).
+const SplitPieces = 4
+
+// ImbalanceDetector implements the §3.7 trigger: "the discrepancy of the
+// issue queue occupancy rates of the clusters" indicates wide-to-narrow
+// imbalance. Splitting only pays off when the wide backend is genuinely
+// backlogged, so the detector also requires a minimum wide occupancy.
+// Hysteresis prevents flapping at the threshold.
+type ImbalanceDetector struct {
+	// Threshold is the occupancy-rate gap (wide minus helper, in [0,1])
+	// above which the helper is considered underutilized.
+	Threshold float64
+	// Hysteresis is subtracted from the threshold while splitting is
+	// active.
+	Hysteresis float64
+	// WideFloor is the minimum wide occupancy rate for splitting: an
+	// empty wide queue has no backlog to offload.
+	WideFloor float64
+	// OverloadThreshold is the helper-minus-wide occupancy gap above
+	// which the helper counts as overloaded (the other half of scheme 5:
+	// steer narrow uops wide until balance is restored).
+	OverloadThreshold float64
+
+	active bool
+}
+
+// NewImbalanceDetector returns a detector with the default tuning.
+func NewImbalanceDetector() *ImbalanceDetector {
+	return &ImbalanceDetector{
+		Threshold:         0.25,
+		Hysteresis:        0.10,
+		WideFloor:         0.45,
+		OverloadThreshold: 0.50,
+	}
+}
+
+// WideToNarrow reports whether wide-to-narrow imbalance currently holds,
+// given the two issue-queue occupancies.
+func (d *ImbalanceDetector) WideToNarrow(wideOcc, wideCap, helperOcc, helperCap int) bool {
+	if wideCap <= 0 || helperCap <= 0 {
+		return false
+	}
+	wideRate := float64(wideOcc) / float64(wideCap)
+	if wideRate < d.WideFloor {
+		d.active = false
+		return false
+	}
+	gap := wideRate - float64(helperOcc)/float64(helperCap)
+	th := d.Threshold
+	if d.active {
+		th -= d.Hysteresis
+	}
+	d.active = gap > th
+	return d.active
+}
+
+// HelperOverloaded reports whether the helper queue is so much fuller than
+// the wide queue that narrow instructions should steer wide (§3.7).
+func (d *ImbalanceDetector) HelperOverloaded(helperOcc, helperCap, wideOcc, wideCap int) bool {
+	if wideCap <= 0 || helperCap <= 0 {
+		return false
+	}
+	gap := float64(helperOcc)/float64(helperCap) - float64(wideOcc)/float64(wideCap)
+	return gap > d.OverloadThreshold
+}

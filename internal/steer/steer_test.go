@@ -1,0 +1,118 @@
+package steer
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFeatureNames(t *testing.T) {
+	cases := []struct {
+		f    Features
+		want string
+	}{
+		{Baseline(), "baseline"},
+		{F888(), "8_8_8"},
+		{F888NoConfidence(), "8_8_8"},
+		{FBR(), "8_8_8+BR"},
+		{FLR(), "8_8_8+BR+LR"},
+		{FCR(), "8_8_8+BR+LR+CR"},
+		{FCP(), "8_8_8+BR+LR+CR+CP"},
+		{FIR(), "8_8_8+BR+LR+CR+CP+IR"},
+		{FIRTuned(), "8_8_8+BR+LR+CR+CP+IRnd"},
+	}
+	for _, c := range cases {
+		if got := c.f.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLadderIsCumulative(t *testing.T) {
+	ladder := Ladder()
+	if len(ladder) != 7 {
+		t.Fatalf("ladder has %d rungs", len(ladder))
+	}
+	counters := func(f Features) int {
+		n := 0
+		for _, b := range []bool{f.Enable888, f.EnableBR, f.EnableLR, f.EnableCR, f.EnableCP, f.EnableIR} {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 1; i < len(ladder)-1; i++ {
+		if counters(ladder[i]) != counters(ladder[i-1])+1 {
+			t.Errorf("rung %d does not add exactly one scheme", i)
+		}
+	}
+	if !ladder[len(ladder)-1].IRNoDestOnly {
+		t.Error("final rung must be the tuned IR variant")
+	}
+	for _, f := range ladder {
+		if !f.UseConfidence {
+			t.Error("ladder policies must use the confidence estimator")
+		}
+	}
+}
+
+func TestSplitEligible(t *testing.T) {
+	add := &isa.Uop{Class: isa.ClassALU, Op: isa.OpAdd, DstReg: 3}
+	cmp := &isa.Uop{Class: isa.ClassALU, Op: isa.OpCmp, DstReg: isa.RegNone}
+	shl := &isa.Uop{Class: isa.ClassALU, Op: isa.OpShl, DstReg: 3}
+	load := &isa.Uop{Class: isa.ClassLoad, Op: isa.OpLea, DstReg: 3}
+	branch := &isa.Uop{Class: isa.ClassBranch}
+
+	if !SplitEligible(add, false) {
+		t.Error("plain add must be splittable")
+	}
+	if SplitEligible(add, true) {
+		t.Error("add has a destination: excluded by the tuned rule")
+	}
+	if !SplitEligible(cmp, true) || !SplitEligible(cmp, false) {
+		t.Error("cmp (flags only) must be splittable in both modes")
+	}
+	if SplitEligible(shl, false) {
+		t.Error("shifts cross byte boundaries and must not split")
+	}
+	if SplitEligible(load, false) || SplitEligible(branch, false) {
+		t.Error("memory and control must not split")
+	}
+}
+
+func TestImbalanceDetector(t *testing.T) {
+	d := NewImbalanceDetector()
+	// Helper empty, wide backlogged: imbalance.
+	if !d.WideToNarrow(28, 32, 1, 32) {
+		t.Error("large gap above the floor must trigger")
+	}
+	// Hysteresis keeps it active just below the threshold.
+	if !d.WideToNarrow(22, 32, 4, 32) {
+		t.Error("hysteresis must hold the detector active")
+	}
+	// Balanced queues: off.
+	if d.WideToNarrow(16, 32, 16, 32) {
+		t.Error("balanced occupancies must not trigger")
+	}
+	// Empty wide queue: nothing to offload regardless of gap.
+	if d.WideToNarrow(2, 32, 0, 32) {
+		t.Error("below the wide floor the detector must stay off")
+	}
+	if d.WideToNarrow(10, 0, 0, 32) {
+		t.Error("degenerate capacities must not trigger")
+	}
+}
+
+func TestHelperOverloaded(t *testing.T) {
+	d := NewImbalanceDetector()
+	if !d.HelperOverloaded(30, 32, 4, 32) {
+		t.Error("helper much fuller than wide must report overload")
+	}
+	if d.HelperOverloaded(16, 32, 16, 32) {
+		t.Error("balance must not report overload")
+	}
+	if d.HelperOverloaded(30, 0, 4, 32) {
+		t.Error("degenerate capacities must not report overload")
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// TestPackUnpackRoundTrip: property — every representable uop survives the
+// binary record encoding bit-exactly.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seq uint64, pc, v0, v1, v2, dst, imm, target, addr uint32,
+		classRaw, opRaw, nsrc, r0, r1, r2, dstReg, size uint8, flags uint8) bool {
+		u := isa.Uop{
+			Seq:     seq,
+			PC:      pc,
+			Class:   isa.Class(classRaw % uint8(isa.NumClasses)),
+			Op:      isa.ALUOp(opRaw % uint8(isa.NumALUOps)),
+			NSrc:    nsrc % (isa.MaxSrcs + 1),
+			DstReg:  dstReg,
+			DstVal:  dst,
+			Imm:     imm,
+			Target:  target,
+			MemAddr: addr,
+			MemSize: size,
+
+			HasImm:             flags&1 != 0,
+			ReadsFlags:         flags&2 != 0,
+			WritesFlags:        flags&4 != 0,
+			Taken:              flags&8 != 0,
+			FrontendResolvable: flags&16 != 0,
+			ImplicitWide:       flags&32 != 0,
+		}
+		u.SrcReg = [isa.MaxSrcs]uint8{r0, r1, r2}
+		u.SrcVal = [isa.MaxSrcs]uint32{v0, v1, v2}
+
+		var buf [recordSize]byte
+		packRecord(&buf, &u)
+		var back isa.Uop
+		unpackRecord(&buf, &back)
+		return back == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowMatchesDirectStream: property — reading through a window in
+// any (valid) interleaving of gets and releases observes exactly the
+// underlying stream.
+func TestWindowMatchesDirectStream(t *testing.T) {
+	f := func(steps []uint8) bool {
+		w := NewWindow(&counterSource{}, 64)
+		direct := &counterSource{}
+		var ref isa.Uop
+		next := uint64(0)
+		for _, s := range steps {
+			switch s % 3 {
+			case 0, 1: // advance
+				got := w.Get(next)
+				direct.Next(&ref)
+				if *got != ref {
+					return false
+				}
+				next++
+			case 2: // release everything consumed so far
+				w.Release(next)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteReadLargeTrace(t *testing.T) {
+	src := &counterSource{}
+	var buf bytes.Buffer
+	const n = 100_000
+	if err := Write(&buf, src, n); err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + n*recordSize; buf.Len() != want {
+		t.Errorf("file size %d, want %d", buf.Len(), want)
+	}
+	uops, err := Read(&buf)
+	if err != nil || len(uops) != n {
+		t.Fatalf("read %d, err %v", len(uops), err)
+	}
+}

@@ -1,0 +1,51 @@
+// Package trace provides the uop supply machinery of the simulator: the
+// Source abstraction over infinite uop streams, a replayable fetch window
+// (flush recovery rewinds the fetch point without re-executing the
+// program), and a compact binary on-disk trace format.
+package trace
+
+import "repro/internal/isa"
+
+// Source is an infinite stream of executed uops. synth.Stream implements
+// it directly; finite recorded traces are adapted by SliceSource.
+type Source interface {
+	// Next fills u with the next uop of the stream.
+	Next(u *isa.Uop)
+}
+
+// SliceSource replays a recorded finite trace cyclically, re-stamping
+// sequence numbers so consumers observe a proper infinite stream.
+type SliceSource struct {
+	uops []isa.Uop
+	idx  int
+	seq  uint64
+}
+
+// NewSliceSource wraps a non-empty recorded trace.
+func NewSliceSource(uops []isa.Uop) *SliceSource {
+	if len(uops) == 0 {
+		panic("trace: empty slice source")
+	}
+	return &SliceSource{uops: uops}
+}
+
+// Next implements Source by cyclic replay.
+func (s *SliceSource) Next(u *isa.Uop) {
+	*u = s.uops[s.idx]
+	u.Seq = s.seq
+	s.seq++
+	s.idx++
+	if s.idx == len(s.uops) {
+		s.idx = 0
+	}
+}
+
+// Record captures the next n uops of a source into a slice (for file
+// writing, tests, and offline analysis).
+func Record(src Source, n int) []isa.Uop {
+	out := make([]isa.Uop, n)
+	for i := range out {
+		src.Next(&out[i])
+	}
+	return out
+}

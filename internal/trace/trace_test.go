@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/synth"
+)
+
+// counterSource emits uops whose Seq increments; DstVal mirrors Seq so
+// tests can verify identity.
+type counterSource struct{ seq uint64 }
+
+func (c *counterSource) Next(u *isa.Uop) {
+	*u = isa.Uop{Seq: c.seq, PC: uint32(c.seq * 4), DstVal: uint32(c.seq), DstReg: 1}
+	c.seq++
+}
+
+func TestWindowSequentialAndReplay(t *testing.T) {
+	w := NewWindow(&counterSource{}, 64)
+	for i := uint64(0); i < 40; i++ {
+		if got := w.Get(i); got.Seq != i {
+			t.Fatalf("Get(%d).Seq = %d", i, got.Seq)
+		}
+	}
+	// Replay: rewinding to an unreleased sequence returns identical uops.
+	for i := uint64(10); i < 40; i++ {
+		if got := w.Get(i); got.Seq != i || got.DstVal != uint32(i) {
+			t.Fatalf("replay Get(%d) mismatch", i)
+		}
+	}
+	if w.Head() != 40 {
+		t.Errorf("head = %d, want 40", w.Head())
+	}
+}
+
+func TestWindowReleaseAndOverflow(t *testing.T) {
+	w := NewWindow(&counterSource{}, 16)
+	for i := uint64(0); i < 16; i++ {
+		w.Get(i)
+	}
+	// Window is full: fetching one more without releasing must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected overflow panic")
+			}
+		}()
+		w.Get(16)
+	}()
+	w.Release(8)
+	if w.Base() != 8 {
+		t.Errorf("base = %d", w.Base())
+	}
+	if got := w.Get(20); got.Seq != 20 {
+		t.Errorf("Get(20).Seq = %d", got.Seq)
+	}
+	// Released uops are gone.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected released panic")
+			}
+		}()
+		w.Get(7)
+	}()
+}
+
+func TestWindowCapacityValidation(t *testing.T) {
+	for _, n := range []int{0, -4, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d should panic", n)
+				}
+			}()
+			NewWindow(&counterSource{}, n)
+		}()
+	}
+}
+
+func TestWindowReleaseBeyondHeadClamps(t *testing.T) {
+	w := NewWindow(&counterSource{}, 16)
+	w.Get(3)
+	w.Release(100)
+	if w.Base() != w.Head() {
+		t.Errorf("base %d should clamp to head %d", w.Base(), w.Head())
+	}
+}
+
+func TestSliceSourceCycles(t *testing.T) {
+	uops := Record(&counterSource{}, 5)
+	s := NewSliceSource(uops)
+	var u isa.Uop
+	for i := uint64(0); i < 12; i++ {
+		s.Next(&u)
+		if u.Seq != i {
+			t.Fatalf("cyclic replay must re-stamp Seq: got %d want %d", u.Seq, i)
+		}
+		if u.PC != uint32((i%5)*4) {
+			t.Fatalf("cyclic replay PC mismatch at %d", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty slice source must panic")
+			}
+		}()
+		NewSliceSource(nil)
+	}()
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	src := synth.MustNewStream(synth.DefaultParams())
+	var buf bytes.Buffer
+	const n = 5000
+	if err := Write(&buf, src, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d records, want %d", len(got), n)
+	}
+	// Cross-check against a fresh identical stream.
+	ref := synth.MustNewStream(synth.DefaultParams())
+	var u isa.Uop
+	for i := 0; i < n; i++ {
+		ref.Next(&u)
+		if got[i] != u {
+			t.Fatalf("record %d mismatch:\nfile: %+v\nref:  %+v", i, got[i], u)
+		}
+	}
+}
+
+func TestFileBadHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header must fail")
+	}
+	bad := make([]byte, 8)
+	if _, err := Read(bytes.NewReader(bad)); err != ErrBadMagic {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+	// Right magic, wrong version.
+	bad = []byte{0x31, 0x54, 0x43, 0x48, 9, 0, 0, 0}
+	if _, err := Read(bytes.NewReader(bad)); err != ErrBadVersion {
+		t.Errorf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestFileTruncatedRecord(t *testing.T) {
+	src := synth.MustNewStream(synth.DefaultParams())
+	var buf bytes.Buffer
+	if err := Write(&buf, src, 3); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-10]
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("truncated record must fail")
+	}
+}
+
+func TestRecordLength(t *testing.T) {
+	uops := Record(&counterSource{}, 7)
+	if len(uops) != 7 || uops[6].Seq != 6 {
+		t.Errorf("Record wrong: %v", uops)
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Window is a replayable sliding view over a Source. The timing simulator
+// fetches uops by sequence number; on a branch or width misprediction it
+// rewinds the fetch point to the squashed uop and refetches the same
+// stream. The window retains every uop from the oldest unretired one to
+// the newest fetched, so rewinds never re-execute the program.
+type Window struct {
+	src  Source
+	ring []isa.Uop
+	mask uint64
+	base uint64 // oldest retained sequence number
+	head uint64 // next sequence number to pull from the source
+}
+
+// NewWindow creates a window retaining up to capacity uops; capacity must
+// be a power of two and large enough to cover the ROB plus frontend depth.
+func NewWindow(src Source, capacity int) *Window {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("trace: window capacity must be a positive power of two")
+	}
+	return &Window{
+		src:  src,
+		ring: make([]isa.Uop, capacity),
+		mask: uint64(capacity - 1),
+	}
+}
+
+// Get returns the uop with the given sequence number, pulling from the
+// source as needed. seq must be >= the last Release point and must not run
+// more than the capacity ahead of it.
+func (w *Window) Get(seq uint64) *isa.Uop {
+	if seq < w.base {
+		panic(fmt.Sprintf("trace: uop %d already released (base %d)", seq, w.base))
+	}
+	for seq >= w.head {
+		if w.head-w.base >= uint64(len(w.ring)) {
+			panic(fmt.Sprintf("trace: window overflow (base %d, head %d, cap %d) — retire before fetching further",
+				w.base, w.head, len(w.ring)))
+		}
+		slot := &w.ring[w.head&w.mask]
+		w.src.Next(slot)
+		if slot.Seq != w.head {
+			panic(fmt.Sprintf("trace: source produced seq %d, expected %d", slot.Seq, w.head))
+		}
+		w.head++
+	}
+	return &w.ring[seq&w.mask]
+}
+
+// Release discards all uops with sequence numbers below seq; they can no
+// longer be fetched or replayed.
+func (w *Window) Release(seq uint64) {
+	if seq > w.head {
+		seq = w.head
+	}
+	if seq > w.base {
+		w.base = seq
+	}
+}
+
+// Base returns the oldest retained sequence number.
+func (w *Window) Base() uint64 { return w.base }
+
+// Head returns the next sequence number that would be pulled from the
+// source.
+func (w *Window) Head() uint64 { return w.head }

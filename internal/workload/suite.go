@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/synth"
+)
+
+// Category is one row of Table 2: a family of traces sharing a behavioural
+// base profile.
+type Category struct {
+	Name        string
+	Description string
+	Count       int
+	Base        synth.Params
+}
+
+// Categories returns the Table 2 workload categories. Table 2's counts sum
+// to 409 while the text reports 412 applications; we follow the text by
+// generating 88 multimedia traces (see DESIGN.md).
+func Categories() []Category {
+	d := synth.DefaultParams()
+	mk := func(mut func(*synth.Params)) synth.Params {
+		q := d
+		mut(&q)
+		return q
+	}
+	return []Category{
+		{
+			Name: "enc", Description: "Audio/video encode", Count: 62,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 16, 12
+				q.FracLoad, q.FracStore, q.FracMul, q.FracFP = 0.22, 0.12, 0.02, 0.02
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.70, 0.15, 64
+				q.NarrowDataFrac, q.WidthLocality = 0.70, 0.96
+				q.WorkingSet, q.ByteDataFrac = 512<<10, 0.60
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.55, 0.20
+			}),
+		},
+		{
+			Name: "sfp", Description: "Spec FP's", Count: 41,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 18, 12
+				q.FracLoad, q.FracStore, q.FracMul, q.FracFP = 0.20, 0.10, 0.01, 0.30
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.70, 0.10, 48
+				q.NarrowDataFrac, q.WidthLocality = 0.70, 0.96
+				q.WorkingSet, q.ByteDataFrac = 2<<20, 0.20
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.55, 0.15
+			}),
+		},
+		{
+			Name: "kernels", Description: "VectorAdd, FIRs", Count: 52,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 8, 10
+				q.FracLoad, q.FracStore = 0.30, 0.15
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.80, 0.05, 128
+				q.NarrowDataFrac, q.WidthLocality = 0.72, 0.97
+				q.WorkingSet, q.ByteDataFrac = 128<<10, 0.50
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.60, 0.10
+			}),
+		},
+		{
+			Name: "mm", Description: "WMedia, photoshop", Count: 88,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 20, 11
+				q.FracLoad, q.FracStore, q.FracMul, q.FracFP = 0.24, 0.12, 0.02, 0.04
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.65, 0.15, 48
+				q.NarrowDataFrac, q.WidthLocality = 0.70, 0.96
+				q.WorkingSet, q.ByteDataFrac = 1<<20, 0.65
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.55, 0.20
+			}),
+		},
+		{
+			Name: "office", Description: "Excel, word, ppt", Count: 75,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 70, 9
+				q.FracLoad, q.FracStore = 0.24, 0.12
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.35, 0.40, 6
+				q.NarrowDataFrac, q.WidthLocality = 0.55, 0.92
+				q.WorkingSet, q.ByteDataFrac = 4<<20, 0.25
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.40, 0.30
+				q.DepRecency = 0.40
+			}),
+		},
+		{
+			Name: "prod", Description: "Internet content", Count: 45,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 55, 9
+				q.FracLoad, q.FracStore = 0.24, 0.10
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.40, 0.40, 8
+				q.NarrowDataFrac, q.WidthLocality = 0.58, 0.93
+				q.WorkingSet, q.ByteDataFrac = 2<<20, 0.30
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.40, 0.30
+				q.DepRecency = 0.40
+			}),
+		},
+		{
+			Name: "ws", Description: "Workstation kernels", Count: 49,
+			Base: mk(func(q *synth.Params) {
+				q.Segments, q.BlockSize = 12, 10
+				q.FracLoad, q.FracStore = 0.28, 0.14
+				q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.70, 0.10, 96
+				q.NarrowDataFrac, q.WidthLocality = 0.68, 0.96
+				q.WorkingSet, q.ByteDataFrac = 1<<20, 0.45
+				q.NarrowOffsetFrac, q.AddrUseFrac = 0.55, 0.15
+			}),
+		},
+	}
+}
+
+// SuiteSize is the number of traces in the full commercial suite.
+const SuiteSize = 412
+
+// Suite expands the categories into the full 412-trace suite, one jittered
+// variant per trace, deterministically seeded.
+func Suite() []Profile {
+	var out []Profile
+	for _, c := range Categories() {
+		for i := 0; i < c.Count; i++ {
+			out = append(out, variant(c, i))
+		}
+	}
+	return out
+}
+
+// variant derives trace i of a category by jittering the base profile.
+func variant(c Category, i int) Profile {
+	seed := int64(1e6) + int64(len(c.Name))*7919 + int64(c.Name[0])*31337 + int64(i)*101
+	rng := rand.New(rand.NewSource(seed))
+	q := c.Base
+	q.Seed = seed
+
+	jf := func(v float64) float64 {
+		v *= 1 + (rng.Float64()-0.5)*0.3
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+	ji := func(v int) int {
+		w := int(float64(v) * (1 + (rng.Float64()-0.5)*0.4))
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+
+	q.Segments = ji(q.Segments)
+	if q.Segments < 2 {
+		q.Segments = 2
+	}
+	q.BlockSize = ji(q.BlockSize)
+	if q.BlockSize < 3 {
+		q.BlockSize = 3
+	}
+	q.InnerTrip = ji(q.InnerTrip)
+	q.FracLoad = jf(q.FracLoad)
+	q.FracStore = jf(q.FracStore)
+	q.NarrowDataFrac = jf(q.NarrowDataFrac)
+	q.ByteDataFrac = jf(q.ByteDataFrac)
+	q.NarrowOffsetFrac = jf(q.NarrowOffsetFrac)
+	q.AddrUseFrac = jf(q.AddrUseFrac)
+	q.LoopFrac = jf(q.LoopFrac)
+	if q.LoopFrac+q.DiamondFrac > 1 {
+		q.DiamondFrac = 1 - q.LoopFrac
+	}
+	ws := ji(q.WorkingSet)
+	if ws < 16<<10 {
+		ws = 16 << 10
+	}
+	q.WorkingSet = ws
+	calibrate(&q)
+
+	return Profile{
+		Name:     fmt.Sprintf("%s-%03d", c.Name, i),
+		Category: c.Name,
+		Params:   q,
+	}
+}

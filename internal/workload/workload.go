@@ -1,0 +1,214 @@
+// Package workload provides calibrated synthetic workload profiles: the 12
+// SPEC Int 2000 benchmarks used for the paper's detailed studies and the
+// seven commercial workload categories of Table 2 used for the Figure 14
+// wrap-up, expanded into the 412-trace suite.
+//
+// Profile parameters are calibrated so the trace-level statistics match the
+// paper's reported shapes: ~65% of register operands narrow-width dependent
+// on average (Figure 1, gcc high / eon-crafty-twolf low), short
+// producer-consumer distances (Figure 13), substantial carry containment
+// for 8-32-32 instructions (Figure 11), and the bzip2-vs-gcc
+// copy-pressure contrast of §3.2 (bzip2's narrow values feed wide
+// addressing; gcc's feed narrow flag/branch chains).
+package workload
+
+import "repro/internal/synth"
+
+// Profile is a named, categorized synthetic workload.
+type Profile struct {
+	Name     string
+	Category string
+	Params   synth.Params
+}
+
+// Stream instantiates the profile's uop stream.
+func (p Profile) Stream() (*synth.Stream, error) { return synth.NewStream(p.Params) }
+
+// MustStream is Stream for known-good profiles.
+func (p Profile) MustStream() *synth.Stream { return synth.MustNewStream(p.Params) }
+
+// SpecIntNames lists the 12 SPEC Int 2000 benchmarks in the paper's figure
+// order.
+var SpecIntNames = []string{
+	"bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+	"mcf", "parser", "perlbmk", "twolf", "vortex", "vpr",
+}
+
+// calibrate applies the global measurement-driven correction that maps the
+// declared per-benchmark intents onto the paper's Figure 1 aggregate: the
+// generator's structural wide operands (address bases, stride registers)
+// depress the raw narrow-dependency fraction by ~0.15-0.2, so the value
+// knobs are boosted uniformly. The relative ordering between benchmarks is
+// preserved.
+func calibrate(q *synth.Params) {
+	boost := func(v, by, cap float64) float64 {
+		v += by
+		if v > cap {
+			v = cap
+		}
+		return v
+	}
+	q.NarrowDataFrac = boost(q.NarrowDataFrac, 0.14, 0.92)
+	q.NarrowOffsetFrac = boost(q.NarrowOffsetFrac, 0.15, 0.85)
+	// Per-static-instruction width behaviour is extremely stable in real
+	// programs (the paper's predictor reaches 93.5% with one bit); the
+	// declared localities express relative volatility, compressed here
+	// toward the realistic regime.
+	q.WidthLocality = 1 - (1-q.WidthLocality)*0.25
+	if q.WidthLocality > 0.995 {
+		q.WidthLocality = 0.995
+	}
+	// Stride reach scales with the working set so large-footprint
+	// workloads actually pressure the cache hierarchy within feasible
+	// simulation lengths.
+	if min := q.WorkingSet >> 12; q.StrideBytes < min {
+		q.StrideBytes = min
+	}
+}
+
+// spec builds one SPEC profile; parameters in paper-shape calibrated order.
+func spec(name string, seed int64, p synth.Params) Profile {
+	p.Seed = seed
+	calibrate(&p)
+	return Profile{Name: name, Category: "specint", Params: p}
+}
+
+// SpecInt2000 returns the 12 calibrated SPEC Int 2000 profiles.
+func SpecInt2000() []Profile {
+	d := synth.DefaultParams()
+	mk := func(mut func(*synth.Params)) synth.Params {
+		q := d
+		mut(&q)
+		return q
+	}
+	return []Profile{
+		// bzip2: byte-compressor — many narrow values but they index big
+		// tables, so narrow producers feed wide address math (high copy
+		// pressure, the worst 8_8_8 performer in Figure 6).
+		spec("bzip2", 101, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 14, 10
+			q.FracLoad, q.FracStore = 0.24, 0.12
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.60, 0.20, 40
+			q.NarrowDataFrac, q.WidthLocality = 0.62, 0.96
+			q.WorkingSet, q.ByteDataFrac = 4<<20, 0.55
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.30, 0.55
+			q.DepRecency = 0.45
+		})),
+		// crafty: chess — wide bitboard math, modest narrowness.
+		spec("crafty", 102, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 30, 12
+			q.FracLoad, q.FracStore, q.FracMul = 0.22, 0.08, 0.01
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.45, 0.35, 12
+			q.NarrowDataFrac, q.WidthLocality = 0.55, 0.93
+			q.WorkingSet, q.ByteDataFrac = 256<<10, 0.25
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.45, 0.15
+			q.DepRecency = 0.40
+		})),
+		// eon: C++ ray tracer — some FP, lowest narrowness.
+		spec("eon", 103, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 36, 12
+			q.FracLoad, q.FracStore, q.FracMul, q.FracFP = 0.24, 0.12, 0.02, 0.06
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.40, 0.30, 10
+			q.NarrowDataFrac, q.WidthLocality = 0.50, 0.92
+			q.WorkingSet, q.ByteDataFrac = 512<<10, 0.20
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.40, 0.20
+			q.DepRecency = 0.40
+		})),
+		// gap: group theory interpreter — small-integer heavy.
+		spec("gap", 104, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 20, 10
+			q.FracLoad, q.FracStore, q.FracMul = 0.22, 0.10, 0.015
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.55, 0.25, 24
+			q.NarrowDataFrac, q.WidthLocality = 0.68, 0.95
+			q.WorkingSet, q.ByteDataFrac = 1<<20, 0.40
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.50, 0.25
+		})),
+		// gcc: compiler — branchy narrow flag/branch chains consumed
+		// narrowly (lowest copy/narrow ratio, the best 8_8_8 performer).
+		spec("gcc", 105, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 32, 9
+			q.FracLoad, q.FracStore = 0.20, 0.10
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.50, 0.35, 8
+			q.NarrowDataFrac, q.WidthLocality = 0.75, 0.96
+			q.WorkingSet, q.ByteDataFrac = 2<<20, 0.45
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.60, 0.10
+			q.DepRecency = 0.50
+		})),
+		// gzip: LZ77 — byte data in tight loops.
+		spec("gzip", 106, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 12, 10
+			q.FracLoad, q.FracStore = 0.22, 0.10
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.65, 0.20, 60
+			q.NarrowDataFrac, q.WidthLocality = 0.66, 0.96
+			q.WorkingSet, q.ByteDataFrac = 256<<10, 0.60
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.50, 0.30
+		})),
+		// mcf: pointer-chasing over a huge working set.
+		spec("mcf", 107, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 10, 8
+			q.FracLoad, q.FracStore = 0.30, 0.08
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.60, 0.25, 30
+			q.NarrowDataFrac, q.WidthLocality = 0.70, 0.95
+			q.WorkingSet, q.ByteDataFrac = 16<<20, 0.20
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.15, 0.20
+			q.DepRecency = 0.40
+		})),
+		// parser: dictionary word processing.
+		spec("parser", 108, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 26, 9
+			q.FracLoad, q.FracStore = 0.24, 0.10
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.50, 0.35, 10
+			q.NarrowDataFrac, q.WidthLocality = 0.70, 0.95
+			q.WorkingSet, q.ByteDataFrac = 1<<20, 0.45
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.50, 0.20
+		})),
+		// perlbmk: interpreter loop.
+		spec("perlbmk", 109, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 40, 10
+			q.FracLoad, q.FracStore = 0.22, 0.10
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.45, 0.35, 9
+			q.NarrowDataFrac, q.WidthLocality = 0.64, 0.94
+			q.WorkingSet, q.ByteDataFrac = 1<<20, 0.35
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.45, 0.20
+		})),
+		// twolf: place-and-route, wide coordinates.
+		spec("twolf", 110, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 22, 11
+			q.FracLoad, q.FracStore, q.FracMul, q.FracDiv, q.FracFP = 0.24, 0.10, 0.02, 0.006, 0.04
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.50, 0.30, 14
+			q.NarrowDataFrac, q.WidthLocality = 0.56, 0.93
+			q.WorkingSet, q.ByteDataFrac = 512<<10, 0.25
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.40, 0.30
+			q.DepRecency = 0.40
+		})),
+		// vortex: object database, store heavy.
+		spec("vortex", 111, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 24, 10
+			q.FracLoad, q.FracStore = 0.26, 0.14
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.45, 0.30, 12
+			q.NarrowDataFrac, q.WidthLocality = 0.69, 0.95
+			q.WorkingSet, q.ByteDataFrac = 2<<20, 0.40
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.50, 0.20
+		})),
+		// vpr: FPGA place & route, some FP.
+		spec("vpr", 112, mk(func(q *synth.Params) {
+			q.Segments, q.BlockSize = 24, 10
+			q.FracLoad, q.FracStore, q.FracMul, q.FracDiv, q.FracFP = 0.24, 0.10, 0.015, 0.004, 0.05
+			q.LoopFrac, q.DiamondFrac, q.InnerTrip = 0.50, 0.30, 16
+			q.NarrowDataFrac, q.WidthLocality = 0.60, 0.97
+			q.WorkingSet, q.ByteDataFrac = 512<<10, 0.30
+			q.NarrowOffsetFrac, q.AddrUseFrac = 0.40, 0.30
+			q.DepRecency = 0.40
+		})),
+	}
+}
+
+// SpecIntByName looks up one of the 12 SPEC profiles.
+func SpecIntByName(name string) (Profile, bool) {
+	for _, p := range SpecInt2000() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bitwidth"
+	"repro/internal/isa"
+)
+
+func TestSpecInt2000Inventory(t *testing.T) {
+	profiles := SpecInt2000()
+	if len(profiles) != 12 {
+		t.Fatalf("expected 12 SPEC profiles, got %d", len(profiles))
+	}
+	seen := map[string]bool{}
+	for i, p := range profiles {
+		if p.Name != SpecIntNames[i] {
+			t.Errorf("profile %d = %s, want %s (figure order)", i, p.Name, SpecIntNames[i])
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Params.Validate(); err != nil {
+			t.Errorf("%s: invalid params: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSpecIntByName(t *testing.T) {
+	p, ok := SpecIntByName("gcc")
+	if !ok || p.Name != "gcc" {
+		t.Error("gcc lookup failed")
+	}
+	if _, ok := SpecIntByName("nosuch"); ok {
+		t.Error("bogus lookup must fail")
+	}
+}
+
+func TestCategoriesTable2(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 7 {
+		t.Fatalf("expected 7 categories, got %d", len(cats))
+	}
+	wantCounts := map[string]int{
+		"enc": 62, "sfp": 41, "kernels": 52, "mm": 88,
+		"office": 75, "prod": 45, "ws": 49,
+	}
+	total := 0
+	for _, c := range cats {
+		if want, ok := wantCounts[c.Name]; !ok || c.Count != want {
+			t.Errorf("category %s count = %d, want %d", c.Name, c.Count, want)
+		}
+		total += c.Count
+		if err := c.Base.Validate(); err != nil {
+			t.Errorf("%s: invalid base params: %v", c.Name, err)
+		}
+	}
+	if total != SuiteSize {
+		t.Errorf("suite total = %d, want %d", total, SuiteSize)
+	}
+}
+
+func TestSuiteExpansion(t *testing.T) {
+	suite := Suite()
+	if len(suite) != SuiteSize {
+		t.Fatalf("suite size = %d, want %d", len(suite), SuiteSize)
+	}
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, p := range suite {
+		if names[p.Name] {
+			t.Errorf("duplicate trace name %s", p.Name)
+		}
+		names[p.Name] = true
+		if seeds[p.Params.Seed] {
+			t.Errorf("duplicate seed %d (%s)", p.Params.Seed, p.Name)
+		}
+		seeds[p.Params.Seed] = true
+		if err := p.Params.Validate(); err != nil {
+			t.Errorf("%s: invalid params: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("suite not deterministic at %d", i)
+		}
+	}
+}
+
+// TestSpecProfilesProduceCalibratedNarrowness: each SPEC profile's stream
+// yields a narrow-operand-dependency fraction in a plausible band, with the
+// calibrated ordering gcc > eon (Figure 1 contrast).
+func TestSpecProfilesProduceCalibratedNarrowness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistics run")
+	}
+	const n = 60000
+	fracs := map[string]float64{}
+	for _, p := range SpecInt2000() {
+		s := p.MustStream()
+		var u isa.Uop
+		narrowDep, totalOps := 0, 0
+		narrowByReg := map[uint8]bool{}
+		for i := 0; i < n; i++ {
+			s.Next(&u)
+			for k := 0; k < int(u.NSrc); k++ {
+				r := u.SrcReg[k]
+				if r == isa.RegNone || r == isa.RegFlags {
+					continue
+				}
+				totalOps++
+				if narrowByReg[r] {
+					narrowDep++
+				}
+			}
+			if u.HasDest() {
+				narrowByReg[u.DstReg] = bitwidth.IsNarrow(u.DstVal)
+			}
+		}
+		fracs[p.Name] = float64(narrowDep) / float64(totalOps)
+	}
+	sum := 0.0
+	for name, f := range fracs {
+		if f < 0.2 || f > 0.98 {
+			t.Errorf("%s: narrow dependency %.2f outside sanity band", name, f)
+		}
+		sum += f
+	}
+	avg := sum / float64(len(fracs))
+	if avg < 0.45 || avg > 0.9 {
+		t.Errorf("average narrow dependency %.2f, want roughly the paper's ~0.65", avg)
+	}
+	if fracs["gcc"] <= fracs["eon"] {
+		t.Errorf("calibration: gcc (%.2f) should exceed eon (%.2f)", fracs["gcc"], fracs["eon"])
+	}
+}
