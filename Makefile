@@ -1,0 +1,23 @@
+GO ?= go
+
+# Tier-1 verification in one command.
+.PHONY: check
+check: build vet test
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages under the race detector (slower; not part
+# of check).
+.PHONY: race
+race:
+	$(GO) test -race . ./internal/parallel ./internal/experiments

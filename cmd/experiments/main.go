@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/experiments"
@@ -28,6 +30,9 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	o := experiments.Options{
 		SpecUops:  *specUops,
@@ -50,6 +55,13 @@ func main() {
 			fmt.Println(t.Render())
 		}
 	}
+	emitErr := func(t *report.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emit(t)
+	}
 
 	if sel("table1") {
 		emit(experiments.Table1())
@@ -58,13 +70,13 @@ func main() {
 		emit(experiments.Table2())
 	}
 	if sel("fig1") {
-		emit(experiments.Fig1(o))
+		emitErr(experiments.Fig1Ctx(ctx, o))
 	}
 	if sel("fig11") {
-		emit(experiments.Fig11(o))
+		emitErr(experiments.Fig11Ctx(ctx, o))
 	}
 	if sel("fig13") {
-		emit(experiments.Fig13(o))
+		emitErr(experiments.Fig13Ctx(ctx, o))
 	}
 
 	needSweep := false
@@ -75,7 +87,11 @@ func main() {
 	}
 	if needSweep {
 		fmt.Fprintf(os.Stderr, "running the SPEC policy-ladder sweep (%d uops × 12 apps × 9 configurations)...\n", o.SpecUops)
-		s := experiments.RunSpecSweep(o)
+		s, err := experiments.RunSpecSweepCtx(ctx, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if sel("fig5") {
 			emit(experiments.Fig5(s))
 		}
@@ -110,7 +126,11 @@ func main() {
 
 	if sel("fig14") {
 		fmt.Fprintf(os.Stderr, "running the 412-trace suite sweep (%d uops × 412 × 2)...\n", o.SuiteUops)
-		table, series := experiments.Fig14(o)
+		table, series, err := experiments.Fig14Ctx(ctx, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		emit(table)
 		if !*csv {
 			fmt.Println(series.Curve(72, 14))

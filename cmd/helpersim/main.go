@@ -6,72 +6,66 @@
 //
 //	helpersim -workload gcc -policy ir -n 200000
 //	helpersim -workload bzip2 -policy 888 -baseline -power
+//
+// Ctrl-C cancels a run in flight. Policies are resolved through the
+// repro.PolicyByName registry; -list prints every accepted name.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro"
-	"repro/internal/steer"
 )
-
-func policyByName(name string) (repro.Policy, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "none":
-		return steer.Baseline(), nil
-	case "888", "8_8_8":
-		return steer.F888(), nil
-	case "br":
-		return steer.FBR(), nil
-	case "lr":
-		return steer.FLR(), nil
-	case "cr":
-		return steer.FCR(), nil
-	case "cp":
-		return steer.FCP(), nil
-	case "ir", "full":
-		return steer.FIR(), nil
-	case "irnd", "ir-tuned":
-		return steer.FIRTuned(), nil
-	default:
-		return repro.Policy{}, fmt.Errorf("unknown policy %q (baseline|888|br|lr|cr|cp|ir|irnd)", name)
-	}
-}
 
 func main() {
 	var (
 		workloadName = flag.String("workload", "gcc", "SPEC Int 2000 benchmark name")
-		policyName   = flag.String("policy", "ir", "steering policy: baseline|888|br|lr|cr|cp|ir|irnd")
+		policyName   = flag.String("policy", "ir", "steering policy name or alias (see -list)")
 		n            = flag.Uint64("n", 200_000, "committed uops to measure")
 		warmup       = flag.Uint64("warmup", 0, "warmup uops (default n/5)")
 		compare      = flag.Bool("baseline", true, "also run the monolithic baseline and report speedup")
 		showPower    = flag.Bool("power", false, "print the Wattch-like energy estimate")
+		list         = flag.Bool("list", false, "list policies, configs and workloads, then exit")
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Printf("policies:  %s\n", strings.Join(repro.PolicyNames(), ", "))
+		fmt.Printf("configs:   %s\n", strings.Join(repro.ConfigNames(), ", "))
+		fmt.Printf("workloads: %s\n", strings.Join(repro.WorkloadNames(), ", "))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	w, err := repro.WorkloadByName(*workloadName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	pol, err := policyByName(*policyName)
+	pol, err := repro.PolicyByName(*policyName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	warm := *warmup
 	if warm == 0 {
 		warm = *n / 5
 	}
 
-	cfg := repro.HelperConfig()
-	if !pol.Enable888 {
-		cfg = repro.BaselineConfig()
+	// Config left zero: the Runner derives it from the policy. The power
+	// model below needs the resolved machine, hence EffectiveConfig.
+	job := repro.Job{Policy: pol, Workload: w, N: *n, Warmup: warm}
+	cfg := job.EffectiveConfig()
+	runner := repro.NewRunner()
+	res, err := runner.Run(ctx, job)
+	if err != nil {
+		fatal(err)
 	}
-	res := repro.RunWarm(cfg, pol, w, *n, warm)
 	m := res.Metrics
 
 	fmt.Printf("workload   %s\npolicy     %s\nuops       %d (+%d warmup)\n",
@@ -90,7 +84,13 @@ func main() {
 		100*res.L1.MissRate(), 100*res.L2.MissRate(), 100*res.TC.MissRate())
 
 	if *compare && pol.Enable888 {
-		base := repro.RunWarm(repro.BaselineConfig(), repro.PolicyBaseline(), w, *n, warm)
+		base, err := runner.Run(ctx, repro.Job{
+			Config: repro.BaselineConfig(), Policy: repro.PolicyBaseline(),
+			Workload: w, N: *n, Warmup: warm,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("speedup    %+.2f%% over the monolithic baseline (IPC %.3f)\n",
 			100*repro.SpeedupOf(res, base), base.Metrics.IPC())
 		if *showPower {
@@ -103,6 +103,11 @@ func main() {
 		pr := repro.EstimatePower(cfg, res)
 		fmt.Printf("energy     %.1f nJ (ED² %.3g)\n", pr.EnergyNJ, pr.ED2)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func safeDiv(a, b float64) float64 {

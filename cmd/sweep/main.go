@@ -1,115 +1,226 @@
-// Command sweep runs the ablation studies DESIGN.md calls out: width
-// predictor table size, helper clock ratio, copy latency, issue-queue
-// sizing (§2.2's robustness claim), and the confidence estimator.
+// Command sweep runs configuration ablations (width predictor table size,
+// helper clock ratio, copy latency, issue-queue sizing, helper datapath
+// width, IR split variants, the confidence estimator) and the full SPEC
+// Int 2000 policy-ladder sweep, all through the public batch Runner: every
+// study is a list of Jobs fanned out by Runner.RunBatch with streamed
+// progress, and Ctrl-C cancels mid-sweep.
 //
 // Usage:
 //
 //	sweep -study widthtable -workload gcc
 //	sweep -study clockratio -n 150000
+//	sweep -study ladder -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro"
 	"repro/internal/report"
-	"repro/internal/steer"
 )
 
 func main() {
 	var (
-		study        = flag.String("study", "clockratio", "widthtable|clockratio|copylat|iqsize|confidence|helperwidth|splitmode")
-		workloadName = flag.String("workload", "crafty", "SPEC Int 2000 benchmark")
+		study        = flag.String("study", "clockratio", "widthtable|clockratio|copylat|iqsize|confidence|helperwidth|splitmode|ladder")
+		workloadName = flag.String("workload", "crafty", "SPEC Int 2000 benchmark (ablation studies)")
+		policyName   = flag.String("policy", "cr", "policy for the configuration ablations (see helpersim -list)")
 		n            = flag.Uint64("n", 120_000, "measured uops per point")
+		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Progress invocations are serialized by the batch with Done strictly
+	// increasing, so plain carriage-return rewriting is safe here.
+	runner := repro.NewRunner(
+		repro.WithWorkers(*workers),
+		repro.WithProgress(func(p repro.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d %-40s", p.Done, p.Total, p.Job.Label())
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}),
+	)
+
+	if *study == "ladder" {
+		runLadder(ctx, runner, *n)
+		return
+	}
+
 	w, err := repro.WorkloadByName(*workloadName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+	pol, err := repro.PolicyByName(*policyName)
+	if err != nil {
+		fatal(err)
 	}
 	warm := *n / 5
-	base := repro.RunWarm(repro.BaselineConfig(), repro.PolicyBaseline(), w, *n, warm)
 
-	run := func(cfg repro.Config, pol repro.Policy) (speedup, copies, fatal float64) {
-		r := repro.RunWarm(cfg, pol, w, *n, warm)
-		return 100 * repro.SpeedupOf(r, base), 100 * r.Metrics.CopyFrac(), float64(r.Metrics.FatalFlushes)
+	// Every ablation is a labeled list of machine/policy points simulated
+	// alongside one shared monolithic baseline (job index 0).
+	type point struct {
+		label  string
+		config repro.Config
+		policy repro.Policy
 	}
-
-	var t *report.Table
+	var (
+		title  string
+		points []point
+	)
+	vary := func(label string, mut func(*repro.Config)) point {
+		cfg := repro.HelperConfig()
+		mut(&cfg)
+		return point{label: label, config: cfg, policy: pol}
+	}
 	switch *study {
 	case "widthtable":
 		// §3.2: "a size of 256 entries was found to be a good compromise".
-		t = report.NewTable(fmt.Sprintf("Width predictor table size — %s", w.Name),
-			"speedup%", "copies%", "fatal")
+		title = fmt.Sprintf("Width predictor table size — %s", w.Name)
 		for _, entries := range []int{64, 128, 256, 512, 1024, 4096} {
-			cfg := repro.HelperConfig()
-			cfg.WidthEntries = entries
-			s, c, f := run(cfg, steer.FCR())
-			t.AddRow(fmt.Sprintf("%d entries", entries), s, c, f)
+			points = append(points, vary(fmt.Sprintf("%d entries", entries),
+				func(c *repro.Config) { c.WidthEntries = entries }))
 		}
 	case "clockratio":
 		// §2.2: the 8-bit backend can be clocked 2× faster.
-		t = report.NewTable(fmt.Sprintf("Helper clock ratio — %s", w.Name),
-			"speedup%", "copies%", "fatal")
+		title = fmt.Sprintf("Helper clock ratio — %s", w.Name)
 		for _, ratio := range []int{1, 2, 3} {
-			cfg := repro.HelperConfig()
-			cfg.HelperClockRatio = ratio
-			s, c, f := run(cfg, steer.FCR())
-			t.AddRow(fmt.Sprintf("%dx", ratio), s, c, f)
+			points = append(points, vary(fmt.Sprintf("%dx", ratio),
+				func(c *repro.Config) { c.HelperClockRatio = ratio }))
 		}
 	case "copylat":
-		t = report.NewTable(fmt.Sprintf("Inter-cluster copy latency — %s", w.Name),
-			"speedup%", "copies%", "fatal")
+		title = fmt.Sprintf("Inter-cluster copy latency — %s", w.Name)
 		for _, lat := range []int{1, 2, 4, 8} {
-			cfg := repro.HelperConfig()
-			cfg.CopyLatency = lat
-			s, c, f := run(cfg, steer.FCR())
-			t.AddRow(fmt.Sprintf("%d cycles", lat), s, c, f)
+			points = append(points, vary(fmt.Sprintf("%d cycles", lat),
+				func(c *repro.Config) { c.CopyLatency = lat }))
 		}
 	case "iqsize":
 		// §2.2 claims reduced issue queue size/width has negligible impact.
-		t = report.NewTable(fmt.Sprintf("Issue queue sizing — %s", w.Name),
-			"speedup%", "copies%", "fatal")
+		title = fmt.Sprintf("Issue queue sizing — %s", w.Name)
 		for _, size := range []int{8, 16, 32, 64} {
-			cfg := repro.HelperConfig()
-			cfg.WideIQ, cfg.HelperIQ = size, size
-			s, c, f := run(cfg, steer.FCR())
-			t.AddRow(fmt.Sprintf("%d entries", size), s, c, f)
+			points = append(points, vary(fmt.Sprintf("%d entries", size),
+				func(c *repro.Config) { c.WideIQ, c.HelperIQ = size, size }))
 		}
 	case "helperwidth":
 		// §2.1: a wider-than-8-bit helper captures more instructions.
-		t = report.NewTable(fmt.Sprintf("Helper datapath width — %s", w.Name),
-			"speedup%", "copies%", "fatal")
+		title = fmt.Sprintf("Helper datapath width — %s", w.Name)
 		for _, bits := range []int{8, 16, 24} {
-			cfg := repro.HelperConfig()
-			cfg.HelperWidthBits = bits
-			s, c, f := run(cfg, steer.FCR())
-			t.AddRow(fmt.Sprintf("%d-bit", bits), s, c, f)
+			points = append(points, vary(fmt.Sprintf("%d-bit", bits),
+				func(c *repro.Config) { c.HelperWidthBits = bits }))
 		}
 	case "splitmode":
 		// §3.7: per-uop splitting vs the tuned no-destination variant vs
 		// the proposed block-granularity extension.
-		t = report.NewTable(fmt.Sprintf("IR splitting variants — %s", w.Name),
-			"speedup%", "copies%", "fatal")
-		for _, pol := range []repro.Policy{steer.FIR(), steer.FIRTuned(), steer.FIRBlock()} {
-			s, c, f := run(repro.HelperConfig(), pol)
-			t.AddRow(pol.Name(), s, c, f)
+		title = fmt.Sprintf("IR splitting variants — %s", w.Name)
+		for _, name := range []string{"ir", "irnd", "irblk"} {
+			p := mustPolicy(name)
+			points = append(points, point{label: p.Name(), config: repro.HelperConfig(), policy: p})
 		}
 	case "confidence":
 		// §3.2: the 2-bit estimator cut fatal mispredictions 2.11%→0.83%.
-		t = report.NewTable(fmt.Sprintf("Confidence estimator — %s", w.Name),
-			"speedup%", "copies%", "fatal")
-		s, c, f := run(repro.HelperConfig(), steer.F888())
-		t.AddRow("with confidence", s, c, f)
-		s, c, f = run(repro.HelperConfig(), steer.F888NoConfidence())
-		t.AddRow("without", s, c, f)
+		title = fmt.Sprintf("Confidence estimator — %s", w.Name)
+		points = append(points,
+			point{label: "with confidence", config: repro.HelperConfig(), policy: mustPolicy("888")},
+			point{label: "without", config: repro.HelperConfig(), policy: mustPolicy("no-confidence")})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
 		os.Exit(1)
 	}
+
+	jobs := []repro.Job{{
+		Name:   "baseline",
+		Config: repro.BaselineConfig(), Policy: repro.PolicyBaseline(),
+		Workload: w, N: *n, Warmup: warm,
+	}}
+	for _, p := range points {
+		jobs = append(jobs, repro.Job{
+			Name:   p.label,
+			Config: p.config, Policy: p.policy,
+			Workload: w, N: *n, Warmup: warm,
+		})
+	}
+	results := collect(ctx, runner, jobs)
+
+	base := results[0]
+	t := report.NewTable(title, "speedup%", "copies%", "fatal")
+	for i, p := range points {
+		r := results[i+1]
+		t.AddRow(p.label, 100*repro.SpeedupOf(r, base), 100*r.Metrics.CopyFrac(),
+			float64(r.Metrics.FatalFlushes))
+	}
 	fmt.Println(t.Render())
+}
+
+// runLadder sweeps the paper's full cumulative policy ladder over all 12
+// SPEC Int 2000 workloads in one RunBatch: 12 × (1 baseline + 7 rungs)
+// jobs streamed off the worker pool.
+func runLadder(ctx context.Context, runner *repro.Runner, n uint64) {
+	apps := repro.SpecInt2000()
+	ladder := repro.PolicyLadder()
+	warm := n / 5
+
+	var jobs []repro.Job
+	for _, w := range apps {
+		jobs = append(jobs, repro.Job{
+			Config: repro.BaselineConfig(), Policy: repro.PolicyBaseline(),
+			Workload: w, N: n, Warmup: warm,
+		})
+		for _, pol := range ladder {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: n, Warmup: warm})
+		}
+	}
+	results := collect(ctx, runner, jobs)
+
+	cols := make([]string, len(ladder))
+	for i, pol := range ladder {
+		name := pol.Name()
+		if cut := strings.LastIndex(name, "+"); i > 0 && cut >= 0 {
+			name = name[cut:]
+		}
+		cols[i] = name
+	}
+	t := report.NewTable(fmt.Sprintf("SPEC Int 2000 policy ladder — speedup %% over baseline (%d uops)", n),
+		cols...)
+	stride := 1 + len(ladder)
+	for ai, w := range apps {
+		base := results[ai*stride]
+		row := make([]float64, len(ladder))
+		for pi := range ladder {
+			row[pi] = 100 * repro.SpeedupOf(results[ai*stride+1+pi], base)
+		}
+		t.AddRow(w.Name, row...)
+	}
+	t.AddMeanRow()
+	fmt.Println(t.Render())
+}
+
+// collect gathers a batch in job order, exiting with a clean message on
+// failure or Ctrl-C.
+func collect(ctx context.Context, runner *repro.Runner, jobs []repro.Job) []repro.Result {
+	results, err := runner.RunAll(ctx, jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(fmt.Errorf("sweep: %w", err))
+	}
+	return results
+}
+
+func mustPolicy(name string) repro.Policy {
+	p, err := repro.PolicyByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

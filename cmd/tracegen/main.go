@@ -14,7 +14,6 @@ import (
 	"os"
 
 	"repro"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -28,12 +27,17 @@ func main() {
 
 	if *list {
 		fmt.Println("SPEC Int 2000 profiles:")
-		for _, p := range workload.SpecInt2000() {
+		for _, p := range repro.SpecInt2000() {
 			fmt.Printf("  %-8s working set %6d KiB, %d segments\n",
 				p.Name, p.Params.WorkingSet>>10, p.Params.Segments)
 		}
+		suite := repro.Suite412()
+		categories := map[string]bool{}
+		for _, p := range suite {
+			categories[p.Category] = true
+		}
 		fmt.Printf("suite: %d commercial traces across %d categories (Table 2)\n",
-			workload.SuiteSize, len(workload.Categories()))
+			len(suite), len(categories))
 		return
 	}
 

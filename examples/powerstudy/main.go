@@ -2,9 +2,11 @@
 // energy-delay² of the helper-cluster machine in its most aggressive
 // configuration against the monolithic baseline, using the Wattch-like
 // power model (the paper reports the helper 5.1% more ED²-efficient).
+// The baseline/full pairs for all six apps run as one gathered batch.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -12,19 +14,31 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const uops = 100_000
-	t := report.NewTable("Energy-delay² — IR configuration vs monolithic baseline",
-		"energy-ratio", "delay-ratio", "ed2-gain%")
-
-	var sumGain float64
 	apps := []string{"bzip2", "crafty", "gap", "gzip", "parser", "twolf"}
+
+	// Two jobs per app: baseline at 2i, the full IR configuration at 2i+1.
+	var jobs []repro.Job
 	for _, app := range apps {
 		w, err := repro.WorkloadByName(app)
 		if err != nil {
 			panic(err)
 		}
-		base := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, uops)
-		full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, uops)
+		jobs = append(jobs,
+			repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: uops},
+			repro.Job{Policy: repro.PolicyFull(), Workload: w, N: uops})
+	}
+	results, err := repro.NewRunner().RunAll(ctx, jobs)
+	if err != nil {
+		panic(err)
+	}
+
+	t := report.NewTable("Energy-delay² — IR configuration vs monolithic baseline",
+		"energy-ratio", "delay-ratio", "ed2-gain%")
+	var sumGain float64
+	for i, app := range apps {
+		base, full := results[2*i], results[2*i+1]
 		pb := repro.EstimatePower(repro.BaselineConfig(), base)
 		pf := repro.EstimatePower(repro.HelperConfig(), full)
 		gain := 100 * repro.ED2Gain(pf, pb)

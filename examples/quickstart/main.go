@@ -1,23 +1,34 @@
 // Quickstart: simulate one SPEC Int benchmark on the monolithic baseline
 // and on the helper-cluster machine with the paper's full steering policy,
-// and print the speedup — the minimal end-to-end use of the library.
+// and print the speedup — the minimal end-to-end use of the Runner API.
+// Note the zero-value conveniences: each Job's Config is derived from its
+// Policy, and the warmup defaults to the Runner's 20% fraction.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
 	w, err := repro.WorkloadByName("crafty")
 	if err != nil {
 		panic(err)
 	}
 	const uops = 150_000
 
-	base := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, uops)
-	full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, uops)
+	r := repro.NewRunner()
+	base, err := r.Run(ctx, repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: uops})
+	if err != nil {
+		panic(err)
+	}
+	full, err := r.Run(ctx, repro.Job{Policy: repro.PolicyFull(), Workload: w, N: uops})
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("workload: %s (%d uops measured)\n", w.Name, uops)
 	fmt.Printf("baseline IPC: %.3f\n", base.Metrics.IPC())

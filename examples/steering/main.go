@@ -1,10 +1,12 @@
 // Steering: walk the paper's cumulative policy ladder (8_8_8 → +BR → +LR
 // → +CR → +CP → +IR) over a few SPEC Int benchmarks, reproducing the §3
 // narrative: BR and LR cut copies, CR widens helper coverage, IR trades
-// copies for balance.
+// copies for balance. The whole grid — baselines included — runs as one
+// batch gathered in job order by Runner.RunAll.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -12,29 +14,41 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	apps := []string{"bzip2", "gcc", "crafty"}
+	ladder := repro.PolicyLadder()
 	const uops = 100_000
 
-	t := report.NewTable("Policy ladder (speedup % over the monolithic baseline)",
-		append([]string{}, apps...)...)
-	copies := report.NewTable("Copy percentage", append([]string{}, apps...)...)
-
-	baselines := map[string]repro.Result{}
+	// Job layout: per app, one baseline followed by the ladder rungs.
+	var jobs []repro.Job
 	for _, app := range apps {
 		w, err := repro.WorkloadByName(app)
 		if err != nil {
 			panic(err)
 		}
-		baselines[app] = repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, uops)
+		jobs = append(jobs, repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: uops})
+		for _, pol := range ladder {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: uops})
+		}
 	}
 
-	for _, pol := range repro.PolicyLadder() {
+	results, err := repro.NewRunner().RunAll(ctx, jobs)
+	if err != nil {
+		panic(err)
+	}
+
+	t := report.NewTable("Policy ladder (speedup % over the monolithic baseline)",
+		append([]string{}, apps...)...)
+	copies := report.NewTable("Copy percentage", append([]string{}, apps...)...)
+
+	stride := 1 + len(ladder)
+	for pi, pol := range ladder {
 		spd := make([]float64, 0, len(apps))
 		cp := make([]float64, 0, len(apps))
-		for _, app := range apps {
-			w, _ := repro.WorkloadByName(app)
-			r := repro.Run(repro.HelperConfig(), pol, w, uops)
-			spd = append(spd, 100*repro.SpeedupOf(r, baselines[app]))
+		for ai := range apps {
+			base := results[ai*stride]
+			r := results[ai*stride+1+pi]
+			spd = append(spd, 100*repro.SpeedupOf(r, base))
 			cp = append(cp, 100*r.Metrics.CopyFrac())
 		}
 		t.AddRow(pol.Name(), spd...)

@@ -5,12 +5,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Start from a calibrated profile and make it byte-data heavy — an
 	// image-filter-like workload.
 	base, err := repro.WorkloadByName("gzip")
@@ -43,9 +46,17 @@ func main() {
 	fmt.Printf("producer→consumer distance: avg %.1f uops, max %d (Figure 13: IA-32 ≈ 2-6)\n",
 		dist.Average(), dist.Max)
 
-	// And what the helper cluster makes of it.
-	baseRun := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, 100_000)
-	full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, 100_000)
+	// And what the helper cluster makes of it: two jobs through the
+	// Runner, Config derived from each job's policy.
+	r := repro.NewRunner()
+	baseRun, err := r.Run(ctx, repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: 100_000})
+	if err != nil {
+		panic(err)
+	}
+	full, err := r.Run(ctx, repro.Job{Policy: repro.PolicyFull(), Workload: w, N: 100_000})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nhelper-cluster speedup on this workload: %+.1f%%\n",
 		100*repro.SpeedupOf(full, baseRun))
 }

@@ -8,15 +8,37 @@
 // experiment harness that regenerates every table and figure of the
 // paper's evaluation.
 //
-// Quick start:
+// The entry point is the Runner: context-aware, batch-capable, with
+// streaming results and live progress. Quick start:
 //
 //	w, _ := repro.WorkloadByName("gcc")
-//	base := repro.Run(repro.BaselineConfig(), repro.PolicyBaseline(), w, 100_000)
-//	full := repro.Run(repro.HelperConfig(), repro.PolicyFull(), w, 100_000)
+//	r := repro.NewRunner()
+//	base, _ := r.Run(ctx, repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: 100_000})
+//	full, _ := r.Run(ctx, repro.Job{Policy: repro.PolicyFull(), Workload: w, N: 100_000})
 //	fmt.Printf("speedup: %+.1f%%\n", 100*repro.SpeedupOf(full, base))
+//
+// A Job's zero-valued Config is derived from its Policy (helper machine
+// when steering is on, Table 1 baseline otherwise) and its zero-valued
+// Warmup defaults to the Runner's warmup fraction of N. Sweeps fan out
+// over a bounded worker pool and stream JobResults as they complete:
+//
+//	var jobs []repro.Job
+//	for _, w := range repro.SpecInt2000() {
+//		for _, pol := range repro.PolicyLadder() {
+//			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: 100_000})
+//		}
+//	}
+//	for jr := range r.RunBatch(ctx, jobs) {
+//		fmt.Println(jr.Job.Label(), jr.Result.Metrics.IPC(), jr.Err)
+//	}
+//
+// Jobs, Configs, Policies and Results all round-trip through JSON, and
+// Job's decoder accepts registry names ("gcc", "8_8_8+BR", "helper") as
+// shorthand, so runs can be requested and reported over the wire.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -97,14 +119,30 @@ func CustomWorkload(name string, p WorkloadParams) (Workload, error) {
 
 // Run simulates n committed uops of w on cfg under pol, with a warmup of
 // n/5 uops (predictors and caches fill before measurement begins).
+//
+// Deprecated: use Runner.Run, which adds cancellation and error returns.
+// Run panics where the Runner would return an error.
 func Run(cfg Config, pol Policy, w Workload, n uint64) Result {
 	return RunWarm(cfg, pol, w, n, n/5)
 }
 
 // RunWarm is Run with an explicit warmup budget.
+//
+// Deprecated: use Runner.Run with Job.Warmup set (the default Runner here
+// applies no implicit warmup, so the warmup argument passes through
+// verbatim, including zero).
 func RunWarm(cfg Config, pol Policy, w Workload, n, warmup uint64) Result {
-	sim := core.MustNew(cfg, pol, w.MustStream())
-	return sim.RunWarm(n, warmup)
+	if n == 0 {
+		// The pre-Runner API returned an empty result for a zero budget
+		// rather than erroring; preserve that for existing callers.
+		return Result{Policy: pol.Name()}
+	}
+	r, err := defaultRunner.Run(context.Background(),
+		Job{Config: cfg, Policy: pol, Workload: w, N: n, Warmup: warmup})
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // SpeedupOf returns the relative performance of r over base (0.1 = +10%).
@@ -157,14 +195,16 @@ func RecordTrace(w Workload, n int) []TraceUop {
 	return trace.Record(w.MustStream(), n)
 }
 
-// WriteTraceFile generates n uops of w into a binary trace file.
+// WriteTraceFile generates n uops of w into a binary trace file. The file
+// is closed exactly once, and a close failure (buffered data hitting a
+// full disk, say) is reported rather than swallowed.
 func WriteTraceFile(path string, w Workload, n int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := trace.Write(f, w.MustStream(), n); err != nil {
+		f.Close() // report the write error; close is best-effort cleanup
 		return err
 	}
 	return f.Close()
@@ -172,19 +212,8 @@ func WriteTraceFile(path string, w Workload, n int) error {
 
 // RunTraceFile simulates a recorded binary trace (replayed cyclically
 // until n uops commit).
+//
+// Deprecated: use Runner.RunTraceFile, which adds cancellation.
 func RunTraceFile(cfg Config, pol Policy, path string, n uint64) (Result, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return Result{}, err
-	}
-	defer f.Close()
-	uops, err := trace.Read(f)
-	if err != nil {
-		return Result{}, err
-	}
-	if len(uops) == 0 {
-		return Result{}, fmt.Errorf("repro: empty trace %s", path)
-	}
-	sim := core.MustNew(cfg, pol, trace.NewSliceSource(uops))
-	return sim.Run(n), nil
+	return defaultRunner.RunTraceFile(context.Background(), cfg, pol, path, n)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -157,8 +158,24 @@ type Result struct {
 // paper's methodology skips each trace's initialization slice (§3.1); this
 // is the equivalent for synthetic streams.
 func (s *Sim) RunWarm(n, warm uint64) Result {
+	r, err := s.RunWarmCtx(context.Background(), n, warm)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunWarmCtx is RunWarm with cancellation: the warmup and measured phases
+// both observe ctx. Cancellation during the measured phase returns the
+// partial measurements collected so far together with ctx.Err();
+// cancellation during warmup returns a zero Result, since warmup counters
+// are exactly the cold-start data the methodology excludes and must not
+// masquerade as measurements.
+func (s *Sim) RunWarmCtx(ctx context.Context, n, warm uint64) (Result, error) {
 	if warm > 0 {
-		s.Run(warm)
+		if _, err := s.RunCtx(ctx, warm); err != nil {
+			return Result{}, err
+		}
 		s.m = metrics.Metrics{}
 		s.wp.ResetStats()
 		s.bp.ResetStats()
@@ -166,14 +183,36 @@ func (s *Sim) RunWarm(n, warm uint64) Result {
 		s.mem.L1.ResetStats()
 		s.mem.L2.ResetStats()
 	}
-	return s.Run(n)
+	return s.RunCtx(ctx, n)
 }
 
 // Run simulates until n real uops have committed and returns the collected
-// measurements.
+// measurements. It panics if the machine stalls (the internal watchdog);
+// use RunCtx for an error-returning, cancellable run.
 func (s *Sim) Run(n uint64) Result {
+	r, err := s.RunCtx(context.Background(), n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ctxCheckTicks is the cancellation polling interval of the main loop. A
+// tick is tens of nanoseconds of work, so checking every 8Ki ticks keeps
+// the hot loop free of per-iteration overhead while bounding cancellation
+// latency well under a millisecond.
+const ctxCheckTicks = 1 << 13
+
+// RunCtx simulates until n real uops have committed or ctx is cancelled.
+// Cancellation is polled every ctxCheckTicks ticks (amortized: the hot
+// loop stays branch-light). On cancellation the partial measurements are
+// returned together with ctx.Err(); a stalled machine (no commit within
+// the watchdog window, a simulator bug) is reported as an error rather
+// than a panic.
+func (s *Sim) RunCtx(ctx context.Context, n uint64) (Result, error) {
 	const watchdogTicks = 1 << 21
 	s.lastCommitTick = s.tick
+	nextCtxCheck := s.tick + ctxCheckTicks
 	for s.m.Committed < n {
 		s.tick++
 		onWide := s.tick%s.ratio == 0
@@ -194,11 +233,22 @@ func (s *Sim) Run(n uint64) Result {
 			s.renameStage()
 		}
 
-		if s.tick-s.lastCommitTick > watchdogTicks {
-			panic(fmt.Sprintf("core: no commit for %d ticks at tick %d (rob=%d iqW=%d iqH=%d committed=%d)",
-				watchdogTicks, s.tick, s.rob.Len(), s.iq[wide].Len(), s.iq[helper].Len(), s.m.Committed))
+		if s.tick >= nextCtxCheck {
+			nextCtxCheck = s.tick + ctxCheckTicks
+			if err := ctx.Err(); err != nil {
+				return s.result(), err
+			}
+			if s.tick-s.lastCommitTick > watchdogTicks {
+				return s.result(), fmt.Errorf("core: no commit for %d ticks at tick %d (rob=%d iqW=%d iqH=%d committed=%d)",
+					watchdogTicks, s.tick, s.rob.Len(), s.iq[wide].Len(), s.iq[helper].Len(), s.m.Committed)
+			}
 		}
 	}
+	return s.result(), nil
+}
+
+// result snapshots the collected measurements.
+func (s *Sim) result() Result {
 	return Result{
 		Metrics: s.m,
 		Width:   s.wp.Stats(),

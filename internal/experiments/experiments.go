@@ -9,11 +9,13 @@
 package experiments
 
 import (
-	"runtime"
+	"context"
+	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/steer"
 	"repro/internal/workload"
 )
@@ -44,52 +46,17 @@ func Quick() Options {
 	return Options{SpecUops: 20_000, SuiteUops: 5_000, Warmup: 5_000}
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// parallelMap evaluates fn for 0..n-1 on a bounded worker pool.
-func parallelMap[T any](n, workers int, fn func(i int) T) []T {
-	out := make([]T, n)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	work := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range work {
-				out[i] = fn(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-	return out
-}
-
 // runOne simulates one workload under one policy with warmup.
-func runOne(p workload.Profile, feats steer.Features, n, warm uint64) core.Result {
+func runOne(ctx context.Context, p workload.Profile, feats steer.Features, n, warm uint64) (core.Result, error) {
 	cfg := config.PentiumLikeBaseline()
 	if feats.Enable888 {
 		cfg = config.WithHelper()
 	}
-	return core.MustNew(cfg, feats, p.MustStream()).RunWarm(n, warm)
+	sim, err := core.New(cfg, feats, p.MustStream())
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sim.RunWarmCtx(ctx, n, warm)
 }
 
 // SpecSweep holds one full policy-ladder sweep over the 12 SPEC traces;
@@ -106,8 +73,19 @@ type SpecSweep struct {
 }
 
 // RunSpecSweep runs baseline + the full ladder (+ the no-confidence
-// variant) over the 12 SPEC profiles in parallel.
+// variant) over the 12 SPEC profiles in parallel. It panics on simulator
+// failure; use RunSpecSweepCtx for error returns and cancellation.
 func RunSpecSweep(o Options) *SpecSweep {
+	s, err := RunSpecSweepCtx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RunSpecSweepCtx is RunSpecSweep with cancellation: the fan-out stops
+// dispatching and in-flight simulations wind down as soon as ctx is done.
+func RunSpecSweepCtx(ctx context.Context, o Options) (*SpecSweep, error) {
 	profiles := workload.SpecInt2000()
 	policies := steer.Ladder()
 	s := &SpecSweep{
@@ -138,9 +116,18 @@ func RunSpecSweep(o Options) *SpecSweep {
 		}
 		jobs = append(jobs, job{app: p.Name, prof: p, feats: steer.F888NoConfidence(), kind: 2})
 	}
-	results := parallelMap(len(jobs), o.workers(), func(i int) core.Result {
-		return runOne(jobs[i].prof, jobs[i].feats, o.SpecUops, o.Warmup)
+	// parallel.Map cancels the rest of the sweep on the first real failure
+	// and reports it; a plain context cancellation surfaces unattributed.
+	results, err := parallel.Map(ctx, len(jobs), o.Workers, func(ctx context.Context, i int) (core.Result, error) {
+		r, runErr := runOne(ctx, jobs[i].prof, jobs[i].feats, o.SpecUops, o.Warmup)
+		if runErr != nil {
+			return r, fmt.Errorf("experiments: %s/%s: %w", jobs[i].app, jobs[i].feats.Name(), runErr)
+		}
+		return r, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, j := range jobs {
 		switch j.kind {
 		case 0:
@@ -151,7 +138,7 @@ func RunSpecSweep(o Options) *SpecSweep {
 			s.NoConfidence[j.app] = results[i]
 		}
 	}
-	return s
+	return s, nil
 }
 
 // speedup returns the percent speedup of app under policy vs baseline.

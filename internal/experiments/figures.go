@@ -1,25 +1,45 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/steer"
 	"repro/internal/workload"
 )
 
+// analysisMap fans an analysis measurement out over the SPEC profiles.
+// Cancellation stops dispatching further profiles (in-flight measurements
+// finish; they do not consult ctx themselves) and surfaces ctx.Err().
+func analysisMap[T any](ctx context.Context, o Options, fn func(p workload.Profile) T) ([]workload.Profile, []T, error) {
+	profiles := workload.SpecInt2000()
+	rows, err := parallel.Map(ctx, len(profiles), o.Workers,
+		func(_ context.Context, i int) (T, error) { return fn(profiles[i]), nil })
+	if err != nil {
+		return nil, nil, err
+	}
+	return profiles, rows, nil
+}
+
 // Fig1 reproduces Figure 1 plus the §1 operand-mix statistics: the
 // percentage of register operands that are narrow data-width dependent,
 // and the one-narrow / two-narrow-wide / two-narrow-narrow ALU mix.
-func Fig1(o Options) *report.Table {
-	profiles := workload.SpecInt2000()
-	rows := parallelMap(len(profiles), o.workers(), func(i int) analysis.NarrowDependency {
-		return analysis.MeasureNarrowDependency(profiles[i].MustStream(), int(o.SpecUops))
+func Fig1(o Options) *report.Table { return mustTable(Fig1Ctx(context.Background(), o)) }
+
+// Fig1Ctx is Fig1 with cancellation over the per-benchmark fan-out.
+func Fig1Ctx(ctx context.Context, o Options) (*report.Table, error) {
+	profiles, rows, err := analysisMap(ctx, o, func(p workload.Profile) analysis.NarrowDependency {
+		return analysis.MeasureNarrowDependency(p.MustStream(), int(o.SpecUops))
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Figure 1 — narrow data-width dependent register operands (%)",
 		"narrowdep", "1narrow", "2narrow-wide", "2narrow-narrow")
 	for i, p := range profiles {
@@ -28,6 +48,15 @@ func Fig1(o Options) *report.Table {
 			100*d.TwoNarrowWideResFrac, 100*d.TwoNarrowNarrowResFrac)
 	}
 	t.AddMeanRow()
+	return t, nil
+}
+
+// mustTable unwraps a (table, error) pair for the background-context
+// convenience wrappers, where the only possible error is a simulator bug.
+func mustTable(t *report.Table, err error) *report.Table {
+	if err != nil {
+		panic(err)
+	}
 	return t
 }
 
@@ -103,18 +132,23 @@ func Fig9(s *SpecSweep) *report.Table {
 // Fig11 reproduces Figure 11: for 8-32-32 shaped operations, the fraction
 // whose carry does not propagate beyond the low byte, split into
 // arithmetic and loads.
-func Fig11(o Options) *report.Table {
-	profiles := workload.SpecInt2000()
-	rows := parallelMap(len(profiles), o.workers(), func(i int) analysis.CarryStudy {
-		return analysis.MeasureCarry(profiles[i].MustStream(), int(o.SpecUops))
+func Fig11(o Options) *report.Table { return mustTable(Fig11Ctx(context.Background(), o)) }
+
+// Fig11Ctx is Fig11 with cancellation over the per-benchmark fan-out.
+func Fig11Ctx(ctx context.Context, o Options) (*report.Table, error) {
+	profiles, rows, err := analysisMap(ctx, o, func(p workload.Profile) analysis.CarryStudy {
+		return analysis.MeasureCarry(p.MustStream(), int(o.SpecUops))
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Figure 11 — carry not propagated beyond 8 bits (%)",
 		"arith", "load")
 	for i, p := range profiles {
 		t.AddRow(p.Name, 100*rows[i].ArithFrac(), 100*rows[i].LoadFrac())
 	}
 	t.AddMeanRow()
-	return t
+	return t, nil
 }
 
 // Fig12 reproduces Figure 12: performance of the full CR ladder vs plain
@@ -130,17 +164,22 @@ func Fig12(s *SpecSweep) *report.Table {
 }
 
 // Fig13 reproduces Figure 13: average producer-consumer distance in uops.
-func Fig13(o Options) *report.Table {
-	profiles := workload.SpecInt2000()
-	rows := parallelMap(len(profiles), o.workers(), func(i int) analysis.DistanceStudy {
-		return analysis.MeasureDistance(profiles[i].MustStream(), int(o.SpecUops))
+func Fig13(o Options) *report.Table { return mustTable(Fig13Ctx(context.Background(), o)) }
+
+// Fig13Ctx is Fig13 with cancellation over the per-benchmark fan-out.
+func Fig13Ctx(ctx context.Context, o Options) (*report.Table, error) {
+	profiles, rows, err := analysisMap(ctx, o, func(p workload.Profile) analysis.DistanceStudy {
+		return analysis.MeasureDistance(p.MustStream(), int(o.SpecUops))
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Figure 13 — average producer-consumer distance (uops)", "distance")
 	for i, p := range profiles {
 		t.AddRow(p.Name, rows[i].Average())
 	}
 	t.AddMeanRow()
-	return t
+	return t, nil
 }
 
 // CPStudy reproduces §3.6: copy prefetching raises the copy percentage
@@ -253,21 +292,42 @@ func Table2() *report.Table {
 
 // Fig14 reproduces Figure 14: average speedup of the IR policy per
 // workload category (left panel) and the sorted per-application speedup
-// curve over the full 412-trace suite (right panel).
+// curve over the full 412-trace suite (right panel). It panics on
+// simulator failure; use Fig14Ctx for error returns and cancellation.
 func Fig14(o Options) (*report.Table, report.Series) {
+	t, series, err := Fig14Ctx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
+	return t, series
+}
+
+// Fig14Ctx is Fig14 with cancellation over the 412-trace fan-out. The
+// first simulator failure cancels the remaining traces instead of letting
+// the whole suite run before surfacing.
+func Fig14Ctx(ctx context.Context, o Options) (*report.Table, report.Series, error) {
 	suite := workload.Suite()
 	type out struct {
 		category string
 		speedup  float64
 	}
-	results := parallelMap(len(suite), o.workers(), func(i int) out {
+	results, err := parallel.Map(ctx, len(suite), o.Workers, func(ctx context.Context, i int) (out, error) {
 		p := suite[i]
 		warm := o.SuiteUops / 4
-		base := runOne(p, steer.Baseline(), o.SuiteUops, warm)
-		ir := runOne(p, steer.FIR(), o.SuiteUops, warm)
+		base, runErr := runOne(ctx, p, steer.Baseline(), o.SuiteUops, warm)
+		if runErr != nil {
+			return out{}, fmt.Errorf("experiments: %s/baseline: %w", p.Name, runErr)
+		}
+		ir, runErr := runOne(ctx, p, steer.FIR(), o.SuiteUops, warm)
+		if runErr != nil {
+			return out{}, fmt.Errorf("experiments: %s/IR: %w", p.Name, runErr)
+		}
 		bm, im := base.Metrics, ir.Metrics
-		return out{category: p.Category, speedup: 100 * metrics.Speedup(&im, &bm)}
+		return out{category: p.Category, speedup: 100 * metrics.Speedup(&im, &bm)}, nil
 	})
+	if err != nil {
+		return nil, report.Series{}, err
+	}
 
 	sums := map[string]float64{}
 	counts := map[string]int{}
@@ -284,7 +344,7 @@ func Fig14(o Options) (*report.Table, report.Series) {
 		t.AddRow(c.Name, sums[c.Name]/float64(counts[c.Name]), float64(counts[c.Name]))
 	}
 	t.AddRow("AVG(all)", series.Mean(), float64(len(series.Values)))
-	return t, series
+	return t, series, nil
 }
 
 // SpecLadder summarizes the full policy ladder over SPEC Int — the §3

@@ -1,0 +1,171 @@
+// Package parallel hosts the bounded worker pool shared by the experiment
+// harness and the public batch Runner: a context-aware fan-out over an
+// index range, in collecting (Map) and streaming (Stream) flavours.
+//
+// Simulation jobs are CPU-bound and independent, so the pool is a plain
+// fixed set of goroutines pulling indices from a channel; cancellation is
+// observed between items (and inside an item by whatever fn itself does
+// with the context).
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count: values < 1 mean GOMAXPROCS,
+// and the count never exceeds n (there is no point idling goroutines).
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map evaluates fn(ctx, i) for i in [0,n) on a bounded worker pool and
+// returns the results in index order, with errgroup-style error handling:
+// the first call to return a real error cancels the context the remaining
+// calls see, stops dispatch, and is reported after in-flight calls wind
+// down. Context errors returned by fn (even wrapped) while the pool's
+// context is already done are not treated as failures — they are either
+// the parent ctx, reported as ctx.Err(), or the echo of the recorded
+// first failure; the same error from a still-live pool (a per-call
+// timeout inside fn, say) counts as a real failure. Slots whose index was
+// never dispatched, or whose call failed, hold whatever fn returned
+// (usually the zero value).
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		// A context error is only an echo of this pool's cancellation (the
+		// parent ctx or an earlier recorded failure) when the pool context
+		// is actually done; otherwise it came from somewhere inside fn —
+		// say a per-call timeout — and counts as a real failure.
+		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && runCtx.Err() != nil {
+			return
+		}
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n && runCtx.Err() == nil; i++ {
+			v, err := fn(runCtx, i)
+			out[i] = v
+			fail(err)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					v, err := fn(runCtx, i)
+					out[i] = v
+					fail(err)
+				}
+			}()
+		}
+	dispatch:
+		for i := 0; i < n; i++ {
+			// Priority check: a blocking select picks randomly when both a
+			// worker and Done are ready, which could dispatch work after
+			// cancellation; checking Done first guarantees it cannot.
+			select {
+			case <-runCtx.Done():
+				break dispatch
+			default:
+			}
+			select {
+			case work <- i:
+			case <-runCtx.Done():
+				break dispatch
+			}
+		}
+		close(work)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// Stream evaluates fn(ctx, i) for i in [0,n) on a bounded worker pool and
+// sends each result on the returned channel as it completes (order is
+// completion order, not index order — fn should embed the index if the
+// caller needs it). The channel is closed once all dispatched work has
+// finished; on cancellation no new indices are dispatched, and once ctx is
+// done results may be dropped instead of delivered so that workers never
+// block on a receiver that walked away. Ranging over the channel until it
+// closes is therefore always leak-free, cancelled or not.
+func Stream[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) T) <-chan T {
+	out := make(chan T)
+	if n == 0 {
+		close(out)
+		return out
+	}
+	workers = Workers(workers, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				v := fn(ctx, i)
+				select {
+				case out <- v:
+				case <-ctx.Done():
+					// Receiver may have walked away after cancelling;
+					// drop the (moot) result rather than block forever.
+				}
+			}
+		}()
+	}
+	go func() {
+	dispatch:
+		for i := 0; i < n; i++ {
+			// Same priority check as Map: never dispatch after Done.
+			select {
+			case <-ctx.Done():
+				break dispatch
+			default:
+			}
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(work)
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

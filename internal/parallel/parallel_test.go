@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0,100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8,3) = %d, want 3", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1,0) = %d, want 1", got)
+	}
+	if got := Workers(2, 100); got != 2 {
+		t.Errorf("Workers(2,100) = %d, want 2", got)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(context.Background(), 100, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := Map(ctx, 1000, 2, func(_ context.Context, i int) (int, error) {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Errorf("cancellation did not stop dispatch (%d calls)", n)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	for _, workers := range []int{1, 4} {
+		calls.Store(0)
+		_, err := Map(context.Background(), 1000, workers, func(ctx context.Context, i int) (int, error) {
+			n := calls.Add(1)
+			if n == 3 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			// Echoes of the induced cancellation must not mask the failure.
+			if ctx.Err() != nil {
+				return 0, fmt.Errorf("job %d: %w", i, ctx.Err())
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want the real failure", workers, err)
+		}
+		if n := calls.Load(); n >= 1000 {
+			t.Errorf("workers=%d: first error did not stop dispatch (%d calls)", workers, n)
+		}
+	}
+}
+
+func TestMapInnerTimeoutIsARealFailure(t *testing.T) {
+	// A wrapped context error from inside fn while the pool is live (e.g.
+	// a per-call timeout) must surface, not be swallowed as an echo.
+	inner := fmt.Errorf("per-call budget: %w", context.DeadlineExceeded)
+	_, err := Map(context.Background(), 10, 2, func(_ context.Context, i int) (int, error) {
+		if i == 0 {
+			return 0, inner
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the inner timeout to surface", err)
+	}
+}
+
+func TestMapParentCancelNotMisattributed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 100, 4, func(ctx context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("wrapped: %w", ctx.Err())
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want bare context.Canceled", err)
+	}
+}
+
+func TestStreamDeliversAll(t *testing.T) {
+	seen := make(map[int]bool)
+	for v := range Stream(context.Background(), 50, 4, func(_ context.Context, i int) int { return i }) {
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("got %d distinct results, want 50", len(seen))
+	}
+}
+
+func TestStreamCancelStopsAndCloses(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	ch := Stream(ctx, 1000, 2, func(_ context.Context, i int) int {
+		calls.Add(1)
+		return i
+	})
+	n := 0
+	for range ch {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	if c := calls.Load(); c >= 1000 {
+		t.Errorf("cancellation did not stop dispatch (%d calls)", c)
+	}
+}
+
+func TestStreamAbandonedReceiverNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := Stream(ctx, 100, 4, func(_ context.Context, i int) int { return i })
+	<-ch // receive one, then walk away after cancelling
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+	}
+	t.Fatalf("goroutines did not drain: before=%d after=%d", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,52 @@
+package steer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// policyTable is the single authoritative name → policy mapping. Canonical
+// names are the paper's scheme names as rendered by Features.Name();
+// aliases cover the short spellings the command-line tools have always
+// accepted.
+var policyTable = []struct {
+	Canonical string
+	Aliases   []string
+	Make      func() Features
+}{
+	{"baseline", []string{"none"}, Baseline},
+	{"8_8_8", []string{"888"}, F888},
+	{"8_8_8+BR", []string{"br"}, FBR},
+	{"8_8_8+BR+LR", []string{"lr"}, FLR},
+	{"8_8_8+BR+LR+CR", []string{"cr"}, FCR},
+	{"8_8_8+BR+LR+CR+CP", []string{"cp"}, FCP},
+	{"8_8_8+BR+LR+CR+CP+IR", []string{"ir", "full"}, FIR},
+	{"8_8_8+BR+LR+CR+CP+IRnd", []string{"irnd", "ir-tuned"}, FIRTuned},
+	{"8_8_8+BR+LR+CR+CP+IRblk", []string{"irblk", "ir-block"}, FIRBlock},
+	{"8_8_8-noconfidence", []string{"888-noconf", "no-confidence"}, F888NoConfidence},
+}
+
+// ByName resolves a policy by canonical name or alias, case-insensitively.
+func ByName(name string) (Features, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range policyTable {
+		if strings.ToLower(e.Canonical) == want {
+			return e.Make(), nil
+		}
+		for _, a := range e.Aliases {
+			if a == want {
+				return e.Make(), nil
+			}
+		}
+	}
+	return Features{}, fmt.Errorf("steer: unknown policy %q (want one of %v)", name, Names())
+}
+
+// Names returns the canonical policy names in ladder order.
+func Names() []string {
+	out := make([]string, len(policyTable))
+	for i, e := range policyTable {
+		out[i] = e.Canonical
+	}
+	return out
+}

@@ -45,13 +45,18 @@ type Features struct {
 	UseConfidence bool
 }
 
-// Name renders the paper's scheme naming, e.g. "8_8_8+BR+LR".
+// Name renders the paper's scheme naming, e.g. "8_8_8+BR+LR". The §3.2
+// no-confidence variant renders as "8_8_8-noconfidence" so that every
+// distinct policy has a distinct name and Name/ByName round-trip.
 func (f Features) Name() string {
 	if !f.Enable888 {
 		return "baseline"
 	}
 	var b strings.Builder
 	b.WriteString("8_8_8")
+	if !f.UseConfidence {
+		b.WriteString("-noconfidence")
+	}
 	if f.EnableBR {
 		b.WriteString("+BR")
 	}

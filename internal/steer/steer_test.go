@@ -13,7 +13,7 @@ func TestFeatureNames(t *testing.T) {
 	}{
 		{Baseline(), "baseline"},
 		{F888(), "8_8_8"},
-		{F888NoConfidence(), "8_8_8"},
+		{F888NoConfidence(), "8_8_8-noconfidence"},
 		{FBR(), "8_8_8+BR"},
 		{FLR(), "8_8_8+BR+LR"},
 		{FCR(), "8_8_8+BR+LR+CR"},

@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// PolicyByName resolves a steering policy by canonical paper name
+// ("8_8_8+BR+LR") or short alias ("lr", "ir", "baseline"),
+// case-insensitively. The table lives in internal/steer next to the
+// policies themselves.
+func PolicyByName(name string) (Policy, error) { return steer.ByName(name) }
+
+// PolicyNames returns the canonical policy names in ladder order.
+func PolicyNames() []string { return steer.Names() }
+
+// namedConfigs is the machine-configuration registry. Both entries are
+// Table 1 machines; "helper" adds the §2 narrow cluster.
+var namedConfigs = []struct {
+	Name string
+	Make func() Config
+}{
+	{"baseline", BaselineConfig},
+	{"helper", HelperConfig},
+}
+
+// ConfigByName resolves a machine configuration by name ("baseline" or
+// "helper"), case-insensitively like PolicyByName.
+func ConfigByName(name string) (Config, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range namedConfigs {
+		if e.Name == want {
+			return e.Make(), nil
+		}
+	}
+	return Config{}, fmt.Errorf("repro: unknown config %q (want one of %v)", name, ConfigNames())
+}
+
+// ConfigNames returns the registered configuration names.
+func ConfigNames() []string {
+	out := make([]string, len(namedConfigs))
+	for i, e := range namedConfigs {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// WorkloadNames returns the SPEC Int 2000 benchmark names accepted by
+// WorkloadByName, in the paper's figure order.
+func WorkloadNames() []string {
+	out := make([]string, len(workload.SpecIntNames))
+	copy(out, workload.SpecIntNames)
+	return out
+}

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyByNameLadder covers every ladder rung: its canonical rendered
+// name and the traditional short alias must both resolve to the exact
+// policy.
+func TestPolicyByNameLadder(t *testing.T) {
+	aliases := map[string]string{
+		"8_8_8":                  "888",
+		"8_8_8+BR":               "br",
+		"8_8_8+BR+LR":            "lr",
+		"8_8_8+BR+LR+CR":         "cr",
+		"8_8_8+BR+LR+CR+CP":      "cp",
+		"8_8_8+BR+LR+CR+CP+IR":   "ir",
+		"8_8_8+BR+LR+CR+CP+IRnd": "irnd",
+	}
+	for _, want := range PolicyLadder() {
+		canonical := want.Name()
+		got, err := PolicyByName(canonical)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", canonical, err)
+		}
+		if got != want {
+			t.Errorf("PolicyByName(%q) = %+v, want %+v", canonical, got, want)
+		}
+		alias, ok := aliases[canonical]
+		if !ok {
+			t.Fatalf("no alias recorded for ladder rung %q", canonical)
+		}
+		if got, err := PolicyByName(alias); err != nil || got != want {
+			t.Errorf("PolicyByName(%q) = %+v, %v; want %+v", alias, got, err, want)
+		}
+		// Case-insensitive.
+		if got, err := PolicyByName(strings.ToUpper(canonical)); err != nil || got != want {
+			t.Errorf("PolicyByName(upper %q) failed: %v", canonical, err)
+		}
+	}
+}
+
+func TestPolicyByNameSpecials(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"baseline":      PolicyBaseline(),
+		"none":          PolicyBaseline(),
+		"full":          PolicyFull(),
+		"no-confidence": {Enable888: true},
+	} {
+		got, err := PolicyByName(name)
+		if err != nil || got != want {
+			t.Errorf("PolicyByName(%q) = %+v, %v; want %+v", name, got, err, want)
+		}
+	}
+	if _, err := PolicyByName("nosuch"); err == nil {
+		t.Error("unknown policy must error")
+	}
+
+	// Name/ByName round-trip for the one policy whose name used to be
+	// lossy: a no-confidence run's reported Policy must resolve back to
+	// the no-confidence policy, not the confidence-enabled one.
+	nc := Policy{Enable888: true}
+	back, err := PolicyByName(nc.Name())
+	if err != nil || back != nc {
+		t.Errorf("no-confidence round trip: name %q resolved to %+v, %v", nc.Name(), back, err)
+	}
+}
+
+// TestPolicyNamesRoundTrip pins the registry contract: every advertised
+// name resolves, and the ladder's rendered names all appear in the list.
+func TestPolicyNamesRoundTrip(t *testing.T) {
+	names := PolicyNames()
+	if len(names) < 8 {
+		t.Fatalf("suspiciously few policy names: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if _, err := PolicyByName(n); err != nil {
+			t.Errorf("advertised name %q does not resolve: %v", n, err)
+		}
+		seen[n] = true
+	}
+	for _, pol := range PolicyLadder() {
+		if !seen[pol.Name()] {
+			t.Errorf("ladder rung %q missing from PolicyNames", pol.Name())
+		}
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	base, err := ConfigByName("baseline")
+	if err != nil || base != BaselineConfig() {
+		t.Errorf("baseline lookup: %v", err)
+	}
+	helper, err := ConfigByName("helper")
+	if err != nil || helper != HelperConfig() {
+		t.Errorf("helper lookup: %v", err)
+	}
+	if !helper.HelperEnabled || base.HelperEnabled {
+		t.Error("config registry wired backwards")
+	}
+	if got, err := ConfigByName(" Helper "); err != nil || got != HelperConfig() {
+		t.Errorf("config lookup must be case-insensitive and trimmed: %v", err)
+	}
+	if _, err := ConfigByName("nosuch"); err == nil {
+		t.Error("unknown config must error")
+	}
+	if len(ConfigNames()) != 2 {
+		t.Errorf("ConfigNames = %v", ConfigNames())
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 12 {
+		t.Fatalf("want 12 SPEC names, got %v", names)
+	}
+	for _, n := range names {
+		if _, err := WorkloadByName(n); err != nil {
+			t.Errorf("advertised workload %q does not resolve: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// Job names one simulation: a machine configuration, a steering policy, a
+// workload, and the uop budgets. The zero values of Config and Warmup are
+// meaningful defaults — a zero Config picks BaselineConfig or HelperConfig
+// from the policy, and a zero Warmup picks the Runner's warmup fraction —
+// so a wire request can be as small as {"workload":"gcc","policy":"ir",
+// "n":100000} (see UnmarshalJSON).
+type Job struct {
+	// Name is an optional caller label, echoed through JobResult and
+	// Progress; the simulator ignores it.
+	Name string `json:"name,omitempty"`
+	// Config is the simulated machine. The zero value means "derive from
+	// the policy": HelperConfig when the policy steers (Enable888),
+	// BaselineConfig otherwise.
+	Config Config `json:"config"`
+	// Policy selects the steering schemes.
+	Policy Policy `json:"policy"`
+	// Workload is the synthetic workload profile to simulate.
+	Workload Workload `json:"workload"`
+	// N is the committed-uop budget of the measured phase.
+	N uint64 `json:"n"`
+	// Warmup is the committed-uop budget of the warmup phase (predictors
+	// and caches fill, then counters reset). Zero means "use the Runner's
+	// warmup fraction of N"; build the Runner with WithWarmupFrac(0) to
+	// force literally no warmup.
+	Warmup uint64 `json:"warmup,omitempty"`
+}
+
+// EffectiveConfig returns the machine the job will actually run on:
+// Config itself, or — when Config is zero — the policy-derived default
+// (HelperConfig when steering is on, BaselineConfig otherwise). Use it
+// wherever the resolved machine matters, e.g. to feed EstimatePower.
+func (j Job) EffectiveConfig() Config {
+	if j.Config != (Config{}) {
+		return j.Config
+	}
+	if j.Policy.Enable888 {
+		return HelperConfig()
+	}
+	return BaselineConfig()
+}
+
+// Label returns the job's display name: the explicit Name if set, else
+// "workload/policy".
+func (j Job) Label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return j.Workload.Name + "/" + j.Policy.Name()
+}
+
+// Validate reports the first structural problem with the job as the
+// Runner would execute it (defaults not yet applied).
+func (j Job) Validate() error {
+	if j.N == 0 {
+		return fmt.Errorf("repro: job %s: N must be > 0", j.Label())
+	}
+	if j.Workload.Name == "" && j.Workload.Params == (WorkloadParams{}) {
+		return fmt.Errorf("repro: job %s: missing workload", j.Label())
+	}
+	if err := j.Workload.Params.Validate(); err != nil {
+		return fmt.Errorf("repro: job %s: %w", j.Label(), err)
+	}
+	if j.Config != (Config{}) {
+		if err := j.Config.Validate(); err != nil {
+			return fmt.Errorf("repro: job %s: %w", j.Label(), err)
+		}
+	}
+	return nil
+}
+
+// JobResult is one streamed batch outcome. Index is the job's position in
+// the slice passed to RunBatch (results arrive in completion order). Err
+// is non-nil when the job failed to build, the simulation stalled, or the
+// context was cancelled; on cancellation Result still holds the partial
+// measurements collected in the measured phase (zero if cancellation hit
+// during warmup — mirroring Runner.Run), on the other failures it is
+// meaningless.
+type JobResult struct {
+	Index  int
+	Job    Job
+	Result Result
+	Err    error
+}
+
+// Progress reports batch completion to the callback installed with
+// WithProgress: Done of Total jobs have finished, Job being the one that
+// just completed (with Err its failure, if any).
+type Progress struct {
+	Done  int
+	Total int
+	Job   Job
+	Err   error
+}
+
+// Runner executes Jobs: one at a time with Run, or fanned out over a
+// bounded worker pool with RunBatch. A Runner is immutable after NewRunner
+// and safe for concurrent use; the zero-config DefaultRunner() serves
+// quick one-off runs.
+type Runner struct {
+	workers    int
+	warmupFrac float64
+	progress   func(Progress)
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers bounds RunBatch parallelism; n < 1 (the default) means
+// GOMAXPROCS.
+func WithWorkers(n int) Option { return func(r *Runner) { r.workers = n } }
+
+// WithWarmupFrac sets the default warmup budget for jobs that leave
+// Warmup zero, as a fraction of the job's N (clamped to [0,1]). The
+// default is 0.2, the n/5 convention of the paper harness.
+func WithWarmupFrac(f float64) Option {
+	return func(r *Runner) {
+		if !(f >= 0) { // negatives and NaN
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		r.warmupFrac = f
+	}
+}
+
+// WithProgress installs a completion callback for RunBatch, invoked once
+// per finished job, including failed and cancelled ones. Invocations are
+// serialized by the batch and Done is strictly increasing across them, so
+// the callback may write to a terminal without its own locking; it should
+// return quickly, since it briefly holds up other finishing workers.
+func WithProgress(fn func(Progress)) Option {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// NewRunner builds a Runner with the given options.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{warmupFrac: 0.2}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// defaultRunner backs the package-level deprecated wrappers. Its warmup
+// fraction is 0 so the wrappers' explicit warmup arguments pass through
+// verbatim (including zero).
+var defaultRunner = NewRunner(WithWarmupFrac(0))
+
+// DefaultRunner returns the shared package-level Runner used by the
+// deprecated free functions. It applies no default warmup: jobs run with
+// exactly the Warmup they carry.
+func DefaultRunner() *Runner { return defaultRunner }
+
+// withDefaults resolves the job's zero-value conveniences against the
+// runner's settings.
+func (r *Runner) withDefaults(j Job) Job {
+	j.Config = j.EffectiveConfig()
+	if j.Warmup == 0 {
+		j.Warmup = uint64(r.warmupFrac * float64(j.N))
+	}
+	return j
+}
+
+// Run executes one job to completion or cancellation. Cancellation during
+// the measured phase returns the partial measurements collected so far
+// along with ctx.Err(); cancellation while still warming up returns a
+// zero Result, since warmup counters are not measurements.
+func (r *Runner) Run(ctx context.Context, j Job) (Result, error) {
+	j = r.withDefaults(j)
+	if err := j.Validate(); err != nil {
+		return Result{}, err
+	}
+	src, err := j.Workload.Stream()
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: job %s: %w", j.Label(), err)
+	}
+	sim, err := core.New(j.Config, j.Policy, src)
+	if err != nil {
+		return Result{}, fmt.Errorf("repro: job %s: %w", j.Label(), err)
+	}
+	res, err := sim.RunWarmCtx(ctx, j.N, j.Warmup)
+	if err != nil {
+		return res, fmt.Errorf("repro: job %s: %w", j.Label(), err)
+	}
+	return res, nil
+}
+
+// RunBatch executes the jobs on a bounded worker pool and streams each
+// JobResult as it completes (completion order; use Index to reorder). The
+// channel closes once every dispatched job has finished. Cancelling ctx
+// stops in-flight simulations mid-run and queued jobs are never
+// dispatched; the channel closes promptly either way, so ranging until
+// close never leaks. After cancellation delivery is best-effort — some
+// results (even just-completed successes) may be dropped rather than
+// block on a departed receiver — so a caller that needs to know which
+// jobs finished should count received Indexes against len(jobs). The
+// caller MUST either drain the channel or cancel ctx: abandoning the
+// channel under a live context blocks the pool forever and keeps the
+// remaining simulations running (to stop at the first failure, cancel
+// ctx before breaking out — or just use RunAll, which handles all of
+// this). Per-job failures arrive as JobResult.Err — the batch keeps
+// going.
+func (r *Runner) RunBatch(ctx context.Context, jobs []Job) <-chan JobResult {
+	batch := make([]Job, len(jobs))
+	copy(batch, jobs)
+	total := len(batch)
+	// The counter increments under the same mutex that serializes the
+	// callback, so observers see Done strictly increasing.
+	var progressMu sync.Mutex
+	done := 0
+	return parallel.Stream(ctx, total, r.workers, func(ctx context.Context, i int) JobResult {
+		res, err := r.Run(ctx, batch[i])
+		if r.progress != nil {
+			progressMu.Lock()
+			done++
+			r.progress(Progress{Done: done, Total: total, Job: batch[i], Err: err})
+			progressMu.Unlock()
+		}
+		return JobResult{Index: i, Job: batch[i], Result: res, Err: err}
+	})
+}
+
+// RunAll executes the jobs like RunBatch but gathers the results back
+// into job order, handling the streaming bookkeeping (index reassembly,
+// dropped deliveries after cancellation) that every collecting caller
+// would otherwise re-implement. The first real job failure cancels the
+// remaining jobs and is returned; a cancelled ctx returns ctx.Err()
+// without blaming any particular job. On error the results are nil.
+func (r *Runner) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]Result, len(jobs))
+	got := 0
+	var firstErr error
+	for jr := range r.RunBatch(runCtx, jobs) {
+		switch {
+		case jr.Err == nil:
+			out[jr.Index] = jr.Result
+			got++
+		case firstErr == nil && !errors.Is(jr.Err, context.Canceled) && !errors.Is(jr.Err, context.DeadlineExceeded):
+			firstErr = jr.Err
+			cancel()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if got != len(jobs) {
+		// Defensive: without cancellation every job must be delivered.
+		return nil, fmt.Errorf("repro: batch incomplete: %d of %d jobs delivered", got, len(jobs))
+	}
+	return out, nil
+}
+
+// RunTraceFile simulates a recorded binary trace file (replayed cyclically
+// until n uops commit) under the runner's cancellation rules.
+func (r *Runner) RunTraceFile(ctx context.Context, cfg Config, pol Policy, path string, n uint64) (Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	uops, err := trace.Read(f)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(uops) == 0 {
+		return Result{}, fmt.Errorf("repro: empty trace %s", path)
+	}
+	sim, err := core.New(cfg, pol, trace.NewSliceSource(uops))
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.RunCtx(ctx, n)
+}

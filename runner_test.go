@@ -1,0 +1,440 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustWorkload(t *testing.T, name string) Workload {
+	t.Helper()
+	w, err := WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunnerRun(t *testing.T) {
+	r := NewRunner()
+	w := mustWorkload(t, "gcc")
+	res, err := r.Run(context.Background(), Job{Policy: PolicyFull(), Workload: w, N: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Committed < 20_000 {
+		t.Errorf("committed %d, want >= 20000", res.Metrics.Committed)
+	}
+	if res.Policy != PolicyFull().Name() {
+		t.Errorf("policy %q, want %q", res.Policy, PolicyFull().Name())
+	}
+}
+
+func TestRunnerDerivesConfigFromPolicy(t *testing.T) {
+	r := NewRunner()
+	w := mustWorkload(t, "gzip")
+	// Zero config + steering policy must pick the helper machine: the run
+	// only succeeds if HelperEnabled is set (core rejects steering on the
+	// baseline machine).
+	res, err := r.Run(context.Background(), Job{Policy: Policy888(), Workload: w, N: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SteeredHelper == 0 {
+		t.Error("steering policy on derived helper config steered nothing")
+	}
+	// Zero config + baseline policy runs the monolithic machine.
+	if _, err := r.Run(context.Background(), Job{Policy: PolicyBaseline(), Workload: w, N: 5_000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerWarmupDefault(t *testing.T) {
+	// WithWarmupFrac(0) must mean literally no warmup — the deprecated
+	// RunWarm(…, 0) contract.
+	w := mustWorkload(t, "mcf")
+	r0 := NewRunner(WithWarmupFrac(0))
+	res0, err := r0.Run(context.Background(), Job{Policy: PolicyBaseline(), Workload: w, N: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(WithWarmupFrac(0.2))
+	res2, err := r2.Run(context.Background(), Job{Policy: PolicyBaseline(), Workload: w, N: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warmed run resumes mid-stream, so its tick counts differ from a
+	// cold start of the same N.
+	if res0.Metrics.Ticks == res2.Metrics.Ticks {
+		t.Error("warmup fraction had no observable effect")
+	}
+}
+
+func TestWarmupFracClamp(t *testing.T) {
+	for _, f := range []float64{-1, 2, math.NaN()} {
+		r := NewRunner(WithWarmupFrac(f))
+		if r.warmupFrac < 0 || r.warmupFrac > 1 || math.IsNaN(r.warmupFrac) {
+			t.Errorf("WithWarmupFrac(%v) left frac %v", f, r.warmupFrac)
+		}
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	if err := (Job{Policy: PolicyBaseline(), Workload: w}).Validate(); err == nil {
+		t.Error("N=0 must fail validation")
+	}
+	if err := (Job{N: 1000}).Validate(); err == nil {
+		t.Error("missing workload must fail validation")
+	}
+	bad := w
+	bad.Params.Segments = 0
+	if err := (Job{Workload: bad, N: 1000}).Validate(); err == nil {
+		t.Error("invalid workload params must fail validation")
+	}
+	badCfg := BaselineConfig()
+	badCfg.ROBSize = 3
+	if err := (Job{Config: badCfg, Workload: w, N: 1000}).Validate(); err == nil {
+		t.Error("invalid config must fail validation")
+	}
+	if err := (Job{Workload: w, N: 1000}).Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+}
+
+// TestRunBatchLadder drives the full SPEC Int 2000 policy ladder through
+// the public batch API — the acceptance scenario — at a tiny uop budget.
+func TestRunBatchLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ladder batch")
+	}
+	var jobs []Job
+	for _, w := range SpecInt2000() {
+		jobs = append(jobs, Job{Policy: PolicyBaseline(), Workload: w, N: 2_000})
+		for _, pol := range PolicyLadder() {
+			jobs = append(jobs, Job{Policy: pol, Workload: w, N: 2_000})
+		}
+	}
+
+	var mu sync.Mutex
+	var progressDone []int
+	r := NewRunner(WithProgress(func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		progressDone = append(progressDone, p.Done)
+		if p.Total != len(jobs) {
+			t.Errorf("progress total %d, want %d", p.Total, len(jobs))
+		}
+	}))
+
+	seen := make([]bool, len(jobs))
+	for jr := range r.RunBatch(context.Background(), jobs) {
+		if jr.Err != nil {
+			t.Fatalf("job %d (%s): %v", jr.Index, jr.Job.Label(), jr.Err)
+		}
+		if seen[jr.Index] {
+			t.Fatalf("job %d delivered twice", jr.Index)
+		}
+		seen[jr.Index] = true
+		if jr.Result.Metrics.Committed < jr.Job.N {
+			t.Errorf("job %d committed %d of %d", jr.Index, jr.Result.Metrics.Committed, jr.Job.N)
+		}
+		if jr.Result.Policy != jr.Job.Policy.Name() {
+			t.Errorf("job %d ran policy %q, want %q", jr.Index, jr.Result.Policy, jr.Job.Policy.Name())
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("job %d never delivered", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progressDone) != len(jobs) {
+		t.Errorf("progress fired %d times, want %d", len(progressDone), len(jobs))
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	jobs := []Job{
+		{Policy: PolicyBaseline(), Workload: w, N: 2_000},
+		{Policy: Policy888(), Workload: w, N: 2_000},
+		{Policy: PolicyFull(), Workload: w, N: 2_000},
+	}
+	results, err := NewRunner().RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Policy != jobs[i].Policy.Name() {
+			t.Errorf("result %d has policy %q, want %q (order broken)", i, res.Policy, jobs[i].Policy.Name())
+		}
+	}
+
+	// First real failure surfaces; results are nil.
+	bad := append([]Job{{Policy: PolicyBaseline(), Workload: w}}, jobs...) // N == 0
+	if res, err := NewRunner().RunAll(context.Background(), bad); err == nil || res != nil {
+		t.Errorf("RunAll with an invalid job: results=%v err=%v", res, err)
+	}
+
+	// Cancelled context reports the context error, not a job error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewRunner().RunAll(ctx, jobs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunAll err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBatchPerJobError(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	bad := Job{Policy: PolicyBaseline(), Workload: w} // N == 0
+	good := Job{Policy: PolicyBaseline(), Workload: w, N: 2_000}
+	var badErr, goodErr error
+	for jr := range NewRunner().RunBatch(context.Background(), []Job{bad, good}) {
+		switch jr.Index {
+		case 0:
+			badErr = jr.Err
+		case 1:
+			goodErr = jr.Err
+		}
+	}
+	if badErr == nil {
+		t.Error("invalid job must surface its error in JobResult")
+	}
+	if goodErr != nil {
+		t.Errorf("valid job failed alongside invalid one: %v", goodErr)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	r := NewRunner()
+	w := mustWorkload(t, "gcc")
+
+	// Cancelled in the measured phase (tiny explicit warmup completes
+	// first): partial measurements come back with the error.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := r.Run(ctx, Job{Policy: PolicyFull(), Workload: w, N: 1 << 40, Warmup: 1_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	if res.Metrics.Committed == 0 {
+		t.Error("run cancelled mid-measurement should return partial measurements")
+	}
+
+	// Cancelled during warmup (the default 20% of a huge N): warmup
+	// counters must not masquerade as measurements.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	res, err = r.Run(ctx2, Job{Policy: PolicyFull(), Workload: w, N: 1 << 40})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("warmup cancel err = %v, want deadline exceeded", err)
+	}
+	if res.Metrics.Committed != 0 {
+		t.Errorf("run cancelled in warmup leaked %d warmup commits as measurements", res.Metrics.Committed)
+	}
+}
+
+// TestRunBatchCancelMidSweep cancels a batch of effectively unbounded jobs
+// and verifies the result channel drains promptly and every pool goroutine
+// exits (no leak).
+func TestRunBatchCancelMidSweep(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var jobs []Job
+	w := mustWorkload(t, "gcc")
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, Job{Policy: PolicyFull(), Workload: w, N: 1 << 40})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(WithWorkers(4))
+	ch := r.RunBatch(ctx, jobs)
+
+	time.AfterFunc(50*time.Millisecond, cancel)
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for jr := range ch {
+			if jr.Err == nil {
+				t.Errorf("job %d finished without error despite cancellation", jr.Index)
+			}
+			n++
+		}
+		drained <- n
+	}()
+	select {
+	case n := <-drained:
+		if n > len(jobs) {
+			t.Errorf("delivered %d results for %d jobs", n, len(jobs))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch channel did not close after cancellation")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestJobJSONRoundTrip(t *testing.T) {
+	w := mustWorkload(t, "bzip2")
+	in := Job{
+		Name:     "bzip2-full",
+		Config:   HelperConfig(),
+		Policy:   PolicyFull(),
+		Workload: w,
+		N:        123_456,
+		Warmup:   7_890,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Job
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("job round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+
+	// A zero Config marshals as the resolved machine, so reports are
+	// self-describing; decoding yields the explicit equivalent.
+	zeroCfg := Job{Policy: PolicyFull(), Workload: w, N: 1_000}
+	data, err = json.Marshal(zeroCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resolved Job
+	if err := json.Unmarshal(data, &resolved); err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Config != HelperConfig() {
+		t.Error("zero-config job did not marshal its effective (helper) config")
+	}
+}
+
+func TestJobJSONNames(t *testing.T) {
+	var j Job
+	blob := `{"workload":"gcc","policy":"8_8_8+BR","config":"helper","n":100000}`
+	if err := json.Unmarshal([]byte(blob), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Workload.Name != "gcc" || j.Workload.Params.Segments == 0 {
+		t.Errorf("workload not resolved: %+v", j.Workload)
+	}
+	if j.Policy.Name() != "8_8_8+BR" {
+		t.Errorf("policy = %q", j.Policy.Name())
+	}
+	if !j.Config.HelperEnabled {
+		t.Error("config name \"helper\" not resolved")
+	}
+	if j.N != 100_000 {
+		t.Errorf("n = %d", j.N)
+	}
+
+	// Minimal wire job: config and policy left to their defaults.
+	var minimal Job
+	if err := json.Unmarshal([]byte(`{"workload":"mcf","n":5000}`), &minimal); err != nil {
+		t.Fatal(err)
+	}
+	if minimal.Workload.Name != "mcf" || minimal.Policy != PolicyBaseline() {
+		t.Errorf("minimal job = %+v", minimal)
+	}
+
+	for _, bad := range []string{
+		`{"workload":"nosuch","n":1}`,
+		`{"policy":"nosuch","n":1}`,
+		`{"config":"nosuch","n":1}`,
+		`{"n":1,"unknown_field":true}`,
+	} {
+		if err := json.Unmarshal([]byte(bad), new(Job)); err == nil {
+			t.Errorf("decoding %s should fail", bad)
+		}
+	}
+}
+
+func TestConfigPolicyResultJSONRoundTrip(t *testing.T) {
+	cfg := HelperConfig()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg2 Config
+	if err := json.Unmarshal(data, &cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if cfg2 != cfg {
+		t.Error("config round trip mismatch")
+	}
+
+	pol := PolicyFull()
+	data, err = json.Marshal(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pol2 Policy
+	if err := json.Unmarshal(data, &pol2); err != nil {
+		t.Fatal(err)
+	}
+	if pol2 != pol {
+		t.Error("policy round trip mismatch")
+	}
+
+	w := mustWorkload(t, "vpr")
+	res, err := NewRunner().Run(context.Background(), Job{Policy: PolicyFull(), Workload: w, N: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res2 Result
+	if err := json.Unmarshal(data, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Errorf("result round trip mismatch:\n in=%+v\nout=%+v", res, res2)
+	}
+	if res2.Metrics.IPC() != res.Metrics.IPC() {
+		t.Error("derived metrics differ after round trip")
+	}
+}
+
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	w := mustWorkload(t, "parser")
+	r := Run(BaselineConfig(), PolicyBaseline(), w, 5_000)
+	if r.Metrics.Committed < 5_000 {
+		t.Error("deprecated Run broke")
+	}
+	rw := RunWarm(HelperConfig(), PolicyFull(), w, 5_000, 1_000)
+	if rw.Metrics.Committed < 5_000 {
+		t.Error("deprecated RunWarm broke")
+	}
+	// The seed API returned an empty result for a zero budget; the
+	// wrappers must not panic on it.
+	zero := Run(BaselineConfig(), PolicyBaseline(), w, 0)
+	if zero.Metrics.Committed != 0 || zero.Policy != PolicyBaseline().Name() {
+		t.Errorf("Run with n=0 = %+v, want empty result", zero.Metrics)
+	}
+}

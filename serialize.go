@@ -1,0 +1,108 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Job serialization. Marshalling writes the fully resolved structs so a
+// report is self-describing — in particular a zero Config is expanded to
+// the policy-derived machine (EffectiveConfig) the run would execute on.
+// Warmup stays as requested, since its zero-value default depends on the
+// Runner, not the Job. Unmarshalling additionally accepts registry names
+// as shorthand for the three big fields, so a run can be requested over
+// the wire as compactly as
+//
+//	{"workload": "gcc", "policy": "8_8_8+BR", "config": "helper", "n": 100000}
+//
+// Config accepts "baseline"/"helper" (ConfigByName), Policy accepts any
+// canonical name or alias (PolicyByName), and Workload accepts a SPEC Int
+// 2000 benchmark name (WorkloadByName).
+
+// jobDTO mirrors Job with raw slots for the name-or-object fields.
+type jobDTO struct {
+	Name     string          `json:"name,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+	Policy   json.RawMessage `json:"policy,omitempty"`
+	Workload json.RawMessage `json:"workload,omitempty"`
+	N        uint64          `json:"n"`
+	Warmup   uint64          `json:"warmup,omitempty"`
+}
+
+// UnmarshalJSON decodes a Job, accepting either full objects or registry
+// names for the config, policy and workload fields. Absent config/policy
+// fields keep their zero values (policy baseline; config derived from the
+// policy at run time).
+func (j *Job) UnmarshalJSON(data []byte) error {
+	var dto jobDTO
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return fmt.Errorf("repro: decoding job: %w", err)
+	}
+	out := Job{Name: dto.Name, N: dto.N, Warmup: dto.Warmup}
+	if err := decodeNameOrObject(dto.Config, &out.Config, ConfigByName, "config"); err != nil {
+		return err
+	}
+	if err := decodeNameOrObject(dto.Policy, &out.Policy, PolicyByName, "policy"); err != nil {
+		return err
+	}
+	if err := decodeNameOrObject(dto.Workload, &out.Workload, WorkloadByName, "workload"); err != nil {
+		return err
+	}
+	*j = out
+	return nil
+}
+
+// decodeNameOrObject fills dst from raw: absent → untouched, JSON string →
+// registry lookup, anything else → structural unmarshal.
+func decodeNameOrObject[T any](raw json.RawMessage, dst *T, byName func(string) (T, error), field string) error {
+	if len(raw) == 0 || bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+		return nil
+	}
+	if raw[0] == '"' {
+		var name string
+		if err := json.Unmarshal(raw, &name); err != nil {
+			return fmt.Errorf("repro: decoding job %s: %w", field, err)
+		}
+		v, err := byName(name)
+		if err != nil {
+			return fmt.Errorf("repro: decoding job %s: %w", field, err)
+		}
+		*dst = v
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields() // nested typos fail like top-level ones
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("repro: decoding job %s: %w", field, err)
+	}
+	return nil
+}
+
+// MarshalJSON encodes the job with its structs fully expanded. It exists
+// (rather than relying on the default encoder) so Marshal/Unmarshal stay a
+// symmetric pair next to the custom decoder above.
+func (j Job) MarshalJSON() ([]byte, error) {
+	cfg, err := json.Marshal(j.EffectiveConfig())
+	if err != nil {
+		return nil, err
+	}
+	pol, err := json.Marshal(j.Policy)
+	if err != nil {
+		return nil, err
+	}
+	w, err := json.Marshal(j.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jobDTO{
+		Name:     j.Name,
+		Config:   cfg,
+		Policy:   pol,
+		Workload: w,
+		N:        j.N,
+		Warmup:   j.Warmup,
+	})
+}
