@@ -21,3 +21,10 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race . ./internal/parallel ./internal/experiments
+
+# Full benchmark sweep, summarized into BENCH_core.json (ns/op and
+# allocs/op per benchmark, min/mean/max over -count=3, plus the
+# Policy-interface dispatch overhead from BenchmarkPolicyOverhead).
+.PHONY: bench-json
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_core.json

@@ -7,6 +7,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bitwidth"
 	"repro/internal/experiments"
@@ -292,6 +293,68 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	r := sim.Run(uint64(b.N))
 	if r.Metrics.Committed < uint64(b.N) {
+		b.Fatal("short run")
+	}
+}
+
+// dispatchPolicy forces the same feature set through the dynamic Policy
+// dispatch path: it is not a steer.Features value, so the core cannot
+// take the static fast path and calls Decide per renamed uop. Decide is
+// implemented directly (not via embedding) so the benchmark pays exactly
+// one dynamic call per uop, like the real dynamic policies.
+type dispatchPolicy struct{ steer.Features }
+
+func (p dispatchPolicy) Decide(*isa.Uop, *steer.View) steer.Features { return p.Features }
+
+// BenchmarkPolicyOverhead prices the Policy-interface refactor on the hot
+// path: a steer.Features policy runs exactly the pre-refactor static code
+// (cached feature set, no dispatch), while dispatchPolicy carries the
+// identical features through a per-uop interface call — the upper bound
+// on what any dynamic policy adds before its own logic. The two
+// simulators advance in interleaved 50k-uop slices inside one timed run,
+// so slow machine drift (other tenants, thermal) hits both sides equally
+// instead of biasing whichever variant ran second. The headline number is
+// the custom overhead-pct metric (dispatch vs static, must stay under 5);
+// cmd/benchjson lifts it into BENCH_core.json as policy_overhead_pct.
+// ns/op reports the combined cost of one uop through each simulator.
+func BenchmarkPolicyOverhead(b *testing.B) {
+	w, _ := WorkloadByName("gcc")
+	simStatic := mustSim(HelperConfig(), steer.FCR(), w)
+	simDispatch := mustSim(HelperConfig(), dispatchPolicy{steer.FCR()}, w)
+	const chunk = 50_000
+	var tStatic, tDispatch time.Duration
+	var target uint64
+	b.ResetTimer()
+	for remaining := uint64(b.N); remaining > 0; {
+		n := uint64(chunk)
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		target += n
+		t0 := time.Now()
+		simStatic.Run(target)
+		t1 := time.Now()
+		simDispatch.Run(target)
+		tStatic += t1.Sub(t0)
+		tDispatch += time.Since(t1)
+	}
+	b.StopTimer()
+	if simStatic.Metrics().Committed < uint64(b.N) || simDispatch.Metrics().Committed < uint64(b.N) {
+		b.Fatal("short run")
+	}
+	b.ReportMetric(float64(tStatic.Nanoseconds())/float64(b.N), "static-ns/uop")
+	b.ReportMetric(float64(tDispatch.Nanoseconds())/float64(b.N), "dispatch-ns/uop")
+	b.ReportMetric((float64(tDispatch)/float64(tStatic)-1)*100, "overhead-pct")
+}
+
+// BenchmarkDynamicTournament measures the full adaptive path: per-uop
+// dispatch plus interval Observe feedback and usage accounting.
+func BenchmarkDynamicTournament(b *testing.B) {
+	w, _ := WorkloadByName("gcc")
+	sim := mustSim(HelperConfig(), steer.DefaultTournament(), w)
+	b.ResetTimer()
+	if r := sim.Run(uint64(b.N)); r.Metrics.Committed < uint64(b.N) {
 		b.Fatal("short run")
 	}
 }

@@ -1,0 +1,170 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON summary, seeding the repository's performance trajectory
+// (BENCH_core.json via `make bench-json`). It reads the benchmark text
+// from stdin, aggregates repeated -count runs per benchmark (min / mean /
+// max ns/op, allocations), and — when BenchmarkPolicyOverhead is present
+// — lifts its overhead-pct metric (the Policy-interface dispatch cost,
+// measured over drift-cancelling interleaved slices) as the mean over
+// the repeated runs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem -count=3 . | benchjson -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// benchLine matches one result line, e.g.
+// "BenchmarkFig03Detectors-8   123456   9.87 ns/op   16 B/op   2 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// overheadMetric matches BenchmarkPolicyOverhead's custom metric: the
+// dispatch-vs-static cost of the steering Policy interface, measured over
+// interleaved slices of one run so machine drift cancels.
+var overheadMetric = regexp.MustCompile(`([0-9.eE+-]+) overhead-pct`)
+
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp uint64
+	iterations  uint64
+}
+
+// Summary is the JSON document written for the perf trajectory.
+type Summary struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Benchmarks  []Bench `json:"benchmarks"`
+	// PolicyOverheadPct is the interface-dispatch cost of the steering
+	// Policy refactor in percent: the mean of BenchmarkPolicyOverhead's
+	// overhead-pct metric over the -count runs. Absent when that
+	// benchmark was not in the input.
+	PolicyOverheadPct *float64 `json:"policy_overhead_pct,omitempty"`
+}
+
+// Bench aggregates the -count repetitions of one benchmark.
+type Bench struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	NsPerOpMax  float64 `json:"ns_per_op_max"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	byName := map[string][]sample{}
+	var overheads []float64
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if om := overheadMetric.FindStringSubmatch(sc.Text()); om != nil {
+			if v, err := strconv.ParseFloat(om[1], 64); err == nil {
+				overheads = append(overheads, v)
+			}
+		}
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var s sample
+		s.iterations, _ = strconv.ParseUint(m[2], 10, 64)
+		s.nsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			s.bytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			s.allocsPerOp, _ = strconv.ParseUint(m[5], 10, 64)
+		}
+		byName[m[1]] = append(byName[m[1]], s)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(byName) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+
+	sum := Summary{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		runs := byName[n]
+		b := Bench{Name: n, Runs: len(runs), NsPerOpMin: runs[0].nsPerOp, NsPerOpMax: runs[0].nsPerOp}
+		var total, totalBytes float64
+		var totalAllocs uint64
+		for _, s := range runs {
+			total += s.nsPerOp
+			totalBytes += s.bytesPerOp
+			totalAllocs += s.allocsPerOp
+			if s.nsPerOp < b.NsPerOpMin {
+				b.NsPerOpMin = s.nsPerOp
+			}
+			if s.nsPerOp > b.NsPerOpMax {
+				b.NsPerOpMax = s.nsPerOp
+			}
+		}
+		b.NsPerOpMean = total / float64(len(runs))
+		b.BytesPerOp = totalBytes / float64(len(runs))
+		b.AllocsPerOp = totalAllocs / uint64(len(runs))
+		sum.Benchmarks = append(sum.Benchmarks, b)
+	}
+
+	if len(overheads) > 0 {
+		var total float64
+		for _, v := range overheads {
+			total += v
+		}
+		pct := total / float64(len(overheads))
+		sum.PolicyOverheadPct = &pct
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s", len(sum.Benchmarks), *out)
+	if sum.PolicyOverheadPct != nil {
+		fmt.Fprintf(os.Stderr, " (policy dispatch overhead %+.2f%%)", *sum.PolicyOverheadPct)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

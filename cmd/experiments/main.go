@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma list: fig1,fig5,fig6,fig7,fig8,fig9,fig11,fig12,fig13,cp,ir,ed2,ladder,table1,table2,fig14")
+		run       = flag.String("run", "all", "comma list: fig1,fig5,fig6,fig7,fig8,fig9,fig11,fig12,fig13,cp,ir,ed2,ladder,dynamic,table1,table2,fig14")
 		specUops  = flag.Uint64("spec-uops", 150_000, "measured uops per SPEC trace")
 		suiteUops = flag.Uint64("suite-uops", 30_000, "measured uops per suite trace (fig14)")
 		warmup    = flag.Uint64("warmup", 30_000, "warmup uops per run")
@@ -80,7 +80,7 @@ func main() {
 	}
 
 	needSweep := false
-	for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "cp", "ir", "ed2", "ladder"} {
+	for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "cp", "ir", "ed2", "ladder", "dynamic"} {
 		if sel(k) {
 			needSweep = true
 		}
@@ -121,6 +121,16 @@ func main() {
 		}
 		if sel("ladder") {
 			emit(experiments.SpecLadder(s))
+		}
+		if sel("dynamic") {
+			fmt.Fprintf(os.Stderr, "running the dynamic-policy sweep (%d uops × 12 apps × 2 selectors)...\n", o.SpecUops)
+			d, err := experiments.RunDynamicSweepCtx(ctx, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			emit(experiments.FigDynamic(s, d))
+			emit(experiments.DynamicUsage(d))
 		}
 	}
 

@@ -83,7 +83,15 @@ func main() {
 	fmt.Printf("caches     DL0 %.2f%% miss, UL1 %.2f%% miss, TC %.2f%% miss\n",
 		100*res.L1.MissRate(), 100*res.L2.MissRate(), 100*res.TC.MissRate())
 
-	if *compare && pol.Enable888 {
+	if len(res.Rungs) > 0 {
+		fmt.Printf("rungs      (adaptive policy usage)\n")
+		for _, u := range res.Rungs {
+			fmt.Printf("           %-28s %5.1f%% of uops, %d intervals, IPC %.3f\n",
+				u.Rung, 100*safeDiv(float64(u.Committed), float64(m.Committed)), u.Intervals, u.IPC())
+		}
+	}
+
+	if *compare && pol.NeedsHelper() {
 		base, err := runner.Run(ctx, repro.Job{
 			Config: repro.BaselineConfig(), Policy: repro.PolicyBaseline(),
 			Workload: w, N: *n, Warmup: warm,

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		study        = flag.String("study", "clockratio", "widthtable|clockratio|copylat|iqsize|confidence|helperwidth|splitmode|ladder")
+		study        = flag.String("study", "clockratio", "widthtable|clockratio|copylat|iqsize|confidence|helperwidth|splitmode|ladder|dynamic")
 		workloadName = flag.String("workload", "crafty", "SPEC Int 2000 benchmark (ablation studies)")
 		policyName   = flag.String("policy", "cr", "policy for the configuration ablations (see helpersim -list)")
 		n            = flag.Uint64("n", 120_000, "measured uops per point")
@@ -51,6 +51,10 @@ func main() {
 
 	if *study == "ladder" {
 		runLadder(ctx, runner, *n)
+		return
+	}
+	if *study == "dynamic" {
+		runDynamic(ctx, runner, *n)
 		return
 	}
 
@@ -199,6 +203,80 @@ func runLadder(ctx context.Context, runner *repro.Runner, n uint64) {
 	}
 	t.AddMeanRow()
 	fmt.Println(t.Render())
+}
+
+// runDynamic compares the static ladder against the dynamic selectors on
+// all 12 SPEC workloads: per app, the best static rung (a per-app oracle)
+// vs the tournament and occupancy-adaptive policies, with the
+// tournament's per-rung usage breakdown. One shared dynamic Policy value
+// fans out safely — every simulation adapts from a private clone.
+//
+// internal/experiments runs the same study (FigDynamic/DynamicUsage)
+// against the internal core; this version deliberately goes through the
+// public Job/Runner surface, like every sweep study, so the two exercise
+// different layers rather than sharing code.
+func runDynamic(ctx context.Context, runner *repro.Runner, n uint64) {
+	apps := repro.SpecInt2000()
+	ladder := repro.PolicyLadder()
+	tournament := repro.PolicyDynamic()
+	occupancy := repro.PolicyAdaptive()
+	warm := n / 5
+
+	var jobs []repro.Job
+	for _, w := range apps {
+		jobs = append(jobs, repro.Job{
+			Config: repro.BaselineConfig(), Policy: repro.PolicyBaseline(),
+			Workload: w, N: n, Warmup: warm,
+		})
+		for _, pol := range ladder {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: n, Warmup: warm})
+		}
+		jobs = append(jobs,
+			repro.Job{Policy: tournament, Workload: w, N: n, Warmup: warm},
+			repro.Job{Policy: occupancy, Workload: w, N: n, Warmup: warm})
+	}
+	results := collect(ctx, runner, jobs)
+
+	t := report.NewTable(
+		fmt.Sprintf("SPEC Int 2000 dynamic policy selection — speedup %% over baseline (%d uops)", n),
+		"best-static", "tournament", "occupancy", "tour-minus-best")
+	stride := 1 + len(ladder) + 2
+	type appUsage struct {
+		app   string
+		rungs []repro.RungUsage
+		total uint64
+	}
+	var usages []appUsage
+	for ai, w := range apps {
+		base := results[ai*stride]
+		best := 0.0
+		for pi := range ladder {
+			if spd := 100 * repro.SpeedupOf(results[ai*stride+1+pi], base); pi == 0 || spd > best {
+				best = spd
+			}
+		}
+		tr := results[ai*stride+1+len(ladder)]
+		oc := results[ai*stride+2+len(ladder)]
+		tour := 100 * repro.SpeedupOf(tr, base)
+		occ := 100 * repro.SpeedupOf(oc, base)
+		t.AddRow(w.Name, best, tour, occ, tour-best)
+		usages = append(usages, appUsage{app: w.Name, rungs: tr.Rungs, total: tr.Metrics.Committed})
+	}
+	t.AddMeanRow()
+	fmt.Println(t.Render())
+
+	fmt.Println("tournament rung usage (% of committed uops governed by each rung):")
+	for _, u := range usages {
+		fmt.Printf("  %-8s", u.app)
+		for _, r := range u.rungs {
+			share := 0.0
+			if u.total > 0 {
+				share = 100 * float64(r.Committed) / float64(u.total)
+			}
+			fmt.Printf("  %s %5.1f%%", r.Rung, share)
+		}
+		fmt.Println()
+	}
 }
 
 // collect gathers a batch in job order, exiting with a clean message on

@@ -1,0 +1,87 @@
+// Dynamicpolicy: run the adaptive steering policies end-to-end through
+// the public API. A tournament selector samples ladder rungs by interval
+// IPC and exploits the winner, and an occupancy-adaptive policy grants IR
+// splitting from the live issue-queue imbalance; both are compared with
+// the best static rung per workload, and the tournament's per-rung usage
+// breakdown shows what it actually chose. Dynamic policies resolve from
+// parameterized names too — see the PolicyByName call below.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+	apps := []string{"crafty", "gzip", "mcf"}
+	ladder := repro.PolicyLadder()
+	const uops = 100_000
+
+	// The built-in dynamic selectors, plus a custom parameterization from
+	// the registry: every dynamic policy name round-trips via Name().
+	tournament := repro.PolicyDynamic()
+	occupancy := repro.PolicyAdaptive()
+	custom, err := repro.PolicyByName("dyn:tournament(8_8_8+BR+LR,8_8_8+BR+LR+CR,interval=5k,run=8)")
+	if err != nil {
+		panic(err)
+	}
+	dynamics := []repro.Policy{tournament, occupancy, custom}
+
+	// One batch per app: baseline, every static rung, every dynamic
+	// policy. A single shared policy value is safe to reuse across jobs —
+	// each simulation adapts from a private clone.
+	var jobs []repro.Job
+	for _, app := range apps {
+		w, err := repro.WorkloadByName(app)
+		if err != nil {
+			panic(err)
+		}
+		jobs = append(jobs, repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: uops})
+		for _, pol := range ladder {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: uops})
+		}
+		for _, pol := range dynamics {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: uops})
+		}
+	}
+	results, err := repro.NewRunner().RunAll(ctx, jobs)
+	if err != nil {
+		panic(err)
+	}
+
+	stride := 1 + len(ladder) + len(dynamics)
+	for ai, app := range apps {
+		base := results[ai*stride]
+		bestSpd, bestName := 0.0, ""
+		for pi, pol := range ladder {
+			if spd := 100 * repro.SpeedupOf(results[ai*stride+1+pi], base); pi == 0 || spd > bestSpd {
+				bestSpd, bestName = spd, pol.Name()
+			}
+		}
+		fmt.Printf("%s\n  best static rung   %-28s %+6.2f%%\n", app, bestName, bestSpd)
+		for di, pol := range dynamics {
+			r := results[ai*stride+1+len(ladder)+di]
+			fmt.Printf("  %-18s %-28s %+6.2f%%\n",
+				[]string{"tournament", "occupancy", "custom"}[di], trim(pol.Name(), 28),
+				100*repro.SpeedupOf(r, base))
+			if di == 0 {
+				for _, u := range r.Rungs {
+					fmt.Printf("      %-32s %5.1f%% of uops, %2d intervals, IPC %.3f\n",
+						u.Rung, 100*float64(u.Committed)/float64(r.Metrics.Committed),
+						u.Intervals, u.IPC())
+				}
+			}
+		}
+	}
+}
+
+// trim shortens long policy names for column display.
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

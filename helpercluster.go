@@ -32,9 +32,18 @@
 //		fmt.Println(jr.Job.Label(), jr.Result.Metrics.IPC(), jr.Err)
 //	}
 //
+// Steering is a first-class Policy interface: the static feature ladder
+// (PolicyFeatures) runs with zero dispatch overhead, while the dynamic
+// policies — the interval tournament (PolicyDynamic) and the
+// occupancy-adaptive IR modulator (PolicyAdaptive) — re-select per
+// interval from runtime feedback and report a per-rung usage breakdown
+// in Result.Rungs. Every policy name, including the parameterized
+// "dyn:..." forms, round-trips through PolicyByName.
+//
 // Jobs, Configs, Policies and Results all round-trip through JSON, and
-// Job's decoder accepts registry names ("gcc", "8_8_8+BR", "helper") as
-// shorthand, so runs can be requested and reported over the wire.
+// Job's decoder accepts registry names ("gcc", "8_8_8+BR", "helper",
+// "dyn:tournament(...)") as shorthand, so runs can be requested and
+// reported over the wire.
 package repro
 
 import (
@@ -58,8 +67,22 @@ import (
 // type for every Table 1 parameter.
 type Config = config.Processor
 
-// Policy selects which data-width aware steering schemes are active.
-type Policy = steer.Features
+// Policy is a steering policy: a per-uop feature decision plus an
+// interval feedback hook (steer.Policy). Static policies are
+// PolicyFeatures values — the paper's ladder — while dynamic policies
+// (PolicyDynamic, PolicyAdaptive) re-select per interval from runtime
+// feedback. Every policy's Name round-trips through PolicyByName.
+type Policy = steer.Policy
+
+// PolicyFeatures selects which data-width aware steering schemes are
+// active. It is the static Policy implementation: the simulator core
+// recognizes it and pays no per-uop dispatch.
+type PolicyFeatures = steer.Features
+
+// RungUsage is one row of an adaptive policy's per-rung usage breakdown
+// (Result.Rungs): how much of the run each candidate feature set
+// governed.
+type RungUsage = steer.RungUsage
 
 // Workload is a named synthetic workload profile.
 type Workload = workload.Profile
@@ -93,7 +116,29 @@ func PolicyFull() Policy { return steer.FIR() }
 
 // PolicyLadder returns the paper's cumulative policy ladder in order:
 // 8_8_8, +BR, +LR, +CR, +CP, +IR, +IR tuned.
-func PolicyLadder() []Policy { return steer.Ladder() }
+func PolicyLadder() []Policy {
+	ladder := steer.Ladder()
+	out := make([]Policy, len(ladder))
+	for i, f := range ladder {
+		out[i] = f
+	}
+	return out
+}
+
+// PolicyDynamic returns the default interval-based tournament selector:
+// it samples the four aggressive ladder rungs (CR, CP, IR, IR-tuned) one
+// feedback interval each, then runs the committed-IPC winner for six
+// intervals before re-sampling.
+// Parameterized variants resolve via PolicyByName, e.g.
+// "dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=50k,run=8)".
+func PolicyDynamic() Policy { return steer.DefaultTournament() }
+
+// PolicyAdaptive returns the default occupancy-adaptive policy: the full
+// IR rung with splitting granted per uop from the live issue-queue
+// imbalance, the gap threshold hill-climbing on interval IPC.
+// Parameterized variants resolve via PolicyByName, e.g.
+// "dyn:occupancy(8_8_8+BR+LR+CR+CP+IR,th=40,interval=20k)".
+func PolicyAdaptive() Policy { return steer.DefaultOccAdaptive() }
 
 // SpecInt2000 returns the 12 calibrated SPEC Int 2000 workload profiles.
 func SpecInt2000() []Workload { return workload.SpecInt2000() }
@@ -135,6 +180,9 @@ func RunWarm(cfg Config, pol Policy, w Workload, n, warmup uint64) Result {
 	if n == 0 {
 		// The pre-Runner API returned an empty result for a zero budget
 		// rather than erroring; preserve that for existing callers.
+		if pol == nil {
+			pol = PolicyBaseline()
+		}
 		return Result{Policy: pol.Name()}
 	}
 	r, err := defaultRunner.Run(context.Background(),

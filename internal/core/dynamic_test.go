@@ -1,0 +1,173 @@
+package core
+
+// Tests for the Policy interface integration: uniform helper-feature
+// validation at New, dynamic policies driving a full simulation, usage
+// breakdowns, and determinism of adaptive runs.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/steer"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// TestNewRejectsHelperFeaturesUniformly pins the validation contract:
+// every helper-dependent feature is rejected without its prerequisites,
+// not just Enable888.
+func TestNewRejectsHelperFeaturesUniformly(t *testing.T) {
+	src := func() *synth.Stream { return synth.MustNewStream(synth.DefaultParams()) }
+
+	// Sub-schemes without the 8_8_8 base are contradictory on any machine.
+	orphans := []steer.Features{
+		{EnableBR: true},
+		{EnableLR: true},
+		{EnableCR: true},
+		{EnableCP: true},
+		{EnableIR: true},
+		{IRNoDestOnly: true},
+		{IRBlock: true},
+	}
+	for _, f := range orphans {
+		for _, cfg := range []config.Processor{config.PentiumLikeBaseline(), config.WithHelper()} {
+			if _, err := New(cfg, f, src()); err == nil {
+				t.Errorf("New must reject %+v (sub-scheme without Enable888), helper=%v", f, cfg.HelperEnabled)
+			}
+		}
+	}
+
+	// Full feature sets without the helper cluster are rejected too —
+	// including the dynamic policies, which steer by construction.
+	noHelper := config.PentiumLikeBaseline()
+	for _, pol := range []steer.Policy{
+		steer.F888(), steer.FIR(), steer.DefaultTournament(), steer.DefaultOccAdaptive(),
+	} {
+		if _, err := New(noHelper, pol, src()); err == nil {
+			t.Errorf("New must reject steering policy %s without the helper cluster", pol.Name())
+		}
+	}
+
+	// The valid combinations still build.
+	for _, pol := range []steer.Policy{
+		steer.Baseline(), steer.FIRTuned(), steer.DefaultTournament(), steer.DefaultOccAdaptive(),
+	} {
+		cfg := config.PentiumLikeBaseline()
+		if pol.NeedsHelper() {
+			cfg = config.WithHelper()
+		}
+		if _, err := New(cfg, pol, src()); err != nil {
+			t.Errorf("New(%s) failed: %v", pol.Name(), err)
+		}
+	}
+
+	// A hand-assembled invalid stateful policy must come back as an
+	// error, not a panic from the pre-run clone.
+	bad := &steer.Tournament{Cands: []steer.Features{steer.F888()}, Ival: 10_000, RunIntervals: 4}
+	if _, err := New(config.WithHelper(), bad, src()); err == nil {
+		t.Error("New must reject an invalid tournament with an error")
+	}
+
+	// A nil policy means the baseline.
+	sim, err := New(config.PentiumLikeBaseline(), nil, src())
+	if err != nil {
+		t.Fatalf("nil policy: %v", err)
+	}
+	if r := sim.Run(2000); r.Policy != "baseline" {
+		t.Errorf("nil policy ran as %q", r.Policy)
+	}
+}
+
+// shortTournament is a fast-adapting selector for test budgets.
+func shortTournament(t *testing.T) *steer.Tournament {
+	t.Helper()
+	tr, err := steer.NewTournament(
+		[]steer.Features{steer.FCP(), steer.FIR(), steer.FIRTuned()}, 1_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDynamicTournamentEndToEnd(t *testing.T) {
+	prof, _ := workload.SpecIntByName("crafty")
+	tr := shortTournament(t)
+	sim := MustNew(config.WithHelper(), tr, prof.MustStream())
+	const n = 30_000
+	r := sim.RunWarm(n, 5_000)
+	checkInvariants(t, r, n)
+
+	if r.Policy != tr.Name() {
+		t.Errorf("result policy %q, want %q", r.Policy, tr.Name())
+	}
+	if len(r.Rungs) != 3 {
+		t.Fatalf("usage breakdown has %d rungs, want 3", len(r.Rungs))
+	}
+	var total, intervals uint64
+	for _, u := range r.Rungs {
+		total += u.Committed
+		intervals += u.Intervals
+	}
+	if total != r.Metrics.Committed {
+		t.Errorf("usage attributes %d committed uops, run measured %d (warmup usage must reset)",
+			total, r.Metrics.Committed)
+	}
+	if intervals < 10 {
+		t.Errorf("only %d feedback intervals over %d uops at interval 1000", intervals, n)
+	}
+	if r.Metrics.SteeredHelper == 0 {
+		t.Error("dynamic selector over steering rungs must steer")
+	}
+}
+
+func TestDynamicDeterminism(t *testing.T) {
+	prof, _ := workload.SpecIntByName("gzip")
+	run := func() Result {
+		sim := MustNew(config.WithHelper(), shortTournament(t), prof.MustStream())
+		return sim.RunWarm(15_000, 3_000)
+	}
+	a, b := run(), run()
+	if a.Metrics != b.Metrics {
+		t.Error("identical dynamic runs must produce identical metrics")
+	}
+}
+
+func TestOccupancyAdaptiveEndToEnd(t *testing.T) {
+	prof, _ := workload.SpecIntByName("eon")
+	o, err := steer.NewOccAdaptive(steer.FIR(), 0.25, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MustNew(config.WithHelper(), o, prof.MustStream())
+	const n = 30_000
+	r := sim.RunWarm(n, 5_000)
+	checkInvariants(t, r, n)
+	if len(r.Rungs) != 2 {
+		t.Fatalf("occupancy breakdown has %d rungs, want 2", len(r.Rungs))
+	}
+	var total uint64
+	for _, u := range r.Rungs {
+		total += u.Committed
+	}
+	if total != r.Metrics.Committed {
+		t.Errorf("usage attributes %d of %d committed uops", total, r.Metrics.Committed)
+	}
+}
+
+// TestPolicyCloneIsolation pins that New takes a private clone: two
+// simulations fed the same stateful policy value must not share adaptive
+// state (the batch Runner fans one policy out over many workers).
+func TestPolicyCloneIsolation(t *testing.T) {
+	prof, _ := workload.SpecIntByName("gcc")
+	shared := shortTournament(t)
+	a := MustNew(config.WithHelper(), shared, prof.MustStream()).Run(10_000)
+	b := MustNew(config.WithHelper(), shared, prof.MustStream()).Run(10_000)
+	if a.Metrics != b.Metrics {
+		t.Error("sequential runs from one shared policy value must be identical (clone per sim)")
+	}
+	for _, u := range shared.Usage() {
+		if u.Committed != 0 {
+			t.Error("the caller's policy instance must stay untouched")
+		}
+	}
+}

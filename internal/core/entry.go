@@ -66,6 +66,12 @@ type robEntry struct {
 	widthPredNarrow bool // raw predictor call at rename (Figure 5 classes)
 	widthClassify   bool // participates in Figure 5 classification
 	splitHead       bool // first piece of an IR split (counts the steer)
+	// trainCP/trainCR freeze the CP/CR training gates of the feature set
+	// that steered this uop: under a dynamic policy the active rung may
+	// change while the uop is in flight, and writeback/commit-time
+	// predictor training must follow the rung that made the decision.
+	trainCP bool
+	trainCR bool
 
 	// Rename undo/commit info.
 	definedReg   uint8 // isa.RegNone when none

@@ -23,8 +23,25 @@ const (
 // Sim is one simulation instance: a machine configuration, a steering
 // policy, and a uop source.
 type Sim struct {
-	cfg   config.Processor
-	feats steer.Features
+	cfg config.Processor
+	// pol is the steering policy. active caches the feature set its most
+	// recent Decide returned; every stage consults active rather than the
+	// policy, so a static policy (staticPol) pays no per-uop dispatch —
+	// active is simply fixed for the whole run.
+	pol       steer.Policy
+	active    steer.Features
+	staticPol bool
+	// pview is the policy's machine-state snapshot, refreshed once per
+	// rename cycle (building it per uop would put queue-accessor calls on
+	// the per-uop hot path for nothing: occupancies move by single digits
+	// within one fetch group).
+	pview steer.View
+	// Interval feedback for adaptive policies: every obsInterval committed
+	// uops the metrics delta since lastObs is fed to pol.Observe. Zero
+	// disables the machinery entirely.
+	obsInterval uint64
+	nextObserve uint64
+	lastObs     metrics.Metrics
 
 	window *trace.Window
 	rob    *queue.Ring[robEntry]
@@ -86,18 +103,36 @@ type Sim struct {
 }
 
 // New builds a simulator. The source must be infinite (synth streams or
-// cyclic trace replays).
-func New(cfg config.Processor, feats steer.Features, src trace.Source) (*Sim, error) {
+// cyclic trace replays). A nil policy means the baseline (no steering);
+// stateful policies are taken as private clones (steer.Fresh), so one
+// policy value may fan out over a batch of concurrent simulations.
+func New(cfg config.Processor, pol steer.Policy, src trace.Source) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if feats.Enable888 && !cfg.HelperEnabled {
-		return nil, fmt.Errorf("core: steering features require the helper cluster")
+	if pol == nil {
+		pol = steer.Baseline()
 	}
+	// Uniform policy validation, before cloning: contradictory feature
+	// combinations (any sub-scheme without the 8_8_8 base) are rejected
+	// here — Clone panics on invalid parameters, so a hand-assembled
+	// invalid policy must be caught while an error return is possible —
+	// as is any helper-steering policy on a machine without the helper
+	// cluster.
+	if v, ok := pol.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("core: invalid policy: %w", err)
+		}
+	}
+	if pol.NeedsHelper() && !cfg.HelperEnabled {
+		return nil, fmt.Errorf("core: policy %s steers to the helper cluster, which cfg disables (HelperEnabled)", pol.Name())
+	}
+	pol = steer.Fresh(pol)
 	windowCap := cfg.ROBSize * 4
 	s := &Sim{
 		cfg:           cfg,
-		feats:         feats,
+		pol:           pol,
+		obsInterval:   pol.Interval(),
 		window:        trace.NewWindow(src, windowCap),
 		rob:           queue.NewRing[robEntry](cfg.ROBSize),
 		mob:           queue.NewMOB(cfg.MOBSize),
@@ -113,6 +148,13 @@ func New(cfg config.Processor, feats steer.Features, src trace.Source) (*Sim, er
 		forcedWide:    make(map[uint64]struct{}),
 		pendingBranch: -1,
 	}
+	if f, ok := pol.(steer.Features); ok {
+		// The static fast path: the feature set never changes, so the hot
+		// stages read the cached copy and no interface call ever happens.
+		s.staticPol = true
+		s.active = f
+	}
+	s.nextObserve = s.obsInterval
 	s.iq[wide] = queue.NewIssueQueue(cfg.WideIQ)
 	s.iq[helper] = queue.NewIssueQueue(cfg.HelperIQ)
 	s.fpIQ = queue.NewIssueQueue(cfg.FPIQ)
@@ -123,8 +165,8 @@ func New(cfg config.Processor, feats steer.Features, src trace.Source) (*Sim, er
 }
 
 // MustNew is New for known-good arguments.
-func MustNew(cfg config.Processor, feats steer.Features, src trace.Source) *Sim {
-	s, err := New(cfg, feats, src)
+func MustNew(cfg config.Processor, pol steer.Policy, src trace.Source) *Sim {
+	s, err := New(cfg, pol, src)
 	if err != nil {
 		panic(err)
 	}
@@ -151,6 +193,10 @@ type Result struct {
 	L2      cache.Stats
 	TC      cache.Stats
 	Policy  string
+	// Rungs is the per-rung usage breakdown of an adaptive policy: how
+	// much of the measured run each candidate feature set governed. Empty
+	// for static policies.
+	Rungs []steer.RungUsage `json:"Rungs,omitempty"`
 }
 
 // RunWarm simulates warm committed uops to fill predictors and caches,
@@ -173,7 +219,10 @@ func (s *Sim) RunWarm(n, warm uint64) Result {
 // masquerade as measurements.
 func (s *Sim) RunWarmCtx(ctx context.Context, n, warm uint64) (Result, error) {
 	if warm > 0 {
-		if _, err := s.RunCtx(ctx, warm); err != nil {
+		// The warmup leg drives the bare loop rather than RunCtx so the
+		// policy sees no tail-flush Observe: a truncated interval's IPC is
+		// noise an adaptive policy must not train on.
+		if err := s.runLoop(ctx, warm); err != nil {
 			return Result{}, err
 		}
 		s.m = metrics.Metrics{}
@@ -182,6 +231,13 @@ func (s *Sim) RunWarmCtx(ctx context.Context, n, warm uint64) (Result, error) {
 		s.tc.ResetStats()
 		s.mem.L1.ResetStats()
 		s.mem.L2.ResetStats()
+		// The policy keeps what it learned during warmup (like the
+		// predictors), but its usage breakdown restarts with measurement.
+		s.lastObs = metrics.Metrics{}
+		s.nextObserve = s.obsInterval
+		if ur, ok := s.pol.(steer.UsageReporter); ok {
+			ur.ResetUsage()
+		}
 	}
 	return s.RunCtx(ctx, n)
 }
@@ -210,6 +266,13 @@ const ctxCheckTicks = 1 << 13
 // the watchdog window, a simulator bug) is reported as an error rather
 // than a panic.
 func (s *Sim) RunCtx(ctx context.Context, n uint64) (Result, error) {
+	err := s.runLoop(ctx, n)
+	return s.result(), err
+}
+
+// runLoop is the simulation loop behind RunCtx, without the final Result
+// snapshot (and therefore without the tail-interval Observe flush).
+func (s *Sim) runLoop(ctx context.Context, n uint64) error {
 	const watchdogTicks = 1 << 21
 	s.lastCommitTick = s.tick
 	nextCtxCheck := s.tick + ctxCheckTicks
@@ -224,6 +287,9 @@ func (s *Sim) RunCtx(ctx context.Context, n uint64) (Result, error) {
 		s.writeback()
 		if onWide {
 			s.commit()
+			if s.obsInterval > 0 && s.m.Committed >= s.nextObserve {
+				s.observe()
+			}
 		}
 		s.issueCluster(helper)
 		if onWide {
@@ -236,28 +302,48 @@ func (s *Sim) RunCtx(ctx context.Context, n uint64) (Result, error) {
 		if s.tick >= nextCtxCheck {
 			nextCtxCheck = s.tick + ctxCheckTicks
 			if err := ctx.Err(); err != nil {
-				return s.result(), err
+				return err
 			}
 			if s.tick-s.lastCommitTick > watchdogTicks {
-				return s.result(), fmt.Errorf("core: no commit for %d ticks at tick %d (rob=%d iqW=%d iqH=%d committed=%d)",
+				return fmt.Errorf("core: no commit for %d ticks at tick %d (rob=%d iqW=%d iqH=%d committed=%d)",
 					watchdogTicks, s.tick, s.rob.Len(), s.iq[wide].Len(), s.iq[helper].Len(), s.m.Committed)
 			}
 		}
 	}
-	return s.result(), nil
+	return nil
+}
+
+// observe feeds the interval's metrics delta and the current queue
+// occupancies back to the policy.
+func (s *Sim) observe() {
+	s.pol.Observe(s.m.Sub(s.lastObs), steer.Occupancy{
+		WideOcc: s.iq[wide].Len(), WideCap: s.iq[wide].Cap(),
+		HelperOcc: s.iq[helper].Len(), HelperCap: s.iq[helper].Cap(),
+	})
+	s.lastObs = s.m
+	s.nextObserve = s.m.Committed + s.obsInterval
 }
 
 // result snapshots the collected measurements.
 func (s *Sim) result() Result {
-	return Result{
+	// Flush the tail interval so an adaptive policy's usage breakdown
+	// accounts for every measured commit.
+	if s.obsInterval > 0 && s.m.Committed > s.lastObs.Committed {
+		s.observe()
+	}
+	r := Result{
 		Metrics: s.m,
 		Width:   s.wp.Stats(),
 		Branch:  s.bp.Stats(),
 		L1:      s.mem.L1.Stats(),
 		L2:      s.mem.L2.Stats(),
 		TC:      s.tc.Stats(),
-		Policy:  s.feats.Name(),
+		Policy:  s.pol.Name(),
 	}
+	if ur, ok := s.pol.(steer.UsageReporter); ok {
+		r.Rungs = ur.Usage()
+	}
+	return r
 }
 
 // Metrics exposes the live counters (tests and incremental harnesses).

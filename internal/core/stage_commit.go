@@ -45,8 +45,9 @@ func (s *Sim) commit() {
 				s.m.SteeredHelper++
 			}
 			// CP decay (§3.6): a producer that retires without ever
-			// incurring a copy clears its prefetch bit.
-			if s.feats.EnableCP && e.u.HasDest() &&
+			// incurring a copy clears its prefetch bit. The gate is the
+			// rung that steered this uop, not the currently active one.
+			if e.trainCP && e.u.HasDest() &&
 				!e.hasCopyTo[wide] && !e.hasCopyTo[helper] {
 				s.wp.UpdateCopy(e.u.PC, false)
 			}

@@ -328,8 +328,9 @@ func (s *Sim) trainWidth(pos uint64, e *robEntry, classify bool) {
 	}
 
 	// CR carry-bit training (§3.5): set at writeback when the 8-32-32
-	// preconditions hold and the carry stayed contained.
-	if s.feats.EnableCR {
+	// preconditions hold and the carry stayed contained. Gated by the
+	// rung that steered this uop (the active rung may have moved on).
+	if e.trainCR {
 		switch u.Class {
 		case isa.ClassALU:
 			if u.NSrc >= 1 && bitwidth.CREligibleOp(u.Op) {

@@ -24,6 +24,16 @@ func (s *Sim) renameStage() {
 	if s.tick < s.fetchStallUntil || s.pendingBranch >= 0 {
 		return
 	}
+	if !s.staticPol {
+		// Snapshot the machine state a dynamic policy may consult once
+		// per rename cycle; per-uop Decide calls below read this view.
+		s.pview = steer.View{
+			WideOcc: s.iq[wide].Len(), WideCap: s.iq[wide].Cap(),
+			HelperOcc: s.iq[helper].Len(), HelperCap: s.iq[helper].Cap(),
+			WideReadyUnissued:   s.readyUnissued[wide],
+			HelperReadyUnissued: s.readyUnissued[helper],
+		}
+	}
 	for n := 0; n < s.cfg.FetchWidth; n++ {
 		u := s.window.Get(s.fetchSeq)
 
@@ -113,9 +123,16 @@ func (s *Sim) srcNarrow(reg uint8) bool {
 
 // steerUop implements the data-width aware instruction selection policy:
 // 8_8_8, then CR, then IR splitting, with BR for branches (§3.2-§3.7).
+// The active policy chooses which schemes govern each uop: static
+// policies fix the feature set for the whole run (no dispatch), dynamic
+// ones re-decide here from the live machine state.
 func (s *Sim) steerUop(u *isa.Uop) decision {
+	f := s.active
+	if !s.staticPol {
+		f = s.pol.Decide(u, &s.pview)
+		s.active = f
+	}
 	d := decision{cluster: wide}
-	f := s.feats
 	if !s.cfg.HelperEnabled || !f.Enable888 {
 		return d
 	}
@@ -399,9 +416,10 @@ func (s *Sim) addCopy(srcPos uint64, target uint8, prefetch bool) {
 	s.m.CopiesCreated++
 	if prefetch {
 		s.m.CopyPrefetch++
-	} else if s.feats.EnableCP && src.kind == kindReal {
+	} else if src.trainCP && src.kind == kindReal {
 		// CP training (§3.6): the producer incurred a demand copy; set
-		// its prediction bit so the next instance prefetches.
+		// its prediction bit so the next instance prefetches. Gated by
+		// the rung that steered the producer.
 		s.wp.UpdateCopy(src.u.PC, true)
 	}
 }
@@ -419,6 +437,8 @@ func (s *Sim) renameOne(u *isa.Uop, d decision) {
 	e.crSteered = d.crSteered
 	e.widthPredNarrow = d.widthPredNarrow
 	e.widthClassify = d.widthClassify
+	e.trainCP = s.active.EnableCP
+	e.trainCR = s.active.EnableCR
 	e.isLoad = u.Class == isa.ClassLoad
 	e.isStore = u.Class == isa.ClassStore
 	e.isFP = u.Class == isa.ClassFP
@@ -428,7 +448,7 @@ func (s *Sim) renameOne(u *isa.Uop, d decision) {
 		// register files; helper-executed narrow loads likewise deliver
 		// to both.
 		narrowLoad := d.widthPredNarrow && d.predNarrowConf
-		e.replicated = narrowLoad && (s.feats.EnableLR || d.cluster == helper)
+		e.replicated = narrowLoad && (s.active.EnableLR || d.cluster == helper)
 	}
 
 	if e.isFP {
@@ -526,7 +546,7 @@ func (s *Sim) renameOne(u *isa.Uop, d decision) {
 	// load-byte-in-the-wide-backend case). Prefetches are opportunistic:
 	// they are skipped when the issuing queue is crowded, because a hint
 	// must not displace demand work.
-	if s.feats.EnableCP && u.HasDest() && u.Class != isa.ClassFP && s.wp.PredictCopy(u.PC) &&
+	if s.active.EnableCP && u.HasDest() && u.Class != isa.ClassFP && s.wp.PredictCopy(u.PC) &&
 		s.rob.Len() < s.rob.Cap()*3/4 {
 		roomy := func(c uint8) bool { return s.iq[c].Len() < s.iq[c].Cap()*3/4 }
 		if d.cluster == helper && roomy(helper) {

@@ -1,0 +1,129 @@
+package experiments
+
+// The dynamic-selection study: the "Beyond Static Policies" comparison on
+// top of the paper's ladder. For each SPEC profile the static ladder's
+// best rung (an oracle no real machine has: it requires running every
+// rung to completion) is compared with the dynamic selectors, which pick
+// rungs at runtime from interval IPC and occupancy feedback.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// DynamicSweep holds the dynamic-policy runs over the 12 SPEC traces.
+type DynamicSweep struct {
+	Apps       []string
+	Tournament map[string]core.Result
+	Occupancy  map[string]core.Result
+}
+
+// RunDynamicSweep runs the default tournament and occupancy-adaptive
+// policies over the SPEC profiles. It panics on simulator failure; use
+// RunDynamicSweepCtx for error returns and cancellation.
+func RunDynamicSweep(o Options) *DynamicSweep {
+	d, err := RunDynamicSweepCtx(context.Background(), o)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// RunDynamicSweepCtx is RunDynamicSweep with cancellation. The shared
+// policy values are safe to fan out: the core takes a private clone per
+// simulation.
+func RunDynamicSweepCtx(ctx context.Context, o Options) (*DynamicSweep, error) {
+	profiles := workload.SpecInt2000()
+	pols := []steer.Policy{steer.DefaultTournament(), steer.DefaultOccAdaptive()}
+	d := &DynamicSweep{
+		Tournament: make(map[string]core.Result, len(profiles)),
+		Occupancy:  make(map[string]core.Result, len(profiles)),
+	}
+	for _, p := range profiles {
+		d.Apps = append(d.Apps, p.Name)
+	}
+	results, err := parallel.Map(ctx, len(profiles)*len(pols), o.Workers,
+		func(ctx context.Context, i int) (core.Result, error) {
+			p := profiles[i/len(pols)]
+			r, runErr := runOne(ctx, p, pols[i%len(pols)], o.SpecUops, o.Warmup)
+			if runErr != nil {
+				return r, fmt.Errorf("experiments: %s/%s: %w", p.Name, pols[i%len(pols)].Name(), runErr)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
+		d.Tournament[p.Name] = results[i*len(pols)]
+		d.Occupancy[p.Name] = results[i*len(pols)+1]
+	}
+	return d, nil
+}
+
+// bestStatic returns the highest ladder-rung speedup for the app and the
+// rung that achieved it.
+func (s *SpecSweep) bestStatic(app string) (float64, string) {
+	best, rung := 0.0, ""
+	for i, f := range s.Policies {
+		if spd := s.speedup(f.Name(), app); i == 0 || spd > best {
+			best, rung = spd, f.Name()
+		}
+	}
+	return best, rung
+}
+
+// FigDynamic renders the static-vs-dynamic comparison: per application,
+// the static ladder's best rung (the per-app oracle), the tournament
+// selector, the occupancy-adaptive policy, and the tournament's gap to
+// the oracle.
+func FigDynamic(s *SpecSweep, d *DynamicSweep) *report.Table {
+	t := report.NewTable("Dynamic policy selection vs the static ladder — speedup % over baseline",
+		"best-static", "tournament", "occupancy", "tour-minus-best")
+	for _, app := range d.Apps {
+		best, _ := s.bestStatic(app)
+		b := s.Baseline[app].Metrics
+		tm := d.Tournament[app].Metrics
+		om := d.Occupancy[app].Metrics
+		tour := 100 * metrics.Speedup(&tm, &b)
+		occ := 100 * metrics.Speedup(&om, &b)
+		t.AddRow(app, best, tour, occ, tour-best)
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// DynamicUsage renders the tournament's per-rung usage breakdown: the
+// fraction of each application's committed uops governed by each
+// candidate rung — the observable evidence of runtime selection.
+func DynamicUsage(d *DynamicSweep) *report.Table {
+	// Column per candidate rung, read from the first app's breakdown
+	// (identical across apps by construction).
+	var cols []string
+	for _, app := range d.Apps {
+		for _, u := range d.Tournament[app].Rungs {
+			cols = append(cols, u.Rung)
+		}
+		break
+	}
+	t := report.NewTable("Tournament rung usage — % of committed uops per rung", cols...)
+	for _, app := range d.Apps {
+		r := d.Tournament[app]
+		row := make([]float64, len(cols))
+		for i, u := range r.Rungs {
+			if i < len(row) && r.Metrics.Committed > 0 {
+				row[i] = 100 * float64(u.Committed) / float64(r.Metrics.Committed)
+			}
+		}
+		t.AddRow(app, row...)
+	}
+	t.AddMeanRow()
+	return t
+}

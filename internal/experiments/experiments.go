@@ -47,12 +47,12 @@ func Quick() Options {
 }
 
 // runOne simulates one workload under one policy with warmup.
-func runOne(ctx context.Context, p workload.Profile, feats steer.Features, n, warm uint64) (core.Result, error) {
+func runOne(ctx context.Context, p workload.Profile, pol steer.Policy, n, warm uint64) (core.Result, error) {
 	cfg := config.PentiumLikeBaseline()
-	if feats.Enable888 {
+	if pol.NeedsHelper() {
 		cfg = config.WithHelper()
 	}
-	sim, err := core.New(cfg, feats, p.MustStream())
+	sim, err := core.New(cfg, pol, p.MustStream())
 	if err != nil {
 		return core.Result{}, err
 	}

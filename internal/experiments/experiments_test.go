@@ -91,6 +91,30 @@ func TestSpecSweepAndFigures(t *testing.T) {
 	if cp.Rows() != 2 {
 		t.Errorf("cp rows = %d", cp.Rows())
 	}
+
+	// The dynamic-selection study rides on the same sweep for its static
+	// oracle column.
+	d := RunDynamicSweep(o)
+	if len(d.Apps) != 12 || len(d.Tournament) != 12 || len(d.Occupancy) != 12 {
+		t.Fatal("dynamic sweep incomplete")
+	}
+	fd := FigDynamic(s, d)
+	if fd.Rows() != 13 {
+		t.Errorf("dynamic figure rows = %d", fd.Rows())
+	}
+	du := DynamicUsage(d)
+	if du.Rows() != 13 {
+		t.Errorf("dynamic usage rows = %d", du.Rows())
+	}
+	for r := 0; r < 12; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			sum += du.Value(r, c)
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("usage shares for %s sum to %.1f, want ~100", du.Label(r), sum)
+		}
+	}
 }
 
 func TestTraceFigures(t *testing.T) {

@@ -4,6 +4,8 @@
 // imbalance metric of §3.7, and the event counts the power model consumes.
 package metrics
 
+import "reflect"
+
 // Metrics is the full counter set of one simulation run.
 type Metrics struct {
 	// Time.
@@ -124,6 +126,32 @@ func (m *Metrics) BranchMispredictRate() float64 {
 		return 0
 	}
 	return float64(m.BranchMispredicts) / float64(m.Branches)
+}
+
+// Sub returns the field-wise difference m - prev: the counter deltas of
+// the interval between two snapshots of the same run. It walks the struct
+// reflectively so new counters are covered automatically; it runs once
+// per feedback interval (tens of thousands of uops), far off any hot
+// path. Counters are monotonic within a run, so the differences cannot
+// underflow for a genuine (later, earlier) snapshot pair.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	var out Metrics
+	mv := reflect.ValueOf(m)
+	pv := reflect.ValueOf(prev)
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		switch f := mv.Field(i); f.Kind() {
+		case reflect.Uint64:
+			ov.Field(i).SetUint(f.Uint() - pv.Field(i).Uint())
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				ov.Field(i).Index(j).SetUint(f.Index(j).Uint() - pv.Field(i).Index(j).Uint())
+			}
+		default:
+			panic("metrics: Sub cannot difference field " + mv.Type().Field(i).Name)
+		}
+	}
+	return out
 }
 
 // Speedup returns the relative performance of m against a baseline run of

@@ -1,6 +1,9 @@
 package metrics
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestRates(t *testing.T) {
 	m := Metrics{
@@ -61,5 +64,47 @@ func TestSpeedup(t *testing.T) {
 	}
 	if Speedup(fast, &Metrics{}) != 0 {
 		t.Error("zero baseline must yield zero speedup")
+	}
+}
+
+// TestSubCoversEveryField fills every counter (scalar and array) with
+// distinct values via reflection and checks Sub differences all of them —
+// so a future counter added to Metrics is covered automatically.
+func TestSubCoversEveryField(t *testing.T) {
+	var now, prev Metrics
+	nv := reflect.ValueOf(&now).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	for i := 0; i < nv.NumField(); i++ {
+		switch f := nv.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(1000 + 7*i))
+			pv.Field(i).SetUint(uint64(10 + i))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(uint64(2000 + 13*i + j))
+				pv.Field(i).Index(j).SetUint(uint64(20 + i + j))
+			}
+		default:
+			t.Fatalf("unexpected field kind %v in Metrics", f.Kind())
+		}
+	}
+	d := now.Sub(prev)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		switch f := dv.Field(i); f.Kind() {
+		case reflect.Uint64:
+			if want := nv.Field(i).Uint() - pv.Field(i).Uint(); f.Uint() != want {
+				t.Errorf("field %s: got %d, want %d", dv.Type().Field(i).Name, f.Uint(), want)
+			}
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				if want := nv.Field(i).Index(j).Uint() - pv.Field(i).Index(j).Uint(); f.Index(j).Uint() != want {
+					t.Errorf("field %s[%d]: got %d, want %d", dv.Type().Field(i).Name, j, f.Index(j).Uint(), want)
+				}
+			}
+		}
+	}
+	if ipc := d.IPC(); ipc <= 0 {
+		t.Errorf("interval delta must support derived metrics, IPC = %f", ipc)
 	}
 }

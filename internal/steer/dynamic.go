@@ -1,0 +1,377 @@
+// Dynamic (adaptive) steering policies: instead of fixing one rung of the
+// paper's static ladder for a whole run, these select per interval using
+// runtime feedback — the direction "Beyond Static Policies" and the
+// dynamic ineffectuality-clustering line of work argue for.
+package steer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/metrics"
+)
+
+// Tournament is an interval-based dynamic selector over a set of static
+// rungs. It alternates two phases: a sampling phase that runs every
+// candidate for one feedback interval and scores it by committed IPC, and
+// an exploit phase that runs the winner for RunIntervals intervals before
+// re-sampling. Workload phases that favour different rungs are tracked at
+// interval granularity; stationary workloads converge to the best rung
+// and pay only the periodic sampling overhead.
+type Tournament struct {
+	// Cands are the candidate rungs, sampled in order.
+	Cands []Features
+	// Ival is the feedback interval in committed uops.
+	Ival uint64
+	// RunIntervals is the exploit-phase length in intervals.
+	RunIntervals int
+
+	cur     int       // index of the active candidate
+	exploit bool      // false: sampling phase, true: exploit phase
+	sample  int       // next candidate to sample
+	runLeft int       // exploit intervals remaining
+	scores  []float64 // last observed interval IPC per candidate
+	usage   []RungUsage
+}
+
+// NewTournament builds a tournament selector over the given rungs.
+func NewTournament(cands []Features, interval uint64, runIntervals int) (*Tournament, error) {
+	t := &Tournament{
+		Cands:        append([]Features(nil), cands...),
+		Ival:         interval,
+		RunIntervals: runIntervals,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	t.scores = make([]float64, len(t.Cands))
+	t.ResetUsage()
+	return t, nil
+}
+
+// DefaultTournament selects among the ladder's four aggressive rungs
+// (CR, CP, IR, IR-tuned), whose relative order varies most across
+// workloads; the exploit phase is longer than the sampling phase so a
+// stationary workload spends most of its time on its winner.
+func DefaultTournament() *Tournament {
+	t, err := NewTournament([]Features{FCR(), FCP(), FIR(), FIRTuned()}, 10_000, 6)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Validate reports structural problems with the selector.
+func (t *Tournament) Validate() error {
+	if len(t.Cands) < 2 {
+		return fmt.Errorf("steer: tournament needs >= 2 candidate rungs, got %d", len(t.Cands))
+	}
+	if t.Ival == 0 {
+		return fmt.Errorf("steer: tournament needs a positive feedback interval")
+	}
+	if t.RunIntervals < 1 {
+		return fmt.Errorf("steer: tournament needs a positive exploit-phase length")
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Cands {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("steer: tournament candidate %s: %w", c.Name(), err)
+		}
+		if seen[c.Name()] {
+			return fmt.Errorf("steer: duplicate tournament candidate %s", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+	return nil
+}
+
+// Name renders the canonical parameterized name, e.g.
+// "dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=10k,run=4)".
+func (t *Tournament) Name() string {
+	var b strings.Builder
+	b.WriteString("dyn:tournament(")
+	for _, c := range t.Cands {
+		b.WriteString(c.Name())
+		b.WriteString(",")
+	}
+	fmt.Fprintf(&b, "interval=%s,run=%d)", fmtUops(t.Ival), t.RunIntervals)
+	return b.String()
+}
+
+// Decide returns the active candidate's feature set.
+func (t *Tournament) Decide(*isa.Uop, *View) Features { return t.Cands[t.cur] }
+
+// Interval returns the feedback cadence.
+func (t *Tournament) Interval() uint64 { return t.Ival }
+
+// NeedsHelper reports whether any candidate steers.
+func (t *Tournament) NeedsHelper() bool {
+	for _, c := range t.Cands {
+		if c.NeedsHelper() {
+			return true
+		}
+	}
+	return false
+}
+
+// Observe scores the elapsed interval and advances the sampling/exploit
+// state machine. Truncated intervals — the end-of-run flush that makes
+// the usage breakdown account for every commit — are attributed to usage
+// but never scored: a partial interval's IPC is noise that must not
+// steer candidate selection.
+func (t *Tournament) Observe(delta metrics.Metrics, _ Occupancy) {
+	ipc := 0.0
+	if delta.WideCycles > 0 {
+		ipc = float64(delta.Committed) / float64(delta.WideCycles)
+	}
+	u := &t.usage[t.cur]
+	u.Committed += delta.Committed
+	u.WideCycles += delta.WideCycles
+	u.Intervals++
+	if delta.Committed*2 < t.Ival {
+		return
+	}
+
+	if t.exploit {
+		// Keep the incumbent's score fresh so a fading phase loses the
+		// next tournament rather than winning on stale glory.
+		t.scores[t.cur] = 0.5*t.scores[t.cur] + 0.5*ipc
+		if t.runLeft--; t.runLeft <= 0 {
+			t.exploit = false
+			t.sample = 0
+			t.cur = 0
+		}
+		return
+	}
+	t.scores[t.sample] = ipc
+	if t.sample++; t.sample < len(t.Cands) {
+		t.cur = t.sample
+		return
+	}
+	best := 0
+	for i, s := range t.scores {
+		if s > t.scores[best] {
+			best = i
+		}
+	}
+	t.cur = best
+	t.exploit = true
+	t.runLeft = t.RunIntervals
+}
+
+// Usage returns the per-rung breakdown accumulated so far.
+func (t *Tournament) Usage() []RungUsage { return append([]RungUsage(nil), t.usage...) }
+
+// ResetUsage clears the breakdown (measurement begins after warmup).
+func (t *Tournament) ResetUsage() {
+	t.usage = make([]RungUsage, len(t.Cands))
+	for i, c := range t.Cands {
+		t.usage[i].Rung = c.Name()
+	}
+}
+
+// Clone returns a pristine selector with the same parameters.
+func (t *Tournament) Clone() Policy {
+	n, err := NewTournament(t.Cands, t.Ival, t.RunIntervals)
+	if err != nil {
+		panic(err) // the receiver already validated
+	}
+	return n
+}
+
+// OccAdaptive modulates IR splitting from the live occupancy imbalance:
+// the base rung's EnableIR is granted per uop only while the wide-minus-
+// helper occupancy gap exceeds a threshold, and the threshold itself
+// hill-climbs on interval IPC feedback (§3.7's imbalance trigger, made
+// adaptive). The two effective rungs — base with and without IR — appear
+// in the usage breakdown.
+type OccAdaptive struct {
+	// Base is the rung being modulated; it must carry EnableIR.
+	Base Features
+	// Thresh is the initial occupancy-gap threshold in (0,1), quantized
+	// to whole percents (the resolution the canonical name carries).
+	Thresh float64
+	// Ival is the feedback interval in committed uops.
+	Ival uint64
+
+	th       float64 // adapted threshold
+	step     float64 // hill-climbing step (sign carries direction)
+	lastIPC  float64
+	seeded   bool
+	onCount  uint64 // Decide calls that granted IR this interval
+	offCount uint64
+	usage    [2]RungUsage // 0: IR granted, 1: IR withheld
+}
+
+// occAdaptStep is the hill-climbing step size for the gap threshold.
+const occAdaptStep = 0.05
+
+// NewOccAdaptive builds an occupancy-adaptive IR modulator. The starting
+// threshold is quantized to a whole percent, the resolution the canonical
+// name carries, so Name/ByName round-trips exactly.
+func NewOccAdaptive(base Features, thresh float64, interval uint64) (*OccAdaptive, error) {
+	thresh = float64(int(thresh*100+0.5)) / 100
+	o := &OccAdaptive{Base: base, Thresh: thresh, Ival: interval}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o.th = thresh
+	o.step = occAdaptStep
+	o.ResetUsage()
+	return o, nil
+}
+
+// DefaultOccAdaptive modulates the full IR rung with the detector's
+// default gap threshold.
+func DefaultOccAdaptive() *OccAdaptive {
+	o, err := NewOccAdaptive(FIR(), 0.25, 10_000)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Validate reports structural problems with the modulator.
+func (o *OccAdaptive) Validate() error {
+	if err := o.Base.Validate(); err != nil {
+		return err
+	}
+	if !o.Base.EnableIR {
+		return fmt.Errorf("steer: occupancy-adaptive policy needs an IR-capable base rung, got %s", o.Base.Name())
+	}
+	if o.Thresh <= 0 || o.Thresh >= 1 {
+		return fmt.Errorf("steer: occupancy-gap threshold must be in (0,1), got %g", o.Thresh)
+	}
+	if o.Ival == 0 {
+		return fmt.Errorf("steer: occupancy-adaptive policy needs a positive feedback interval")
+	}
+	return nil
+}
+
+// Name renders the canonical parameterized name, e.g.
+// "dyn:occupancy(8_8_8+BR+LR+CR+CP+IR,th=25,interval=10k)". The threshold
+// is the configured starting point in percent; the adapted value is
+// runtime state, not identity.
+func (o *OccAdaptive) Name() string {
+	return fmt.Sprintf("dyn:occupancy(%s,th=%d,interval=%s)",
+		o.Base.Name(), int(o.Thresh*100+0.5), fmtUops(o.Ival))
+}
+
+// Decide grants or withholds IR for this uop from the live gap.
+func (o *OccAdaptive) Decide(_ *isa.Uop, v *View) Features {
+	f := o.Base
+	if v.WideRate()-v.HelperRate() > o.th {
+		o.onCount++
+		return f
+	}
+	o.offCount++
+	f.EnableIR = false
+	f.IRNoDestOnly = false
+	f.IRBlock = false
+	return f
+}
+
+// Interval returns the feedback cadence.
+func (o *OccAdaptive) Interval() uint64 { return o.Ival }
+
+// NeedsHelper reports whether the base rung steers.
+func (o *OccAdaptive) NeedsHelper() bool { return o.Base.NeedsHelper() }
+
+// Observe attributes the interval to the granted/withheld rungs in
+// proportion to the Decide outcomes, then hill-climbs the threshold: a
+// step that did not pay reverses direction.
+func (o *OccAdaptive) Observe(delta metrics.Metrics, _ Occupancy) {
+	total := o.onCount + o.offCount
+	if total > 0 {
+		onFrac := float64(o.onCount) / float64(total)
+		on := uint64(float64(delta.Committed)*onFrac + 0.5)
+		if on > delta.Committed {
+			on = delta.Committed
+		}
+		onCyc := uint64(float64(delta.WideCycles)*onFrac + 0.5)
+		if onCyc > delta.WideCycles {
+			onCyc = delta.WideCycles
+		}
+		o.usage[0].Committed += on
+		o.usage[1].Committed += delta.Committed - on
+		o.usage[0].WideCycles += onCyc
+		o.usage[1].WideCycles += delta.WideCycles - onCyc
+		if 2*o.onCount >= total {
+			o.usage[0].Intervals++
+		} else {
+			o.usage[1].Intervals++
+		}
+	}
+	o.onCount, o.offCount = 0, 0
+
+	// A truncated interval (the end-of-run usage flush) carries noise,
+	// not signal: attribute it above, but do not climb on it.
+	if delta.Committed*2 < o.Ival {
+		return
+	}
+	ipc := 0.0
+	if delta.WideCycles > 0 {
+		ipc = float64(delta.Committed) / float64(delta.WideCycles)
+	}
+	if !o.seeded {
+		o.seeded = true
+		o.lastIPC = ipc
+		return
+	}
+	if ipc < o.lastIPC {
+		o.step = -o.step
+	}
+	o.th += o.step
+	switch {
+	case o.th < occAdaptStep:
+		o.th = occAdaptStep
+	case o.th > 1-occAdaptStep:
+		o.th = 1 - occAdaptStep
+	}
+	o.lastIPC = ipc
+}
+
+// Usage returns the granted/withheld breakdown accumulated so far.
+func (o *OccAdaptive) Usage() []RungUsage { return append([]RungUsage(nil), o.usage[:]...) }
+
+// ResetUsage clears the breakdown (measurement begins after warmup).
+func (o *OccAdaptive) ResetUsage() {
+	off := o.Base
+	off.EnableIR, off.IRNoDestOnly, off.IRBlock = false, false, false
+	o.usage = [2]RungUsage{{Rung: o.Base.Name()}, {Rung: off.Name()}}
+	o.onCount, o.offCount = 0, 0
+}
+
+// Clone returns a pristine modulator with the same parameters.
+func (o *OccAdaptive) Clone() Policy {
+	n, err := NewOccAdaptive(o.Base, o.Thresh, o.Ival)
+	if err != nil {
+		panic(err) // the receiver already validated
+	}
+	return n
+}
+
+// fmtUops renders a uop count for policy names: "50k" for round
+// thousands, the plain number otherwise.
+func fmtUops(n uint64) string {
+	if n >= 1000 && n%1000 == 0 {
+		return strconv.FormatUint(n/1000, 10) + "k"
+	}
+	return strconv.FormatUint(n, 10)
+}
+
+// parseUops parses fmtUops' output (and plain numbers).
+func parseUops(s string) (uint64, error) {
+	mult := uint64(1)
+	if strings.HasSuffix(s, "k") {
+		mult = 1000
+		s = strings.TrimSuffix(s, "k")
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}

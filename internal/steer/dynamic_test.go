@@ -1,0 +1,260 @@
+package steer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// obs builds an interval delta with the given committed/cycle counts.
+func obs(committed, cycles uint64) metrics.Metrics {
+	return metrics.Metrics{Committed: committed, WideCycles: cycles}
+}
+
+func TestTournamentSamplesThenExploits(t *testing.T) {
+	cands := []Features{F888(), FBR(), FLR()}
+	tr, err := NewTournament(cands, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sampling phase: each candidate governs exactly one interval.
+	for i := range cands {
+		if got := tr.Decide(nil, &View{}); got != cands[i] {
+			t.Fatalf("sampling interval %d runs %s, want %s", i, got.Name(), cands[i].Name())
+		}
+		// Candidate 1 (FBR) posts the best IPC.
+		ipc := uint64(1000 + 500*i%1000)
+		if i == 1 {
+			ipc = 3000
+		}
+		tr.Observe(obs(1000, 1000*1000/ipc), Occupancy{})
+	}
+
+	// Exploit phase: the winner runs for RunIntervals intervals.
+	for i := 0; i < 2; i++ {
+		if got := tr.Decide(nil, &View{}); got != cands[1] {
+			t.Fatalf("exploit interval %d runs %s, want winner %s", i, got.Name(), cands[1].Name())
+		}
+		tr.Observe(obs(1000, 500), Occupancy{})
+	}
+
+	// Then a fresh tournament begins at candidate 0.
+	if got := tr.Decide(nil, &View{}); got != cands[0] {
+		t.Errorf("re-sampling must restart at candidate 0, got %s", got.Name())
+	}
+
+	u := tr.Usage()
+	if len(u) != len(cands) {
+		t.Fatalf("usage has %d rows, want %d", len(u), len(cands))
+	}
+	var total uint64
+	for _, r := range u {
+		total += r.Committed
+	}
+	if total != 5000 {
+		t.Errorf("usage commits sum to %d, want 5000 (every observed interval attributed)", total)
+	}
+	if u[1].Committed != 3000 {
+		t.Errorf("winner governed %d committed uops, want 3000 (1 sample + 2 exploit)", u[1].Committed)
+	}
+}
+
+func TestTournamentAdaptsAcrossPhases(t *testing.T) {
+	tr, err := NewTournament([]Features{F888(), FBR()}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: candidate 0 wins.
+	tr.Observe(obs(1000, 400), Occupancy{}) // cand 0 ipc 2.5
+	tr.Observe(obs(1000, 800), Occupancy{}) // cand 1 ipc 1.25
+	if tr.Decide(nil, &View{}) != F888() {
+		t.Fatal("candidate 0 must win round 1")
+	}
+	tr.Observe(obs(1000, 400), Occupancy{}) // exploit interval
+	// Round 2: the workload phase flips, candidate 1 now wins.
+	tr.Observe(obs(1000, 900), Occupancy{}) // cand 0 ipc 1.11
+	tr.Observe(obs(1000, 300), Occupancy{}) // cand 1 ipc 3.33
+	if tr.Decide(nil, &View{}) != FBR() {
+		t.Error("selector must adapt to the new phase winner")
+	}
+}
+
+func TestTournamentIgnoresTruncatedIntervals(t *testing.T) {
+	tr, err := NewTournament([]Features{F888(), FBR()}, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An end-of-run flush delivers less than half an interval: usage is
+	// attributed, but the sampling state machine must not advance or
+	// score it.
+	tr.Observe(obs(300, 100), Occupancy{})
+	if tr.Decide(nil, &View{}) != F888() {
+		t.Error("truncated interval must not advance sampling")
+	}
+	if tr.Usage()[0].Committed != 300 {
+		t.Error("truncated interval must still be attributed to usage")
+	}
+	if tr.scores[0] != 0 {
+		t.Error("truncated interval must not be scored")
+	}
+}
+
+func TestOccAdaptiveQuantizesThreshold(t *testing.T) {
+	o, err := NewOccAdaptive(FIR(), 0.375, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Thresh != 0.38 {
+		t.Errorf("threshold quantized to %g, want 0.38", o.Thresh)
+	}
+	back, err := ByName(o.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != o.Name() {
+		t.Errorf("quantized threshold must round-trip: %q vs %q", back.Name(), o.Name())
+	}
+}
+
+func TestTournamentCloneIsPristine(t *testing.T) {
+	tr := DefaultTournament()
+	tr.Observe(obs(5000, 2000), Occupancy{})
+	tr.Observe(obs(5000, 1000), Occupancy{})
+	c := tr.Clone().(*Tournament)
+	if c.cur != 0 || c.exploit || c.sample != 0 {
+		t.Error("clone must start a fresh tournament")
+	}
+	for _, u := range c.Usage() {
+		if u.Committed != 0 || u.Intervals != 0 {
+			t.Error("clone must carry no usage")
+		}
+	}
+	if c.Name() != tr.Name() {
+		t.Errorf("clone identity drifted: %q vs %q", c.Name(), tr.Name())
+	}
+}
+
+func TestOccAdaptiveDecide(t *testing.T) {
+	o, err := NewOccAdaptive(FIR(), 0.25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wide backlogged, helper idle: IR granted.
+	got := o.Decide(nil, &View{WideOcc: 28, WideCap: 32, HelperOcc: 2, HelperCap: 32})
+	if !got.EnableIR {
+		t.Error("large gap must grant IR")
+	}
+	// Balanced queues: IR withheld, rest of the rung intact.
+	got = o.Decide(nil, &View{WideOcc: 16, WideCap: 32, HelperOcc: 16, HelperCap: 32})
+	if got.EnableIR {
+		t.Error("balanced occupancy must withhold IR")
+	}
+	if !got.EnableCP || !got.Enable888 {
+		t.Error("withholding IR must not disturb the rest of the rung")
+	}
+}
+
+func TestOccAdaptiveHillClimbsAndAttributes(t *testing.T) {
+	o, err := NewOccAdaptive(FIR(), 0.25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := View{WideOcc: 30, WideCap: 32, HelperOcc: 1, HelperCap: 32}
+	withhold := View{WideOcc: 8, WideCap: 32, HelperOcc: 8, HelperCap: 32}
+
+	// Interval 1: all grants, seeds the climber.
+	for i := 0; i < 10; i++ {
+		o.Decide(nil, &grant)
+	}
+	o.Observe(obs(1000, 500), Occupancy{})
+	th1 := o.th
+	// Interval 2: IPC improves — the climber keeps direction and moves.
+	for i := 0; i < 6; i++ {
+		o.Decide(nil, &grant)
+	}
+	for i := 0; i < 4; i++ {
+		o.Decide(nil, &withhold)
+	}
+	o.Observe(obs(1000, 400), Occupancy{})
+	if o.th == th1 {
+		t.Error("threshold must move on feedback")
+	}
+	// Interval 3: IPC collapses — direction must reverse.
+	dirBefore := o.step
+	o.Decide(nil, &grant)
+	o.Observe(obs(1000, 4000), Occupancy{})
+	if o.step != -dirBefore {
+		t.Error("a losing step must reverse the climb direction")
+	}
+
+	u := o.Usage()
+	if len(u) != 2 {
+		t.Fatalf("usage rows = %d, want 2 (granted / withheld)", len(u))
+	}
+	if u[0].Committed+u[1].Committed != 3000 {
+		t.Errorf("attributed commits = %d, want 3000", u[0].Committed+u[1].Committed)
+	}
+	if u[1].Committed == 0 {
+		t.Error("withheld intervals must receive proportional attribution")
+	}
+	if !strings.Contains(u[0].Rung, "+IR") || strings.Contains(u[1].Rung, "+IR") {
+		t.Errorf("rung labels wrong: %q / %q", u[0].Rung, u[1].Rung)
+	}
+}
+
+func TestFeaturesValidate(t *testing.T) {
+	valid := []Features{
+		{}, F888(), F888NoConfidence(), FBR(), FLR(), FCR(), FCP(), FIR(), FIRTuned(), FIRBlock(),
+	}
+	for _, f := range valid {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s must validate: %v", f.Name(), err)
+		}
+	}
+	invalid := []Features{
+		{EnableBR: true},
+		{EnableLR: true},
+		{EnableCR: true},
+		{EnableCP: true},
+		{EnableIR: true},
+		{IRNoDestOnly: true},
+		{IRBlock: true},
+		{EnableBR: true, EnableIR: true},
+		{Enable888: true, IRNoDestOnly: true}, // IR tuning without IR
+		{Enable888: true, EnableIR: true, IRNoDestOnly: true, IRBlock: true}, // both tunings
+	}
+	for _, f := range invalid {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%+v must be rejected", f)
+		}
+	}
+}
+
+func TestFreshClonesStatefulPolicies(t *testing.T) {
+	tr := DefaultTournament()
+	if Fresh(tr) == Policy(tr) {
+		t.Error("Fresh must clone a stateful policy")
+	}
+	f := FIR()
+	if Fresh(f) != Policy(f) {
+		t.Error("Fresh must pass static policies through")
+	}
+}
+
+func TestPolicyInterfaceStaticAdapter(t *testing.T) {
+	var p Policy = FIR()
+	if p.Interval() != 0 {
+		t.Error("static policies take no feedback")
+	}
+	if !p.NeedsHelper() {
+		t.Error("FIR steers and needs the helper")
+	}
+	if got := p.Decide(nil, &View{}); got != FIR() {
+		t.Error("static Decide must return the fixed feature set")
+	}
+	if Baseline().NeedsHelper() {
+		t.Error("baseline must not require the helper")
+	}
+}

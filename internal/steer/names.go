@@ -2,33 +2,50 @@ package steer
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
 // policyTable is the single authoritative name → policy mapping. Canonical
-// names are the paper's scheme names as rendered by Features.Name();
-// aliases cover the short spellings the command-line tools have always
-// accepted.
+// names are the paper's scheme names as rendered by Features.Name() plus
+// the parameterized dynamic-selector names rendered by their own Name()
+// methods; aliases cover the short spellings the command-line tools have
+// always accepted.
 var policyTable = []struct {
 	Canonical string
 	Aliases   []string
-	Make      func() Features
+	Make      func() Policy
 }{
-	{"baseline", []string{"none"}, Baseline},
-	{"8_8_8", []string{"888"}, F888},
-	{"8_8_8+BR", []string{"br"}, FBR},
-	{"8_8_8+BR+LR", []string{"lr"}, FLR},
-	{"8_8_8+BR+LR+CR", []string{"cr"}, FCR},
-	{"8_8_8+BR+LR+CR+CP", []string{"cp"}, FCP},
-	{"8_8_8+BR+LR+CR+CP+IR", []string{"ir", "full"}, FIR},
-	{"8_8_8+BR+LR+CR+CP+IRnd", []string{"irnd", "ir-tuned"}, FIRTuned},
-	{"8_8_8+BR+LR+CR+CP+IRblk", []string{"irblk", "ir-block"}, FIRBlock},
-	{"8_8_8-noconfidence", []string{"888-noconf", "no-confidence"}, F888NoConfidence},
+	{"baseline", []string{"none"}, func() Policy { return Baseline() }},
+	{"8_8_8", []string{"888"}, func() Policy { return F888() }},
+	{"8_8_8+BR", []string{"br"}, func() Policy { return FBR() }},
+	{"8_8_8+BR+LR", []string{"lr"}, func() Policy { return FLR() }},
+	{"8_8_8+BR+LR+CR", []string{"cr"}, func() Policy { return FCR() }},
+	{"8_8_8+BR+LR+CR+CP", []string{"cp"}, func() Policy { return FCP() }},
+	{"8_8_8+BR+LR+CR+CP+IR", []string{"ir", "full"}, func() Policy { return FIR() }},
+	{"8_8_8+BR+LR+CR+CP+IRnd", []string{"irnd", "ir-tuned"}, func() Policy { return FIRTuned() }},
+	{"8_8_8+BR+LR+CR+CP+IRblk", []string{"irblk", "ir-block"}, func() Policy { return FIRBlock() }},
+	{"8_8_8-noconfidence", []string{"888-noconf", "no-confidence"}, func() Policy { return F888NoConfidence() }},
+	{defaultTournamentName, []string{"dyn", "tournament"}, func() Policy { return DefaultTournament() }},
+	{defaultOccupancyName, []string{"occupancy", "adaptive"}, func() Policy { return DefaultOccAdaptive() }},
 }
 
+// The default dynamic policies' canonical names, rendered once so the
+// table and Names() stay in lockstep with the Name() methods.
+var (
+	defaultTournamentName = DefaultTournament().Name()
+	defaultOccupancyName  = DefaultOccAdaptive().Name()
+)
+
 // ByName resolves a policy by canonical name or alias, case-insensitively.
-func ByName(name string) (Features, error) {
+// Parameterized dynamic names — "dyn:tournament(rung,rung,...,
+// interval=50k,run=4)" and "dyn:occupancy(rung,th=25,interval=10k)" —
+// are parsed structurally; every policy's Name() round-trips through here.
+func ByName(name string) (Policy, error) {
 	want := strings.ToLower(strings.TrimSpace(name))
+	if strings.HasPrefix(want, "dyn:") {
+		return parseDynamic(want)
+	}
 	for _, e := range policyTable {
 		if strings.ToLower(e.Canonical) == want {
 			return e.Make(), nil
@@ -39,14 +56,127 @@ func ByName(name string) (Features, error) {
 			}
 		}
 	}
-	return Features{}, fmt.Errorf("steer: unknown policy %q (want one of %v)", name, Names())
+	return nil, fmt.Errorf("steer: unknown policy %q (want one of %v)", name, Names())
 }
 
-// Names returns the canonical policy names in ladder order.
+// FeaturesByName resolves a name that must denote a static policy, as the
+// candidate lists of dynamic selectors require.
+func FeaturesByName(name string) (Features, error) {
+	p, err := ByName(name)
+	if err != nil {
+		return Features{}, err
+	}
+	f, ok := p.(Features)
+	if !ok {
+		return Features{}, fmt.Errorf("steer: %q is not a static policy (dynamic selectors cannot nest)", name)
+	}
+	return f, nil
+}
+
+// Names returns the canonical policy names in ladder order, the dynamic
+// selectors last.
 func Names() []string {
 	out := make([]string, len(policyTable))
 	for i, e := range policyTable {
 		out[i] = e.Canonical
 	}
 	return out
+}
+
+// parseDynamic parses a parameterized "dyn:kind(arg,arg,...)" name. The
+// input arrives lowercased; rung names are resolved case-insensitively
+// and the policy re-renders them canonically, so round-tripping holds.
+func parseDynamic(want string) (Policy, error) {
+	body := strings.TrimPrefix(want, "dyn:")
+	open := strings.IndexByte(body, '(')
+	if open < 0 || !strings.HasSuffix(body, ")") {
+		return nil, fmt.Errorf("steer: malformed dynamic policy %q (want dyn:kind(arg,...))", want)
+	}
+	kind := body[:open]
+	var rungs []string
+	params := map[string]string{}
+	for _, arg := range strings.Split(body[open+1:len(body)-1], ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(arg, "="); ok {
+			params[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		} else {
+			rungs = append(rungs, arg)
+		}
+	}
+
+	interval := uint64(10_000)
+	if v, ok := params["interval"]; ok {
+		n, err := parseUops(v)
+		if err != nil {
+			return nil, fmt.Errorf("steer: bad interval in %q: %w", want, err)
+		}
+		interval = n
+	}
+
+	switch kind {
+	case "tournament":
+		if err := onlyParams(params, "interval", "run"); err != nil {
+			return nil, fmt.Errorf("steer: %q: %w", want, err)
+		}
+		runIntervals := 6 // match DefaultTournament when run= is omitted
+		if v, ok := params["run"]; ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("steer: bad run length in %q: %w", want, err)
+			}
+			runIntervals = n
+		}
+		var cands []Features
+		for _, r := range rungs {
+			f, err := FeaturesByName(r)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, f)
+		}
+		return NewTournament(cands, interval, runIntervals)
+
+	case "occupancy":
+		if err := onlyParams(params, "interval", "th"); err != nil {
+			return nil, fmt.Errorf("steer: %q: %w", want, err)
+		}
+		if len(rungs) != 1 {
+			return nil, fmt.Errorf("steer: occupancy policy wants exactly one base rung, got %v", rungs)
+		}
+		base, err := FeaturesByName(rungs[0])
+		if err != nil {
+			return nil, err
+		}
+		thPercent := 25
+		if v, ok := params["th"]; ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("steer: bad threshold in %q: %w", want, err)
+			}
+			thPercent = n
+		}
+		return NewOccAdaptive(base, float64(thPercent)/100, interval)
+
+	default:
+		return nil, fmt.Errorf("steer: unknown dynamic policy kind %q (want tournament or occupancy)", kind)
+	}
+}
+
+// onlyParams rejects unknown key=value parameters so typos fail loudly.
+func onlyParams(params map[string]string, allowed ...string) error {
+	for k := range params {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown parameter %q (want %v)", k, allowed)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,171 @@
+package steer
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/metrics"
+)
+
+// View is the live machine state a policy may consult when steering one
+// uop: the issue-queue occupancies of both clusters and the NREADY
+// leftovers of the previous issue cycle (§3.7's imbalance signals).
+type View struct {
+	WideOcc, WideCap     int
+	HelperOcc, HelperCap int
+	// WideReadyUnissued / HelperReadyUnissued are the ready-but-unissued
+	// entry counts observed at the last issue boundary.
+	WideReadyUnissued   int
+	HelperReadyUnissued int
+}
+
+// WideRate returns the wide issue-queue occupancy rate in [0,1].
+func (v View) WideRate() float64 {
+	if v.WideCap <= 0 {
+		return 0
+	}
+	return float64(v.WideOcc) / float64(v.WideCap)
+}
+
+// HelperRate returns the helper issue-queue occupancy rate in [0,1].
+func (v View) HelperRate() float64 {
+	if v.HelperCap <= 0 {
+		return 0
+	}
+	return float64(v.HelperOcc) / float64(v.HelperCap)
+}
+
+// Occupancy is the queue-occupancy snapshot passed to Observe at each
+// feedback interval.
+type Occupancy struct {
+	WideOcc, WideCap     int
+	HelperOcc, HelperCap int
+}
+
+// Policy is a steering policy: a per-uop feature decision plus an
+// interval feedback hook. The simulator core consults Decide for every
+// renamed uop to learn which of the paper's schemes govern it, and — for
+// policies with a non-zero Interval — calls Observe with the metrics
+// delta of each elapsed interval so the policy can adapt.
+//
+// Features is the zero-overhead static adapter: it implements Policy by
+// returning itself from Decide, and the core recognizes it and skips the
+// per-uop dispatch entirely. Dynamic policies (Tournament, OccAdaptive)
+// change their answer over time.
+//
+// Policy implementations need not be safe for concurrent use by multiple
+// simulations; the core takes a private instance via Fresh before a run.
+type Policy interface {
+	// Name renders the canonical policy name. For every registry policy
+	// and every dynamic policy built from registry rungs, ByName(Name())
+	// reconstructs an equivalent policy; hand-assembled Features outside
+	// the paper's ladder render descriptive names that may not resolve
+	// (they travel structurally over the wire instead).
+	Name() string
+	// Decide returns the feature set governing this uop's steering.
+	Decide(u *isa.Uop, v *View) Features
+	// Observe feeds back the metrics delta of the last interval together
+	// with the current queue occupancies. Static policies ignore it.
+	Observe(delta metrics.Metrics, occ Occupancy)
+	// Interval is the feedback cadence in committed uops; 0 disables
+	// Observe entirely (the static fast path).
+	Interval() uint64
+	// NeedsHelper reports whether the policy can ever steer to the helper
+	// cluster, and therefore requires a machine with HelperEnabled.
+	NeedsHelper() bool
+}
+
+// Features implements Policy: the static adapter the paper's ladder uses.
+
+// Decide returns the fixed feature set (static policies never adapt).
+func (f Features) Decide(*isa.Uop, *View) Features { return f }
+
+// Observe is a no-op: static policies take no runtime feedback.
+func (f Features) Observe(metrics.Metrics, Occupancy) {}
+
+// Interval returns 0: static policies want no feedback callbacks.
+func (f Features) Interval() uint64 { return 0 }
+
+// NeedsHelper reports whether the feature set steers at all.
+func (f Features) NeedsHelper() bool { return f.Enable888 }
+
+// Validate reports contradictory feature combinations: every sub-scheme
+// (BR, LR, CR, CP, IR and the IR tunings) extends the 8_8_8 base and is
+// meaningless without it, and the two IR tunings are mutually exclusive.
+func (f Features) Validate() error {
+	if !f.Enable888 {
+		var orphans []string
+		for _, s := range []struct {
+			on   bool
+			name string
+		}{
+			{f.EnableBR, "EnableBR"},
+			{f.EnableLR, "EnableLR"},
+			{f.EnableCR, "EnableCR"},
+			{f.EnableCP, "EnableCP"},
+			{f.EnableIR, "EnableIR"},
+			{f.IRNoDestOnly, "IRNoDestOnly"},
+			{f.IRBlock, "IRBlock"},
+		} {
+			if s.on {
+				orphans = append(orphans, s.name)
+			}
+		}
+		if len(orphans) > 0 {
+			return fmt.Errorf("steer: %v set without Enable888: every sub-scheme extends the 8_8_8 base (§3.2)", orphans)
+		}
+		return nil
+	}
+	if (f.IRNoDestOnly || f.IRBlock) && !f.EnableIR {
+		return fmt.Errorf("steer: IR tuning flags require EnableIR (§3.7)")
+	}
+	if f.IRNoDestOnly && f.IRBlock {
+		return fmt.Errorf("steer: IRNoDestOnly and IRBlock are mutually exclusive IR modes (§3.7)")
+	}
+	return nil
+}
+
+// RungUsage is one row of an adaptive policy's usage breakdown: how much
+// of the run each rung (candidate feature set) governed.
+type RungUsage struct {
+	// Rung is the canonical name of the feature set.
+	Rung string
+	// Committed and WideCycles are the uops and cycles accumulated while
+	// this rung was active (attributed at Observe granularity).
+	Committed  uint64
+	WideCycles uint64
+	// Intervals is the number of feedback intervals the rung was active.
+	Intervals uint64
+}
+
+// IPC returns the rung's committed-uop throughput while active.
+func (u RungUsage) IPC() float64 {
+	if u.WideCycles == 0 {
+		return 0
+	}
+	return float64(u.Committed) / float64(u.WideCycles)
+}
+
+// UsageReporter is implemented by adaptive policies that track a per-rung
+// usage breakdown. The core resets usage when measurement begins (after
+// warmup) and snapshots it into the run's Result.
+type UsageReporter interface {
+	Usage() []RungUsage
+	ResetUsage()
+}
+
+// Cloner is implemented by stateful policies. Fresh consults it so every
+// simulation adapts from a pristine instance even when one policy value
+// fans out over a batch of concurrent runs.
+type Cloner interface {
+	Clone() Policy
+}
+
+// Fresh returns a private instance of p for one simulation: stateful
+// policies are cloned, stateless ones (Features) are returned as-is.
+func Fresh(p Policy) Policy {
+	if c, ok := p.(Cloner); ok {
+		return c.Clone()
+	}
+	return p
+}

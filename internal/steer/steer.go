@@ -1,8 +1,10 @@
 // Package steer defines the data-width aware instruction selection
-// policies of the paper: the feature set that composes the 8_8_8 base
-// scheme with BR, LR, CR, CP and IR (§3.2-§3.7), plus the pure decision
-// helpers (split eligibility, the occupancy-based imbalance detector) the
-// timing simulator consults.
+// policies of the paper and the Policy interface the timing simulator
+// consults: the Features set composing the 8_8_8 base scheme with BR,
+// LR, CR, CP and IR (§3.2-§3.7) doubles as the zero-overhead static
+// Policy, the dynamic policies (Tournament, OccAdaptive) re-select per
+// interval from runtime feedback, and the pure decision helpers (split
+// eligibility, the occupancy-based imbalance detector) support both.
 package steer
 
 import (

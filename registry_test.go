@@ -46,7 +46,7 @@ func TestPolicyByNameSpecials(t *testing.T) {
 		"baseline":      PolicyBaseline(),
 		"none":          PolicyBaseline(),
 		"full":          PolicyFull(),
-		"no-confidence": {Enable888: true},
+		"no-confidence": PolicyFeatures{Enable888: true},
 	} {
 		got, err := PolicyByName(name)
 		if err != nil || got != want {
@@ -60,10 +60,22 @@ func TestPolicyByNameSpecials(t *testing.T) {
 	// Name/ByName round-trip for the one policy whose name used to be
 	// lossy: a no-confidence run's reported Policy must resolve back to
 	// the no-confidence policy, not the confidence-enabled one.
-	nc := Policy{Enable888: true}
+	nc := PolicyFeatures{Enable888: true}
 	back, err := PolicyByName(nc.Name())
-	if err != nil || back != nc {
+	if err != nil || back != Policy(nc) {
 		t.Errorf("no-confidence round trip: name %q resolved to %+v, %v", nc.Name(), back, err)
+	}
+
+	// The dynamic selectors resolve by alias too.
+	for _, alias := range []string{"dyn", "tournament", "occupancy", "adaptive"} {
+		p, err := PolicyByName(alias)
+		if err != nil {
+			t.Errorf("PolicyByName(%q): %v", alias, err)
+			continue
+		}
+		if !strings.HasPrefix(p.Name(), "dyn:") {
+			t.Errorf("alias %q resolved to non-dynamic policy %q", alias, p.Name())
+		}
 	}
 }
 

@@ -1,0 +1,132 @@
+package repro
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPolicyNameRoundTripProperty pins the registry's core contract over
+// every advertised policy, static and dynamic: resolving a policy's
+// rendered name reproduces a policy with the identical name (and, for
+// static policies, the identical value).
+func TestPolicyNameRoundTripProperty(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("PolicyByName(%q).Name() = %q: advertised names must be canonical", name, p.Name())
+		}
+		back, err := PolicyByName(p.Name())
+		if err != nil {
+			t.Errorf("ByName(Name()) failed for %q: %v", p.Name(), err)
+			continue
+		}
+		if back.Name() != p.Name() {
+			t.Errorf("round trip drifted: %q -> %q", p.Name(), back.Name())
+		}
+		if f, ok := p.(PolicyFeatures); ok {
+			if back != Policy(f) {
+				t.Errorf("static policy %q did not round-trip by value: %+v vs %+v", name, back, f)
+			}
+		}
+	}
+}
+
+// TestParameterizedDynamicNamesRoundTrip exercises non-default dynamic
+// parameterizations: custom candidate lists, intervals that are not round
+// thousands, and explicit run/threshold parameters.
+func TestParameterizedDynamicNamesRoundTrip(t *testing.T) {
+	cases := []string{
+		"dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=50k,run=8)",
+		"dyn:tournament(baseline,8_8_8,8_8_8+BR+LR+CR+CP+IRblk,interval=2500,run=1)",
+		"dyn:occupancy(8_8_8+BR+LR+CR+CP+IR,th=40,interval=20k)",
+		"dyn:occupancy(8_8_8+BR+LR+CR+CP+IRnd,th=10,interval=1500)",
+	}
+	for _, name := range cases {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("canonical rendering drifted: %q -> %q", name, p.Name())
+		}
+	}
+
+	for _, bad := range []string{
+		"dyn:tournament(8_8_8)",                      // one candidate
+		"dyn:tournament(8_8_8,8_8_8)",                // duplicate candidates
+		"dyn:tournament(8_8_8,nosuch)",               // unknown rung
+		"dyn:tournament(8_8_8,dyn,interval=10k)",     // nested dynamic
+		"dyn:tournament(8_8_8,8_8_8+BR,bogus=1)",     // unknown parameter
+		"dyn:occupancy(8_8_8)",                       // base without IR
+		"dyn:occupancy(full,th=0)",                   // threshold out of range
+		"dyn:occupancy(full,interval=0)",             // zero interval
+		"dyn:occupancy(full,8_8_8)",                  // two base rungs
+		"dyn:mystery(8_8_8,8_8_8+BR)",                // unknown kind
+		"dyn:tournament(8_8_8,8_8_8+BR,interval=xk)", // unparseable interval
+		"dyn:tournament",                             // no argument list
+		"dyn:tournament(8_8_8,8_8_8+BR,run=4x)",      // trailing junk in run
+		"dyn:occupancy(full,th=25.5)",                // fractional percent
+	} {
+		if _, err := PolicyByName(bad); err == nil {
+			t.Errorf("PolicyByName(%q) should fail", bad)
+		}
+	}
+}
+
+// TestJobJSONCarriesOffLadderStatic pins the structural wire form: a
+// hand-assembled static policy outside the registry ladder (whose
+// rendered name resolves to nothing) still survives the Job round trip.
+func TestJobJSONCarriesOffLadderStatic(t *testing.T) {
+	odd := PolicyFeatures{Enable888: true, UseConfidence: true, EnableLR: true} // LR without BR
+	if _, err := PolicyByName(odd.Name()); err == nil {
+		t.Fatalf("precondition: %q should not resolve (pick a different off-ladder combo)", odd.Name())
+	}
+	in := Job{Policy: odd, Workload: mustWorkload(t, "gcc"), N: 5_000}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Job
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("off-ladder static job failed to decode: %v", err)
+	}
+	if out.Policy != Policy(odd) {
+		t.Errorf("off-ladder policy drifted: %+v", out.Policy)
+	}
+}
+
+// TestJobJSONCarriesEveryPolicy encodes and decodes a Job per advertised
+// policy: the wire form must reconstruct the policy exactly (by name),
+// including the parameterized dynamic selectors.
+func TestJobJSONCarriesEveryPolicy(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		in := Job{Policy: p, Workload: w, N: 10_000}
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal job with policy %q: %v", name, err)
+		}
+		var out Job
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("unmarshal job with policy %q: %v", name, err)
+		}
+		if out.Policy == nil || out.Policy.Name() != name {
+			t.Errorf("job policy %q decoded as %v", name, out.Policy)
+		}
+		if f, ok := p.(PolicyFeatures); ok && out.Policy != Policy(f) {
+			t.Errorf("static job policy %q did not round-trip by value", name)
+		}
+		if out.Workload.Name != w.Name || out.N != in.N {
+			t.Errorf("job fields drifted for policy %q: %+v", name, out)
+		}
+	}
+}

@@ -39,15 +39,24 @@ type Job struct {
 	Warmup uint64 `json:"warmup,omitempty"`
 }
 
+// EffectivePolicy returns the policy the job will actually run: Policy
+// itself, or — when Policy is nil — the baseline (no steering).
+func (j Job) EffectivePolicy() Policy {
+	if j.Policy == nil {
+		return PolicyBaseline()
+	}
+	return j.Policy
+}
+
 // EffectiveConfig returns the machine the job will actually run on:
 // Config itself, or — when Config is zero — the policy-derived default
-// (HelperConfig when steering is on, BaselineConfig otherwise). Use it
+// (HelperConfig when the policy steers, BaselineConfig otherwise). Use it
 // wherever the resolved machine matters, e.g. to feed EstimatePower.
 func (j Job) EffectiveConfig() Config {
 	if j.Config != (Config{}) {
 		return j.Config
 	}
-	if j.Policy.Enable888 {
+	if j.EffectivePolicy().NeedsHelper() {
 		return HelperConfig()
 	}
 	return BaselineConfig()
@@ -59,7 +68,7 @@ func (j Job) Label() string {
 	if j.Name != "" {
 		return j.Name
 	}
-	return j.Workload.Name + "/" + j.Policy.Name()
+	return j.Workload.Name + "/" + j.EffectivePolicy().Name()
 }
 
 // Validate reports the first structural problem with the job as the
@@ -73,6 +82,11 @@ func (j Job) Validate() error {
 	}
 	if err := j.Workload.Params.Validate(); err != nil {
 		return fmt.Errorf("repro: job %s: %w", j.Label(), err)
+	}
+	if v, ok := j.EffectivePolicy().(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("repro: job %s: %w", j.Label(), err)
+		}
 	}
 	if j.Config != (Config{}) {
 		if err := j.Config.Validate(); err != nil {
@@ -170,6 +184,7 @@ func DefaultRunner() *Runner { return defaultRunner }
 // runner's settings.
 func (r *Runner) withDefaults(j Job) Job {
 	j.Config = j.EffectiveConfig()
+	j.Policy = j.EffectivePolicy()
 	if j.Warmup == 0 {
 		j.Warmup = uint64(r.warmupFrac * float64(j.N))
 	}

@@ -387,16 +387,19 @@ func TestConfigPolicyResultJSONRoundTrip(t *testing.T) {
 		t.Error("config round trip mismatch")
 	}
 
+	// Static policies are plain feature structs on the wire; dynamic
+	// policies travel by canonical name (see Job's encoder), so the
+	// structural round trip is pinned on the concrete static type.
 	pol := PolicyFull()
 	data, err = json.Marshal(pol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var pol2 Policy
+	var pol2 PolicyFeatures
 	if err := json.Unmarshal(data, &pol2); err != nil {
 		t.Fatal(err)
 	}
-	if pol2 != pol {
+	if Policy(pol2) != pol {
 		t.Error("policy round trip mismatch")
 	}
 
@@ -418,6 +421,72 @@ func TestConfigPolicyResultJSONRoundTrip(t *testing.T) {
 	}
 	if res2.Metrics.IPC() != res.Metrics.IPC() {
 		t.Error("derived metrics differ after round trip")
+	}
+}
+
+// TestSharedDynamicPolicyBatch fans ONE stateful dynamic policy value out
+// over a whole batch: every simulation must adapt from a private clone
+// (no cross-run interference, no data races under -race), results must be
+// deterministic per workload, and the per-rung usage breakdown must
+// surface through the public Result.
+func TestSharedDynamicPolicyBatch(t *testing.T) {
+	shared := PolicyDynamic()
+	var jobs []Job
+	for _, name := range []string{"gcc", "gzip", "gcc", "gzip"} {
+		jobs = append(jobs, Job{Policy: shared, Workload: mustWorkload(t, name), N: 8_000})
+	}
+	results, err := NewRunner(WithWorkers(4)).RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Policy != shared.Name() {
+			t.Errorf("job %d ran policy %q, want %q", i, res.Policy, shared.Name())
+		}
+		if len(res.Rungs) == 0 {
+			t.Errorf("job %d: dynamic run missing the rung usage breakdown", i)
+		}
+		var total uint64
+		for _, u := range res.Rungs {
+			total += u.Committed
+		}
+		if total != res.Metrics.Committed {
+			t.Errorf("job %d: usage attributes %d of %d commits", i, total, res.Metrics.Committed)
+		}
+	}
+	// Same workload, same shared policy, concurrent workers: identical
+	// runs — the proof each simulation got a pristine clone.
+	if results[0].Metrics != results[2].Metrics || results[1].Metrics != results[3].Metrics {
+		t.Error("shared dynamic policy leaked state across batch jobs")
+	}
+}
+
+// TestDynamicJobJSON round-trips a Job carrying a parameterized dynamic
+// policy over the wire.
+func TestDynamicJobJSON(t *testing.T) {
+	p, err := PolicyByName("dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=2k,run=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Job{Policy: p, Workload: mustWorkload(t, "mcf"), N: 6_000}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Job
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy.Name() != p.Name() {
+		t.Fatalf("policy %q decoded as %q", p.Name(), out.Policy.Name())
+	}
+	// The decoded job is runnable and reports under the canonical name.
+	res, err := NewRunner().Run(context.Background(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != p.Name() {
+		t.Errorf("result policy %q", res.Policy)
 	}
 }
 

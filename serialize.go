@@ -17,8 +17,11 @@ import (
 //	{"workload": "gcc", "policy": "8_8_8+BR", "config": "helper", "n": 100000}
 //
 // Config accepts "baseline"/"helper" (ConfigByName), Policy accepts any
-// canonical name or alias (PolicyByName), and Workload accepts a SPEC Int
-// 2000 benchmark name (WorkloadByName).
+// canonical name or alias including the parameterized dynamic names
+// (PolicyByName), and Workload accepts a SPEC Int 2000 benchmark name
+// (WorkloadByName). Static policies marshal structurally (any feature
+// combination round-trips); dynamic policies marshal as their canonical
+// name, which the registry reconstructs exactly.
 
 // jobDTO mirrors Job with raw slots for the name-or-object fields.
 type jobDTO struct {
@@ -41,17 +44,47 @@ func (j *Job) UnmarshalJSON(data []byte) error {
 	if err := dec.Decode(&dto); err != nil {
 		return fmt.Errorf("repro: decoding job: %w", err)
 	}
-	out := Job{Name: dto.Name, N: dto.N, Warmup: dto.Warmup}
+	out := Job{Name: dto.Name, Policy: PolicyBaseline(), N: dto.N, Warmup: dto.Warmup}
 	if err := decodeNameOrObject(dto.Config, &out.Config, ConfigByName, "config"); err != nil {
 		return err
 	}
-	if err := decodeNameOrObject(dto.Policy, &out.Policy, PolicyByName, "policy"); err != nil {
+	if err := decodePolicy(dto.Policy, &out.Policy); err != nil {
 		return err
 	}
 	if err := decodeNameOrObject(dto.Workload, &out.Workload, WorkloadByName, "workload"); err != nil {
 		return err
 	}
 	*j = out
+	return nil
+}
+
+// decodePolicy fills dst from raw: absent → untouched (baseline), JSON
+// string → registry lookup (covering the parameterized dynamic names),
+// anything else → a structural PolicyFeatures object (the wire shape of
+// static policies before names became canonical).
+func decodePolicy(raw json.RawMessage, dst *Policy) error {
+	if len(raw) == 0 || bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+		return nil
+	}
+	if raw[0] == '"' {
+		var name string
+		if err := json.Unmarshal(raw, &name); err != nil {
+			return fmt.Errorf("repro: decoding job policy: %w", err)
+		}
+		p, err := PolicyByName(name)
+		if err != nil {
+			return fmt.Errorf("repro: decoding job policy: %w", err)
+		}
+		*dst = p
+		return nil
+	}
+	var f PolicyFeatures
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("repro: decoding job policy: %w", err)
+	}
+	*dst = f
 	return nil
 }
 
@@ -89,7 +122,16 @@ func (j Job) MarshalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	pol, err := json.Marshal(j.Policy)
+	// Static policies encode structurally, like every other struct field:
+	// arbitrary feature combinations (not only the registry ladder) must
+	// survive the round trip. Dynamic policies encode as their canonical
+	// name, which the registry reconstructs exactly — they have no stable
+	// structural form.
+	var polValue any = j.EffectivePolicy().Name()
+	if f, ok := j.EffectivePolicy().(PolicyFeatures); ok {
+		polValue = f
+	}
+	pol, err := json.Marshal(polValue)
 	if err != nil {
 		return nil, err
 	}
