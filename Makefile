@@ -22,6 +22,17 @@ test:
 race:
 	$(GO) test -race . ./internal/parallel ./internal/experiments
 
+# Fuzz the steering policy-name parser beyond its checked-in seed corpus
+# (the corpus itself replays in every plain `go test` run).
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzPolicyByName -fuzztime 10s ./internal/steer
+
+# Formatting gate: fails when any file needs gofmt.
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # Full benchmark sweep, summarized into BENCH_core.json (ns/op and
 # allocs/op per benchmark, min/mean/max over -count=3, plus the
 # Policy-interface dispatch overhead from BenchmarkPolicyOverhead).

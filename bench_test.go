@@ -359,6 +359,75 @@ func BenchmarkDynamicTournament(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicUCB measures the UCB bandit end to end: per-uop
+// dispatch, phase detection, interval energy estimation and arm updates.
+func BenchmarkDynamicUCB(b *testing.B) {
+	w, _ := WorkloadByName("gcc")
+	sim := mustSim(HelperConfig(), steer.DefaultUCBED2(), w)
+	b.ResetTimer()
+	if r := sim.Run(uint64(b.N)); r.Metrics.Committed < uint64(b.N) {
+		b.Fatal("short run")
+	}
+}
+
+// phaseUCBPolicy prices the phase-aware machinery without perturbing the
+// simulated work: it steers exactly like the static FCR rung, but its
+// non-zero Interval switches the core onto the full adaptive path — the
+// per-uop Decide dispatch (plus a real UCB arm lookup), the branch/memory
+// phase-detector notes, the interval power-model estimate, and real UCB
+// arm updates in Observe. Comparing it against the static FCR fast path
+// isolates exactly the phase-tracking + UCB dispatch cost.
+type phaseUCBPolicy struct{ ucb *steer.UCB }
+
+func (p phaseUCBPolicy) Name() string { return "bench:phase-ucb-probe" }
+func (p phaseUCBPolicy) Decide(u *isa.Uop, v *steer.View) steer.Features {
+	p.ucb.Decide(u, v)
+	return steer.FCR()
+}
+func (p phaseUCBPolicy) Observe(d Metrics, occ steer.Occupancy) { p.ucb.Observe(d, occ) }
+func (p phaseUCBPolicy) Interval() uint64                       { return p.ucb.Interval() }
+func (p phaseUCBPolicy) NeedsHelper() bool                      { return true }
+
+// BenchmarkPhaseUCBOverhead prices the tentpole machinery of the
+// phase-aware refactor on the hot path, BenchmarkPolicyOverhead-style:
+// the static FCR rung runs the zero-dispatch fast path, while
+// phaseUCBPolicy carries the identical steering decisions through the
+// complete phase-aware dynamic plumbing. The two simulators advance in
+// interleaved 50k-uop slices inside one timed run so machine drift hits
+// both sides equally. The headline number is the phase-ucb-overhead-pct
+// metric (must stay under 5); cmd/benchjson lifts it into BENCH_core.json
+// as phase_ucb_overhead_pct.
+func BenchmarkPhaseUCBOverhead(b *testing.B) {
+	w, _ := WorkloadByName("gcc")
+	simStatic := mustSim(HelperConfig(), steer.FCR(), w)
+	simPhase := mustSim(HelperConfig(), phaseUCBPolicy{steer.DefaultUCB()}, w)
+	const chunk = 50_000
+	var tStatic, tPhase time.Duration
+	var target uint64
+	b.ResetTimer()
+	for remaining := uint64(b.N); remaining > 0; {
+		n := uint64(chunk)
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		target += n
+		t0 := time.Now()
+		simStatic.Run(target)
+		t1 := time.Now()
+		simPhase.Run(target)
+		tStatic += t1.Sub(t0)
+		tPhase += time.Since(t1)
+	}
+	b.StopTimer()
+	if simStatic.Metrics().Committed < uint64(b.N) || simPhase.Metrics().Committed < uint64(b.N) {
+		b.Fatal("short run")
+	}
+	b.ReportMetric(float64(tStatic.Nanoseconds())/float64(b.N), "static-ns/uop")
+	b.ReportMetric(float64(tPhase.Nanoseconds())/float64(b.N), "phase-ns/uop")
+	b.ReportMetric((float64(tPhase)/float64(tStatic)-1)*100, "phase-ucb-overhead-pct")
+}
+
 // BenchmarkSynthThroughput measures trace generation speed.
 func BenchmarkSynthThroughput(b *testing.B) {
 	s := synth.MustNewStream(synth.DefaultParams())

@@ -32,8 +32,15 @@ var benchLine = regexp.MustCompile(
 
 // overheadMetric matches BenchmarkPolicyOverhead's custom metric: the
 // dispatch-vs-static cost of the steering Policy interface, measured over
-// interleaved slices of one run so machine drift cancels.
+// interleaved slices of one run so machine drift cancels. The leading
+// space keeps it from matching the longer phase-ucb-overhead-pct metric.
 var overheadMetric = regexp.MustCompile(`([0-9.eE+-]+) overhead-pct`)
+
+// phaseOverheadMetric matches BenchmarkPhaseUCBOverhead's metric: the
+// cost of the full phase-aware dynamic plumbing (per-uop dispatch, phase
+// detection, interval energy estimation, UCB arm updates) over the static
+// fast path, measured with the same interleaved-slices scheme.
+var phaseOverheadMetric = regexp.MustCompile(`([0-9.eE+-]+) phase-ucb-overhead-pct`)
 
 type sample struct {
 	nsPerOp     float64
@@ -54,6 +61,12 @@ type Summary struct {
 	// overhead-pct metric over the -count runs. Absent when that
 	// benchmark was not in the input.
 	PolicyOverheadPct *float64 `json:"policy_overhead_pct,omitempty"`
+	// PhaseUCBOverheadPct is the cost of the phase-aware dynamic path
+	// (dispatch + phase detection + interval energy estimate + UCB arm
+	// updates) over the static fast path: the mean of
+	// BenchmarkPhaseUCBOverhead's phase-ucb-overhead-pct metric. Absent
+	// when that benchmark was not in the input.
+	PhaseUCBOverheadPct *float64 `json:"phase_ucb_overhead_pct,omitempty"`
 }
 
 // Bench aggregates the -count repetitions of one benchmark.
@@ -72,11 +85,15 @@ func main() {
 	flag.Parse()
 
 	byName := map[string][]sample{}
-	var overheads []float64
+	var overheads, phaseOverheads []float64
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if om := overheadMetric.FindStringSubmatch(sc.Text()); om != nil {
+		if pm := phaseOverheadMetric.FindStringSubmatch(sc.Text()); pm != nil {
+			if v, err := strconv.ParseFloat(pm[1], 64); err == nil {
+				phaseOverheads = append(phaseOverheads, v)
+			}
+		} else if om := overheadMetric.FindStringSubmatch(sc.Text()); om != nil {
 			if v, err := strconv.ParseFloat(om[1], 64); err == nil {
 				overheads = append(overheads, v)
 			}
@@ -136,13 +153,11 @@ func main() {
 		sum.Benchmarks = append(sum.Benchmarks, b)
 	}
 
-	if len(overheads) > 0 {
-		var total float64
-		for _, v := range overheads {
-			total += v
-		}
-		pct := total / float64(len(overheads))
+	if pct, ok := mean(overheads); ok {
 		sum.PolicyOverheadPct = &pct
+	}
+	if pct, ok := mean(phaseOverheads); ok {
+		sum.PhaseUCBOverheadPct = &pct
 	}
 
 	data, err := json.MarshalIndent(sum, "", "  ")
@@ -161,7 +176,22 @@ func main() {
 	if sum.PolicyOverheadPct != nil {
 		fmt.Fprintf(os.Stderr, " (policy dispatch overhead %+.2f%%)", *sum.PolicyOverheadPct)
 	}
+	if sum.PhaseUCBOverheadPct != nil {
+		fmt.Fprintf(os.Stderr, " (phase+ucb overhead %+.2f%%)", *sum.PhaseUCBOverheadPct)
+	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// mean averages a sample list; ok is false when it is empty.
+func mean(vs []float64) (float64, bool) {
+	if len(vs) == 0 {
+		return 0, false
+	}
+	var total float64
+	for _, v := range vs {
+		total += v
+	}
+	return total / float64(len(vs)), true
 }
 
 func fatal(err error) {

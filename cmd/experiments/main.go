@@ -123,13 +123,14 @@ func main() {
 			emit(experiments.SpecLadder(s))
 		}
 		if sel("dynamic") {
-			fmt.Fprintf(os.Stderr, "running the dynamic-policy sweep (%d uops × 12 apps × 2 selectors)...\n", o.SpecUops)
+			fmt.Fprintf(os.Stderr, "running the dynamic-policy sweep (%d uops × 12 apps × 4 selectors)...\n", o.SpecUops)
 			d, err := experiments.RunDynamicSweepCtx(ctx, o)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			emit(experiments.FigDynamic(s, d))
+			emit(experiments.FigDynamicED2(s, d))
 			emit(experiments.DynamicUsage(d))
 		}
 	}

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		study        = flag.String("study", "clockratio", "widthtable|clockratio|copylat|iqsize|confidence|helperwidth|splitmode|ladder|dynamic")
+		study        = flag.String("study", "clockratio", "widthtable|clockratio|copylat|iqsize|confidence|helperwidth|splitmode|ladder|dynamic|ucb")
 		workloadName = flag.String("workload", "crafty", "SPEC Int 2000 benchmark (ablation studies)")
 		policyName   = flag.String("policy", "cr", "policy for the configuration ablations (see helpersim -list)")
 		n            = flag.Uint64("n", 120_000, "measured uops per point")
@@ -55,6 +55,10 @@ func main() {
 	}
 	if *study == "dynamic" {
 		runDynamic(ctx, runner, *n)
+		return
+	}
+	if *study == "ucb" {
+		runUCB(ctx, runner, *n)
 		return
 	}
 
@@ -277,6 +281,77 @@ func runDynamic(ctx context.Context, runner *repro.Runner, n uint64) {
 		}
 		fmt.Println()
 	}
+}
+
+// runUCB compares the two dynamic selection strategies against the static
+// ladder on both axes the paper cares about: raw IPC speedup and the §3.7
+// energy-delay² efficiency. Per app it runs baseline, every ladder rung,
+// the tournament, and both UCB reward modes, then reports the best static
+// rung on each axis (the per-app oracles) next to the selectors — the
+// ED²-rewarded UCB optimizes that metric directly from the per-interval
+// energy estimates the simulator feeds adaptive policies.
+func runUCB(ctx context.Context, runner *repro.Runner, n uint64) {
+	apps := repro.SpecInt2000()
+	ladder := repro.PolicyLadder()
+	dynamics := []repro.Policy{repro.PolicyDynamic(), repro.PolicyUCB(), repro.PolicyUCBED2()}
+	warm := n / 5
+
+	var jobs []repro.Job
+	for _, w := range apps {
+		jobs = append(jobs, repro.Job{
+			Config: repro.BaselineConfig(), Policy: repro.PolicyBaseline(),
+			Workload: w, N: n, Warmup: warm,
+		})
+		for _, pol := range ladder {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: n, Warmup: warm})
+		}
+		for _, pol := range dynamics {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: n, Warmup: warm})
+		}
+	}
+	results := collect(ctx, runner, jobs)
+
+	ipcT := report.NewTable(
+		fmt.Sprintf("UCB vs tournament vs static ladder — speedup %% over baseline (%d uops)", n),
+		"best-static", "tournament", "ucb-ipc", "ucb-ed2")
+	ed2T := report.NewTable(
+		fmt.Sprintf("UCB vs tournament vs static ladder — ED² gain %% over baseline (%d uops)", n),
+		"best-static", "tournament", "ucb-ipc", "ucb-ed2")
+	stride := 1 + len(ladder) + len(dynamics)
+	baseCfg := repro.BaselineConfig()
+	for ai, w := range apps {
+		base := results[ai*stride]
+		basePower := repro.EstimatePower(baseCfg, base)
+		ed2Gain := func(r repro.Result, cfg repro.Config) float64 {
+			return 100 * repro.ED2Gain(repro.EstimatePower(cfg, r), basePower)
+		}
+		bestIPC, bestED2 := 0.0, 0.0
+		for pi := range ladder {
+			r := results[ai*stride+1+pi]
+			cfg := jobs[ai*stride+1+pi].EffectiveConfig()
+			if spd := 100 * repro.SpeedupOf(r, base); pi == 0 || spd > bestIPC {
+				bestIPC = spd
+			}
+			if g := ed2Gain(r, cfg); pi == 0 || g > bestED2 {
+				bestED2 = g
+			}
+		}
+		ipcRow := []float64{bestIPC}
+		ed2Row := []float64{bestED2}
+		for di := range dynamics {
+			idx := ai*stride + 1 + len(ladder) + di
+			r := results[idx]
+			cfg := jobs[idx].EffectiveConfig()
+			ipcRow = append(ipcRow, 100*repro.SpeedupOf(r, base))
+			ed2Row = append(ed2Row, ed2Gain(r, cfg))
+		}
+		ipcT.AddRow(w.Name, ipcRow...)
+		ed2T.AddRow(w.Name, ed2Row...)
+	}
+	ipcT.AddMeanRow()
+	ed2T.AddMeanRow()
+	fmt.Println(ipcT.Render())
+	fmt.Println(ed2T.Render())
 }
 
 // collect gathers a batch in job order, exiting with a clean message on

@@ -1,0 +1,70 @@
+package repro
+
+// Fan-out safety of the new stateful selectors: RunBatch hands one shared
+// policy value to many concurrent simulations, and steer.Fresh must give
+// each of them a private clone whose per-phase maps are fresh storage —
+// a shallow copy would race on the phase-keyed score/arm tables under
+// -race and corrupt adaptation without it.
+
+import (
+	"context"
+	"testing"
+)
+
+// fanOutShared runs n identical jobs sharing one policy value and checks
+// that every simulation produced the identical result (private clones
+// adapt deterministically) and that the caller's instance stays pristine.
+func fanOutShared(t *testing.T, shared Policy) {
+	t.Helper()
+	w := mustWorkload(t, "crafty")
+	const n = 8
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Policy: shared, Workload: w, N: 10_000, Warmup: 2_000}
+	}
+	results, err := NewRunner(WithWorkers(4)).RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Metrics != results[0].Metrics {
+			t.Errorf("%s: job %d diverged from job 0 — clones must not share adaptive state", shared.Name(), i)
+		}
+		if len(results[i].Rungs) != len(results[0].Rungs) {
+			t.Fatalf("%s: job %d usage shape diverged", shared.Name(), i)
+		}
+		for k := range results[i].Rungs {
+			if results[i].Rungs[k] != results[0].Rungs[k] {
+				t.Errorf("%s: job %d rung %d diverged", shared.Name(), i, k)
+			}
+		}
+	}
+	if ur, ok := shared.(interface{ Usage() []RungUsage }); ok {
+		for _, u := range ur.Usage() {
+			if u.Committed != 0 || u.EnergyNJ != 0 {
+				t.Errorf("%s: the caller's shared instance accumulated usage", shared.Name())
+			}
+		}
+	}
+	if ph, ok := shared.(interface{ Phases() int }); ok {
+		if ph.Phases() != 0 {
+			t.Errorf("%s: the caller's shared instance accumulated per-phase state", shared.Name())
+		}
+	}
+}
+
+func TestRunBatchSharedUCB(t *testing.T) {
+	p, err := PolicyByName("dyn:ucb(cr,cp,ir,reward=ed2,interval=2k,c=1.4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanOutShared(t, p)
+}
+
+func TestRunBatchSharedPhasedTournament(t *testing.T) {
+	p, err := PolicyByName("dyn:tournament(cr,cp,ir,interval=2k,run=3,phase=on)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanOutShared(t, p)
+}

@@ -1,0 +1,109 @@
+// Phaseaware: the phase- and energy-aware dynamic selection walkthrough.
+// Every adaptive run classifies its feedback intervals into program
+// phases (branch-PC/working-set signatures) and prices them with the
+// power model, so selectors can keep per-phase statistics and optimize
+// energy-delay² instead of raw IPC. This example compares, per workload:
+//
+//   - the best static ladder rung on each axis (per-app oracles),
+//   - the phase-aware tournament (per-phase score tables, "phase=on"),
+//   - the UCB bandit rewarded by interval IPC, and
+//   - the UCB bandit rewarded by interval ED² — which can beat the static
+//     ED² oracle when phases favour different rungs,
+//
+// and prints the per-rung usage breakdown with its energy attribution:
+// how many uops each rung governed, at what IPC, and at what energy per
+// uop — the observable evidence of what the selector chose and why.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+	apps := []string{"vortex", "twolf", "bzip2"}
+	ladder := repro.PolicyLadder()
+	const uops = 120_000
+
+	// Dynamic selectors; the phased tournament comes from the registry to
+	// show the parameterized name form round-tripping.
+	phased, err := repro.PolicyByName("dyn:tournament(cr,cp,ir,irnd,interval=10k,run=6,phase=on)")
+	if err != nil {
+		panic(err)
+	}
+	dynamics := []struct {
+		label string
+		pol   repro.Policy
+	}{
+		{"tournament(phase=on)", phased},
+		{"ucb(reward=ipc)", repro.PolicyUCB()},
+		{"ucb(reward=ed2)", repro.PolicyUCBED2()},
+	}
+
+	var jobs []repro.Job
+	for _, app := range apps {
+		w, err := repro.WorkloadByName(app)
+		if err != nil {
+			panic(err)
+		}
+		jobs = append(jobs, repro.Job{Policy: repro.PolicyBaseline(), Workload: w, N: uops})
+		for _, pol := range ladder {
+			jobs = append(jobs, repro.Job{Policy: pol, Workload: w, N: uops})
+		}
+		for _, d := range dynamics {
+			jobs = append(jobs, repro.Job{Policy: d.pol, Workload: w, N: uops})
+		}
+	}
+	results, err := repro.NewRunner().RunAll(ctx, jobs)
+	if err != nil {
+		panic(err)
+	}
+
+	stride := 1 + len(ladder) + len(dynamics)
+	for ai, app := range apps {
+		base := results[ai*stride]
+		basePower := repro.EstimatePower(repro.BaselineConfig(), base)
+		ed2 := func(idx int) float64 {
+			r := results[idx]
+			return 100 * repro.ED2Gain(repro.EstimatePower(jobs[idx].EffectiveConfig(), r), basePower)
+		}
+
+		bestIPC, bestED2 := 0.0, 0.0
+		bestIPCName, bestED2Name := "", ""
+		for pi, pol := range ladder {
+			idx := ai*stride + 1 + pi
+			if spd := 100 * repro.SpeedupOf(results[idx], base); pi == 0 || spd > bestIPC {
+				bestIPC, bestIPCName = spd, pol.Name()
+			}
+			if g := ed2(idx); pi == 0 || g > bestED2 {
+				bestED2, bestED2Name = g, pol.Name()
+			}
+		}
+		fmt.Printf("%s\n", app)
+		fmt.Printf("  %-22s %-28s ipc %+6.2f%%\n", "best static (ipc)", bestIPCName, bestIPC)
+		fmt.Printf("  %-22s %-28s ed2 %+6.2f%%\n", "best static (ed2)", bestED2Name, bestED2)
+
+		for di, d := range dynamics {
+			idx := ai*stride + 1 + len(ladder) + di
+			r := results[idx]
+			fmt.Printf("  %-22s ipc %+6.2f%%  ed2 %+6.2f%%\n",
+				d.label, 100*repro.SpeedupOf(r, base), ed2(idx))
+			if d.label != "ucb(reward=ed2)" {
+				continue
+			}
+			// The energy-attributed usage breakdown of the ED² bandit:
+			// which rungs it chose, and what each cost per uop.
+			for _, u := range r.Rungs {
+				if u.Committed == 0 {
+					continue
+				}
+				fmt.Printf("      %-32s %5.1f%% of uops  ipc %.3f  %6.1f pJ/uop  ed2/uop %.3f\n",
+					u.Rung, 100*float64(u.Committed)/float64(r.Metrics.Committed),
+					u.IPC(), 1000*u.EnergyPerUop(), u.ED2PerUop())
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package repro
+
+// Golden-result regression test: a small committed binary trace is
+// replayed under a pinned set of jobs and the resulting metrics are
+// compared field-by-field against testdata/golden.json. Refactors of the
+// core loop, the steering engine or the power plumbing cannot silently
+// drift simulation output — an intentional behaviour change regenerates
+// the goldens with
+//
+//	go test -run TestGoldenResults -update .
+//
+// The goldens pin the exact integer counters (the simulation is
+// deterministic) and the energy estimate within a small relative
+// tolerance (float accumulation order). They are generated on
+// linux/amd64, the CI architecture; architectures with different
+// floating-point contraction rules may steer adaptive runs differently.
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace and results")
+
+const (
+	goldenTracePath = "testdata/golden.trace"
+	goldenJSONPath  = "testdata/golden.json"
+	goldenTraceUops = 1_500
+	goldenRunUops   = 12_000
+)
+
+// goldenJobs is the pinned job set: one static rung per steering family
+// plus each dynamic selector kind, all replaying the committed trace.
+func goldenJobs(t *testing.T) []struct {
+	Label  string
+	Config Config
+	Policy Policy
+} {
+	t.Helper()
+	mk := func(name string) Policy {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return []struct {
+		Label  string
+		Config Config
+		Policy Policy
+	}{
+		{"baseline", BaselineConfig(), PolicyBaseline()},
+		{"full-static", HelperConfig(), mk("ir")},
+		{"tournament", HelperConfig(), mk("dyn:tournament(cr,cp,ir,interval=2k,run=3)")},
+		{"tournament-phased", HelperConfig(), mk("dyn:tournament(cr,cp,ir,interval=2k,run=3,phase=on)")},
+		{"ucb-ipc", HelperConfig(), mk("dyn:ucb(cr,cp,ir,reward=ipc,interval=2k,c=1.4)")},
+		{"ucb-ed2", HelperConfig(), mk("dyn:ucb(cr,cp,ir,reward=ed2,interval=2k,c=1.4)")},
+	}
+}
+
+// goldenRung is the pinned slice of one usage row.
+type goldenRung struct {
+	Rung      string  `json:"rung"`
+	Committed uint64  `json:"committed"`
+	EnergyNJ  float64 `json:"energy_nj"`
+}
+
+// goldenRun is the pinned outcome of one job.
+type goldenRun struct {
+	Label         string       `json:"label"`
+	Policy        string       `json:"policy"`
+	Committed     uint64       `json:"committed"`
+	WideCycles    uint64       `json:"wide_cycles"`
+	SteeredHelper uint64       `json:"steered_helper"`
+	CopiesCreated uint64       `json:"copies_created"`
+	FatalFlushes  uint64       `json:"fatal_flushes"`
+	SteeredSplit  uint64       `json:"steered_split"`
+	EnergyNJ      float64      `json:"energy_nj"`
+	Rungs         []goldenRung `json:"rungs,omitempty"`
+}
+
+// runGolden executes the pinned jobs against the committed trace.
+func runGolden(t *testing.T) []goldenRun {
+	t.Helper()
+	var out []goldenRun
+	for _, j := range goldenJobs(t) {
+		r, err := RunTraceFile(j.Config, j.Policy, goldenTracePath, goldenRunUops)
+		if err != nil {
+			t.Fatalf("%s: %v", j.Label, err)
+		}
+		g := goldenRun{
+			Label:         j.Label,
+			Policy:        r.Policy,
+			Committed:     r.Metrics.Committed,
+			WideCycles:    r.Metrics.WideCycles,
+			SteeredHelper: r.Metrics.SteeredHelper,
+			CopiesCreated: r.Metrics.CopiesCreated,
+			FatalFlushes:  r.Metrics.FatalFlushes,
+			SteeredSplit:  r.Metrics.SteeredSplit,
+			EnergyNJ:      EstimatePower(j.Config, r).EnergyNJ,
+		}
+		for _, u := range r.Rungs {
+			g.Rungs = append(g.Rungs, goldenRung{Rung: u.Rung, Committed: u.Committed, EnergyNJ: u.EnergyNJ})
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestGoldenResults(t *testing.T) {
+	if *update {
+		w := mustWorkload(t, "gcc")
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTraceFile(goldenTracePath, w, goldenTraceUops); err != nil {
+			t.Fatal(err)
+		}
+		got := runGolden(t)
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenJSONPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", goldenTracePath, goldenJSONPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenJSONPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run `go test -run TestGoldenResults -update .`): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	got := runGolden(t)
+	if len(got) != len(want) {
+		t.Fatalf("job set drifted: %d runs, goldens have %d (regenerate with -update)", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Label != w.Label || g.Policy != w.Policy {
+			t.Errorf("run %d identity drifted: %s/%s vs golden %s/%s", i, g.Label, g.Policy, w.Label, w.Policy)
+			continue
+		}
+		cmp := func(name string, got, want uint64) {
+			if got != want {
+				t.Errorf("%s: %s = %d, golden %d", g.Label, name, got, want)
+			}
+		}
+		cmp("committed", g.Committed, w.Committed)
+		cmp("wide_cycles", g.WideCycles, w.WideCycles)
+		cmp("steered_helper", g.SteeredHelper, w.SteeredHelper)
+		cmp("copies_created", g.CopiesCreated, w.CopiesCreated)
+		cmp("fatal_flushes", g.FatalFlushes, w.FatalFlushes)
+		cmp("steered_split", g.SteeredSplit, w.SteeredSplit)
+		if !closeRel(g.EnergyNJ, w.EnergyNJ, 1e-9) {
+			t.Errorf("%s: energy %g nJ, golden %g nJ", g.Label, g.EnergyNJ, w.EnergyNJ)
+		}
+		if len(g.Rungs) != len(w.Rungs) {
+			t.Errorf("%s: %d usage rungs, golden %d", g.Label, len(g.Rungs), len(w.Rungs))
+			continue
+		}
+		for k, u := range g.Rungs {
+			if u.Rung != w.Rungs[k].Rung || u.Committed != w.Rungs[k].Committed {
+				t.Errorf("%s rung %d: %s/%d, golden %s/%d",
+					g.Label, k, u.Rung, u.Committed, w.Rungs[k].Rung, w.Rungs[k].Committed)
+			}
+			if !closeRel(u.EnergyNJ, w.Rungs[k].EnergyNJ, 1e-9) {
+				t.Errorf("%s rung %d: energy %g, golden %g", g.Label, k, u.EnergyNJ, w.Rungs[k].EnergyNJ)
+			}
+		}
+	}
+}
+
+// closeRel reports a ≈ b within relative tolerance (absolute near zero).
+func closeRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den < 1 {
+		return math.Abs(a-b) <= tol
+	}
+	return math.Abs(a-b)/den <= tol
+}

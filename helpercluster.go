@@ -34,11 +34,16 @@
 //
 // Steering is a first-class Policy interface: the static feature ladder
 // (PolicyFeatures) runs with zero dispatch overhead, while the dynamic
-// policies — the interval tournament (PolicyDynamic) and the
-// occupancy-adaptive IR modulator (PolicyAdaptive) — re-select per
-// interval from runtime feedback and report a per-rung usage breakdown
-// in Result.Rungs. Every policy name, including the parameterized
-// "dyn:..." forms, round-trips through PolicyByName.
+// policies — the interval tournament (PolicyDynamic), the UCB1 bandit
+// selector (PolicyUCB, PolicyUCBED2) and the occupancy-adaptive IR
+// modulator (PolicyAdaptive) — re-select per interval from runtime
+// feedback and report a per-rung usage breakdown in Result.Rungs,
+// including per-rung energy attribution. Dynamic runs are phase-aware:
+// each feedback interval is classified into a program phase from its
+// branch-PC/working-set signature, and stateful policies key their
+// statistics per phase, so scores learned in one phase never decide
+// another. Every policy name, including the parameterized "dyn:..."
+// forms, round-trips through PolicyByName.
 //
 // Jobs, Configs, Policies and Results all round-trip through JSON, and
 // Job's decoder accepts registry names ("gcc", "8_8_8+BR", "helper",
@@ -139,6 +144,20 @@ func PolicyDynamic() Policy { return steer.DefaultTournament() }
 // Parameterized variants resolve via PolicyByName, e.g.
 // "dyn:occupancy(8_8_8+BR+LR+CR+CP+IR,th=40,interval=20k)".
 func PolicyAdaptive() Policy { return steer.DefaultOccAdaptive() }
+
+// PolicyUCB returns the default UCB1 bandit selector over the four
+// aggressive ladder rungs: each feedback interval is one play of the
+// active rung rewarded by interval IPC, with per-program-phase arm
+// statistics so a recurring phase resumes its learned winner immediately.
+// Parameterized variants resolve via PolicyByName, e.g.
+// "dyn:ucb(8_8_8+BR+LR,8_8_8+BR+LR+CR,reward=ed2,interval=50k,c=1.4)".
+func PolicyUCB() Policy { return steer.DefaultUCB() }
+
+// PolicyUCBED2 is PolicyUCB rewarding low energy-delay² instead of raw
+// IPC — the paper's §3.7 efficiency argument made the selection
+// objective, priced by the per-interval energy estimates the simulator
+// feeds adaptive policies.
+func PolicyUCBED2() Policy { return steer.DefaultUCBED2() }
 
 // SpecInt2000 returns the 12 calibrated SPEC Int 2000 workload profiles.
 func SpecInt2000() []Workload { return workload.SpecInt2000() }

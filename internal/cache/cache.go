@@ -39,6 +39,12 @@ type Stats struct {
 	Misses   uint64
 }
 
+// Sub returns the counter deltas s - prev for two snapshots of the same
+// cache (interval accounting; counters are monotonic within a run).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{Accesses: s.Accesses - prev.Accesses, Misses: s.Misses - prev.Misses}
+}
+
 // MissRate returns misses/accesses in [0,1].
 func (s Stats) MissRate() float64 {
 	if s.Accesses == 0 {

@@ -7,6 +7,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/phase"
+	"repro/internal/power"
 	"repro/internal/predict"
 	"repro/internal/queue"
 	"repro/internal/rename"
@@ -38,10 +40,20 @@ type Sim struct {
 	pview steer.View
 	// Interval feedback for adaptive policies: every obsInterval committed
 	// uops the metrics delta since lastObs is fed to pol.Observe. Zero
-	// disables the machinery entirely.
+	// disables the machinery entirely — including the phase detector and
+	// the interval power model below, so the static path never pays for
+	// them.
 	obsInterval uint64
 	nextObserve uint64
 	lastObs     metrics.Metrics
+	// phases classifies each feedback interval into a program-phase ID
+	// from its branch-PC/working-set signature; pw estimates each
+	// interval's energy so Observe can optimize ED². Both are nil on the
+	// static path. lastL1/lastL2/lastTC snapshot the cache counters at the
+	// previous interval boundary for the energy delta.
+	phases                 *phase.Detector
+	pw                     *power.Model
+	lastL1, lastL2, lastTC cache.Stats
 
 	window *trace.Window
 	rob    *queue.Ring[robEntry]
@@ -154,6 +166,13 @@ func New(cfg config.Processor, pol steer.Policy, src trace.Source) (*Sim, error)
 		s.staticPol = true
 		s.active = f
 	}
+	if s.obsInterval > 0 {
+		// Adaptive policies get phase-classified, energy-priced feedback:
+		// the detector fingerprints each interval's branch/working-set
+		// footprint and the power model prices its event-count delta.
+		s.phases = phase.New()
+		s.pw = power.New(cfg)
+	}
 	s.nextObserve = s.obsInterval
 	s.iq[wide] = queue.NewIssueQueue(cfg.WideIQ)
 	s.iq[helper] = queue.NewIssueQueue(cfg.HelperIQ)
@@ -232,8 +251,11 @@ func (s *Sim) RunWarmCtx(ctx context.Context, n, warm uint64) (Result, error) {
 		s.mem.L1.ResetStats()
 		s.mem.L2.ResetStats()
 		// The policy keeps what it learned during warmup (like the
-		// predictors), but its usage breakdown restarts with measurement.
+		// predictors and the phase table), but its usage breakdown
+		// restarts with measurement, and the interval-energy snapshots
+		// re-anchor on the freshly reset cache counters.
 		s.lastObs = metrics.Metrics{}
+		s.lastL1, s.lastL2, s.lastTC = cache.Stats{}, cache.Stats{}, cache.Stats{}
 		s.nextObserve = s.obsInterval
 		if ur, ok := s.pol.(steer.UsageReporter); ok {
 			ur.ResetUsage()
@@ -313,13 +335,29 @@ func (s *Sim) runLoop(ctx context.Context, n uint64) error {
 	return nil
 }
 
-// observe feeds the interval's metrics delta and the current queue
-// occupancies back to the policy.
+// observe feeds the interval's metrics delta back to the policy together
+// with the queue occupancies, the interval's program-phase ID, its energy
+// estimate, and the derived copy/fatal cost rates.
 func (s *Sim) observe() {
-	s.pol.Observe(s.m.Sub(s.lastObs), steer.Occupancy{
+	delta := s.m.Sub(s.lastObs)
+	occ := steer.Occupancy{
 		WideOcc: s.iq[wide].Len(), WideCap: s.iq[wide].Cap(),
 		HelperOcc: s.iq[helper].Len(), HelperCap: s.iq[helper].Cap(),
-	})
+	}
+	if s.phases != nil {
+		occ.Phase = s.phases.Advance()
+	}
+	if s.pw != nil {
+		l1, l2, tc := s.mem.L1.Stats(), s.mem.L2.Stats(), s.tc.Stats()
+		rep := s.pw.Estimate(&delta, l1.Sub(s.lastL1), l2.Sub(s.lastL2), tc.Sub(s.lastTC))
+		occ.EnergyNJ = rep.EnergyNJ
+		s.lastL1, s.lastL2, s.lastTC = l1, l2, tc
+	}
+	if delta.Committed > 0 {
+		occ.CopyFrac = float64(delta.CopiesCreated) / float64(delta.Committed)
+		occ.FatalFrac = float64(delta.FatalFlushes) / float64(delta.Committed)
+	}
+	s.pol.Observe(delta, occ)
 	s.lastObs = s.m
 	s.nextObserve = s.m.Committed + s.obsInterval
 }

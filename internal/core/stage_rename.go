@@ -95,6 +95,17 @@ func (s *Sim) renameStage() {
 		}
 
 		s.m.Renames++
+		if s.phases != nil {
+			// The interval's phase signature: control-flow footprint from
+			// branch/jump PCs, working set from memory pages. Gated on the
+			// adaptive path — static runs never touch the detector.
+			switch u.Class {
+			case isa.ClassBranch, isa.ClassJump:
+				s.phases.NoteBranch(uint64(u.PC))
+			case isa.ClassLoad, isa.ClassStore:
+				s.phases.NoteMem(uint64(u.MemAddr))
+			}
+		}
 		if d.split {
 			s.renameSplit(u, d)
 		} else {

@@ -4,15 +4,20 @@ package experiments
 // top of the paper's ladder. For each SPEC profile the static ladder's
 // best rung (an oracle no real machine has: it requires running every
 // rung to completion) is compared with the dynamic selectors, which pick
-// rungs at runtime from interval IPC and occupancy feedback.
+// rungs at runtime from interval IPC — or, for the ED²-rewarded UCB
+// bandit, from the per-interval energy estimates — with per-phase
+// statistics. The comparison is made on both axes the paper cares about:
+// raw speedup and the §3.7 energy-delay² efficiency.
 
 import (
 	"context"
 	"fmt"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/steer"
 	"repro/internal/workload"
@@ -23,9 +28,22 @@ type DynamicSweep struct {
 	Apps       []string
 	Tournament map[string]core.Result
 	Occupancy  map[string]core.Result
+	// UCB is the IPC-rewarded bandit; UCBED2 rewards low energy-delay².
+	UCB    map[string]core.Result
+	UCBED2 map[string]core.Result
 }
 
-// RunDynamicSweep runs the default tournament and occupancy-adaptive
+// dynamicPolicies returns the selector set of the study, in result order.
+func dynamicPolicies() []steer.Policy {
+	return []steer.Policy{
+		steer.DefaultTournament(),
+		steer.DefaultOccAdaptive(),
+		steer.DefaultUCB(),
+		steer.DefaultUCBED2(),
+	}
+}
+
+// RunDynamicSweep runs the default tournament, occupancy-adaptive and UCB
 // policies over the SPEC profiles. It panics on simulator failure; use
 // RunDynamicSweepCtx for error returns and cancellation.
 func RunDynamicSweep(o Options) *DynamicSweep {
@@ -41,10 +59,12 @@ func RunDynamicSweep(o Options) *DynamicSweep {
 // simulation.
 func RunDynamicSweepCtx(ctx context.Context, o Options) (*DynamicSweep, error) {
 	profiles := workload.SpecInt2000()
-	pols := []steer.Policy{steer.DefaultTournament(), steer.DefaultOccAdaptive()}
+	pols := dynamicPolicies()
 	d := &DynamicSweep{
 		Tournament: make(map[string]core.Result, len(profiles)),
 		Occupancy:  make(map[string]core.Result, len(profiles)),
+		UCB:        make(map[string]core.Result, len(profiles)),
+		UCBED2:     make(map[string]core.Result, len(profiles)),
 	}
 	for _, p := range profiles {
 		d.Apps = append(d.Apps, p.Name)
@@ -64,6 +84,8 @@ func RunDynamicSweepCtx(ctx context.Context, o Options) (*DynamicSweep, error) {
 	for i, p := range profiles {
 		d.Tournament[p.Name] = results[i*len(pols)]
 		d.Occupancy[p.Name] = results[i*len(pols)+1]
+		d.UCB[p.Name] = results[i*len(pols)+2]
+		d.UCBED2[p.Name] = results[i*len(pols)+3]
 	}
 	return d, nil
 }
@@ -80,21 +102,65 @@ func (s *SpecSweep) bestStatic(app string) (float64, string) {
 	return best, rung
 }
 
-// FigDynamic renders the static-vs-dynamic comparison: per application,
-// the static ladder's best rung (the per-app oracle), the tournament
-// selector, the occupancy-adaptive policy, and the tournament's gap to
-// the oracle.
+// bestStaticED2 returns the highest ladder-rung ED² gain over baseline
+// for the app (the per-app ED² oracle) and the winning rung.
+func (s *SpecSweep) bestStaticED2(app string) (float64, string) {
+	best, rung := 0.0, ""
+	for i, f := range s.Policies {
+		if gain := s.ed2GainOf(app, s.ByPolicy[f.Name()][app]); i == 0 || gain > best {
+			best, rung = gain, f.Name()
+		}
+	}
+	return best, rung
+}
+
+// ed2GainOf returns the percent ED² gain of a helper-machine result over
+// the app's baseline run.
+func (s *SpecSweep) ed2GainOf(app string, r core.Result) float64 {
+	baseModel := power.New(config.PentiumLikeBaseline())
+	helperModel := power.New(config.WithHelper())
+	b := s.Baseline[app]
+	bm, hm := b.Metrics, r.Metrics
+	rb := baseModel.Estimate(&bm, b.L1, b.L2, b.TC)
+	rh := helperModel.Estimate(&hm, r.L1, r.L2, r.TC)
+	return 100 * power.ED2Gain(rh, rb)
+}
+
+// FigDynamic renders the static-vs-dynamic IPC comparison: per
+// application, the static ladder's best rung (the per-app oracle), the
+// tournament selector, the IPC-rewarded UCB bandit, the
+// occupancy-adaptive policy, and the UCB's gap to the oracle.
 func FigDynamic(s *SpecSweep, d *DynamicSweep) *report.Table {
 	t := report.NewTable("Dynamic policy selection vs the static ladder — speedup % over baseline",
-		"best-static", "tournament", "occupancy", "tour-minus-best")
+		"best-static", "tournament", "ucb", "occupancy", "ucb-minus-best")
 	for _, app := range d.Apps {
 		best, _ := s.bestStatic(app)
 		b := s.Baseline[app].Metrics
 		tm := d.Tournament[app].Metrics
+		um := d.UCB[app].Metrics
 		om := d.Occupancy[app].Metrics
 		tour := 100 * metrics.Speedup(&tm, &b)
+		ucb := 100 * metrics.Speedup(&um, &b)
 		occ := 100 * metrics.Speedup(&om, &b)
-		t.AddRow(app, best, tour, occ, tour-best)
+		t.AddRow(app, best, tour, ucb, occ, ucb-best)
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// FigDynamicED2 renders the efficiency comparison the §3.7 argument asks
+// for: per application, the energy-delay² gain over baseline of the best
+// static rung (the per-app ED² oracle), the IPC-driven selectors, and the
+// ED²-rewarded UCB — the selector that optimizes the metric directly.
+func FigDynamicED2(s *SpecSweep, d *DynamicSweep) *report.Table {
+	t := report.NewTable("Dynamic policy selection — energy-delay² gain % over baseline",
+		"best-static", "tournament", "ucb-ipc", "ucb-ed2", "ed2-minus-best")
+	for _, app := range d.Apps {
+		best, _ := s.bestStaticED2(app)
+		tour := s.ed2GainOf(app, d.Tournament[app])
+		ucb := s.ed2GainOf(app, d.UCB[app])
+		ued2 := s.ed2GainOf(app, d.UCBED2[app])
+		t.AddRow(app, best, tour, ucb, ued2, ued2-best)
 	}
 	t.AddMeanRow()
 	return t

@@ -95,12 +95,22 @@ func TestSpecSweepAndFigures(t *testing.T) {
 	// The dynamic-selection study rides on the same sweep for its static
 	// oracle column.
 	d := RunDynamicSweep(o)
-	if len(d.Apps) != 12 || len(d.Tournament) != 12 || len(d.Occupancy) != 12 {
+	if len(d.Apps) != 12 || len(d.Tournament) != 12 || len(d.Occupancy) != 12 ||
+		len(d.UCB) != 12 || len(d.UCBED2) != 12 {
 		t.Fatal("dynamic sweep incomplete")
 	}
 	fd := FigDynamic(s, d)
 	if fd.Rows() != 13 {
 		t.Errorf("dynamic figure rows = %d", fd.Rows())
+	}
+	fe := FigDynamicED2(s, d)
+	if fe.Rows() != 13 {
+		t.Errorf("dynamic ED2 figure rows = %d", fe.Rows())
+	}
+	for _, app := range d.Apps {
+		if len(d.UCB[app].Rungs) == 0 {
+			t.Errorf("%s: UCB run reported no usage breakdown", app)
+		}
 	}
 	du := DynamicUsage(d)
 	if du.Rows() != 13 {

@@ -1,0 +1,163 @@
+// Package phase detects program phases from lightweight per-interval
+// signatures, in the spirit of basic-block-vector phase classification:
+// the branch PCs and memory pages touched during a feedback interval are
+// hashed into a small histogram, the histogram is normalized into a
+// signature, and signatures are matched against a bounded table of known
+// phases by Manhattan distance. Recurring program behaviour maps back to
+// the same phase ID, which lets adaptive steering policies keep per-phase
+// statistics instead of comparing adjacent — possibly unrelated —
+// intervals.
+package phase
+
+// Buckets is the signature histogram width. Two halves: branch-PC
+// footprint in the lower half, memory-page working set in the upper half.
+// Small enough that classification is a handful of cache lines per
+// interval, wide enough that distinct loops land in distinct buckets.
+const Buckets = 32
+
+const half = Buckets / 2
+
+// DefaultMaxPhases bounds the phase table: signatures beyond it collapse
+// onto their nearest known phase rather than growing the table forever.
+const DefaultMaxPhases = 16
+
+// DefaultThreshold is the Manhattan-distance match threshold between
+// normalized signatures (each sums to ≤ 2: one per histogram half). Two
+// intervals executing the same loop nest typically differ by well under
+// 0.3; unrelated code regions differ by over 1.
+const DefaultThreshold = 0.5
+
+// signature is a normalized interval histogram plus bookkeeping.
+type signature struct {
+	vec  [Buckets]float64
+	hits uint64 // intervals matched to this phase
+}
+
+// Detector accumulates one interval's footprint and classifies it into a
+// phase ID at each interval boundary. The zero Detector is not ready; use
+// New. Not safe for concurrent use — each simulation owns one.
+type Detector struct {
+	cur      [Buckets]uint32
+	branches uint32
+	pages    uint32
+
+	table     []signature
+	maxPhases int
+	threshold float64
+	last      int
+}
+
+// New returns a detector with the default table bound and threshold.
+func New() *Detector {
+	return &Detector{maxPhases: DefaultMaxPhases, threshold: DefaultThreshold}
+}
+
+// NewWith returns a detector with an explicit phase-table bound and
+// match threshold (tests and sensitivity studies).
+func NewWith(maxPhases int, threshold float64) *Detector {
+	if maxPhases < 1 {
+		maxPhases = 1
+	}
+	return &Detector{maxPhases: maxPhases, threshold: threshold}
+}
+
+// hash spreads a key over one histogram half (Fibonacci hashing; the
+// multiplier is the 64-bit golden ratio).
+func hash(key uint64) int {
+	return int((key*0x9E3779B97F4A7C15)>>60) & (half - 1)
+}
+
+// NoteBranch records one branch (or jump) PC into the interval footprint.
+func (d *Detector) NoteBranch(pc uint64) {
+	d.cur[hash(pc)]++
+	d.branches++
+}
+
+// NoteMem records one memory access into the interval footprint at page
+// granularity (the working-set component of the signature).
+func (d *Detector) NoteMem(addr uint64) {
+	d.cur[half+hash(addr>>12)]++
+	d.pages++
+}
+
+// Phases returns the number of distinct phases observed so far.
+func (d *Detector) Phases() int { return len(d.table) }
+
+// Last returns the most recently classified phase ID.
+func (d *Detector) Last() int { return d.last }
+
+// Advance classifies the footprint accumulated since the previous call
+// and resets it, returning the phase ID of the elapsed interval. An
+// interval with no recorded events keeps the previous phase (an empty
+// signature carries no evidence of change). Phase IDs are small ints
+// starting at 0, stable for the detector's lifetime.
+func (d *Detector) Advance() int {
+	if d.branches == 0 && d.pages == 0 {
+		return d.last
+	}
+	var sig [Buckets]float64
+	if d.branches > 0 {
+		inv := 1 / float64(d.branches)
+		for i := 0; i < half; i++ {
+			sig[i] = float64(d.cur[i]) * inv
+		}
+	}
+	if d.pages > 0 {
+		inv := 1 / float64(d.pages)
+		for i := half; i < Buckets; i++ {
+			sig[i] = float64(d.cur[i]) * inv
+		}
+	}
+	d.cur = [Buckets]uint32{}
+	d.branches, d.pages = 0, 0
+
+	best, bestDist := -1, d.threshold
+	for i := range d.table {
+		if dist := manhattan(&sig, &d.table[i].vec); dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	if best < 0 {
+		if len(d.table) < d.maxPhases {
+			d.table = append(d.table, signature{vec: sig, hits: 1})
+			d.last = len(d.table) - 1
+			return d.last
+		}
+		// Table full: collapse onto the nearest known phase regardless of
+		// the threshold, so IDs stay bounded.
+		best = nearest(d.table, &sig)
+	}
+	s := &d.table[best]
+	s.hits++
+	// EWMA the stored signature toward the new observation so a slowly
+	// drifting phase tracks instead of fragmenting.
+	for i := range s.vec {
+		s.vec[i] = 0.75*s.vec[i] + 0.25*sig[i]
+	}
+	d.last = best
+	return best
+}
+
+// manhattan returns the L1 distance between two signatures.
+func manhattan(a, b *[Buckets]float64) float64 {
+	var d float64
+	for i := range a {
+		if diff := a[i] - b[i]; diff >= 0 {
+			d += diff
+		} else {
+			d -= diff
+		}
+	}
+	return d
+}
+
+// nearest returns the index of the table signature closest to sig.
+func nearest(table []signature, sig *[Buckets]float64) int {
+	best, bestDist := 0, manhattan(sig, &table[0].vec)
+	for i := 1; i < len(table); i++ {
+		if dist := manhattan(sig, &table[i].vec); dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,90 @@
+package phase
+
+import "testing"
+
+// fill records a synthetic interval footprint: branches at the given PCs
+// and loads at the given pages, weighted evenly.
+func fill(d *Detector, pcs []uint64, pages []uint64, n int) {
+	for i := 0; i < n; i++ {
+		for _, pc := range pcs {
+			d.NoteBranch(pc)
+		}
+		for _, pg := range pages {
+			d.NoteMem(pg << 12)
+		}
+	}
+}
+
+func TestStablePhaseKeepsOneID(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		fill(d, []uint64{0x1000, 0x1040, 0x2000}, []uint64{1, 2, 3}, 50)
+		if got := d.Advance(); got != 0 {
+			t.Fatalf("interval %d classified as phase %d, want 0", i, got)
+		}
+	}
+	if d.Phases() != 1 {
+		t.Errorf("stable behaviour grew %d phases, want 1", d.Phases())
+	}
+}
+
+func TestDistinctBehavioursGetDistinctIDs(t *testing.T) {
+	d := New()
+	fill(d, []uint64{0x1000, 0x1040}, []uint64{1, 2}, 50)
+	a := d.Advance()
+	fill(d, []uint64{0x9000, 0x9abc, 0x8888}, []uint64{700, 701}, 50)
+	b := d.Advance()
+	if a == b {
+		t.Fatalf("disjoint footprints classified as one phase (%d)", a)
+	}
+	// The first behaviour recurs: it must map back to its original ID.
+	fill(d, []uint64{0x1000, 0x1040}, []uint64{1, 2}, 50)
+	if got := d.Advance(); got != a {
+		t.Errorf("recurring behaviour classified as %d, want %d", got, a)
+	}
+}
+
+func TestEmptyIntervalKeepsLastPhase(t *testing.T) {
+	d := New()
+	fill(d, []uint64{0x5000}, []uint64{9}, 20)
+	want := d.Advance()
+	if got := d.Advance(); got != want {
+		t.Errorf("empty interval reclassified %d -> %d", want, got)
+	}
+	if d.Phases() != 1 {
+		t.Errorf("empty interval must not create phases, got %d", d.Phases())
+	}
+}
+
+func TestPhaseTableIsBounded(t *testing.T) {
+	d := NewWith(4, 0.1)
+	for i := 0; i < 40; i++ {
+		// Every interval touches a different footprint.
+		fill(d, []uint64{uint64(i) * 0x77770, uint64(i)*0x13131 + 7}, []uint64{uint64(i * 3)}, 30)
+		id := d.Advance()
+		if id < 0 || id >= 4 {
+			t.Fatalf("phase ID %d escaped the table bound", id)
+		}
+	}
+	if d.Phases() > 4 {
+		t.Errorf("table grew to %d phases, bound is 4", d.Phases())
+	}
+}
+
+func TestDriftTracksInsteadOfFragmenting(t *testing.T) {
+	d := New()
+	// A footprint whose page set shifts slowly: each interval shares five
+	// of its six pages with the previous one, so adjacent signatures stay
+	// well inside the match threshold and the EWMA tracks the drift.
+	for i := 0; i < 12; i++ {
+		var pages []uint64
+		for p := 0; p < 6; p++ {
+			pages = append(pages, uint64(i+p))
+		}
+		fill(d, []uint64{0x4000, 0x4100}, pages, 40)
+		d.Advance()
+	}
+	if d.Phases() > 6 {
+		t.Errorf("slow drift fragmented into %d phases", d.Phases())
+	}
+}

@@ -27,13 +27,23 @@ type Tournament struct {
 	Ival uint64
 	// RunIntervals is the exploit-phase length in intervals.
 	RunIntervals int
+	// PerPhase keys the score table by the program-phase ID delivered in
+	// Occupancy: scores sampled in one phase never decide another, and a
+	// recurring phase whose table is complete resumes its winner without
+	// re-sampling ("phase=on" in the canonical name).
+	PerPhase bool
 
-	cur     int       // index of the active candidate
-	exploit bool      // false: sampling phase, true: exploit phase
-	sample  int       // next candidate to sample
-	runLeft int       // exploit intervals remaining
-	scores  []float64 // last observed interval IPC per candidate
-	usage   []RungUsage
+	cur     int  // index of the active candidate
+	exploit bool // false: sampling phase, true: exploit phase
+	sample  int  // next candidate to sample
+	runLeft int  // exploit intervals remaining
+	phaseOf int  // phase whose score table crowned the current winner
+	// scores holds the last observed interval IPC per candidate, keyed by
+	// phase ID (a single key 0 when PerPhase is off); seen tracks which
+	// candidates have been scored in each phase (bitmask).
+	scores map[int][]float64
+	seen   map[int]uint64
+	usage  []RungUsage
 }
 
 // NewTournament builds a tournament selector over the given rungs.
@@ -46,8 +56,19 @@ func NewTournament(cands []Features, interval uint64, runIntervals int) (*Tourna
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	t.scores = make([]float64, len(t.Cands))
+	t.scores = make(map[int][]float64)
+	t.seen = make(map[int]uint64)
 	t.ResetUsage()
+	return t, nil
+}
+
+// NewPhasedTournament is NewTournament with per-phase score tables on.
+func NewPhasedTournament(cands []Features, interval uint64, runIntervals int) (*Tournament, error) {
+	t, err := NewTournament(cands, interval, runIntervals)
+	if err != nil {
+		return nil, err
+	}
+	t.PerPhase = true
 	return t, nil
 }
 
@@ -88,7 +109,8 @@ func (t *Tournament) Validate() error {
 }
 
 // Name renders the canonical parameterized name, e.g.
-// "dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=10k,run=4)".
+// "dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=10k,run=4)"; per-phase
+// score tables append ",phase=on".
 func (t *Tournament) Name() string {
 	var b strings.Builder
 	b.WriteString("dyn:tournament(")
@@ -96,7 +118,11 @@ func (t *Tournament) Name() string {
 		b.WriteString(c.Name())
 		b.WriteString(",")
 	}
-	fmt.Fprintf(&b, "interval=%s,run=%d)", fmtUops(t.Ival), t.RunIntervals)
+	fmt.Fprintf(&b, "interval=%s,run=%d", fmtUops(t.Ival), t.RunIntervals)
+	if t.PerPhase {
+		b.WriteString(",phase=on")
+	}
+	b.WriteString(")")
 	return b.String()
 }
 
@@ -116,12 +142,53 @@ func (t *Tournament) NeedsHelper() bool {
 	return false
 }
 
-// Observe scores the elapsed interval and advances the sampling/exploit
-// state machine. Truncated intervals — the end-of-run flush that makes
-// the usage breakdown account for every commit — are attributed to usage
-// but never scored: a partial interval's IPC is noise that must not
-// steer candidate selection.
-func (t *Tournament) Observe(delta metrics.Metrics, _ Occupancy) {
+// scoreKey maps an interval's feedback to the score-table key: the phase
+// ID when per-phase tables are on, the single shared table otherwise.
+func (t *Tournament) scoreKey(occ Occupancy) int {
+	if t.PerPhase {
+		return occ.Phase
+	}
+	return 0
+}
+
+// scoresFor returns (lazily creating) one phase's score slice.
+func (t *Tournament) scoresFor(key int) []float64 {
+	if t.scores == nil {
+		t.scores = make(map[int][]float64)
+		t.seen = make(map[int]uint64)
+	}
+	s, ok := t.scores[key]
+	if !ok {
+		s = make([]float64, len(t.Cands))
+		t.scores[key] = s
+	}
+	return s
+}
+
+// allMask is the seen-bitmask value of a fully sampled phase.
+func (t *Tournament) allMask() uint64 { return 1<<uint(len(t.Cands)) - 1 }
+
+// bestOf returns the index of the highest score among the candidates the
+// mask marks as sampled (first sampled candidate wins ties; 0 when none).
+func bestOf(scores []float64, mask uint64) int {
+	best, has := 0, false
+	for i, s := range scores {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !has || s > scores[best] {
+			best, has = i, true
+		}
+	}
+	return best
+}
+
+// Observe scores the elapsed interval under its program phase and
+// advances the sampling/exploit state machine. Truncated intervals — the
+// end-of-run flush that makes the usage breakdown account for every
+// commit — are attributed to usage but never scored: a partial interval's
+// IPC is noise that must not steer candidate selection.
+func (t *Tournament) Observe(delta metrics.Metrics, occ Occupancy) {
 	ipc := 0.0
 	if delta.WideCycles > 0 {
 		ipc = float64(delta.Committed) / float64(delta.WideCycles)
@@ -129,15 +196,46 @@ func (t *Tournament) Observe(delta metrics.Metrics, _ Occupancy) {
 	u := &t.usage[t.cur]
 	u.Committed += delta.Committed
 	u.WideCycles += delta.WideCycles
+	u.EnergyNJ += occ.EnergyNJ
 	u.Intervals++
 	if delta.Committed*2 < t.Ival {
 		return
 	}
+	key := t.scoreKey(occ)
+	scores := t.scoresFor(key)
 
 	if t.exploit {
-		// Keep the incumbent's score fresh so a fading phase loses the
-		// next tournament rather than winning on stale glory.
-		t.scores[t.cur] = 0.5*t.scores[t.cur] + 0.5*ipc
+		if t.PerPhase && key != t.phaseOf {
+			// The program changed phase mid-exploit. A phase whose table
+			// is complete resumes its own winner immediately (the
+			// per-phase payoff: no re-sampling of a recurring phase); an
+			// unseen phase invalidates the incumbent's mandate and forces
+			// a fresh sampling pass. The exploit countdown keeps running
+			// across the switch — resetting it here would let a workload
+			// that alternates between known phases postpone re-sampling
+			// forever.
+			if t.seen[key] != t.allMask() {
+				t.exploit = false
+				t.sample = 0
+				t.cur = 0
+				return
+			}
+			scores[t.cur] = 0.5*scores[t.cur] + 0.5*ipc
+			t.seen[key] |= 1 << uint(t.cur)
+			t.phaseOf = key
+			if t.runLeft--; t.runLeft <= 0 {
+				t.exploit = false
+				t.sample = 0
+				t.cur = 0
+				return
+			}
+			t.cur = bestOf(scores, t.seen[key])
+			return
+		}
+		// Keep the incumbent's score fresh so a fading candidate loses
+		// the next tournament rather than winning on stale glory.
+		scores[t.cur] = 0.5*scores[t.cur] + 0.5*ipc
+		t.seen[key] |= 1 << uint(t.cur)
 		if t.runLeft--; t.runLeft <= 0 {
 			t.exploit = false
 			t.sample = 0
@@ -145,18 +243,14 @@ func (t *Tournament) Observe(delta metrics.Metrics, _ Occupancy) {
 		}
 		return
 	}
-	t.scores[t.sample] = ipc
+	scores[t.sample] = ipc
+	t.seen[key] |= 1 << uint(t.sample)
 	if t.sample++; t.sample < len(t.Cands) {
 		t.cur = t.sample
 		return
 	}
-	best := 0
-	for i, s := range t.scores {
-		if s > t.scores[best] {
-			best = i
-		}
-	}
-	t.cur = best
+	t.cur = bestOf(scores, t.seen[key])
+	t.phaseOf = key
 	t.exploit = true
 	t.runLeft = t.RunIntervals
 }
@@ -172,12 +266,14 @@ func (t *Tournament) ResetUsage() {
 	}
 }
 
-// Clone returns a pristine selector with the same parameters.
+// Clone returns a pristine selector with the same parameters, including
+// fresh per-phase score tables (never shared with the receiver).
 func (t *Tournament) Clone() Policy {
 	n, err := NewTournament(t.Cands, t.Ival, t.RunIntervals)
 	if err != nil {
 		panic(err) // the receiver already validated
 	}
+	n.PerPhase = t.PerPhase
 	return n
 }
 
@@ -279,13 +375,22 @@ func (o *OccAdaptive) Interval() uint64 { return o.Ival }
 // NeedsHelper reports whether the base rung steers.
 func (o *OccAdaptive) NeedsHelper() bool { return o.Base.NeedsHelper() }
 
-// Observe attributes the interval to the granted/withheld rungs in
-// proportion to the Decide outcomes, then hill-climbs the threshold: a
-// step that did not pay reverses direction.
-func (o *OccAdaptive) Observe(delta metrics.Metrics, _ Occupancy) {
+// Observe attributes the interval (uops, cycles and energy) to the
+// granted/withheld rungs in proportion to the Decide outcomes, then
+// hill-climbs the threshold: a step that did not pay reverses direction.
+func (o *OccAdaptive) Observe(delta metrics.Metrics, occ Occupancy) {
 	total := o.onCount + o.offCount
+	// Energy splits by the same Decide proportions as uops; an interval
+	// with no Decide calls (a pure drain) books its energy as withheld so
+	// the attribution still sums to the run total.
+	onFrac := 0.0
 	if total > 0 {
-		onFrac := float64(o.onCount) / float64(total)
+		onFrac = float64(o.onCount) / float64(total)
+	}
+	onE := occ.EnergyNJ * onFrac
+	o.usage[0].EnergyNJ += onE
+	o.usage[1].EnergyNJ += occ.EnergyNJ - onE
+	if total > 0 {
 		on := uint64(float64(delta.Committed)*onFrac + 0.5)
 		if on > delta.Committed {
 			on = delta.Committed
@@ -362,7 +467,8 @@ func fmtUops(n uint64) string {
 	return strconv.FormatUint(n, 10)
 }
 
-// parseUops parses fmtUops' output (and plain numbers).
+// parseUops parses fmtUops' output (and plain numbers), rejecting counts
+// whose thousands multiplier would overflow uint64.
 func parseUops(s string) (uint64, error) {
 	mult := uint64(1)
 	if strings.HasSuffix(s, "k") {
@@ -372,6 +478,9 @@ func parseUops(s string) (uint64, error) {
 	n, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
 		return 0, err
+	}
+	if n > ^uint64(0)/mult {
+		return 0, fmt.Errorf("uop count %sk overflows", s)
 	}
 	return n * mult, nil
 }

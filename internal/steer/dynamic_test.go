@@ -96,7 +96,7 @@ func TestTournamentIgnoresTruncatedIntervals(t *testing.T) {
 	if tr.Usage()[0].Committed != 300 {
 		t.Error("truncated interval must still be attributed to usage")
 	}
-	if tr.scores[0] != 0 {
+	if tr.scoresFor(0)[0] != 0 {
 		t.Error("truncated interval must not be scored")
 	}
 }

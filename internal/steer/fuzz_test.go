@@ -1,0 +1,103 @@
+package steer
+
+import "testing"
+
+// fuzzSeeds are the interesting corner inputs for the policy-name parser:
+// every canonical name, the aliases, and the malformed shapes that have
+// bitten parameterized parsers before (unterminated argument lists,
+// negative or overflowing numbers, nesting, junk parameters). They seed
+// the fuzzer and double as a deterministic regression table in plain
+// `go test` runs (TestPolicyNameParserNeverPanics).
+var fuzzSeeds = []string{
+	// Well-formed.
+	"baseline", "888", "ir", "ucb", "ucb-ed2", "tournament",
+	"8_8_8+BR+LR+CR+CP+IRnd",
+	"dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=50k,run=8)",
+	"dyn:tournament(8_8_8,8_8_8+BR,interval=10k,run=6,phase=on)",
+	"dyn:ucb(8_8_8+BR+LR,8_8_8+BR+LR+CR,reward=ed2,interval=50k,c=1.4)",
+	"dyn:ucb(cr,cp,ir,reward=ipc,interval=2500,c=0)",
+	"dyn:occupancy(8_8_8+BR+LR+CR+CP+IR,th=25,interval=10k)",
+	// Malformed: structure.
+	"dyn:ucb(", "dyn:ucb", "dyn:ucb)", "dyn:", "dyn:(", "dyn:ucb()",
+	"dyn:tournament((8_8_8,8_8_8+BR))",
+	"dyn:ucb(8_8_8,8_8_8+BR,interval=10k))",
+	// Malformed: numbers.
+	"dyn:ucb(8_8_8,8_8_8+BR,interval=-50k)",
+	"dyn:ucb(8_8_8,8_8_8+BR,interval=0)",
+	"dyn:ucb(8_8_8,8_8_8+BR,c=-1)",
+	"dyn:ucb(8_8_8,8_8_8+BR,c=nan)",
+	"dyn:ucb(8_8_8,8_8_8+BR,c=+inf)",
+	"dyn:tournament(8_8_8,8_8_8+BR,run=-3)",
+	"dyn:tournament(8_8_8,8_8_8+BR,interval=99999999999999999999k)",
+	"dyn:occupancy(ir,th=101)",
+	// Malformed: rungs and parameters.
+	"dyn:ucb(8_8_8,nosuchrung)",
+	"dyn:ucb(8_8_8,dyn:ucb(8_8_8,8_8_8+BR))",
+	"dyn:ucb(8_8_8,8_8_8+BR,reward=speed)",
+	"dyn:ucb(8_8_8,8_8_8+BR,bogus=1)",
+	"dyn:ucb(8_8_8,8_8_8)",
+	"dyn:tournament(8_8_8,8_8_8+BR,phase=maybe)",
+	"dyn:mystery(8_8_8,8_8_8+BR)",
+	// Hostile noise.
+	"", " ", "(", ")", "=", ",", "dyn:ucb(,,,,)", "dyn:ucb(=,=)",
+	"\x00dyn:ucb(8_8_8)", "dyn:ucb(8_8_8\xff,8_8_8+BR)",
+}
+
+// checkName is the fuzz property: ByName must never panic, and any name
+// it accepts must round-trip — re-resolving the constructed policy's
+// canonical Name() yields a policy with the identical name.
+func checkName(t *testing.T, name string) {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		if p != nil {
+			t.Errorf("ByName(%q) returned both a policy and an error", name)
+		}
+		return
+	}
+	canon := p.Name()
+	back, err := ByName(canon)
+	if err != nil {
+		t.Fatalf("accepted name %q rendered canonical %q that does not resolve: %v", name, canon, err)
+	}
+	if back.Name() != canon {
+		t.Errorf("round trip drifted: %q -> %q -> %q", name, canon, back.Name())
+	}
+	if v, ok := p.(interface{ Validate() error }); ok {
+		if verr := v.Validate(); verr != nil {
+			t.Errorf("ByName(%q) produced an invalid policy: %v", name, verr)
+		}
+	}
+}
+
+// FuzzPolicyByName fuzzes the parameterized policy-name parser. The seed
+// corpus above is also checked in under testdata/fuzz/FuzzPolicyByName so
+// CI replays it without -fuzz.
+func FuzzPolicyByName(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		checkName(t, name)
+	})
+}
+
+// TestPolicyNameParserNeverPanics runs the seed table deterministically in
+// plain test runs: malformed parameterized names must come back as errors,
+// never panics, and accepted ones must round-trip.
+func TestPolicyNameParserNeverPanics(t *testing.T) {
+	for _, s := range fuzzSeeds {
+		checkName(t, s)
+	}
+	// The malformed shapes named by the regression checklist must error.
+	for _, bad := range []string{
+		"dyn:ucb(",
+		"dyn:ucb(8_8_8,8_8_8+BR,interval=-50k)",
+		"dyn:ucb(8_8_8,nosuchrung)",
+		"dyn:tournament(8_8_8,8_8_8+BR,interval=-1)",
+	} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) must fail", bad)
+		}
+	}
+}

@@ -28,6 +28,8 @@ var policyTable = []struct {
 	{"8_8_8-noconfidence", []string{"888-noconf", "no-confidence"}, func() Policy { return F888NoConfidence() }},
 	{defaultTournamentName, []string{"dyn", "tournament"}, func() Policy { return DefaultTournament() }},
 	{defaultOccupancyName, []string{"occupancy", "adaptive"}, func() Policy { return DefaultOccAdaptive() }},
+	{defaultUCBName, []string{"ucb"}, func() Policy { return DefaultUCB() }},
+	{defaultUCBED2Name, []string{"ucb-ed2"}, func() Policy { return DefaultUCBED2() }},
 }
 
 // The default dynamic policies' canonical names, rendered once so the
@@ -35,11 +37,14 @@ var policyTable = []struct {
 var (
 	defaultTournamentName = DefaultTournament().Name()
 	defaultOccupancyName  = DefaultOccAdaptive().Name()
+	defaultUCBName        = DefaultUCB().Name()
+	defaultUCBED2Name     = DefaultUCBED2().Name()
 )
 
 // ByName resolves a policy by canonical name or alias, case-insensitively.
 // Parameterized dynamic names — "dyn:tournament(rung,rung,...,
-// interval=50k,run=4)" and "dyn:occupancy(rung,th=25,interval=10k)" —
+// interval=50k,run=4[,phase=on])", "dyn:ucb(rung,rung,...,reward=ed2,
+// interval=50k,c=1.4)" and "dyn:occupancy(rung,th=25,interval=10k)" —
 // are parsed structurally; every policy's Name() round-trips through here.
 func ByName(name string) (Policy, error) {
 	want := strings.ToLower(strings.TrimSpace(name))
@@ -118,7 +123,7 @@ func parseDynamic(want string) (Policy, error) {
 
 	switch kind {
 	case "tournament":
-		if err := onlyParams(params, "interval", "run"); err != nil {
+		if err := onlyParams(params, "interval", "run", "phase"); err != nil {
 			return nil, fmt.Errorf("steer: %q: %w", want, err)
 		}
 		runIntervals := 6 // match DefaultTournament when run= is omitted
@@ -129,6 +134,16 @@ func parseDynamic(want string) (Policy, error) {
 			}
 			runIntervals = n
 		}
+		perPhase := false
+		if v, ok := params["phase"]; ok {
+			switch v {
+			case "on":
+				perPhase = true
+			case "off":
+			default:
+				return nil, fmt.Errorf("steer: bad phase mode %q in %q (want on or off)", v, want)
+			}
+		}
 		var cands []Features
 		for _, r := range rungs {
 			f, err := FeaturesByName(r)
@@ -137,7 +152,42 @@ func parseDynamic(want string) (Policy, error) {
 			}
 			cands = append(cands, f)
 		}
-		return NewTournament(cands, interval, runIntervals)
+		t, err := NewTournament(cands, interval, runIntervals)
+		if err != nil {
+			return nil, err
+		}
+		t.PerPhase = perPhase
+		return t, nil
+
+	case "ucb":
+		if err := onlyParams(params, "interval", "reward", "c"); err != nil {
+			return nil, fmt.Errorf("steer: %q: %w", want, err)
+		}
+		reward := RewardIPC
+		if v, ok := params["reward"]; ok {
+			reward = v
+		}
+		c := 1.4 // match DefaultUCB when c= is omitted
+		if v, ok := params["c"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("steer: bad exploration constant in %q: %w", want, err)
+			}
+			c = f
+		}
+		var cands []Features
+		for _, r := range rungs {
+			f, err := FeaturesByName(r)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, f)
+		}
+		u, err := NewUCB(cands, interval, c, reward)
+		if err != nil {
+			return nil, err // untyped nil: a typed-nil *UCB would read as non-nil Policy
+		}
+		return u, nil
 
 	case "occupancy":
 		if err := onlyParams(params, "interval", "th"); err != nil {
@@ -158,10 +208,14 @@ func parseDynamic(want string) (Policy, error) {
 			}
 			thPercent = n
 		}
-		return NewOccAdaptive(base, float64(thPercent)/100, interval)
+		o, err := NewOccAdaptive(base, float64(thPercent)/100, interval)
+		if err != nil {
+			return nil, err // untyped nil, as above
+		}
+		return o, nil
 
 	default:
-		return nil, fmt.Errorf("steer: unknown dynamic policy kind %q (want tournament or occupancy)", kind)
+		return nil, fmt.Errorf("steer: unknown dynamic policy kind %q (want tournament, ucb or occupancy)", kind)
 	}
 }
 

@@ -35,11 +35,28 @@ func (v View) HelperRate() float64 {
 	return float64(v.HelperOcc) / float64(v.HelperCap)
 }
 
-// Occupancy is the queue-occupancy snapshot passed to Observe at each
-// feedback interval.
+// Occupancy is the machine feedback passed to Observe at each feedback
+// interval: the queue-occupancy snapshot plus the interval's program-phase
+// classification and derived cost signals. Stateful policies key their
+// statistics by Phase so scores learned in one program phase are never
+// compared against — or overwritten by — another.
 type Occupancy struct {
 	WideOcc, WideCap     int
 	HelperOcc, HelperCap int
+	// Phase is the program-phase ID of the elapsed interval, from the
+	// branch-PC/working-set signature detector (internal/phase). Always 0
+	// when phase detection is off (static policies, unit tests).
+	Phase int
+	// EnergyNJ is the power model's energy estimate for the elapsed
+	// interval in nanojoules, so policies can optimize energy-delay²
+	// rather than raw IPC. Zero when no power model is attached.
+	EnergyNJ float64
+	// CopyFrac and FatalFrac are the interval's inter-cluster copy traffic
+	// and fatal-flush rate per committed uop — the §3.4/§3.2 cost signals,
+	// pre-divided for Observe convenience (the raw counters are in the
+	// metrics delta).
+	CopyFrac  float64
+	FatalFrac float64
 }
 
 // Policy is a steering policy: a per-uop feature decision plus an
@@ -136,6 +153,12 @@ type RungUsage struct {
 	WideCycles uint64
 	// Intervals is the number of feedback intervals the rung was active.
 	Intervals uint64
+	// EnergyNJ is the power model's energy estimate attributed to this
+	// rung: the sum of the interval energies observed while the rung was
+	// active. The rows of a usage breakdown split the run's total
+	// power.Breakdown by the rung that steered each interval's uops; zero
+	// when no power model fed Observe.
+	EnergyNJ float64
 }
 
 // IPC returns the rung's committed-uop throughput while active.
@@ -144,6 +167,26 @@ func (u RungUsage) IPC() float64 {
 		return 0
 	}
 	return float64(u.Committed) / float64(u.WideCycles)
+}
+
+// EnergyPerUop returns the attributed energy per committed uop in
+// nanojoules while the rung was active (0 without a power model).
+func (u RungUsage) EnergyPerUop() float64 {
+	if u.Committed == 0 {
+		return 0
+	}
+	return u.EnergyNJ / float64(u.Committed)
+}
+
+// ED2PerUop returns the rung's normalized energy-delay² figure of merit:
+// energy-per-uop × (cycles-per-uop)², the per-uop equivalent of the §3.7
+// E·D² metric (lower is better; 0 without a power model).
+func (u RungUsage) ED2PerUop() float64 {
+	ipc := u.IPC()
+	if ipc == 0 {
+		return 0
+	}
+	return u.EnergyPerUop() / (ipc * ipc)
 }
 
 // UsageReporter is implemented by adaptive policies that track a per-rung

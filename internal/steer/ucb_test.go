@@ -1,0 +1,374 @@
+package steer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// occIn builds interval feedback with a phase ID and an energy estimate.
+func occIn(phase int, energy float64) Occupancy {
+	return Occupancy{Phase: phase, EnergyNJ: energy}
+}
+
+func TestUCBSweepsArmsThenExploits(t *testing.T) {
+	cands := []Features{F888(), FBR(), FLR()}
+	u, err := NewUCB(cands, 1000, 0, RewardIPC) // c=0: pure greedy after the sweep
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial sweep: every arm plays once, in candidate order.
+	for i := range cands {
+		if got := u.Decide(nil, &View{}); got != cands[i] {
+			t.Fatalf("sweep play %d runs %s, want %s", i, got.Name(), cands[i].Name())
+		}
+		cycles := uint64(1000) // IPC 1.0
+		if i == 1 {
+			cycles = 400 // FBR posts IPC 2.5
+		}
+		u.Observe(metrics.Metrics{Committed: 1000, WideCycles: cycles}, occIn(0, 0))
+	}
+	// Greedy exploitation: the best arm keeps playing.
+	for i := 0; i < 5; i++ {
+		if got := u.Decide(nil, &View{}); got != cands[1] {
+			t.Fatalf("exploit play %d runs %s, want winner %s", i, got.Name(), cands[1].Name())
+		}
+		u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 400}, occIn(0, 0))
+	}
+	rows := u.Usage()
+	var total uint64
+	for _, r := range rows {
+		total += r.Committed
+	}
+	if total != 8000 {
+		t.Errorf("usage attributes %d committed uops, want 8000", total)
+	}
+}
+
+func TestUCBExplorationRevisitsLosers(t *testing.T) {
+	u, err := NewUCB([]Features{F888(), FBR()}, 1000, 2.0, RewardIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm 0 wins the sweep decisively; with a large exploration constant
+	// the loser must still be revisited within a modest horizon.
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 400}, occIn(0, 0))  // arm 0: ipc 2.5
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 2000}, occIn(0, 0)) // arm 1: ipc 0.5
+	sawLoser := false
+	for i := 0; i < 30 && !sawLoser; i++ {
+		if u.Decide(nil, &View{}) == FBR() {
+			sawLoser = true
+		}
+		u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 1000}, occIn(0, 0))
+	}
+	if !sawLoser {
+		t.Error("UCB with c=2 must revisit the losing arm")
+	}
+}
+
+func TestUCBKeepsPerPhaseArms(t *testing.T) {
+	u, err := NewUCB([]Features{F888(), FBR()}, 1000, 0, RewardIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 0: arm 0 dominates.
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 400}, occIn(0, 0))  // arm 0 in phase 0
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 2000}, occIn(0, 0)) // arm 1 in phase 0
+	if got := u.Decide(nil, &View{}); got != F888() {
+		t.Fatalf("phase 0 winner is %s, want 8_8_8", got.Name())
+	}
+	// Phase 7 appears: its arms are unplayed, so the sweep restarts for it
+	// — phase 0's ranking must not leak in.
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 2000}, occIn(7, 0)) // arm 0 weak in phase 7
+	if got := u.Decide(nil, &View{}); got != FBR() {
+		t.Fatalf("unplayed arm in a new phase must play next, got %s", got.Name())
+	}
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 400}, occIn(7, 0)) // arm 1 strong in phase 7
+	if got := u.Decide(nil, &View{}); got != FBR() {
+		t.Errorf("phase 7 must exploit its own winner, got %s", got.Name())
+	}
+	if u.Phases() != 2 {
+		t.Errorf("selector tracked %d phases, want 2", u.Phases())
+	}
+	// Back in phase 0 the original ranking resumes.
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 400}, occIn(0, 0))
+	if got := u.Decide(nil, &View{}); got != F888() {
+		t.Errorf("recurring phase 0 must resume its winner, got %s", got.Name())
+	}
+}
+
+func TestUCBED2RewardPrefersEfficientArm(t *testing.T) {
+	u, err := NewUCB([]Features{F888(), FBR()}, 1000, 0, RewardED2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm 0: higher IPC but disproportionately higher energy. Arm 1:
+	// slightly slower, far cheaper — the better per-uop E·D².
+	// reward = IPC² · committed / energy:
+	//   arm 0: 2.0² · 1000 / 8000 = 0.5    arm 1: 1.6² · 1000 / 1000 = 2.56
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 500}, occIn(0, 8000))
+	u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 625}, occIn(0, 1000))
+	if got := u.Decide(nil, &View{}); got != FBR() {
+		t.Errorf("ed2 reward must pick the efficient arm, got %s", got.Name())
+	}
+	// The same observations under RewardIPC pick the faster arm.
+	v, err := NewUCB([]Features{F888(), FBR()}, 1000, 0, RewardIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Observe(metrics.Metrics{Committed: 1000, WideCycles: 500}, occIn(0, 8000))
+	v.Observe(metrics.Metrics{Committed: 1000, WideCycles: 625}, occIn(0, 1000))
+	if got := v.Decide(nil, &View{}); got != F888() {
+		t.Errorf("ipc reward must pick the faster arm, got %s", got.Name())
+	}
+}
+
+func TestUCBTruncatedIntervalAttributesButNeverLearns(t *testing.T) {
+	u, err := NewUCB([]Features{F888(), FBR()}, 1000, 0, RewardIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Observe(metrics.Metrics{Committed: 300, WideCycles: 100}, occIn(0, 42))
+	if u.Decide(nil, &View{}) != F888() {
+		t.Error("truncated interval must not advance the arm sweep")
+	}
+	rows := u.Usage()
+	if rows[0].Committed != 300 {
+		t.Error("truncated interval must still be attributed to usage")
+	}
+	if rows[0].EnergyNJ != 42 {
+		t.Errorf("truncated interval energy = %g, want 42 (attribution must cover the tail)", rows[0].EnergyNJ)
+	}
+	if u.plays[0] != 0 {
+		t.Error("truncated interval must not count as a play")
+	}
+}
+
+func TestUCBEnergyAttributionSums(t *testing.T) {
+	u, err := NewUCB([]Features{F888(), FBR(), FLR()}, 1000, 1.4, RewardED2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energies := []float64{10, 20, 5, 40, 15, 25}
+	var want float64
+	for i, e := range energies {
+		u.Observe(metrics.Metrics{Committed: 1000, WideCycles: 600 + uint64(i*100)}, occIn(i%2, e))
+		want += e
+	}
+	var got float64
+	for _, r := range u.Usage() {
+		got += r.EnergyNJ
+	}
+	if got != want {
+		t.Errorf("attributed energy %g, want %g", got, want)
+	}
+}
+
+func TestUCBCloneIsPristineAndDeep(t *testing.T) {
+	orig := DefaultUCB()
+	orig.Observe(metrics.Metrics{Committed: 10_000, WideCycles: 5_000}, occIn(3, 7))
+	c := orig.Clone().(*UCB)
+	if c.Name() != orig.Name() {
+		t.Errorf("clone identity drifted: %q vs %q", c.Name(), orig.Name())
+	}
+	if c.Phases() != 0 || c.cur != 0 {
+		t.Error("clone must start with no phase statistics")
+	}
+	for _, r := range c.Usage() {
+		if r.Committed != 0 || r.EnergyNJ != 0 {
+			t.Error("clone must carry no usage")
+		}
+	}
+	// The maps must be distinct storage: learning in the clone must not
+	// appear in the original and vice versa (RunBatch fans one value out).
+	before := len(orig.arms)
+	c.Observe(metrics.Metrics{Committed: 10_000, WideCycles: 5_000}, occIn(11, 0))
+	if len(orig.arms) != before {
+		t.Error("clone Observe mutated the original's per-phase arms (shallow map copy)")
+	}
+	orig.Observe(metrics.Metrics{Committed: 10_000, WideCycles: 5_000}, occIn(12, 0))
+	if _, leaked := c.arms[12]; leaked {
+		t.Error("original Observe mutated the clone's per-phase arms (shallow map copy)")
+	}
+}
+
+func TestUCBValidateAndName(t *testing.T) {
+	if _, err := NewUCB([]Features{F888()}, 1000, 1.4, RewardIPC); err == nil {
+		t.Error("one candidate must be rejected")
+	}
+	if _, err := NewUCB([]Features{F888(), FBR()}, 0, 1.4, RewardIPC); err == nil {
+		t.Error("zero interval must be rejected")
+	}
+	if _, err := NewUCB([]Features{F888(), FBR()}, 1000, -1, RewardIPC); err == nil {
+		t.Error("negative exploration constant must be rejected")
+	}
+	if _, err := NewUCB([]Features{F888(), FBR()}, 1000, 1.4, "speed"); err == nil {
+		t.Error("unknown reward must be rejected")
+	}
+	if _, err := NewUCB([]Features{F888(), F888()}, 1000, 1.4, RewardIPC); err == nil {
+		t.Error("duplicate candidates must be rejected")
+	}
+
+	u, err := NewUCB([]Features{FCR(), FIR()}, 50_000, 1.37, RewardED2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.C != 1.4 {
+		t.Errorf("exploration constant quantized to %g, want 1.4", u.C)
+	}
+	want := "dyn:ucb(8_8_8+BR+LR+CR,8_8_8+BR+LR+CR+CP+IR,reward=ed2,interval=50k,c=1.4)"
+	if u.Name() != want {
+		t.Errorf("Name() = %q, want %q", u.Name(), want)
+	}
+	back, err := ByName(u.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != u.Name() {
+		t.Errorf("round trip drifted: %q -> %q", back.Name(), u.Name())
+	}
+	if !strings.Contains(DefaultUCB().Name(), "reward=ipc") {
+		t.Error("default UCB must render its reward mode")
+	}
+}
+
+func TestPhasedTournamentResumesKnownPhase(t *testing.T) {
+	tr, err := NewPhasedTournament([]Features{F888(), FBR()}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := func(cycles uint64, phase int) {
+		tr.Observe(metrics.Metrics{Committed: 1000, WideCycles: cycles}, occIn(phase, 0))
+	}
+	// Phase 0 sampling: arm 1 wins.
+	full(1000, 0)
+	full(250, 0)
+	if tr.Decide(nil, &View{}) != FBR() {
+		t.Fatal("phase 0 winner must be FBR")
+	}
+	// Phase 5 interrupts the exploit run; it has no score table, so a
+	// fresh sampling pass begins.
+	full(250, 5)
+	if got := tr.Decide(nil, &View{}); got != F888() {
+		t.Fatalf("unseen phase must trigger re-sampling from candidate 0, got %s", got.Name())
+	}
+	// Phase 5 sampling: arm 0 wins this phase.
+	full(250, 5)
+	full(1000, 5)
+	if tr.Decide(nil, &View{}) != F888() {
+		t.Fatal("phase 5 winner must be 8_8_8")
+	}
+	// Phase 0 recurs mid-exploit: its table is complete, so its winner
+	// resumes immediately — no re-sampling.
+	full(300, 0)
+	if got := tr.Decide(nil, &View{}); got != FBR() {
+		t.Errorf("recurring phase with a complete table must resume its winner, got %s", got.Name())
+	}
+}
+
+func TestPhasedTournamentResamplesUnderPhaseAlternation(t *testing.T) {
+	// Regression: phase switches between fully-sampled phases must not
+	// reset the exploit countdown, or a workload that alternates phases
+	// every interval would postpone re-sampling forever.
+	tr, err := NewPhasedTournament([]Features{F888(), FBR()}, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := func(cycles uint64, phase int) {
+		tr.Observe(metrics.Metrics{Committed: 1000, WideCycles: cycles}, occIn(phase, 0))
+	}
+	// Complete phase 0's table (FBR wins) and enter its exploit run.
+	full(1000, 0)
+	full(250, 0)
+	// Phase 1 interrupts unseen: a sampling pass completes its table too.
+	full(250, 1)
+	full(1000, 1)
+	full(250, 1)
+	// Both tables complete; the workload now alternates phases every
+	// interval. After RunIntervals=3 exploit intervals the tournament
+	// must drop back to sampling (candidate 0), not ride FBR forever.
+	full(250, 0)
+	full(250, 1)
+	if got := tr.Decide(nil, &View{}); got != FBR() {
+		t.Fatalf("mid-countdown the winner must still run, got %s", got.Name())
+	}
+	full(250, 0)
+	if got := tr.Decide(nil, &View{}); got != F888() {
+		t.Errorf("after the exploit countdown a fresh sampling pass must begin at candidate 0, got %s", got.Name())
+	}
+}
+
+func TestPhasedTournamentNameRoundTrips(t *testing.T) {
+	tr, err := NewPhasedTournament([]Features{F888(), FBR()}, 10_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "dyn:tournament(8_8_8,8_8_8+BR,interval=10k,run=6,phase=on)"
+	if tr.Name() != want {
+		t.Fatalf("Name() = %q, want %q", tr.Name(), want)
+	}
+	back, err := ByName(tr.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, ok := back.(*Tournament)
+	if !ok || !bt.PerPhase {
+		t.Error("phase=on must reconstruct a per-phase tournament")
+	}
+	if back.Name() != tr.Name() {
+		t.Errorf("round trip drifted: %q", back.Name())
+	}
+	// Clone preserves phase-awareness.
+	if c := tr.Clone().(*Tournament); !c.PerPhase || c.Name() != tr.Name() {
+		t.Error("clone must preserve PerPhase")
+	}
+	// phase=off is accepted and is the default rendering.
+	off, err := ByName("dyn:tournament(8_8_8,8_8_8+BR,interval=10k,run=6,phase=off)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.(*Tournament).PerPhase {
+		t.Error("phase=off must disable per-phase tables")
+	}
+}
+
+func TestTournamentEnergyAttributionSums(t *testing.T) {
+	tr, err := NewTournament([]Features{F888(), FBR()}, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i, e := range []float64{3, 9, 12, 1, 30} {
+		tr.Observe(metrics.Metrics{Committed: 1000, WideCycles: 500 + uint64(i*50)}, occIn(0, e))
+		want += e
+	}
+	var got float64
+	for _, r := range tr.Usage() {
+		got += r.EnergyNJ
+	}
+	if got != want {
+		t.Errorf("attributed energy %g, want %g", got, want)
+	}
+}
+
+func TestOccAdaptiveEnergyAttributionSums(t *testing.T) {
+	o, err := NewOccAdaptive(FIR(), 0.25, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := View{WideOcc: 30, WideCap: 32, HelperOcc: 1, HelperCap: 32}
+	withhold := View{WideOcc: 8, WideCap: 32, HelperOcc: 8, HelperCap: 32}
+	for i := 0; i < 6; i++ {
+		o.Decide(nil, &grant)
+	}
+	for i := 0; i < 4; i++ {
+		o.Decide(nil, &withhold)
+	}
+	o.Observe(metrics.Metrics{Committed: 1000, WideCycles: 500}, occIn(0, 100))
+	u := o.Usage()
+	if u[0].EnergyNJ != 60 || u[1].EnergyNJ != 40 {
+		t.Errorf("energy split %g/%g, want 60/40 (proportional to Decide outcomes)",
+			u[0].EnergyNJ, u[1].EnergyNJ)
+	}
+}

@@ -42,8 +42,12 @@ func TestParameterizedDynamicNamesRoundTrip(t *testing.T) {
 	cases := []string{
 		"dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=50k,run=8)",
 		"dyn:tournament(baseline,8_8_8,8_8_8+BR+LR+CR+CP+IRblk,interval=2500,run=1)",
+		"dyn:tournament(8_8_8+BR,8_8_8+BR+LR,interval=50k,run=8,phase=on)",
 		"dyn:occupancy(8_8_8+BR+LR+CR+CP+IR,th=40,interval=20k)",
 		"dyn:occupancy(8_8_8+BR+LR+CR+CP+IRnd,th=10,interval=1500)",
+		"dyn:ucb(8_8_8+BR,8_8_8+BR+LR,reward=ipc,interval=50k,c=1.4)",
+		"dyn:ucb(8_8_8,8_8_8+BR+LR+CR,8_8_8+BR+LR+CR+CP+IR,reward=ed2,interval=2500,c=0)",
+		"dyn:ucb(8_8_8+BR,8_8_8+BR+LR+CR+CP+IRblk,reward=ed2,interval=333,c=2.5)",
 	}
 	for _, name := range cases {
 		p, err := PolicyByName(name)
@@ -70,7 +74,16 @@ func TestParameterizedDynamicNamesRoundTrip(t *testing.T) {
 		"dyn:tournament(8_8_8,8_8_8+BR,interval=xk)", // unparseable interval
 		"dyn:tournament",                             // no argument list
 		"dyn:tournament(8_8_8,8_8_8+BR,run=4x)",      // trailing junk in run
+		"dyn:tournament(8_8_8,8_8_8+BR,phase=soon)",  // bad phase mode
 		"dyn:occupancy(full,th=25.5)",                // fractional percent
+		"dyn:ucb(",                                   // unterminated
+		"dyn:ucb(8_8_8)",                             // one arm
+		"dyn:ucb(8_8_8,nosuch)",                      // unknown rung
+		"dyn:ucb(8_8_8,8_8_8+BR,interval=-50k)",      // negative interval
+		"dyn:ucb(8_8_8,8_8_8+BR,reward=speed)",       // unknown reward
+		"dyn:ucb(8_8_8,8_8_8+BR,c=-1)",               // negative exploration
+		"dyn:ucb(8_8_8,8_8_8+BR,c=zz)",               // unparseable constant
+		"dyn:ucb(8_8_8,8_8_8+BR,run=4)",              // tournament-only param
 	} {
 		if _, err := PolicyByName(bad); err == nil {
 			t.Errorf("PolicyByName(%q) should fail", bad)
