@@ -20,7 +20,15 @@ test:
 # of check).
 .PHONY: race
 race:
-	$(GO) test -race . ./internal/parallel ./internal/experiments
+	$(GO) test -race . ./internal/parallel ./internal/experiments ./internal/grid
+
+# End-to-end smoke test of the distributed grid: 1 job server + 2 worker
+# processes + `sweep -grid`, asserting byte-identical results vs the
+# local run, cache hits on a rerun, and survival of a worker killed
+# mid-study (lease reassignment).
+.PHONY: grid-smoke
+grid-smoke:
+	sh scripts/grid_smoke.sh
 
 # Fuzz the steering policy-name parser beyond its checked-in seed corpus
 # (the corpus itself replays in every plain `go test` run).

@@ -6,11 +6,15 @@ package repro
 // wins, by what factor) are the reproduction target; see EXPERIMENTS.md.
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"repro/internal/bitwidth"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/isa"
 	"repro/internal/steer"
 	"repro/internal/synth"
@@ -426,6 +430,62 @@ func BenchmarkPhaseUCBOverhead(b *testing.B) {
 	b.ReportMetric(float64(tStatic.Nanoseconds())/float64(b.N), "static-ns/uop")
 	b.ReportMetric(float64(tPhase.Nanoseconds())/float64(b.N), "phase-ns/uop")
 	b.ReportMetric((float64(tPhase)/float64(tStatic)-1)*100, "phase-ucb-overhead-pct")
+}
+
+// BenchmarkGridDispatchOverhead prices the distributed grid fabric
+// against in-process execution: each iteration runs one 20k-uop job
+// locally and one through a live grid (HTTP server, lease protocol,
+// canonical-JSON round trip, NDJSON result stream, one in-process
+// worker), interleaved inside one timed run so machine drift hits both
+// sides equally — the BenchmarkPolicyOverhead scheme at job granularity.
+// Every job gets a unique Name so its content hash misses the result
+// store and the full dispatch path is exercised. The headline number is
+// the grid-dispatch-overhead-pct metric; cmd/benchjson lifts it into
+// BENCH_core.json as grid_dispatch_overhead_pct.
+func BenchmarkGridDispatchOverhead(b *testing.B) {
+	w, _ := WorkloadByName("gcc")
+	srv := grid.NewServer()
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	local := NewRunner()
+	worker := &grid.Worker{Server: ts.URL, Exec: local.JobExec(), Parallel: 1,
+		LeaseWait: 200 * time.Millisecond, Name: "bench"}
+	wctx, wcancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		worker.Run(wctx)
+	}()
+	defer func() {
+		wcancel()
+		<-workerDone
+	}()
+	remote := NewRunner(WithGrid(ts.URL))
+
+	ctx := context.Background()
+	job := Job{Policy: PolicyFull(), Workload: w, N: 20_000, Warmup: 4_000}
+	var tLocal, tGrid time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := job
+		j.Name = fmt.Sprintf("local-%d", i)
+		t0 := time.Now()
+		if _, err := local.Run(ctx, j); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		j.Name = fmt.Sprintf("grid-%d", i)
+		if _, err := remote.Run(ctx, j); err != nil {
+			b.Fatal(err)
+		}
+		tLocal += t1.Sub(t0)
+		tGrid += time.Since(t1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tLocal.Nanoseconds())/float64(b.N), "local-ns/job")
+	b.ReportMetric(float64(tGrid.Nanoseconds())/float64(b.N), "grid-ns/job")
+	b.ReportMetric((float64(tGrid)/float64(tLocal)-1)*100, "grid-dispatch-overhead-pct")
 }
 
 // BenchmarkSynthThroughput measures trace generation speed.

@@ -42,6 +42,12 @@ var overheadMetric = regexp.MustCompile(`([0-9.eE+-]+) overhead-pct`)
 // fast path, measured with the same interleaved-slices scheme.
 var phaseOverheadMetric = regexp.MustCompile(`([0-9.eE+-]+) phase-ucb-overhead-pct`)
 
+// gridOverheadMetric matches BenchmarkGridDispatchOverhead's metric: the
+// cost of dispatching one job through the distributed grid (HTTP, lease
+// protocol, canonical-JSON round trip) over running it in-process,
+// measured with interleaved local/grid runs at job granularity.
+var gridOverheadMetric = regexp.MustCompile(`([0-9.eE+-]+) grid-dispatch-overhead-pct`)
+
 type sample struct {
 	nsPerOp     float64
 	bytesPerOp  float64
@@ -67,6 +73,11 @@ type Summary struct {
 	// BenchmarkPhaseUCBOverhead's phase-ucb-overhead-pct metric. Absent
 	// when that benchmark was not in the input.
 	PhaseUCBOverheadPct *float64 `json:"phase_ucb_overhead_pct,omitempty"`
+	// GridDispatchOverheadPct is the per-job cost of the distributed grid
+	// fabric over in-process execution: the mean of
+	// BenchmarkGridDispatchOverhead's grid-dispatch-overhead-pct metric.
+	// Absent when that benchmark was not in the input.
+	GridDispatchOverheadPct *float64 `json:"grid_dispatch_overhead_pct,omitempty"`
 }
 
 // Bench aggregates the -count repetitions of one benchmark.
@@ -85,11 +96,15 @@ func main() {
 	flag.Parse()
 
 	byName := map[string][]sample{}
-	var overheads, phaseOverheads []float64
+	var overheads, phaseOverheads, gridOverheads []float64
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if pm := phaseOverheadMetric.FindStringSubmatch(sc.Text()); pm != nil {
+		if gm := gridOverheadMetric.FindStringSubmatch(sc.Text()); gm != nil {
+			if v, err := strconv.ParseFloat(gm[1], 64); err == nil {
+				gridOverheads = append(gridOverheads, v)
+			}
+		} else if pm := phaseOverheadMetric.FindStringSubmatch(sc.Text()); pm != nil {
 			if v, err := strconv.ParseFloat(pm[1], 64); err == nil {
 				phaseOverheads = append(phaseOverheads, v)
 			}
@@ -159,6 +174,9 @@ func main() {
 	if pct, ok := mean(phaseOverheads); ok {
 		sum.PhaseUCBOverheadPct = &pct
 	}
+	if pct, ok := mean(gridOverheads); ok {
+		sum.GridDispatchOverheadPct = &pct
+	}
 
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
@@ -178,6 +196,9 @@ func main() {
 	}
 	if sum.PhaseUCBOverheadPct != nil {
 		fmt.Fprintf(os.Stderr, " (phase+ucb overhead %+.2f%%)", *sum.PhaseUCBOverheadPct)
+	}
+	if sum.GridDispatchOverheadPct != nil {
+		fmt.Fprintf(os.Stderr, " (grid dispatch overhead %+.2f%%)", *sum.GridDispatchOverheadPct)
 	}
 	fmt.Fprintln(os.Stderr)
 }

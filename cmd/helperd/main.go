@@ -1,0 +1,247 @@
+// Command helperd operates the distributed simulation grid: one process
+// per role, composable into a cluster.
+//
+//	helperd serve  -addr :8321                 # the job server
+//	helperd work   -server :8321 -workers 4    # a simulation worker (run N of these)
+//	helperd submit -server :8321 -jobs jobs.json   # stream a batch through the grid
+//	helperd metrics -server :8321              # counter snapshot (cache hits, leases, ...)
+//
+// The server shards submitted batches into a priority work queue, leases
+// jobs to polling workers (a worker that stops heartbeating loses its
+// leases and the jobs are reassigned), streams results back as NDJSON,
+// and serves repeated jobs from a content-addressed result store keyed
+// by the canonical Job hash — a sweep rerun costs nothing but the cache
+// lookups. `sweep -grid` drives the same fabric for the paper studies.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro"
+	"repro/internal/grid"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serveCmd(ctx, os.Args[2:])
+	case "work":
+		err = workCmd(ctx, os.Args[2:])
+	case "submit":
+		err = submitCmd(ctx, os.Args[2:])
+	case "metrics":
+		err = metricsCmd(ctx, os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "helperd: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helperd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics> [flags]
+
+  serve   -addr :8321 [-lease 5s] [-max-attempts 5]
+  work    -server :8321 [-workers 0] [-name ""] [-health ""]
+  submit  -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2]
+  metrics -server :8321
+`)
+}
+
+// serveCmd runs the grid job server until interrupted.
+func serveCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8321", "listen address")
+	lease := fs.Duration("lease", 5*time.Second, "lease TTL (heartbeat deadline before reassignment)")
+	maxAttempts := fs.Int("max-attempts", 5, "lease attempts per job before it is failed")
+	fs.Parse(args)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := grid.NewServer(grid.WithLeaseTTL(*lease), grid.WithMaxAttempts(*maxAttempts))
+	defer srv.Close()
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(os.Stderr, "helperd: serving grid on %s\n", ln.Addr())
+	go func() {
+		<-ctx.Done()
+		hs.Close()
+	}()
+	if err := hs.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// workCmd runs one worker process against a grid server.
+func workCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd work", flag.ExitOnError)
+	server := fs.String("server", ":8321", "job server address")
+	workers := fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS); also the reported capacity")
+	name := fs.String("name", "", "worker name (default host-pid)")
+	health := fs.String("health", "", "optional listen address for a /healthz load endpoint")
+	fs.Parse(args)
+
+	// The exec runner applies no warmup fraction of its own: wire jobs
+	// arrive fully resolved and must run with exactly the warmup they
+	// carry, or remote results would drift from local ones.
+	w := &grid.Worker{
+		Server:   *server,
+		Name:     *name,
+		Parallel: *workers,
+		Exec:     repro.NewRunner().JobExec(),
+	}
+	if *health != "" {
+		ln, err := net.Listen("tcp", *health)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: w.Healthz()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Fprintf(os.Stderr, "helperd: worker health on http://%s/healthz\n", ln.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "helperd: worker pulling from %s\n", grid.BaseURL(*server))
+	if err := w.Run(ctx); err != nil && err != context.Canceled {
+		return err
+	}
+	return nil
+}
+
+// submitCmd streams a job batch through the grid, printing one NDJSON
+// line per result, and exits non-zero if any job failed (the failed
+// job's canonical JSON goes to stderr).
+func submitCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd submit", flag.ExitOnError)
+	server := fs.String("server", ":8321", "job server address")
+	jobsPath := fs.String("jobs", "-", "jobs file: a JSON array of jobs or NDJSON, \"-\" for stdin")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	warmupFrac := fs.Float64("warmup-frac", 0.2, "default warmup fraction for jobs without an explicit warmup")
+	fs.Parse(args)
+
+	jobs, err := readJobs(*jobsPath)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("no jobs in %s", *jobsPath)
+	}
+	runner := repro.NewRunner(
+		repro.WithGrid(*server),
+		repro.WithGridPriority(*priority),
+		repro.WithWarmupFrac(*warmupFrac),
+	)
+
+	type line struct {
+		Index  int           `json:"index"`
+		Job    string        `json:"job"`
+		Result *repro.Result `json:"result,omitempty"`
+		Err    string        `json:"error,omitempty"`
+	}
+	enc := json.NewEncoder(os.Stdout)
+	failures := 0
+	for jr := range runner.RunBatch(ctx, jobs) {
+		l := line{Index: jr.Index, Job: jr.Job.Label()}
+		if jr.Err != nil {
+			l.Err = jr.Err.Error()
+			failures++
+			if data, merr := json.Marshal(jr.Job); merr == nil {
+				fmt.Fprintf(os.Stderr, "helperd: failed job (canonical JSON): %s\n", data)
+			}
+		} else {
+			res := jr.Result
+			l.Result = &res
+		}
+		enc.Encode(l)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failures, len(jobs))
+	}
+	return nil
+}
+
+// metricsCmd prints the server's counter snapshot as JSON.
+func metricsCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd metrics", flag.ExitOnError)
+	server := fs.String("server", ":8321", "job server address")
+	fs.Parse(args)
+	client := &grid.Client{Server: *server}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// readJobs loads a batch description: either one JSON array of jobs or
+// NDJSON with one job per line (the shapes Job's decoder accepts,
+// including registry-name shorthand).
+func readJobs(path string) ([]repro.Job, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if t := bytes.TrimSpace(data); len(t) > 0 && t[0] == '[' {
+		var jobs []repro.Job
+		if err := json.Unmarshal(data, &jobs); err != nil {
+			return nil, fmt.Errorf("decoding jobs array: %w", err)
+		}
+		return jobs, nil
+	}
+	var jobs []repro.Job
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var j repro.Job
+		if err := json.Unmarshal(line, &j); err != nil {
+			return nil, fmt.Errorf("decoding job line %d: %w", len(jobs)+1, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, sc.Err()
+}

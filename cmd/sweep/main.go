@@ -10,17 +10,29 @@
 //	sweep -study widthtable -workload gcc
 //	sweep -study clockratio -n 150000
 //	sweep -study ladder -workers 8
+//
+// Any study can run sharded over worker processes on the simulation grid:
+//
+//	sweep -study ladder -grid :0             # in-process server + spawned workers
+//	sweep -study ladder -grid host:8321      # an external `helperd serve` cluster
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"runtime"
 	"strings"
 
 	"repro"
+	"repro/internal/grid"
 	"repro/internal/report"
 )
 
@@ -31,23 +43,50 @@ func main() {
 		policyName   = flag.String("policy", "cr", "policy for the configuration ablations (see helpersim -list)")
 		n            = flag.Uint64("n", 120_000, "measured uops per point")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		gridAddr     = flag.String("grid", "", "run the study on a simulation grid: a job-server address, or an address ending in :0 to spawn an in-process server plus -grid-workers worker processes")
+		gridWorkers  = flag.Int("grid-workers", 2, "worker processes to spawn for -grid addresses ending in :0")
+		gridWorkFor  = flag.String("as-grid-worker", "", "internal: run as a grid worker for the given server URL")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// Progress invocations are serialized by the batch with Done strictly
-	// increasing, so plain carriage-return rewriting is safe here.
-	runner := repro.NewRunner(
+	// Worker mode: `-grid :0` re-execs this binary as the worker shards.
+	if *gridWorkFor != "" {
+		w := &grid.Worker{Server: *gridWorkFor, Parallel: *workers, Exec: repro.NewRunner().JobExec()}
+		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		return
+	}
+
+	opts := []repro.Option{
 		repro.WithWorkers(*workers),
+		// Progress invocations are serialized by the batch with Done
+		// strictly increasing, so plain carriage-return rewriting is safe.
 		repro.WithProgress(func(p repro.Progress) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d %-40s", p.Done, p.Total, p.Job.Label())
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}),
-	)
+	}
+	if *gridAddr != "" {
+		addr, cleanup, err := setupGrid(ctx, *gridAddr, *gridWorkers, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		// fatal exits without unwinding; make sure spawned worker
+		// processes and the in-process server die with us either way.
+		cleanupOnFatal = cleanup
+		defer cleanup()
+		opts = append(opts, repro.WithGrid(addr))
+	}
+	runner := repro.NewRunner(opts...)
+	if *gridAddr != "" {
+		defer reportGrid(runner)
+	}
 
 	if *study == "ladder" {
 		runLadder(ctx, runner, *n)
@@ -354,12 +393,96 @@ func runUCB(ctx context.Context, runner *repro.Runner, n uint64) {
 	fmt.Println(ed2T.Render())
 }
 
+// setupGrid resolves the -grid flag: an address ending in :0 spawns an
+// in-process job server on an ephemeral port plus nworkers copies of
+// this binary as worker processes (the shard-over-processes mode), each
+// inheriting the -workers parallelism bound; any other address is used
+// as an external `helperd serve` cluster.
+func setupGrid(ctx context.Context, addr string, nworkers, parallel int) (string, func(), error) {
+	if !strings.HasSuffix(addr, ":0") {
+		return addr, func() {}, nil
+	}
+	host := strings.TrimSuffix(addr, ":0")
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return "", nil, fmt.Errorf("sweep: grid listen: %w", err)
+	}
+	srv := grid.NewServer()
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+
+	self, err := os.Executable()
+	if err != nil {
+		hs.Close()
+		srv.Close()
+		return "", nil, fmt.Errorf("sweep: cannot re-exec for grid workers: %w", err)
+	}
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	// Split the parallelism budget across the spawned processes: N workers
+	// each running the full -workers (or GOMAXPROCS) count would
+	// oversubscribe the host N-fold.
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	perWorker := (parallel + nworkers - 1) / nworkers
+	var procs []*exec.Cmd
+	for i := 0; i < nworkers; i++ {
+		cmd := exec.CommandContext(ctx, self, "-as-grid-worker", url, "-workers", fmt.Sprint(perWorker))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, p := range procs {
+				p.Process.Kill()
+			}
+			hs.Close()
+			srv.Close()
+			return "", nil, fmt.Errorf("sweep: spawning grid worker: %w", err)
+		}
+		procs = append(procs, cmd)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: grid server %s, %d worker processes\n", url, nworkers)
+	cleanup := func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+		hs.Close()
+		srv.Close()
+	}
+	return url, cleanup, nil
+}
+
+// reportGrid prints the grid's cache and lease counters after a study,
+// so reruns show their cache hits and kill-a-worker runs their
+// reassignments.
+func reportGrid(runner *repro.Runner) {
+	m, err := runner.GridMetrics(context.Background())
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sweep: grid: %d cache hits, %d misses, %d coalesced, %d reassigned, %d workers\n",
+		m.CacheHits, m.CacheMisses, m.Coalesced, m.Reassigned, m.Workers)
+}
+
 // collect gathers a batch in job order, exiting with a clean message on
-// failure or Ctrl-C.
+// failure or Ctrl-C. Any failed job exits non-zero with the job's
+// canonical JSON on stderr, so the exact point can be re-run with
+// `helperd submit`.
 func collect(ctx context.Context, runner *repro.Runner, jobs []repro.Job) []repro.Result {
 	results, err := runner.RunAll(ctx, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr)
+		var jerr *repro.JobError
+		if errors.As(err, &jerr) {
+			if data, merr := json.Marshal(jerr.Job); merr == nil {
+				fmt.Fprintf(os.Stderr, "sweep: failed job %d (canonical JSON): %s\n", jerr.Index, data)
+			}
+		}
 		fatal(fmt.Errorf("sweep: %w", err))
 	}
 	return results
@@ -373,7 +496,14 @@ func mustPolicy(name string) repro.Policy {
 	return p
 }
 
+// cleanupOnFatal tears down the in-process grid (worker processes,
+// server) when fatal bypasses main's defers.
+var cleanupOnFatal func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	if cleanupOnFatal != nil {
+		cleanupOnFatal()
+	}
 	os.Exit(1)
 }

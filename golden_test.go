@@ -16,12 +16,19 @@ package repro
 // floating-point contraction rules may steer adaptive runs differently.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/grid"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden trace and results")
@@ -132,6 +139,12 @@ func TestGoldenResults(t *testing.T) {
 		return
 	}
 
+	compareGolden(t, runGolden(t), loadGolden(t))
+}
+
+// loadGolden reads the committed golden results.
+func loadGolden(t *testing.T) []goldenRun {
+	t.Helper()
 	data, err := os.ReadFile(goldenJSONPath)
 	if err != nil {
 		t.Fatalf("missing goldens (run `go test -run TestGoldenResults -update .`): %v", err)
@@ -140,7 +153,13 @@ func TestGoldenResults(t *testing.T) {
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatal(err)
 	}
-	got := runGolden(t)
+	return want
+}
+
+// compareGolden checks a run set against the committed goldens with the
+// exact-integer / tolerant-float rules described at the top of the file.
+func compareGolden(t *testing.T, got, want []goldenRun) {
+	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("job set drifted: %d runs, goldens have %d (regenerate with -update)", len(got), len(want))
 	}
@@ -177,6 +196,117 @@ func TestGoldenResults(t *testing.T) {
 				t.Errorf("%s rung %d: energy %g, golden %g", g.Label, k, u.EnergyNJ, w.Rungs[k].EnergyNJ)
 			}
 		}
+	}
+}
+
+// TestGoldenResultsGrid is the remote-execution golden gate: the pinned
+// jobs travel as canonical Job JSON through a real grid — server, two
+// worker processes' worth of in-process workers, lease protocol, NDJSON
+// result stream — and the decoded Results must match the committed local
+// goldens exactly, proving grid execution is bit-equivalent. A second
+// submission must then be served entirely from the content-addressed
+// store, still bit-equivalent.
+func TestGoldenResultsGrid(t *testing.T) {
+	if *update {
+		t.Skip("goldens regenerate via TestGoldenResults -update")
+	}
+	want := loadGolden(t)
+
+	srv := grid.NewServer(grid.WithLeaseTTL(5 * time.Second))
+	ts := httptest.NewServer(srv)
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	// The worker side replays the committed trace, so the exec decodes
+	// the wire Job and drives RunTraceFile — the same simulations the
+	// local golden runs, behind the full wire protocol.
+	exec := func(ctx context.Context, payload []byte) ([]byte, error) {
+		var j Job
+		if err := json.Unmarshal(payload, &j); err != nil {
+			return nil, err
+		}
+		res, err := RunTraceFile(j.Config, j.Policy, goldenTracePath, j.N)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+	for i := 0; i < 2; i++ {
+		w := &grid.Worker{Server: ts.URL, Name: fmt.Sprintf("gold%d", i), Exec: exec,
+			Parallel: 2, LeaseWait: 100 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(wctx)
+		}()
+	}
+	defer func() {
+		wcancel()
+		wg.Wait()
+		ts.Close()
+		srv.Close()
+	}()
+
+	jobs := goldenJobs(t)
+	submit := func() []goldenRun {
+		t.Helper()
+		var tasks []grid.Task
+		for i, j := range jobs {
+			wire := Job{Name: j.Label, Config: j.Config, Policy: j.Policy, N: goldenRunUops}
+			payload, err := json.Marshal(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, grid.Task{ID: fmt.Sprintf("%d", i), Hash: grid.HashBytes(payload), Payload: payload})
+		}
+		client := &grid.Client{Server: ts.URL}
+		ch, err := client.Submit(context.Background(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := map[string]Result{}
+		for tr := range ch {
+			if tr.Err != "" {
+				t.Fatalf("grid golden task %s: %s", tr.ID, tr.Err)
+			}
+			var res Result
+			if err := json.Unmarshal(tr.Payload, &res); err != nil {
+				t.Fatalf("decoding grid golden result %s: %v", tr.ID, err)
+			}
+			byID[tr.ID] = res
+		}
+		var out []goldenRun
+		for i, j := range jobs {
+			r, ok := byID[fmt.Sprintf("%d", i)]
+			if !ok {
+				t.Fatalf("golden job %s never delivered", j.Label)
+			}
+			g := goldenRun{
+				Label:         j.Label,
+				Policy:        r.Policy,
+				Committed:     r.Metrics.Committed,
+				WideCycles:    r.Metrics.WideCycles,
+				SteeredHelper: r.Metrics.SteeredHelper,
+				CopiesCreated: r.Metrics.CopiesCreated,
+				FatalFlushes:  r.Metrics.FatalFlushes,
+				SteeredSplit:  r.Metrics.SteeredSplit,
+				EnergyNJ:      EstimatePower(j.Config, r).EnergyNJ,
+			}
+			for _, u := range r.Rungs {
+				g.Rungs = append(g.Rungs, goldenRung{Rung: u.Rung, Committed: u.Committed, EnergyNJ: u.EnergyNJ})
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+
+	compareGolden(t, submit(), want)
+
+	// Round two: all cache, still golden.
+	misses := srv.Metrics().CacheMisses
+	compareGolden(t, submit(), want)
+	m := srv.Metrics()
+	if m.CacheMisses != misses || m.CacheHits < uint64(len(jobs)) {
+		t.Errorf("rerun was not served from the store: %+v", m)
 	}
 }
 

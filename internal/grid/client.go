@@ -1,0 +1,129 @@
+package grid
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Client submits task batches to a grid server and decodes the NDJSON
+// result stream.
+type Client struct {
+	// Server is the job server address (BaseURL rules apply).
+	Server string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Submit posts a batch and returns a channel of its results in
+// completion order (cache hits first, since the server answers them
+// before any simulation runs). Unless ctx is cancelled, every submitted
+// task ID receives exactly one TaskResult — a result stream that dies
+// early (server crash, connection cut) yields synthetic error results
+// for the tasks still outstanding — and then the channel closes.
+// Cancelling ctx tears the connection down, which is how batch
+// cancellation propagates to the server; the channel still closes
+// promptly, so ranging until close never leaks.
+func (c *Client) Submit(ctx context.Context, tasks []Task) (<-chan TaskResult, error) {
+	body, err := json.Marshal(batchRequest{Jobs: tasks})
+	if err != nil {
+		return nil, fmt.Errorf("grid: encoding batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, BaseURL(c.Server)+pathBatch, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("grid: submitting batch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("grid: submitting batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	out := make(chan TaskResult)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		outstanding := make(map[string]bool, len(tasks))
+		for _, t := range tasks {
+			outstanding[t.ID] = true
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var tr TaskResult
+			if err := json.Unmarshal(line, &tr); err != nil {
+				continue // tolerate a torn trailing line; the tail check below reports it
+			}
+			delete(outstanding, tr.ID)
+			select {
+			case out <- tr:
+			case <-ctx.Done():
+				return
+			}
+		}
+		if ctx.Err() != nil || len(outstanding) == 0 {
+			return
+		}
+		// The stream ended before every task reported: synthesize failures
+		// so callers still see one result per task.
+		msg := "grid: result stream ended early"
+		if err := sc.Err(); err != nil {
+			msg = fmt.Sprintf("%s: %v", msg, err)
+		}
+		ids := make([]string, 0, len(outstanding))
+		for id := range outstanding {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			select {
+			case out <- TaskResult{ID: id, Err: msg}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Metrics fetches the server's counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, BaseURL(c.Server)+pathMetrics, nil)
+	if err != nil {
+		return m, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return m, fmt.Errorf("grid: fetching metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("grid: fetching metrics: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, fmt.Errorf("grid: decoding metrics: %w", err)
+	}
+	return m, nil
+}

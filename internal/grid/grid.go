@@ -1,0 +1,165 @@
+// Package grid is the distributed simulation fabric: a job server that
+// shards simulation batches over process-separated workers, with a
+// content-addressed result store in front of the queue so repeated sweep
+// points are served from cache instead of re-simulated.
+//
+// The package is deliberately payload-agnostic — jobs and results travel
+// as opaque JSON blobs keyed by a caller-supplied content hash — so it
+// carries the public repro.Job/Result wire forms without importing them
+// (the root package imports grid for its WithGrid dispatch, not the other
+// way around). The three roles:
+//
+//   - Server: accepts Task batches over HTTP (POST /v1/batch), answers
+//     cache hits immediately, queues the rest by priority, leases queued
+//     tasks to polling workers with heartbeat-renewed deadlines (a worker
+//     that dies mid-task loses its lease and the task is reassigned), and
+//     streams TaskResults back to the submitting client as NDJSON.
+//     Client disconnect cancels the batch: queued tasks are dropped and
+//     leased ones are cancelled at the worker's next heartbeat.
+//   - Worker: pulls leases (long-poll POST /v1/lease), runs each payload
+//     through its ExecFunc on a bounded local pool, posts completions
+//     (POST /v1/complete) and heartbeats (POST /v1/heartbeat) that renew
+//     leases and report load so the server can balance shards.
+//   - Client: submits a batch and decodes the NDJSON result stream.
+//
+// Identical tasks are deduplicated at every layer: a hash already in the
+// store is a cache hit, a hash already queued or leased is coalesced onto
+// the in-flight task, and every subscriber receives its own copy of the
+// single result.
+package grid
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+)
+
+// Task is one unit of work: an opaque payload with a batch-scoped ID and
+// a content hash. The hash is the cache key — callers must derive it from
+// a canonical encoding of the payload (repro jobs use Job.Hash); when it
+// is empty the server hashes the raw payload bytes as a fallback.
+type Task struct {
+	// ID names the task within its batch; results echo it. IDs need only
+	// be unique per batch (the repro dispatcher uses the job index).
+	ID string `json:"id"`
+	// Hash is the content address, "sha256:<hex>".
+	Hash string `json:"hash,omitempty"`
+	// Priority orders the queue: higher runs first, ties FIFO.
+	Priority int `json:"priority,omitempty"`
+	// Payload is the job encoding, executed verbatim by a worker's Exec.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// TaskResult is one streamed batch outcome.
+type TaskResult struct {
+	// ID is the submitting batch's task ID.
+	ID string `json:"id"`
+	// Hash echoes the task's content address.
+	Hash string `json:"hash,omitempty"`
+	// Cached reports that the result was served from the content-addressed
+	// store without running.
+	Cached bool `json:"cached,omitempty"`
+	// Payload is the result encoding produced by the worker's Exec; nil
+	// when Err is set.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Err is the execution failure, empty on success.
+	Err string `json:"error,omitempty"`
+}
+
+// ExecFunc runs one task payload to a result payload. It must honour ctx:
+// the worker cancels it when the server reports the task cancelled (its
+// batch client disconnected) or the lease went stale.
+type ExecFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// The wire protocol paths. Everything is HTTP/JSON; /v1/batch responds
+// with an NDJSON stream.
+const (
+	pathBatch     = "/v1/batch"
+	pathLease     = "/v1/lease"
+	pathHeartbeat = "/v1/heartbeat"
+	pathComplete  = "/v1/complete"
+	pathMetrics   = "/metrics"
+	pathHealthz   = "/healthz"
+)
+
+type batchRequest struct {
+	Jobs []Task `json:"jobs"`
+}
+
+type leaseRequest struct {
+	// Worker names the polling worker (heartbeats and completions must
+	// use the same name).
+	Worker string `json:"worker"`
+	// Capacity and InFlight are the worker's /healthz-style load report:
+	// the server grants at most Capacity-InFlight tasks, so a loaded
+	// worker never hoards leases another shard could run.
+	Capacity int `json:"capacity"`
+	InFlight int `json:"in_flight"`
+	// WaitMS long-polls: the server holds the request up to this long
+	// waiting for work before answering empty.
+	WaitMS int `json:"wait_ms,omitempty"`
+}
+
+type leaseResponse struct {
+	Tasks []Task `json:"tasks,omitempty"`
+	// LeaseMS is the lease TTL; the worker must heartbeat well within it.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	// Tasks are the task IDs the worker currently holds.
+	Tasks    []string `json:"tasks,omitempty"`
+	InFlight int      `json:"in_flight"`
+}
+
+type heartbeatResponse struct {
+	// Cancelled lists held tasks whose every subscriber disconnected; the
+	// worker should abort them.
+	Cancelled []string `json:"cancelled,omitempty"`
+	// Stale lists held tasks the server no longer considers leased to this
+	// worker (the lease expired and was reassigned); abort them too.
+	Stale []string `json:"stale,omitempty"`
+}
+
+type completeRequest struct {
+	Worker string          `json:"worker"`
+	ID     string          `json:"id"`
+	Hash   string          `json:"hash,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"error,omitempty"`
+}
+
+type completeResponse struct {
+	// Stale reports that the completion arrived for a lease the server had
+	// already expired or a task already finished elsewhere; the work is
+	// banked in the store when successful, but nothing else happened.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// HashBytes returns the content address of a raw payload: "sha256:<hex>"
+// over the bytes as given. Callers with a canonical encoding (the repro
+// Job JSON) should hash that; this is the shared primitive.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// BaseURL normalizes a server address to a base URL: ":8321" and
+// "host:8321" gain the http scheme (bare ports bind to localhost), full
+// URLs pass through with any trailing slash trimmed.
+func BaseURL(addr string) string {
+	addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if addr == "" {
+		return addr
+	}
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}

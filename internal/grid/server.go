@@ -1,0 +1,551 @@
+package grid
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Metrics is the server's counter snapshot, served as JSON on /metrics.
+type Metrics struct {
+	// Submitted counts jobs accepted across all batches; each is exactly
+	// one of CacheHits (served from the store), Coalesced (joined a task
+	// already in flight) or CacheMisses (created a new task).
+	Submitted   uint64 `json:"submitted"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	// Completed/Failed count task executions reported by workers (cache
+	// hits never reach either).
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// LeasesGranted counts tasks handed to workers; Reassigned counts
+	// leases that expired without a heartbeat and went back to the queue
+	// (worker death recovery); Abandoned counts tasks dropped because
+	// every subscriber disconnected.
+	LeasesGranted uint64 `json:"leases_granted"`
+	Reassigned    uint64 `json:"reassigned"`
+	Abandoned     uint64 `json:"abandoned"`
+	// Point-in-time gauges.
+	QueueDepth   int `json:"queue_depth"`
+	Leased       int `json:"leased"`
+	Workers      int `json:"workers"`
+	StoreEntries int `json:"store_entries"`
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLeaseTTL sets how long a granted lease survives without a
+// heartbeat before the task is reassigned. The default is 5s; tests use
+// short TTLs to exercise reassignment quickly.
+func WithLeaseTTL(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.leaseTTL = d
+		}
+	}
+}
+
+// WithMaxAttempts bounds how many times a task may be leased before the
+// server gives up and fails it (defence against a job that kills every
+// worker it lands on). The default is 5.
+func WithMaxAttempts(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxAttempts = n
+		}
+	}
+}
+
+// Server is the grid job server: an http.Handler exposing the batch,
+// lease, heartbeat, complete, metrics and healthz endpoints over one
+// priority work queue and one content-addressed result store. Close
+// stops the lease reaper; in-flight batch handlers unwind promptly.
+type Server struct {
+	leaseTTL    time.Duration
+	maxAttempts int
+
+	mu     sync.Mutex
+	store  *Store
+	byID   map[string]*task
+	byHash map[string]*task
+	queue  taskHeap
+	seq    uint64
+	// wake is closed and replaced whenever work is queued, releasing
+	// long-polling lease requests.
+	wake    chan struct{}
+	workers map[string]*workerState
+
+	submitted, coalesced      uint64
+	completed, failed         uint64
+	leasesGranted, reassigned uint64
+	abandoned                 uint64
+	closed                    chan struct{}
+	closeOnce                 sync.Once
+	reaperDone                chan struct{}
+}
+
+// workerState is the server's view of one polling worker, fed by its
+// lease and heartbeat load reports.
+type workerState struct {
+	lastSeen time.Time
+	capacity int
+	inFlight int
+}
+
+// NewServer builds a Server and starts its lease reaper. Call Close when
+// done with it.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		leaseTTL:    5 * time.Second,
+		maxAttempts: 5,
+		store:       NewStore(),
+		byID:        map[string]*task{},
+		byHash:      map[string]*task{},
+		wake:        make(chan struct{}),
+		workers:     map[string]*workerState{},
+		closed:      make(chan struct{}),
+		reaperDone:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	go s.reap()
+	return s
+}
+
+// Close stops the reaper and releases every blocked handler. It is
+// idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.reaperDone
+}
+
+// Store exposes the content-addressed result store (tests and embedders
+// may pre-seed or inspect it).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics returns a counter snapshot.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metricsLocked()
+}
+
+func (s *Server) metricsLocked() Metrics {
+	entries, hits, misses := s.store.Stats()
+	m := Metrics{
+		Submitted:     s.submitted,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Coalesced:     s.coalesced,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		LeasesGranted: s.leasesGranted,
+		Reassigned:    s.reassigned,
+		Abandoned:     s.abandoned,
+		StoreEntries:  entries,
+	}
+	for _, t := range s.byID {
+		if t.worker != "" {
+			m.Leased++
+		} else if !t.cancelled {
+			m.QueueDepth++
+		}
+	}
+	cutoff := time.Now().Add(-3 * s.leaseTTL)
+	for _, w := range s.workers {
+		if w.lastSeen.After(cutoff) {
+			m.Workers++
+		}
+	}
+	return m
+}
+
+// ServeHTTP dispatches the wire protocol.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case pathBatch:
+		s.handleBatch(w, r)
+	case pathLease:
+		s.handleLease(w, r)
+	case pathHeartbeat:
+		s.handleHeartbeat(w, r)
+	case pathComplete:
+		s.handleComplete(w, r)
+	case pathMetrics:
+		writeJSON(w, s.Metrics())
+	case pathHealthz:
+		m := s.Metrics()
+		writeJSON(w, map[string]any{
+			"ok":      true,
+			"queue":   m.QueueDepth,
+			"leased":  m.Leased,
+			"workers": m.Workers,
+		})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleBatch accepts a job batch and streams its results back as
+// NDJSON, one TaskResult per line, flushed as they land. The request
+// context is the batch's lifetime: when the client disconnects, queued
+// work is abandoned and leased work is cancelled at the owning worker's
+// next heartbeat.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("grid: bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	b := &batch{ch: make(chan TaskResult, len(req.Jobs))}
+	var immediate []TaskResult
+	pending := 0
+
+	s.mu.Lock()
+	for _, j := range req.Jobs {
+		if len(j.Payload) == 0 {
+			// Rejected before admission: not Submitted, so the invariant
+			// Submitted = CacheHits + Coalesced + CacheMisses holds.
+			immediate = append(immediate, TaskResult{ID: j.ID, Err: "grid: empty payload"})
+			continue
+		}
+		s.submitted++
+		hash := j.Hash
+		if hash == "" {
+			hash = HashBytes(j.Payload)
+		}
+		// A hash is in the store xor pending (completion stores and
+		// unpends atomically), so check pending first: a coalesced job is
+		// neither a cache hit nor a miss, keeping the Metrics invariant
+		// that every submitted job is exactly one of the three.
+		if t, ok := s.byHash[hash]; ok {
+			pending++
+			// Coalesce onto the in-flight task. Reviving a cancelled lease
+			// requeues it: its worker may already have aborted on the
+			// cancellation notice, and if it hasn't, the duplicate grant is
+			// harmless — the first completion wins.
+			if t.cancelled && t.worker != "" {
+				t.worker = ""
+				heap.Push(&s.queue, t)
+			}
+			t.cancelled = false
+			t.subs = append(t.subs, subscriber{batch: b, jobID: j.ID})
+			s.coalesced++
+			continue
+		}
+		if res, ok := s.store.Get(hash); ok {
+			immediate = append(immediate, TaskResult{ID: j.ID, Hash: hash, Cached: true, Payload: res})
+			continue
+		}
+		pending++
+		s.seq++
+		t := &task{
+			id:       fmt.Sprintf("t%d", s.seq),
+			hash:     hash,
+			payload:  j.Payload,
+			priority: j.Priority,
+			seq:      s.seq,
+			subs:     []subscriber{{batch: b, jobID: j.ID}},
+		}
+		s.byID[t.id] = t
+		s.byHash[hash] = t
+		heap.Push(&s.queue, t)
+	}
+	if pending > 0 {
+		s.wakeLocked()
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flush := func() {
+		bw.Flush()
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	for _, res := range immediate {
+		enc.Encode(res)
+	}
+	flush()
+	for delivered := 0; delivered < pending; delivered++ {
+		select {
+		case res := <-b.ch:
+			enc.Encode(res)
+			flush()
+		case <-r.Context().Done():
+			s.dropBatch(b)
+			return
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// dropBatch removes every subscription of a departed batch. Tasks left
+// with no subscribers are marked cancelled: queued ones are skipped (and
+// discarded) at the next grant, leased ones are reported cancelled to
+// their worker on its next heartbeat.
+func (s *Server) dropBatch(b *batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.byID {
+		kept := t.subs[:0]
+		for _, sub := range t.subs {
+			if sub.batch != b {
+				kept = append(kept, sub)
+			}
+		}
+		t.subs = kept
+		if len(t.subs) == 0 && !t.cancelled {
+			t.cancelled = true
+			s.abandoned++
+		}
+	}
+}
+
+// handleLease grants up to capacity-in_flight queued tasks to a worker,
+// long-polling up to wait_ms when the queue is empty.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("grid: bad lease: %v", err), http.StatusBadRequest)
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		s.touchWorkerLocked(req.Worker, req.Capacity, req.InFlight)
+		tasks := s.grantLocked(req)
+		wake := s.wake
+		s.mu.Unlock()
+		if len(tasks) > 0 || !time.Now().Before(deadline) {
+			writeJSON(w, leaseResponse{Tasks: tasks, LeaseMS: s.leaseTTL.Milliseconds()})
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		case <-s.closed:
+			timer.Stop()
+			writeJSON(w, leaseResponse{LeaseMS: s.leaseTTL.Milliseconds()})
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// grantLocked pops queued tasks for a worker, honouring its reported
+// free capacity and discarding abandoned tasks it encounters.
+func (s *Server) grantLocked(req leaseRequest) []Task {
+	capacity := req.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	k := capacity - req.InFlight
+	var out []Task
+	now := time.Now()
+	for len(out) < k && s.queue.Len() > 0 {
+		t := heap.Pop(&s.queue).(*task)
+		if t.cancelled && len(t.subs) == 0 {
+			delete(s.byID, t.id)
+			delete(s.byHash, t.hash)
+			continue
+		}
+		t.worker = req.Worker
+		t.deadline = now.Add(s.leaseTTL)
+		t.attempts++
+		s.leasesGranted++
+		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority, Payload: t.payload})
+	}
+	return out
+}
+
+// handleHeartbeat renews the worker's leases and tells it which of its
+// tasks to abort: cancelled (no subscribers left) or stale (the lease
+// expired and the task moved on).
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("grid: bad heartbeat: %v", err), http.StatusBadRequest)
+		return
+	}
+	var resp heartbeatResponse
+	now := time.Now()
+	s.mu.Lock()
+	s.touchWorkerLocked(req.Worker, 0, req.InFlight)
+	for _, id := range req.Tasks {
+		t, ok := s.byID[id]
+		switch {
+		case !ok || t.worker != req.Worker:
+			resp.Stale = append(resp.Stale, id)
+		case t.cancelled:
+			resp.Cancelled = append(resp.Cancelled, id)
+		default:
+			t.deadline = now.Add(s.leaseTTL)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// handleComplete accepts a task execution report. The first successful
+// completion wins regardless of which worker currently holds the lease
+// (a slow worker may finish after its lease was reassigned — the result
+// is just as good), and successes are banked in the store either way.
+// Error completions are only honoured from the current lease holder: a
+// worker whose lease expired or was cancelled aborts its execution and
+// reports a context error, and that must not poison the task another
+// worker is (or will be) computing correctly.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("grid: bad completion: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	t, ok := s.byID[req.ID]
+	if !ok {
+		// Already finished elsewhere (or never existed). Bank a success
+		// anyway: the simulation is deterministic, the bytes are good.
+		if req.Err == "" {
+			s.store.Put(req.Hash, req.Result)
+		}
+		s.mu.Unlock()
+		writeJSON(w, completeResponse{Stale: true})
+		return
+	}
+	if req.Err != "" && t.worker != req.Worker {
+		// A stale lease's abort: the task has been requeued or reassigned;
+		// leave it to its current (or next) worker.
+		s.mu.Unlock()
+		writeJSON(w, completeResponse{Stale: true})
+		return
+	}
+	if t.heapIndex >= 0 {
+		heap.Remove(&s.queue, t.heapIndex)
+	}
+	delete(s.byID, t.id)
+	delete(s.byHash, t.hash)
+	if req.Err == "" {
+		s.store.Put(t.hash, req.Result)
+		s.completed++
+		t.deliver(TaskResult{Hash: t.hash, Payload: req.Result})
+	} else {
+		s.failed++
+		t.deliver(TaskResult{Hash: t.hash, Err: req.Err})
+	}
+	s.mu.Unlock()
+	writeJSON(w, completeResponse{})
+}
+
+// reap periodically expires leases whose heartbeats stopped: the task
+// goes back to the queue (reassignment) until maxAttempts is exhausted,
+// at which point its subscribers get a failure.
+func (s *Server) reap() {
+	defer close(s.reaperDone)
+	period := s.leaseTTL / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+			s.expireLeases()
+		}
+	}
+}
+
+func (s *Server) expireLeases() {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	requeued := false
+	for _, t := range s.byID {
+		if t.worker == "" || now.Before(t.deadline) {
+			continue
+		}
+		t.worker = ""
+		if t.cancelled && len(t.subs) == 0 {
+			delete(s.byID, t.id)
+			delete(s.byHash, t.hash)
+			continue
+		}
+		if t.attempts >= s.maxAttempts {
+			delete(s.byID, t.id)
+			delete(s.byHash, t.hash)
+			s.failed++
+			t.deliver(TaskResult{Hash: t.hash, Err: fmt.Sprintf(
+				"grid: task abandoned after %d expired leases (workers dying?)", t.attempts)})
+			continue
+		}
+		s.reassigned++
+		heap.Push(&s.queue, t)
+		requeued = true
+	}
+	if requeued {
+		s.wakeLocked()
+	}
+	// Forget workers long past the liveness cutoff: ephemeral host-pid
+	// names would otherwise grow the map forever on a long-lived server.
+	cutoff := now.Add(-10 * s.leaseTTL)
+	for name, ws := range s.workers {
+		if ws.lastSeen.Before(cutoff) {
+			delete(s.workers, name)
+		}
+	}
+}
+
+// wakeLocked releases every long-polling lease request.
+func (s *Server) wakeLocked() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+func (s *Server) touchWorkerLocked(name string, capacity, inFlight int) {
+	if name == "" {
+		return
+	}
+	ws := s.workers[name]
+	if ws == nil {
+		ws = &workerState{}
+		s.workers[name] = ws
+	}
+	ws.lastSeen = time.Now()
+	if capacity > 0 {
+		ws.capacity = capacity
+	}
+	ws.inFlight = inFlight
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,55 @@
+package grid
+
+import "sync"
+
+// Store is the content-addressed result cache: canonical job hash →
+// result payload bytes, stored verbatim so cache hits are byte-identical
+// to the worker's original answer. Only successful results are stored —
+// failures are delivered but never cached, so a transient error does not
+// poison a sweep point forever.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	hits    uint64
+	misses  uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: map[string][]byte{}}
+}
+
+// Get returns the stored payload for hash, counting the lookup as a hit
+// or miss.
+func (s *Store) Get(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.entries[hash]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return data, ok
+}
+
+// Put stores a successful result payload under hash. The first write
+// wins: a hash is a complete description of a deterministic simulation,
+// so any two results for it are identical and re-storing is pointless.
+func (s *Store) Put(hash string, payload []byte) {
+	if hash == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[hash]; !ok {
+		s.entries[hash] = payload
+	}
+}
+
+// Stats reports the entry count and the hit/miss counters.
+func (s *Store) Stats() (entries int, hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries), s.hits, s.misses
+}

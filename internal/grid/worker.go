@@ -1,0 +1,336 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Worker pulls task leases from a grid server and runs them through Exec
+// on a bounded local pool. Spawn one in-process (go w.Run(ctx)) for tests
+// and examples, or as its own OS process via `helperd work`. Configure
+// the fields before calling Run; they must not change afterwards.
+type Worker struct {
+	// Server is the job server address (BaseURL rules apply).
+	Server string
+	// Name identifies this worker to the server; leases, heartbeats and
+	// completions are keyed by it. Defaults to host-pid.
+	Name string
+	// Exec runs one task payload. Required.
+	Exec ExecFunc
+	// Parallel bounds concurrent task executions; < 1 means GOMAXPROCS.
+	// It is also the capacity the worker reports, which caps how many
+	// leases the server grants it — the load-balancing signal.
+	Parallel int
+	// LeaseWait is the long-poll patience per lease request (default 2s).
+	LeaseWait time.Duration
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+
+	base     string
+	leaseTTL atomic.Int64  // ms, learned from lease responses
+	hbWake   chan struct{} // nudges the heartbeat loop after a grant
+	nameOnce sync.Once     // guards the host-pid default for Name
+
+	mu       sync.Mutex
+	cancels  map[string]context.CancelFunc
+	inFlight atomic.Int64
+	done     atomic.Uint64
+	failed   atomic.Uint64
+}
+
+// completion is one finished task on its way back to the server.
+type completion struct {
+	id, hash string
+	result   []byte
+	err      string
+}
+
+// Run pulls and executes leases until ctx is cancelled; it always
+// returns ctx.Err(). Server outages are retried with backoff — a worker
+// survives its server restarting.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Exec == nil {
+		return fmt.Errorf("grid: worker has no Exec")
+	}
+	w.name()
+	w.base = BaseURL(w.Server)
+	w.cancels = map[string]context.CancelFunc{}
+	w.hbWake = make(chan struct{}, 1)
+	// Assume a short TTL until the first lease response teaches the real
+	// one: over-beating briefly is cheap, missing a short-TTL server's
+	// deadline loses leases.
+	w.leaseTTL.Store(time.Second.Milliseconds())
+	par := w.Parallel
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	leaseWait := w.LeaseWait
+	if leaseWait <= 0 {
+		leaseWait = 2 * time.Second
+	}
+
+	in := make(chan Task)
+	out := parallel.StreamChan(ctx, in, par, w.runTask)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // completion poster
+		defer wg.Done()
+		for c := range out {
+			w.postComplete(ctx, c)
+		}
+	}()
+	go func() { // heartbeat loop
+		defer wg.Done()
+		for {
+			interval := time.Duration(w.leaseTTL.Load()) * time.Millisecond / 3
+			if interval < 10*time.Millisecond {
+				interval = 10 * time.Millisecond
+			}
+			timer := time.NewTimer(interval)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+				w.heartbeat(ctx)
+			case <-w.hbWake:
+				// A lease was just granted (possibly with a shorter TTL
+				// than assumed): renew immediately rather than risk the
+				// scheduled beat landing past the new deadline.
+				timer.Stop()
+				w.heartbeat(ctx)
+			}
+		}
+	}()
+
+	backoff := 100 * time.Millisecond
+lease:
+	for ctx.Err() == nil {
+		free := par - int(w.inFlight.Load())
+		if free <= 0 {
+			// All slots busy: nothing to ask for. The next completion
+			// frees a slot within one short sleep.
+			if !sleepCtx(ctx, 20*time.Millisecond) {
+				break
+			}
+			continue
+		}
+		resp, err := w.lease(ctx, par, leaseWait)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			if !sleepCtx(ctx, backoff) {
+				break
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		if resp.LeaseMS > 0 {
+			w.leaseTTL.Store(resp.LeaseMS)
+		}
+		if len(resp.Tasks) > 0 {
+			select {
+			case w.hbWake <- struct{}{}:
+			default:
+			}
+		}
+		for _, t := range resp.Tasks {
+			w.inFlight.Add(1)
+			select {
+			case in <- t:
+			case <-ctx.Done():
+				w.inFlight.Add(-1)
+				break lease
+			}
+		}
+	}
+	close(in)
+	wg.Wait() // the poster exits when the pool drains and closes out
+	return ctx.Err()
+}
+
+// runTask executes one leased task under a per-task context so a server
+// cancellation notice (heartbeat response) can abort just that task.
+func (w *Worker) runTask(ctx context.Context, t Task) completion {
+	tctx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.cancels[t.ID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.cancels, t.ID)
+		w.mu.Unlock()
+		cancel()
+		w.inFlight.Add(-1)
+	}()
+	result, err := w.Exec(tctx, t.Payload)
+	c := completion{id: t.ID, hash: t.Hash}
+	if err != nil {
+		c.err = err.Error()
+		w.failed.Add(1)
+	} else {
+		c.result = result
+		w.done.Add(1)
+	}
+	return c
+}
+
+// name resolves the worker's identity, defaulting to host-pid exactly
+// once — Run and Healthz may race on a freshly constructed Worker, so
+// the lazy write is fenced.
+func (w *Worker) name() string {
+	w.nameOnce.Do(func() {
+		if w.Name == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			w.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+	})
+	return w.Name
+}
+
+// cancelTasks aborts the named in-flight tasks (server said their
+// subscribers left or their leases went stale).
+func (w *Worker) cancelTasks(ids []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, id := range ids {
+		if cancel, ok := w.cancels[id]; ok {
+			cancel()
+		}
+	}
+}
+
+// heldTasks snapshots the in-flight task IDs for a heartbeat.
+func (w *Worker) heldTasks() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]string, 0, len(w.cancels))
+	for id := range w.cancels {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (w *Worker) lease(ctx context.Context, capacity int, wait time.Duration) (leaseResponse, error) {
+	req := leaseRequest{
+		Worker:   w.name(),
+		Capacity: capacity,
+		InFlight: int(w.inFlight.Load()),
+		WaitMS:   int(wait.Milliseconds()),
+	}
+	var resp leaseResponse
+	err := w.post(ctx, pathLease, req, &resp)
+	return resp, err
+}
+
+func (w *Worker) heartbeat(ctx context.Context) {
+	req := heartbeatRequest{
+		Worker:   w.name(),
+		Tasks:    w.heldTasks(),
+		InFlight: int(w.inFlight.Load()),
+	}
+	var resp heartbeatResponse
+	if err := w.post(ctx, pathHeartbeat, req, &resp); err != nil {
+		return // transient; the next beat retries
+	}
+	w.cancelTasks(resp.Cancelled)
+	w.cancelTasks(resp.Stale)
+}
+
+// postComplete reports a finished task, retrying a few times so one
+// dropped packet does not discard a finished simulation (the lease
+// reaper would eventually re-run it, but that wastes a whole execution).
+func (w *Worker) postComplete(ctx context.Context, c completion) {
+	req := completeRequest{Worker: w.name(), ID: c.id, Hash: c.hash, Result: c.result, Err: c.err}
+	for attempt := 0; attempt < 3; attempt++ {
+		var resp completeResponse
+		if err := w.post(ctx, pathComplete, req, &resp); err == nil {
+			return
+		}
+		if !sleepCtx(ctx, 200*time.Millisecond) {
+			return
+		}
+	}
+}
+
+// post is the shared JSON POST helper.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("grid: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthz returns an http.Handler serving the worker's load as JSON —
+// the same shape the worker reports to the server on every lease, for
+// anything (an operator, an external balancer) that wants to scrape it.
+func (w *Worker) Healthz() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		par := w.Parallel
+		if par < 1 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		writeJSON(rw, map[string]any{
+			"ok":        true,
+			"name":      w.name(),
+			"capacity":  par,
+			"in_flight": w.inFlight.Load(),
+			"completed": w.done.Load(),
+			"failed":    w.failed.Load(),
+		})
+	})
+}
+
+// sleepCtx sleeps d or until ctx is done; false means ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}

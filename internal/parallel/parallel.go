@@ -116,6 +116,57 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	return out, ctx.Err()
 }
 
+// StreamChan evaluates fn over items arriving on in — work whose size is
+// unknown up front, like leases pulled from a grid job server — on a
+// bounded worker pool, sending each result on the returned channel as it
+// completes. The output channel closes once in is closed and drained (or
+// ctx is done) and all in-flight calls have finished. On cancellation
+// workers stop pulling items and undeliverable results are dropped, so
+// ranging over the output until close never leaks, cancelled or not —
+// the same contract as Stream.
+func StreamChan[T, R any](ctx context.Context, in <-chan T, workers int, fn func(ctx context.Context, v T) R) <-chan R {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(chan R)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// Priority check, as in Map/Stream: never start new work
+				// after cancellation even when in is also ready.
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case v, ok := <-in:
+					if !ok {
+						return
+					}
+					r := fn(ctx, v)
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						// Receiver may have walked away after cancelling;
+						// drop the (moot) result rather than block forever.
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
 // Stream evaluates fn(ctx, i) for i in [0,n) on a bounded worker pool and
 // sends each result on the returned channel as it completes (order is
 // completion order, not index order — fn should embed the index if the

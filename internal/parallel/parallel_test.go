@@ -162,3 +162,95 @@ func TestStreamAbandonedReceiverNoLeak(t *testing.T) {
 	}
 	t.Fatalf("goroutines did not drain: before=%d after=%d", before, runtime.NumGoroutine())
 }
+
+func TestStreamChanDeliversAll(t *testing.T) {
+	in := make(chan int)
+	go func() {
+		for i := 0; i < 50; i++ {
+			in <- i
+		}
+		close(in)
+	}()
+	out := StreamChan(context.Background(), in, 4, func(_ context.Context, v int) int { return v * 2 })
+	seen := map[int]bool{}
+	for v := range out {
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("delivered %d of 50", len(seen))
+	}
+	for i := 0; i < 50; i++ {
+		if !seen[2*i] {
+			t.Errorf("missing result %d", 2*i)
+		}
+	}
+}
+
+// TestStreamChanCancelClosesAndDrains cancels mid-stream with items still
+// arriving: the output must close promptly (dropping undeliverable
+// results) and every pool goroutine must exit even though the input
+// channel is never closed.
+func TestStreamChanCancelClosesAndDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan int)
+	feeder := make(chan struct{})
+	go func() {
+		defer close(feeder)
+		i := 0
+		for {
+			select {
+			case in <- i:
+				i++
+			case <-ctx.Done():
+				return // input never closes: cancellation alone must stop the pool
+			}
+		}
+	}()
+	out := StreamChan(ctx, in, 3, func(ctx context.Context, v int) int {
+		if v == 5 {
+			cancel()
+		}
+		return v
+	})
+	n := 0
+	for range out {
+		n++
+	}
+	<-feeder
+	if n == 0 {
+		t.Fatal("no results before cancellation")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestStreamChanAbandonedReceiverNoLeak abandons the output channel after
+// cancelling: results must be dropped, not block a worker forever.
+func TestStreamChanAbandonedReceiverNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		in <- i
+	}
+	close(in)
+	out := StreamChan(ctx, in, 2, func(_ context.Context, v int) int { return v })
+	<-out // take one result, then walk away
+	cancel()
+	_ = out
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: before=%d after=%d", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/grid"
+)
+
+// Grid dispatch: a Runner built WithGrid sends its jobs to a grid job
+// server (internal/grid, spawned via cmd/helperd or in-process) instead
+// of simulating locally. Jobs travel as their canonical round-trip JSON
+// keyed by Job.Hash, so the server's content-addressed result store
+// answers repeated sweep points without re-simulating, identical jobs
+// coalesce onto one execution, and dead workers' leases are reassigned —
+// all transparent to Run/RunBatch/RunAll callers.
+
+// WithGrid routes the Runner's executions to the grid job server at
+// addr (":8321", "host:8321" or a full http URL) instead of the local
+// worker pool. Job defaults (warmup fraction, derived config) resolve
+// client-side before dispatch, so results are bit-identical to a local
+// run. WithWorkers does not limit a grid batch — the server's workers
+// set the parallelism.
+func WithGrid(addr string) Option {
+	return func(r *Runner) { r.grid = grid.BaseURL(addr) }
+}
+
+// WithGridPriority sets the queue priority of every job this Runner
+// submits (higher runs first; the default is 0, ties are FIFO). An
+// interactive probe can overtake a bulk sweep sharing the same grid.
+func WithGridPriority(p int) Option {
+	return func(r *Runner) { r.gridPriority = p }
+}
+
+// JobExec returns the payload-level execution function a grid worker
+// plugs into its Exec slot: canonical Job JSON in, canonical Result JSON
+// out. The returned function runs every job locally with exactly the
+// Warmup it carries (the wire convention: dispatchers resolve defaults
+// before submitting), regardless of this Runner's own warmup fraction or
+// grid dispatch mode.
+func (r *Runner) JobExec() func(ctx context.Context, payload []byte) ([]byte, error) {
+	local := *r
+	local.warmupFrac = 0
+	local.grid = ""
+	local.progress = nil
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
+		var j Job
+		if err := json.Unmarshal(payload, &j); err != nil {
+			return nil, fmt.Errorf("repro: decoding grid job: %w", err)
+		}
+		res, err := local.runLocal(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			return nil, fmt.Errorf("repro: encoding grid result for %s: %w", j.Label(), err)
+		}
+		return out, nil
+	}
+}
+
+// runGridBatch is RunBatch over the wire: resolve and validate each job
+// locally (bad jobs fail fast without a round trip), submit the rest as
+// one grid batch, and map the NDJSON result stream back onto JobResults.
+// Delivery follows the RunBatch contract: completion order, per-job
+// errors in JobResult.Err, best-effort after cancellation.
+func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult {
+	batch := make([]Job, len(jobs))
+	copy(batch, jobs)
+	out := make(chan JobResult)
+	go func() {
+		defer close(out)
+		total := len(batch)
+		// Unlike the local pool, everything here runs on this one
+		// goroutine, so the progress callback needs no locking and Done
+		// is trivially strictly increasing.
+		done := 0
+		emit := func(jr JobResult) {
+			if r.progress != nil {
+				done++
+				r.progress(Progress{Done: done, Total: total, Job: jr.Job, Err: jr.Err})
+			}
+			select {
+			case out <- jr:
+			case <-ctx.Done():
+				// Best-effort after cancellation, like the local pool.
+			}
+		}
+
+		tasks := make([]grid.Task, 0, len(batch))
+		taskIndex := make(map[string]int, len(batch))
+		for i := range batch {
+			batch[i] = r.withDefaults(batch[i])
+			j := batch[i]
+			if err := j.Validate(); err != nil {
+				emit(JobResult{Index: i, Job: j, Err: err})
+				continue
+			}
+			payload, err := json.Marshal(j)
+			if err != nil {
+				emit(JobResult{Index: i, Job: j, Err: fmt.Errorf("repro: encoding job %s: %w", j.Label(), err)})
+				continue
+			}
+			id := strconv.Itoa(i)
+			tasks = append(tasks, grid.Task{
+				ID:       id,
+				Hash:     grid.HashBytes(payload),
+				Priority: r.gridPriority,
+				Payload:  payload,
+			})
+			taskIndex[id] = i
+		}
+		if len(tasks) == 0 {
+			return
+		}
+
+		client := &grid.Client{Server: r.grid}
+		ch, err := client.Submit(ctx, tasks)
+		if err != nil {
+			for _, t := range tasks {
+				i := taskIndex[t.ID]
+				emit(JobResult{Index: i, Job: batch[i], Err: fmt.Errorf("repro: grid %s: %w", r.grid, err)})
+			}
+			return
+		}
+		for tr := range ch {
+			i, ok := taskIndex[tr.ID]
+			if !ok {
+				continue
+			}
+			jr := JobResult{Index: i, Job: batch[i]}
+			switch {
+			case tr.Err != "":
+				jr.Err = fmt.Errorf("repro: grid job %s: %s", batch[i].Label(), tr.Err)
+			default:
+				if err := json.Unmarshal(tr.Payload, &jr.Result); err != nil {
+					jr.Err = fmt.Errorf("repro: decoding grid result for %s: %w", batch[i].Label(), err)
+				}
+			}
+			emit(jr)
+		}
+	}()
+	return out
+}
+
+// GridMetrics fetches the counter snapshot of the grid server a Runner
+// built WithGrid dispatches to: cache hits and misses from the
+// content-addressed result store, queue depth, lease reassignments,
+// live workers. It errors on a Runner without a grid.
+func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
+	if r.grid == "" {
+		return GridMetrics{}, fmt.Errorf("repro: runner has no grid (build it with WithGrid)")
+	}
+	client := &grid.Client{Server: r.grid}
+	return client.Metrics(ctx)
+}
+
+// GridMetrics is the grid server's counter snapshot (see the field docs
+// on the underlying type).
+type GridMetrics = grid.Metrics

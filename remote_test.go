@@ -1,0 +1,278 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+)
+
+func TestJobHash(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	j := Job{Policy: PolicyFull(), Workload: w, N: 10_000, Warmup: 2_000}
+	h1, err := j.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := j.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not stable: %s vs %s", h1, h2)
+	}
+	if len(h1) != len("sha256:")+64 {
+		t.Fatalf("hash %q not sha256-shaped", h1)
+	}
+
+	// The hash is over the canonical (resolved) form: a zero Config and
+	// its explicit policy-derived equivalent address the same simulation.
+	explicit := j
+	explicit.Config = HelperConfig()
+	he, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he != h1 {
+		t.Errorf("zero config (%s) and resolved config (%s) hash differently", h1, he)
+	}
+
+	// Any knob that changes the simulation changes the hash.
+	for name, mut := range map[string]func(Job) Job{
+		"n":        func(j Job) Job { j.N++; return j },
+		"warmup":   func(j Job) Job { j.Warmup++; return j },
+		"policy":   func(j Job) Job { j.Policy = Policy888(); return j },
+		"workload": func(j Job) Job { j.Workload = mustWorkload(t, "mcf"); return j },
+		"name":     func(j Job) Job { j.Name = "label"; return j },
+	} {
+		hm, err := mut(j).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hm == h1 {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
+
+// TestRunAllDedupe checks that identical jobs in one RunAll batch are
+// simulated once and fanned out: the progress callback (one invocation
+// per executed job) counts unique jobs only.
+func TestRunAllDedupe(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	a := Job{Policy: Policy888(), Workload: w, N: 3_000}
+	b := Job{Policy: PolicyFull(), Workload: w, N: 3_000}
+	var mu sync.Mutex
+	executed := 0
+	var total int
+	r := NewRunner(WithProgress(func(p Progress) {
+		mu.Lock()
+		executed++
+		total = p.Total
+		mu.Unlock()
+	}))
+	results, err := r.RunAll(context.Background(), []Job{a, b, a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results for 4 jobs", len(results))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if executed != 2 || total != 2 {
+		t.Errorf("executed %d jobs (progress total %d), want 2 unique", executed, total)
+	}
+	if !reflect.DeepEqual(results[0], results[2]) || !reflect.DeepEqual(results[0], results[3]) {
+		t.Error("duplicate jobs received different results")
+	}
+	if reflect.DeepEqual(results[0], results[1]) {
+		t.Error("distinct jobs received the same result")
+	}
+	if results[0].Policy != a.Policy.Name() || results[1].Policy != b.Policy.Name() {
+		t.Error("fan-out scrambled result order")
+	}
+}
+
+// TestRunAllJobError checks the failed-job attribution: RunAll wraps the
+// first real failure in a *JobError carrying the original index and job.
+func TestRunAllJobError(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	good := Job{Policy: PolicyBaseline(), Workload: w, N: 2_000}
+	bad := Job{Name: "broken", Policy: PolicyBaseline(), Workload: w} // N == 0
+	_, err := NewRunner().RunAll(context.Background(), []Job{good, bad})
+	if err == nil {
+		t.Fatal("invalid job did not fail the batch")
+	}
+	var jerr *JobError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("RunAll error %T does not unwrap to *JobError", err)
+	}
+	if jerr.Index != 1 || jerr.Job.Name != "broken" {
+		t.Errorf("JobError blames index %d job %q, want 1 %q", jerr.Index, jerr.Job.Name, "broken")
+	}
+	if _, merr := json.Marshal(jerr.Job); merr != nil {
+		t.Errorf("failed job is not marshallable for reporting: %v", merr)
+	}
+}
+
+// testGridRunner builds a grid (server + nWorkers in-process workers
+// executing via JobExec) and a Runner dispatching to it; everything is
+// torn down with the test.
+func testGridRunner(t *testing.T, nWorkers int, opts ...Option) (*Runner, *grid.Server) {
+	t.Helper()
+	srv := grid.NewServer(grid.WithLeaseTTL(2 * time.Second))
+	ts := httptest.NewServer(srv)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		w := &grid.Worker{
+			Server:    ts.URL,
+			Name:      fmt.Sprintf("tw%d", i),
+			Exec:      NewRunner().JobExec(),
+			Parallel:  2,
+			LeaseWait: 100 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+		ts.Close()
+		srv.Close()
+	})
+	return NewRunner(append([]Option{WithGrid(ts.URL)}, opts...)...), srv
+}
+
+// TestWithGridEndToEnd is the bit-equivalence acceptance test at the API
+// level: the same batch through a grid of two workers and through the
+// local pool must produce deeply equal Results, and a rerun must be
+// served from the content-addressed store.
+func TestWithGridEndToEnd(t *testing.T) {
+	var jobs []Job
+	for _, name := range []string{"gcc", "gzip"} {
+		w := mustWorkload(t, name)
+		jobs = append(jobs,
+			Job{Policy: PolicyBaseline(), Workload: w, N: 4_000},
+			Job{Policy: PolicyFull(), Workload: w, N: 4_000},
+			Job{Policy: PolicyDynamic(), Workload: w, N: 4_000}, // dynamic policies travel by name
+		)
+	}
+	local, err := NewRunner().RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, srv := testGridRunner(t, 2)
+	viaGrid, err := remote.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local, viaGrid) {
+		t.Fatal("grid-routed results differ from local results")
+	}
+
+	again, err := remote.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local, again) {
+		t.Fatal("cached grid results differ from local results")
+	}
+	m := srv.Metrics()
+	if m.CacheHits < uint64(len(jobs)) {
+		t.Errorf("rerun hit the cache %d times, want >= %d", m.CacheHits, len(jobs))
+	}
+	if got, err := remote.GridMetrics(context.Background()); err != nil || got.CacheHits != m.CacheHits {
+		t.Errorf("GridMetrics = %+v, %v; want cache hits %d", got, err, m.CacheHits)
+	}
+}
+
+// TestWithGridPerJobError mirrors TestRunBatchPerJobError over the wire:
+// an invalid job fails fast client-side while the rest of the batch
+// completes remotely.
+func TestWithGridPerJobError(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	remote, _ := testGridRunner(t, 1)
+	bad := Job{Policy: PolicyBaseline(), Workload: w} // N == 0
+	good := Job{Policy: PolicyBaseline(), Workload: w, N: 2_000}
+	var badErr, goodErr error
+	var goodRes Result
+	for jr := range remote.RunBatch(context.Background(), []Job{bad, good}) {
+		switch jr.Index {
+		case 0:
+			badErr = jr.Err
+		case 1:
+			goodErr, goodRes = jr.Err, jr.Result
+		}
+	}
+	if badErr == nil {
+		t.Error("invalid job must surface its error in JobResult")
+	}
+	if goodErr != nil {
+		t.Errorf("valid job failed alongside invalid one: %v", goodErr)
+	}
+	if goodRes.Metrics.Committed < good.N {
+		t.Errorf("grid result committed %d, want >= %d", goodRes.Metrics.Committed, good.N)
+	}
+}
+
+// TestWithGridCancellation cancels a grid batch mid-stream: the channel
+// must close promptly and RunAll must report the context error.
+func TestWithGridCancellation(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	remote, _ := testGridRunner(t, 1)
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, Job{Name: fmt.Sprintf("big%d", i), Policy: PolicyFull(), Workload: w, N: 1 << 40})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	done := make(chan error, 1)
+	go func() {
+		_, err := remote.RunAll(ctx, jobs)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled grid RunAll err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled grid batch did not unwind")
+	}
+}
+
+// TestWithGridSubmitError covers the no-server case: every job fails
+// with a dispatch error instead of hanging.
+func TestWithGridSubmitError(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	r := NewRunner(WithGrid("127.0.0.1:1")) // nothing listens on port 1
+	jobs := []Job{
+		{Policy: PolicyBaseline(), Workload: w, N: 2_000},
+		{Policy: PolicyFull(), Workload: w, N: 2_000},
+	}
+	n := 0
+	for jr := range r.RunBatch(context.Background(), jobs) {
+		if jr.Err == nil {
+			t.Errorf("job %d succeeded with no server", jr.Index)
+		}
+		n++
+	}
+	if n != len(jobs) {
+		t.Errorf("delivered %d results, want %d", n, len(jobs))
+	}
+	if _, err := r.Run(context.Background(), jobs[0]); err == nil {
+		t.Error("Run succeeded with no server")
+	}
+}

@@ -120,14 +120,35 @@ type Progress struct {
 	Err   error
 }
 
+// JobError attributes a batch failure to the job that caused it: RunAll
+// returns one wrapping the first real failure, so callers can report the
+// offending job (its canonical JSON reproduces the run) instead of a
+// bare message. Error and Unwrap delegate to the underlying error, which
+// already carries the job label.
+type JobError struct {
+	// Index is the job's position in the slice the caller passed.
+	Index int
+	// Job is the failed job as submitted.
+	Job Job
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *JobError) Error() string { return e.Err.Error() }
+
+func (e *JobError) Unwrap() error { return e.Err }
+
 // Runner executes Jobs: one at a time with Run, or fanned out over a
-// bounded worker pool with RunBatch. A Runner is immutable after NewRunner
-// and safe for concurrent use; the zero-config DefaultRunner() serves
-// quick one-off runs.
+// bounded worker pool with RunBatch — locally by default, or dispatched
+// to a grid job server when built WithGrid. A Runner is immutable after
+// NewRunner and safe for concurrent use; the zero-config DefaultRunner()
+// serves quick one-off runs.
 type Runner struct {
-	workers    int
-	warmupFrac float64
-	progress   func(Progress)
+	workers      int
+	warmupFrac   float64
+	progress     func(Progress)
+	grid         string
+	gridPriority int
 }
 
 // Option configures a Runner.
@@ -194,8 +215,30 @@ func (r *Runner) withDefaults(j Job) Job {
 // Run executes one job to completion or cancellation. Cancellation during
 // the measured phase returns the partial measurements collected so far
 // along with ctx.Err(); cancellation while still warming up returns a
-// zero Result, since warmup counters are not measurements.
+// zero Result, since warmup counters are not measurements. On a grid
+// Runner the job travels to the job server as a one-job batch (and may
+// be answered from the content-addressed result cache).
 func (r *Runner) Run(ctx context.Context, j Job) (Result, error) {
+	if r.grid != "" {
+		// Suppress the batch progress callback: a local Run never fires
+		// it, and grid dispatch must stay behaviourally transparent.
+		rr := *r
+		rr.progress = nil
+		for jr := range rr.runGridBatch(ctx, []Job{j}) {
+			return jr.Result, jr.Err
+		}
+		// Channel closed without a delivery: cancelled mid-stream.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("repro: grid job %s: no result delivered", j.Label())
+	}
+	return r.runLocal(ctx, j)
+}
+
+// runLocal executes one job in this process — the path grid workers use
+// regardless of their own Runner's dispatch mode.
+func (r *Runner) runLocal(ctx context.Context, j Job) (Result, error) {
 	j = r.withDefaults(j)
 	if err := j.Validate(); err != nil {
 		return Result{}, err
@@ -231,6 +274,9 @@ func (r *Runner) Run(ctx context.Context, j Job) (Result, error) {
 // this). Per-job failures arrive as JobResult.Err — the batch keeps
 // going.
 func (r *Runner) RunBatch(ctx context.Context, jobs []Job) <-chan JobResult {
+	if r.grid != "" {
+		return r.runGridBatch(ctx, jobs)
+	}
 	batch := make([]Job, len(jobs))
 	copy(batch, jobs)
 	total := len(batch)
@@ -253,22 +299,30 @@ func (r *Runner) RunBatch(ctx context.Context, jobs []Job) <-chan JobResult {
 // RunAll executes the jobs like RunBatch but gathers the results back
 // into job order, handling the streaming bookkeeping (index reassembly,
 // dropped deliveries after cancellation) that every collecting caller
-// would otherwise re-implement. The first real job failure cancels the
-// remaining jobs and is returned; a cancelled ctx returns ctx.Err()
-// without blaming any particular job. On error the results are nil.
+// would otherwise re-implement. Identical jobs — equal canonical hashes
+// (Job.Hash) after the Runner's defaults resolve — are simulated once
+// and the Result fanned out to every duplicate's slot, the in-process
+// counterpart of the grid's content-addressed store (WithProgress
+// callbacks consequently count unique jobs). The first real job failure
+// cancels the remaining jobs and is returned as a *JobError naming the
+// offending job; a cancelled ctx returns ctx.Err() without blaming any
+// particular job. On error the results are nil.
 func (r *Runner) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
+	unique, groups := r.dedupe(jobs)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make([]Result, len(jobs))
 	got := 0
 	var firstErr error
-	for jr := range r.RunBatch(runCtx, jobs) {
+	for jr := range r.RunBatch(runCtx, unique) {
 		switch {
 		case jr.Err == nil:
-			out[jr.Index] = jr.Result
+			for _, orig := range groups[jr.Index] {
+				out[orig] = jr.Result
+			}
 			got++
 		case firstErr == nil && !errors.Is(jr.Err, context.Canceled) && !errors.Is(jr.Err, context.DeadlineExceeded):
-			firstErr = jr.Err
+			firstErr = &JobError{Index: groups[jr.Index][0], Job: jr.Job, Err: jr.Err}
 			cancel()
 		}
 	}
@@ -278,11 +332,35 @@ func (r *Runner) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if got != len(jobs) {
+	if got != len(unique) {
 		// Defensive: without cancellation every job must be delivered.
-		return nil, fmt.Errorf("repro: batch incomplete: %d of %d jobs delivered", got, len(jobs))
+		return nil, fmt.Errorf("repro: batch incomplete: %d of %d unique jobs delivered", got, len(unique))
 	}
 	return out, nil
+}
+
+// dedupe groups jobs by the canonical hash they will run under (defaults
+// resolved), returning the unique jobs and, per unique job, the original
+// indexes it stands for. A job that cannot be hashed (a marshalling
+// failure) stays unique so its error surfaces individually.
+func (r *Runner) dedupe(jobs []Job) ([]Job, [][]int) {
+	seen := make(map[string]int, len(jobs))
+	unique := make([]Job, 0, len(jobs))
+	groups := make([][]int, 0, len(jobs))
+	for i, j := range jobs {
+		key, err := r.withDefaults(j).Hash()
+		if err != nil {
+			key = fmt.Sprintf("unhashable:%d", i)
+		}
+		if u, ok := seen[key]; ok {
+			groups[u] = append(groups[u], i)
+			continue
+		}
+		seen[key] = len(unique)
+		unique = append(unique, j)
+		groups = append(groups, []int{i})
+	}
+	return unique, groups
 }
 
 // RunTraceFile simulates a recorded binary trace file (replayed cyclically

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# grid_smoke.sh — end-to-end smoke test of the distributed simulation
+# grid: 1 job server + 2 worker processes + `sweep -grid` over a small
+# job set. Asserts (a) grid-routed results are byte-identical to the
+# local RunBatch output, (b) a rerun is served from the content-addressed
+# result store (cache hits > 0), and (c) a worker process being killed
+# mid-study is survived via lease reassignment.
+#
+# Run it via `make grid-smoke`; it builds into a temp dir and cleans up
+# after itself.
+set -eu
+
+WORKDIR="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "grid-smoke: building sweep + helperd"
+go build -o "$WORKDIR/sweep" ./cmd/sweep
+go build -o "$WORKDIR/helperd" ./cmd/helperd
+
+# A fast, deterministic study: 3 jobs (baseline + two confidence points).
+STUDY="-study confidence -workload gcc -n 8000"
+
+echo "grid-smoke: local reference run"
+"$WORKDIR/sweep" $STUDY > "$WORKDIR/local.txt" 2>/dev/null
+
+# --- 1 server + 2 workers ------------------------------------------------
+PORT=18547
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORT" -lease 750ms 2>"$WORKDIR/serve.log" &
+PIDS="$PIDS $!"
+# Wait for the server to come up.
+i=0
+until "$WORKDIR/helperd" metrics -server "127.0.0.1:$PORT" >/dev/null 2>&1; do
+    i=$((i+1))
+    [ "$i" -gt 50 ] && { echo "grid-smoke: server never came up"; cat "$WORKDIR/serve.log"; exit 1; }
+    sleep 0.1
+done
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORT" -workers 2 -name w1 2>"$WORKDIR/w1.log" &
+PIDS="$PIDS $!"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORT" -workers 2 -name w2 2>"$WORKDIR/w2.log" &
+W2_PID=$!
+PIDS="$PIDS $W2_PID"
+
+echo "grid-smoke: grid run (1 server + 2 workers)"
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORT" > "$WORKDIR/grid.txt" 2>/dev/null
+
+if ! diff "$WORKDIR/local.txt" "$WORKDIR/grid.txt"; then
+    echo "grid-smoke: FAIL — grid results differ from local RunBatch"
+    exit 1
+fi
+echo "grid-smoke: grid results byte-identical to local run"
+
+# --- rerun: content-addressed cache --------------------------------------
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORT" > "$WORKDIR/grid2.txt" 2>/dev/null
+diff "$WORKDIR/grid.txt" "$WORKDIR/grid2.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — cached rerun drifted"; exit 1; }
+HITS=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORT" | grep -o '"cache_hits": [0-9]*' | grep -o '[0-9]*')
+if [ "${HITS:-0}" -lt 1 ]; then
+    echo "grid-smoke: FAIL — rerun reported no cache hits"
+    exit 1
+fi
+echo "grid-smoke: rerun served from content-addressed store ($HITS hits)"
+
+# --- worker death mid-study ----------------------------------------------
+# Kill one worker shortly after the full ladder study starts; lease
+# reassignment (750ms TTL) must carry the stranded jobs to the surviving
+# worker.
+echo "grid-smoke: killing a worker mid-study (ladder)"
+( sleep 0.3; kill -9 "$W2_PID" 2>/dev/null || true ) &
+"$WORKDIR/sweep" -study ladder -n 20000 -grid "127.0.0.1:$PORT" \
+    > "$WORKDIR/gridkill.txt" 2>"$WORKDIR/gridkill.err"
+"$WORKDIR/sweep" -study ladder -n 20000 > "$WORKDIR/localkill.txt" 2>/dev/null
+if ! diff "$WORKDIR/localkill.txt" "$WORKDIR/gridkill.txt"; then
+    echo "grid-smoke: FAIL — results after worker death differ from local run"
+    cat "$WORKDIR/gridkill.err"
+    exit 1
+fi
+REASSIGNED=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORT" | grep -o '"reassigned": [0-9]*' | grep -o '[0-9]*')
+echo "grid-smoke: study survived worker death with identical results (${REASSIGNED:-0} leases reassigned)"
+
+echo "grid-smoke: PASS"

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/grid"
 )
 
 // Job serialization. Marshalling writes the fully resolved structs so a
@@ -112,6 +114,23 @@ func decodeNameOrObject[T any](raw json.RawMessage, dst *T, byName func(string) 
 		return fmt.Errorf("repro: decoding job %s: %w", field, err)
 	}
 	return nil
+}
+
+// Hash returns the job's canonical content address: "sha256:<hex>" over
+// the round-trip JSON encoding (MarshalJSON's fully resolved form, so a
+// zero Config hashes identically to its explicit policy-derived machine).
+// Two jobs with equal hashes describe the same deterministic simulation —
+// the key the grid's content-addressed result store and RunAll's
+// in-batch dedupe share. Warmup is hashed as carried: callers that rely
+// on a Runner's warmup fraction should hash the job the Runner will
+// actually execute (the grid dispatcher resolves defaults before
+// hashing).
+func (j Job) Hash() (string, error) {
+	data, err := json.Marshal(j)
+	if err != nil {
+		return "", fmt.Errorf("repro: hashing job %s: %w", j.Label(), err)
+	}
+	return grid.HashBytes(data), nil
 }
 
 // MarshalJSON encodes the job with its structs fully expanded. It exists
