@@ -30,11 +30,26 @@ race:
 grid-smoke:
 	sh scripts/grid_smoke.sh
 
-# Fuzz the steering policy-name parser beyond its checked-in seed corpus
-# (the corpus itself replays in every plain `go test` run).
+# Coverage gate for the grid subsystem: the distributed fabric (storage,
+# leases, streams, fault recovery) must keep at least GRID_COVER_MIN%
+# statement coverage.
+GRID_COVER_MIN ?= 75
+.PHONY: grid-cover
+grid-cover:
+	@$(GO) test -coverprofile=grid.coverprofile ./internal/grid
+	@total=$$($(GO) tool cover -func=grid.coverprofile | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	rm -f grid.coverprofile; \
+	echo "internal/grid coverage: $$total% (gate: $(GRID_COVER_MIN)%)"; \
+	awk -v got="$$total" -v min="$(GRID_COVER_MIN)" 'BEGIN { exit (got+0 < min+0) ? 1 : 0 }' \
+	    || { echo "grid-cover: FAIL — $$total% < $(GRID_COVER_MIN)%"; exit 1; }
+
+# Fuzz the steering policy-name parser and the on-disk store loader
+# beyond their checked-in seed corpora (the corpora themselves replay in
+# every plain `go test` run).
 .PHONY: fuzz
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPolicyByName -fuzztime 10s ./internal/steer
+	$(GO) test -run '^$$' -fuzz FuzzStoreRecover -fuzztime 10s ./internal/grid
 
 # Formatting gate: fails when any file needs gofmt.
 .PHONY: fmt-check

@@ -67,9 +67,9 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics> [flags]
 
-  serve   -addr :8321 [-lease 5s] [-max-attempts 5]
+  serve   -addr :8321 [-lease 5s] [-max-attempts 5] [-store-dir dir] [-store-max-bytes 0]
   work    -server :8321 [-workers 0] [-name ""] [-health ""]
-  submit  -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2]
+  submit  -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2] [-progress]
   metrics -server :8321
 `)
 }
@@ -80,13 +80,26 @@ func serveCmd(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8321", "listen address")
 	lease := fs.Duration("lease", 5*time.Second, "lease TTL (heartbeat deadline before reassignment)")
 	maxAttempts := fs.Int("max-attempts", 5, "lease attempts per job before it is failed")
+	storeDir := fs.String("store-dir", "", "directory for the on-disk result store (empty = in-memory; a restart on the same dir keeps the cache)")
+	storeMax := fs.Int64("store-max-bytes", 0, "byte cap for -store-dir, LRU-evicted (0 = unbounded)")
 	fs.Parse(args)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := grid.NewServer(grid.WithLeaseTTL(*lease), grid.WithMaxAttempts(*maxAttempts))
+	opts := []grid.ServerOption{grid.WithLeaseTTL(*lease), grid.WithMaxAttempts(*maxAttempts)}
+	if *storeDir != "" {
+		st, err := grid.OpenDiskStore(*storeDir, grid.WithMaxBytes(*storeMax))
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		entries, _, _ := st.Stats()
+		fmt.Fprintf(os.Stderr, "helperd: disk store %s: %d results recovered\n", *storeDir, entries)
+		opts = append(opts, grid.WithStorage(st))
+	}
+	srv := grid.NewServer(opts...)
 	defer srv.Close()
 	hs := &http.Server{Handler: srv}
 	fmt.Fprintf(os.Stderr, "helperd: serving grid on %s\n", ln.Addr())
@@ -111,12 +124,15 @@ func workCmd(ctx context.Context, args []string) error {
 
 	// The exec runner applies no warmup fraction of its own: wire jobs
 	// arrive fully resolved and must run with exactly the warmup they
-	// carry, or remote results would drift from local ones.
+	// carry, or remote results would drift from local ones. The
+	// progress-capable exec reports interval snapshots (uops, IPC, rung,
+	// phase) that the worker relays over heartbeats; results stay
+	// bit-identical to the plain exec.
 	w := &grid.Worker{
-		Server:   *server,
-		Name:     *name,
-		Parallel: *workers,
-		Exec:     repro.NewRunner().JobExec(),
+		Server:       *server,
+		Name:         *name,
+		Parallel:     *workers,
+		ExecProgress: repro.NewRunner().JobExecProgress(0),
 	}
 	if *health != "" {
 		ln, err := net.Listen("tcp", *health)
@@ -144,6 +160,7 @@ func submitCmd(ctx context.Context, args []string) error {
 	jobsPath := fs.String("jobs", "-", "jobs file: a JSON array of jobs or NDJSON, \"-\" for stdin")
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
 	warmupFrac := fs.Float64("warmup-frac", 0.2, "default warmup fraction for jobs without an explicit warmup")
+	progress := fs.Bool("progress", false, "stream interval progress lines (uops, IPC, rung, phase) to stderr as jobs run")
 	fs.Parse(args)
 
 	jobs, err := readJobs(*jobsPath)
@@ -153,11 +170,22 @@ func submitCmd(ctx context.Context, args []string) error {
 	if len(jobs) == 0 {
 		return fmt.Errorf("no jobs in %s", *jobsPath)
 	}
-	runner := repro.NewRunner(
+	ropts := []repro.Option{
 		repro.WithGrid(*server),
 		repro.WithGridPriority(*priority),
 		repro.WithWarmupFrac(*warmupFrac),
-	)
+	}
+	if *progress {
+		ropts = append(ropts, repro.WithGridProgress(func(p repro.JobProgress) {
+			pct := 0.0
+			if p.Total > 0 {
+				pct = 100 * float64(p.Uops) / float64(p.Total)
+			}
+			fmt.Fprintf(os.Stderr, "helperd: progress job=%d %s %5.1f%% ipc=%.3f rung=%s phase=%d worker=%s\n",
+				p.Index, p.Job.Label(), pct, p.IntervalIPC, p.Rung, p.Phase, p.Worker)
+		}))
+	}
+	runner := repro.NewRunner(ropts...)
 
 	type line struct {
 		Index  int           `json:"index"`

@@ -30,6 +30,8 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/grid"
@@ -54,22 +56,27 @@ func main() {
 
 	// Worker mode: `-grid :0` re-execs this binary as the worker shards.
 	if *gridWorkFor != "" {
-		w := &grid.Worker{Server: *gridWorkFor, Parallel: *workers, Exec: repro.NewRunner().JobExec()}
+		w := &grid.Worker{Server: *gridWorkFor, Parallel: *workers,
+			ExecProgress: repro.NewRunner().JobExecProgress(0)}
 		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 			fatal(err)
 		}
 		return
 	}
 
+	// Both progress callbacks rewrite the same stderr status line; on a
+	// grid run they fire from different goroutines (batch completions vs
+	// the result-stream reader), so the line is guarded by one mutex.
+	var lineMu sync.Mutex
 	opts := []repro.Option{
 		repro.WithWorkers(*workers),
-		// Progress invocations are serialized by the batch with Done
-		// strictly increasing, so plain carriage-return rewriting is safe.
 		repro.WithProgress(func(p repro.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d %-40s", p.Done, p.Total, p.Job.Label())
+			lineMu.Lock()
+			fmt.Fprintf(os.Stderr, "\r%d/%d %-60s", p.Done, p.Total, p.Job.Label())
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
+			lineMu.Unlock()
 		}),
 	}
 	if *gridAddr != "" {
@@ -81,7 +88,21 @@ func main() {
 		// processes and the in-process server die with us either way.
 		cleanupOnFatal = cleanup
 		defer cleanup()
-		opts = append(opts, repro.WithGrid(addr))
+		// The live interval feed: between completions, show how far the
+		// most recently heard-from point has gotten and what the steering
+		// engine is doing there.
+		opts = append(opts,
+			repro.WithGrid(addr),
+			repro.WithGridProgress(func(p repro.JobProgress) {
+				pct := 0.0
+				if p.Total > 0 {
+					pct = 100 * float64(p.Uops) / float64(p.Total)
+				}
+				lineMu.Lock()
+				fmt.Fprintf(os.Stderr, "\r%-60s", fmt.Sprintf("%s %4.1f%% ipc=%.2f rung=%s",
+					p.Job.Label(), pct, p.IntervalIPC, p.Rung))
+				lineMu.Unlock()
+			}))
 	}
 	runner := repro.NewRunner(opts...)
 	if *gridAddr != "" {
@@ -410,7 +431,11 @@ func setupGrid(ctx context.Context, addr string, nworkers, parallel int) (string
 	if err != nil {
 		return "", nil, fmt.Errorf("sweep: grid listen: %w", err)
 	}
-	srv := grid.NewServer()
+	// A snappy lease TTL: workers heartbeat (and publish interval
+	// progress) at TTL/3, and an in-process loopback grid can afford
+	// tight beats — with the default 5s, short jobs would finish before
+	// the live progress line ever updated.
+	srv := grid.NewServer(grid.WithLeaseTTL(time.Second))
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
 	url := "http://" + ln.Addr().String()

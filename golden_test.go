@@ -310,6 +310,147 @@ func TestGoldenResultsGrid(t *testing.T) {
 	}
 }
 
+// TestGoldenResultsDiskRestart is the durability golden gate: the pinned
+// jobs run through a grid server backed by an on-disk store, the server
+// is then torn down SIGKILL-style (no store close, no flush — every Put
+// must already be durable), and a fresh server on the same directory,
+// with NO workers attached at all, must answer the resubmission 100%
+// from the recovered cache, byte-identical to the committed goldens.
+func TestGoldenResultsDiskRestart(t *testing.T) {
+	if *update {
+		t.Skip("goldens regenerate via TestGoldenResults -update")
+	}
+	want := loadGolden(t)
+	dir := t.TempDir()
+
+	exec := func(ctx context.Context, payload []byte) ([]byte, error) {
+		var j Job
+		if err := json.Unmarshal(payload, &j); err != nil {
+			return nil, err
+		}
+		res, err := RunTraceFile(j.Config, j.Policy, goldenTracePath, j.N)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+
+	jobs := goldenJobs(t)
+	mkTasks := func() []grid.Task {
+		t.Helper()
+		var tasks []grid.Task
+		for i, j := range jobs {
+			wire := Job{Name: j.Label, Config: j.Config, Policy: j.Policy, N: goldenRunUops}
+			payload, err := json.Marshal(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, grid.Task{ID: fmt.Sprintf("%d", i), Hash: grid.HashBytes(payload), Payload: payload})
+		}
+		return tasks
+	}
+	submit := func(url string) (map[string]Result, int) {
+		t.Helper()
+		client := &grid.Client{Server: url}
+		ch, err := client.Submit(context.Background(), mkTasks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := map[string]Result{}
+		cached := 0
+		for tr := range ch {
+			if tr.Err != "" {
+				t.Fatalf("grid golden task %s: %s", tr.ID, tr.Err)
+			}
+			if tr.Cached {
+				cached++
+			}
+			var res Result
+			if err := json.Unmarshal(tr.Payload, &res); err != nil {
+				t.Fatalf("decoding grid golden result %s: %v", tr.ID, err)
+			}
+			byID[tr.ID] = res
+		}
+		return byID, cached
+	}
+	toGolden := func(byID map[string]Result) []goldenRun {
+		t.Helper()
+		var out []goldenRun
+		for i, j := range jobs {
+			r, ok := byID[fmt.Sprintf("%d", i)]
+			if !ok {
+				t.Fatalf("golden job %s never delivered", j.Label)
+			}
+			g := goldenRun{
+				Label:         j.Label,
+				Policy:        r.Policy,
+				Committed:     r.Metrics.Committed,
+				WideCycles:    r.Metrics.WideCycles,
+				SteeredHelper: r.Metrics.SteeredHelper,
+				CopiesCreated: r.Metrics.CopiesCreated,
+				FatalFlushes:  r.Metrics.FatalFlushes,
+				SteeredSplit:  r.Metrics.SteeredSplit,
+				EnergyNJ:      EstimatePower(j.Config, r).EnergyNJ,
+			}
+			for _, u := range r.Rungs {
+				g.Rungs = append(g.Rungs, goldenRung{Rung: u.Rung, Committed: u.Committed, EnergyNJ: u.EnergyNJ})
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+
+	// Round one: disk-backed server plus workers, simulated for real.
+	st, err := grid.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := grid.NewServer(grid.WithLeaseTTL(5*time.Second), grid.WithStorage(st))
+	ts := httptest.NewServer(srv)
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &grid.Worker{Server: ts.URL, Name: fmt.Sprintf("dgold%d", i), Exec: exec,
+			Parallel: 2, LeaseWait: 100 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(wctx)
+		}()
+	}
+	byID, _ := submit(ts.URL)
+	compareGolden(t, toGolden(byID), want)
+
+	// SIGKILL-equivalent stop: workers and server vanish, the store is
+	// never closed.
+	wcancel()
+	wg.Wait()
+	ts.Close()
+	srv.Close()
+
+	// Round two: a cold server on the same directory, zero workers. Any
+	// cache miss would queue forever, so a pass proves 100% hits.
+	st2, err := grid.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2 := grid.NewServer(grid.WithStorage(st2))
+	ts2 := httptest.NewServer(srv2)
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	byID2, cached := submit(ts2.URL)
+	if cached != len(jobs) {
+		t.Fatalf("restarted server served %d of %d jobs from cache, want all", cached, len(jobs))
+	}
+	if m := srv2.Metrics(); m.CacheMisses != 0 {
+		t.Fatalf("restarted server re-simulated: %+v", m)
+	}
+	compareGolden(t, toGolden(byID2), want)
+}
+
 // closeRel reports a ≈ b within relative tolerance (absolute near zero).
 func closeRel(a, b, tol float64) bool {
 	if a == b {

@@ -55,6 +55,17 @@ type Sim struct {
 	pw                     *power.Model
 	lastL1, lastL2, lastTC cache.Stats
 
+	// Interval progress reporting (SetProgress): every progEvery
+	// committed uops of the measured phase, progFn receives a snapshot.
+	// Armed only inside RunCtx so the warmup leg stays silent — warmup
+	// commits are not measurements and must not masquerade as progress.
+	progEvery    uint64
+	progFn       func(Progress)
+	progArmed    bool
+	nextProg     uint64
+	lastProgUops uint64
+	lastProgWide uint64
+
 	window *trace.Window
 	rob    *queue.Ring[robEntry]
 	iq     [2]*queue.IssueQueue
@@ -240,7 +251,11 @@ func (s *Sim) RunWarmCtx(ctx context.Context, n, warm uint64) (Result, error) {
 	if warm > 0 {
 		// The warmup leg drives the bare loop rather than RunCtx so the
 		// policy sees no tail-flush Observe: a truncated interval's IPC is
-		// noise an adaptive policy must not train on.
+		// noise an adaptive policy must not train on. Disarm progress for
+		// the same reason — on a reused Sim the previous measured phase
+		// left progArmed set, and warmup commits must not surface as
+		// progress (RunCtx re-arms for the measured leg).
+		s.progArmed = false
 		if err := s.runLoop(ctx, warm); err != nil {
 			return Result{}, err
 		}
@@ -275,6 +290,37 @@ func (s *Sim) Run(n uint64) Result {
 	return r
 }
 
+// Progress is one interval snapshot of a running measured phase,
+// delivered to the callback installed with SetProgress. It is the
+// observability twin of the policy Observe stream: read-only, so
+// installing a callback never changes simulation results.
+type Progress struct {
+	// Committed is the measured-phase committed-uop count so far.
+	Committed uint64
+	// IntervalIPC is the IPC (committed uops per wide cycle) of the
+	// interval since the previous snapshot.
+	IntervalIPC float64
+	// Rung names the steering feature set currently governing the run:
+	// the static policy itself, or a dynamic selector's active choice.
+	Rung string
+	// Phase is the current program-phase ID, -1 when the run has no
+	// phase detector (static policies disable the interval machinery).
+	Phase int
+}
+
+// SetProgress installs an interval progress callback, invoked from the
+// simulation goroutine every `every` committed uops of the measured
+// phase (the warmup leg reports nothing). every == 0 or a nil fn
+// disables reporting; the disabled path costs one predictable branch per
+// wide cycle, so results and timing are unaffected. Call before running.
+func (s *Sim) SetProgress(every uint64, fn func(Progress)) {
+	if every == 0 || fn == nil {
+		s.progEvery, s.progFn = 0, nil
+		return
+	}
+	s.progEvery, s.progFn = every, fn
+}
+
 // ctxCheckTicks is the cancellation polling interval of the main loop. A
 // tick is tens of nanoseconds of work, so checking every 8Ki ticks keeps
 // the hot loop free of per-iteration overhead while bounding cancellation
@@ -288,6 +334,15 @@ const ctxCheckTicks = 1 << 13
 // the watchdog window, a simulator bug) is reported as an error rather
 // than a panic.
 func (s *Sim) RunCtx(ctx context.Context, n uint64) (Result, error) {
+	// Arm here rather than in runLoop: the warmup leg drives runLoop
+	// directly, and its commits must not surface as progress. The
+	// explicit disarm matters too — a Sim re-run after SetProgress(0,
+	// nil) must not fire the stale armed state into a nil callback.
+	s.progArmed = s.progFn != nil
+	if s.progArmed {
+		s.nextProg = s.m.Committed + s.progEvery
+		s.lastProgUops, s.lastProgWide = s.m.Committed, s.m.WideCycles
+	}
 	err := s.runLoop(ctx, n)
 	return s.result(), err
 }
@@ -311,6 +366,9 @@ func (s *Sim) runLoop(ctx context.Context, n uint64) error {
 			s.commit()
 			if s.obsInterval > 0 && s.m.Committed >= s.nextObserve {
 				s.observe()
+			}
+			if s.progArmed && s.m.Committed >= s.nextProg {
+				s.reportProgress()
 			}
 		}
 		s.issueCluster(helper)
@@ -360,6 +418,22 @@ func (s *Sim) observe() {
 	s.pol.Observe(delta, occ)
 	s.lastObs = s.m
 	s.nextObserve = s.m.Committed + s.obsInterval
+}
+
+// reportProgress delivers one interval snapshot to the SetProgress
+// callback. Pure observation: nothing the callback sees or does feeds
+// back into the simulation.
+func (s *Sim) reportProgress() {
+	p := Progress{Committed: s.m.Committed, Rung: s.active.Name(), Phase: -1}
+	if dw := s.m.WideCycles - s.lastProgWide; dw > 0 {
+		p.IntervalIPC = float64(s.m.Committed-s.lastProgUops) / float64(dw)
+	}
+	if s.phases != nil {
+		p.Phase = s.phases.Last()
+	}
+	s.progFn(p)
+	s.lastProgUops, s.lastProgWide = s.m.Committed, s.m.WideCycles
+	s.nextProg = s.m.Committed + s.progEvery
 }
 
 // result snapshots the collected measurements.

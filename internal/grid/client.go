@@ -37,24 +37,80 @@ func (c *Client) client() *http.Client {
 // cancellation propagates to the server; the channel still closes
 // promptly, so ranging until close never leaks.
 func (c *Client) Submit(ctx context.Context, tasks []Task) (<-chan TaskResult, error) {
-	body, err := json.Marshal(batchRequest{Jobs: tasks})
+	ch, _, err := c.SubmitStream(ctx, tasks, nil)
+	return ch, err
+}
+
+// BatchHandle addresses a live submitted batch on its server, for
+// stopping individual jobs early.
+type BatchHandle struct {
+	c  *Client
+	id string
+}
+
+// Stop ends the named jobs (the batch's own task IDs) early: each gets
+// a final TaskResult with Err = TaskStoppedError on the stream, and jobs
+// no other batch is waiting on are cancelled at their worker — the
+// existing per-task cancellation path, so an early stop frees the
+// worker slot instead of letting the simulation run to waste. Stopping
+// an unknown or already-finished ID is a no-op. Safe for concurrent use.
+func (h *BatchHandle) Stop(ctx context.Context, ids ...string) error {
+	if h == nil || len(ids) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(cancelRequest{Batch: h.id, IDs: ids})
 	if err != nil {
-		return nil, fmt.Errorf("grid: encoding batch: %w", err)
+		return fmt.Errorf("grid: encoding cancel: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, BaseURL(h.c.Server)+pathCancel, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("grid: stopping jobs: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("grid: stopping jobs: %s", resp.Status)
+	}
+	return nil
+}
+
+// SubmitStream is Submit plus the observability leg: when onProgress is
+// non-nil the batch subscribes to interval progress, and every progress
+// event is delivered to onProgress — serially, from the stream-reading
+// goroutine, so it must return quickly — while final results flow on the
+// returned channel as usual. Progress and results interleave on one
+// stream read by one goroutine, so a caller must keep draining the
+// result channel while waiting for progress: blocking results delivery
+// also blocks every later progress event. The BatchHandle stops
+// individual jobs early; it is valid as soon as SubmitStream returns
+// (progress events can fire before then — a Stop from inside onProgress
+// must wait for the handle, see WithGridProgress for the packaged
+// pattern).
+func (c *Client) SubmitStream(ctx context.Context, tasks []Task, onProgress func(TaskProgress)) (<-chan TaskResult, *BatchHandle, error) {
+	body, err := json.Marshal(batchRequest{Jobs: tasks, Progress: onProgress != nil})
+	if err != nil {
+		return nil, nil, fmt.Errorf("grid: encoding batch: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, BaseURL(c.Server)+pathBatch, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("grid: submitting batch: %w", err)
+		return nil, nil, fmt.Errorf("grid: submitting batch: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		resp.Body.Close()
-		return nil, fmt.Errorf("grid: submitting batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, nil, fmt.Errorf("grid: submitting batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
+	handle := &BatchHandle{c: c, id: resp.Header.Get(batchHeader)}
 
 	out := make(chan TaskResult)
 	go func() {
@@ -74,6 +130,13 @@ func (c *Client) Submit(ctx context.Context, tasks []Task) (<-chan TaskResult, e
 			var tr TaskResult
 			if err := json.Unmarshal(line, &tr); err != nil {
 				continue // tolerate a torn trailing line; the tail check below reports it
+			}
+			if tr.Progress != nil {
+				// An interim event: the task still owes its final result.
+				if onProgress != nil {
+					onProgress(*tr.Progress)
+				}
+				continue
 			}
 			delete(outstanding, tr.ID)
 			select {
@@ -104,7 +167,7 @@ func (c *Client) Submit(ctx context.Context, tasks []Task) (<-chan TaskResult, e
 			}
 		}
 	}()
-	return out, nil
+	return out, handle, nil
 }
 
 // Metrics fetches the server's counter snapshot.

@@ -1,0 +1,458 @@
+package grid
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DiskStore is the crash-safe on-disk Storage implementation. Layout
+// under its directory:
+//
+//	objects/<name>   one file per hash: a JSON header line, then the
+//	                 payload bytes verbatim. Written tmp-then-rename, so
+//	                 a crash mid-write never leaves a half entry under a
+//	                 live name.
+//	index.log        append-only recency log, one JSON line per Put.
+//	                 Rewritten atomically (tmp + rename) on every open,
+//	                 which both compacts it and heals any corruption.
+//	quarantine/      entries that failed verification on load or read,
+//	                 moved aside (never deleted) for post-mortems.
+//
+// The object file — not the index — is the source of truth: recovery
+// scans the objects directory, verifies every entry against its recorded
+// payload checksum, quarantines what fails, and only then uses the index
+// to restore LRU recency order (entries the index missed, e.g. a crash
+// between the object rename and the index append, are adopted as
+// least-recent). A torn or garbage index therefore costs ordering
+// information, never data, and a torn entry is skipped, never served.
+//
+// Every Get re-verifies the payload checksum before returning it, so a
+// payload corrupted after recovery (bit rot, a truncating crash during
+// eviction) is quarantined and reported as a miss instead of served.
+type DiskStore struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*diskEntry
+	lru     *list.List // front = most recently used
+	total   int64      // payload bytes across entries
+	hits    uint64
+	misses  uint64
+	index   *os.File // append-only, already positioned at the end
+
+	quarantined uint64
+	evicted     uint64
+}
+
+// diskEntry is the in-memory handle of one stored payload.
+type diskEntry struct {
+	hash string
+	size int64 // payload bytes (excluding the header line)
+	elem *list.Element
+}
+
+// entryHeader is the JSON header line of an object file. Sum and Len pin
+// the payload that follows; a mismatch on either marks the entry corrupt.
+type entryHeader struct {
+	Hash string `json:"hash"`
+	Sum  string `json:"sum"`
+	Len  int64  `json:"len"`
+}
+
+// indexRecord is one line of index.log.
+type indexRecord struct {
+	Hash string `json:"hash"`
+	Size int64  `json:"size"`
+}
+
+// DiskOption configures a DiskStore.
+type DiskOption func(*DiskStore)
+
+// WithMaxBytes caps the total payload bytes the store keeps on disk;
+// when a Put pushes past the cap, least-recently-used entries are
+// evicted until it fits. n <= 0 (the default) means unbounded.
+func WithMaxBytes(n int64) DiskOption {
+	return func(d *DiskStore) { d.maxBytes = n }
+}
+
+// OpenDiskStore opens (creating if needed) the content-addressed store
+// rooted at dir and recovers its contents: every object file is verified
+// against its recorded checksum, corrupt ones are quarantined rather
+// than served or deleted, and the index is compacted. Recovery never
+// fails the open on bad entries — only on an unusable directory.
+func OpenDiskStore(dir string, opts ...DiskOption) (*DiskStore, error) {
+	d := &DiskStore{
+		dir:     dir,
+		entries: map[string]*diskEntry{},
+		lru:     list.New(),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	for _, sub := range []string{d.objectsDir(), d.quarantineDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("grid: disk store: %w", err)
+		}
+	}
+	// Sweep temp files orphaned by a crash between CreateTemp and rename
+	// (the exact window the atomic writes protect against) — they are
+	// incomplete by construction and would otherwise accumulate forever.
+	for _, pattern := range []string{"entry-*", "index-*"} {
+		matches, _ := filepath.Glob(filepath.Join(dir, pattern))
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	if err := d.compactIndex(); err != nil {
+		return nil, err
+	}
+	d.evictLocked()
+	return d, nil
+}
+
+func (d *DiskStore) objectsDir() string    { return filepath.Join(d.dir, "objects") }
+func (d *DiskStore) quarantineDir() string { return filepath.Join(d.dir, "quarantine") }
+func (d *DiskStore) indexPath() string     { return filepath.Join(d.dir, "index.log") }
+
+// objectName maps a hash to a filesystem-safe object file name. Hashes
+// are caller-supplied strings ("sha256:<hex>" by convention, but the
+// store must not trust that), so the name is the hex sha256 of the hash
+// string itself: fixed length, no path or separator bytes, collision-free
+// for distinct hashes.
+func objectName(hash string) string {
+	h := HashBytes([]byte(hash))
+	return h[len("sha256:"):]
+}
+
+// recover scans the objects directory, verifies each entry, quarantines
+// failures, and restores LRU order from the surviving index lines.
+func (d *DiskStore) recover() error {
+	names, err := os.ReadDir(d.objectsDir())
+	if err != nil {
+		return fmt.Errorf("grid: disk store: %w", err)
+	}
+	// Verified entries, keyed by hash. Sorted file-name iteration keeps
+	// recovery deterministic when the index gives no ordering.
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+	loaded := map[string]*diskEntry{}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(d.objectsDir(), de.Name())
+		hdr, _, err := readEntryFile(path)
+		if err != nil {
+			// Proven-bad bytes are quarantined; a transiently unreadable
+			// file is merely skipped this open (re-adopted next time).
+			if errors.Is(err, errCorrupt) {
+				d.quarantine(path)
+			}
+			continue
+		}
+		if _, dup := loaded[hdr.Hash]; dup || de.Name() != objectName(hdr.Hash) {
+			// A header claiming a hash that does not map to this file name
+			// (or a duplicate claim) is forged or misplaced — quarantine.
+			d.quarantine(path)
+			continue
+		}
+		loaded[hdr.Hash] = &diskEntry{hash: hdr.Hash, size: hdr.Len}
+	}
+
+	// Replay the index for recency: later lines are more recent. Lines
+	// that fail to parse, name unknown hashes, or repeat a hash are
+	// skipped — the log is advisory ordering, nothing more.
+	ordered := make([]*diskEntry, 0, len(loaded))
+	seen := map[string]bool{}
+	if f, err := os.Open(d.indexPath()); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		var lines []indexRecord
+		for sc.Scan() {
+			var rec indexRecord
+			if json.Unmarshal(bytes.TrimSpace(sc.Bytes()), &rec) != nil {
+				continue
+			}
+			lines = append(lines, rec)
+		}
+		// Scanner errors (an absurdly long corrupt line) just truncate the
+		// replay; entries keep their fallback order.
+		f.Close()
+		// Last mention wins: walk backwards so the most recent Put/touch
+		// of a hash decides its position, then reverse into oldest-first.
+		for i := len(lines) - 1; i >= 0; i-- {
+			e, ok := loaded[lines[i].Hash]
+			if !ok || seen[lines[i].Hash] {
+				continue
+			}
+			seen[lines[i].Hash] = true
+			ordered = append(ordered, e)
+		}
+		for i, j := 0, len(ordered)-1; i < j; i, j = i+1, j-1 {
+			ordered[i], ordered[j] = ordered[j], ordered[i]
+		}
+	}
+	// Orphans the index never mentioned (crash between object rename and
+	// index append) are adopted as least-recent, in deterministic order.
+	var orphans []*diskEntry
+	for hash, e := range loaded {
+		if !seen[hash] {
+			orphans = append(orphans, e)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].hash < orphans[j].hash })
+	ordered = append(orphans, ordered...)
+
+	for _, e := range ordered {
+		e.elem = d.lru.PushFront(e)
+		d.entries[e.hash] = e
+		d.total += e.size
+	}
+	return nil
+}
+
+// compactIndex atomically rewrites index.log to exactly the recovered
+// entries in LRU order (oldest first), then reopens it for appends. This
+// bounds the log across restarts and flushes out corrupt lines.
+func (d *DiskStore) compactIndex() error {
+	tmp, err := os.CreateTemp(d.dir, "index-*")
+	if err != nil {
+		return fmt.Errorf("grid: disk store: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(bw)
+	for el := d.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*diskEntry)
+		enc.Encode(indexRecord{Hash: e.hash, Size: e.size})
+	}
+	if err := bw.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("grid: disk store: %w", err)
+	}
+	tmp.Close()
+	if err := os.Rename(tmp.Name(), d.indexPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("grid: disk store: %w", err)
+	}
+	f, err := os.OpenFile(d.indexPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("grid: disk store: %w", err)
+	}
+	d.index = f
+	return nil
+}
+
+// errCorrupt marks an entry whose BYTES are provably wrong (torn
+// payload, forged or garbled header) as opposed to a file that merely
+// could not be read right now (fd pressure, a transient I/O error).
+// Only the former may be quarantined — evicting a healthy entry over a
+// passing failure would throw away results forever.
+var errCorrupt = errors.New("grid: entry fails verification")
+
+// readEntryFile loads and verifies one object file: header line, then
+// exactly header.Len payload bytes whose sha256 matches header.Sum.
+// Verification failures wrap errCorrupt; plain read errors do not.
+func readEntryFile(path string) (entryHeader, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return entryHeader{}, nil, err
+	}
+	cut := bytes.IndexByte(data, '\n')
+	if cut < 0 {
+		return entryHeader{}, nil, fmt.Errorf("%w: %s: no header line", errCorrupt, path)
+	}
+	var hdr entryHeader
+	if err := json.Unmarshal(data[:cut], &hdr); err != nil {
+		return entryHeader{}, nil, fmt.Errorf("%w: %s: bad header: %v", errCorrupt, path, err)
+	}
+	payload := data[cut+1:]
+	if hdr.Hash == "" || int64(len(payload)) != hdr.Len || HashBytes(payload) != hdr.Sum {
+		return entryHeader{}, nil, fmt.Errorf("%w: %s: payload mismatch", errCorrupt, path)
+	}
+	return hdr, payload, nil
+}
+
+// quarantine moves a bad file aside, preserving it for inspection. The
+// destination name is probed to be unused — the suffix counter resets
+// every open, and an earlier post-mortem artifact must never be renamed
+// over. Move failures fall back to removal so a poisoned file can't be
+// re-adopted on the next open.
+func (d *DiskStore) quarantine(path string) {
+	d.quarantined++
+	base := filepath.Base(path)
+	var dst string
+	for n := d.quarantined; ; n++ {
+		dst = filepath.Join(d.quarantineDir(), fmt.Sprintf("%s.%d", base, n))
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+	}
+	if os.Rename(path, dst) != nil {
+		os.Remove(path)
+	}
+}
+
+// Get returns the stored payload for hash, re-verified against its
+// recorded checksum; a payload corrupted since recovery is quarantined
+// and reported as a miss. A transient read failure (fd pressure, an I/O
+// blip) is just a miss — the entry stays, since its bytes were never
+// proven bad.
+func (d *DiskStore) Get(hash string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[hash]
+	if !ok {
+		d.misses++
+		return nil, false
+	}
+	path := filepath.Join(d.objectsDir(), objectName(hash))
+	hdr, payload, err := readEntryFile(path)
+	if err != nil || hdr.Hash != hash {
+		if errors.Is(err, errCorrupt) || os.IsNotExist(err) || (err == nil && hdr.Hash != hash) {
+			d.dropLocked(e)
+			d.quarantine(path)
+		}
+		d.misses++
+		return nil, false
+	}
+	d.lru.MoveToFront(e.elem)
+	d.hits++
+	return payload, true
+}
+
+// Put stores a successful result payload under hash. First write wins;
+// an empty hash or a failed disk write is dropped (the entry is simply
+// not cached — callers never see storage errors, matching Storage).
+func (d *DiskStore) Put(hash string, payload []byte) {
+	if hash == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[hash]; ok {
+		return
+	}
+	if err := d.writeEntry(hash, payload); err != nil {
+		return
+	}
+	e := &diskEntry{hash: hash, size: int64(len(payload))}
+	e.elem = d.lru.PushFront(e)
+	d.entries[hash] = e
+	d.total += e.size
+	if d.index != nil {
+		line, _ := json.Marshal(indexRecord{Hash: hash, Size: e.size})
+		d.index.Write(append(line, '\n'))
+	}
+	d.evictLocked()
+}
+
+// writeEntry writes one object file atomically: header + payload into a
+// temp file in the store directory (same filesystem), synced, then
+// renamed onto its content-derived name.
+func (d *DiskStore) writeEntry(hash string, payload []byte) error {
+	hdr, err := json.Marshal(entryHeader{Hash: hash, Sum: HashBytes(payload), Len: int64(len(payload))})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "entry-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(hdr, '\n'))
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	tmp.Close()
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	dst := filepath.Join(d.objectsDir(), objectName(hash))
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries until the store fits
+// its byte cap. The index is not rewritten — recovery treats it as
+// advisory, so stale lines for evicted entries are harmless and get
+// compacted away on the next open.
+func (d *DiskStore) evictLocked() {
+	if d.maxBytes <= 0 {
+		return
+	}
+	for d.total > d.maxBytes && d.lru.Len() > 1 {
+		e := d.lru.Back().Value.(*diskEntry)
+		d.dropLocked(e)
+		os.Remove(filepath.Join(d.objectsDir(), objectName(e.hash)))
+		d.evicted++
+	}
+}
+
+// dropLocked forgets an entry without touching its file.
+func (d *DiskStore) dropLocked(e *diskEntry) {
+	d.lru.Remove(e.elem)
+	delete(d.entries, e.hash)
+	d.total -= e.size
+}
+
+// Stats reports the entry count and the hit/miss counters.
+func (d *DiskStore) Stats() (entries int, hits, misses uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries), d.hits, d.misses
+}
+
+// DiskStats reports the on-disk footprint: total payload bytes held,
+// entries quarantined since open, and entries evicted by the byte cap.
+func (d *DiskStore) DiskStats() (totalBytes int64, quarantined, evicted uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total, d.quarantined, d.evicted
+}
+
+// Hashes snapshots the held hashes, most recently used first (tests and
+// future store-tiering peers).
+func (d *DiskStore) Hashes() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, d.lru.Len())
+	for el := d.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*diskEntry).hash)
+	}
+	return out
+}
+
+// Close releases the index file handle. Entries are already durable —
+// Close is not a flush, and a store that is never closed (a crashed
+// server) loses nothing.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.index == nil {
+		return nil
+	}
+	err := d.index.Close()
+	d.index = nil
+	return err
+}

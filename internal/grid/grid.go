@@ -50,9 +50,19 @@ type Task struct {
 	Priority int `json:"priority,omitempty"`
 	// Payload is the job encoding, executed verbatim by a worker's Exec.
 	Payload json.RawMessage `json:"payload"`
+	// Attempt is the lease generation, stamped by the server at grant
+	// time and echoed back on completion. It lets the server tell a
+	// current execution's report from a superseded one: a worker whose
+	// lease expired and was re-granted — possibly to the same worker —
+	// aborts the old attempt with a context error, and that abort must
+	// not fail the attempt now running. Clients leave it zero.
+	Attempt int `json:"attempt,omitempty"`
 }
 
-// TaskResult is one streamed batch outcome.
+// TaskResult is one streamed batch outcome — or, when Progress is set,
+// an interim progress event for a task that is still running (only sent
+// on streams that requested progress; every other field except ID and
+// Hash is empty on such lines).
 type TaskResult struct {
 	// ID is the submitting batch's task ID.
 	ID string `json:"id"`
@@ -66,12 +76,54 @@ type TaskResult struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 	// Err is the execution failure, empty on success.
 	Err string `json:"error,omitempty"`
+	// Progress marks this line as an interval progress event, not a
+	// final result; the task will still deliver exactly one final line.
+	Progress *TaskProgress `json:"progress,omitempty"`
 }
+
+// TaskProgress is one interval-granular snapshot of a running task,
+// published by its worker over heartbeats and fanned out to subscribed
+// batch streams and /metrics. Progress is best-effort and lossy by
+// design: snapshots may be dropped or arrive coarser than the execution
+// reported them, and only the latest one per task is retained.
+type TaskProgress struct {
+	// ID is the task being reported: the server-side task ID on the
+	// heartbeat leg and in /metrics, the batch's own job ID on a batch
+	// stream.
+	ID string `json:"id"`
+	// Hash is the task's content address.
+	Hash string `json:"hash,omitempty"`
+	// Uops is the committed-uop count of the measured phase so far;
+	// Total is the job's full budget (0 when the execution doesn't know).
+	Uops  uint64 `json:"uops"`
+	Total uint64 `json:"total,omitempty"`
+	// IntervalIPC is the IPC of the most recent feedback interval.
+	IntervalIPC float64 `json:"interval_ipc,omitempty"`
+	// Rung names the steering feature set governing the interval.
+	Rung string `json:"rung,omitempty"`
+	// Phase is the interval's program-phase ID, -1 when the execution
+	// has no phase detector (static policies).
+	Phase int `json:"phase"`
+	// Worker names the reporting worker.
+	Worker string `json:"worker,omitempty"`
+}
+
+// TaskStoppedError is the Err string of a final TaskResult synthesized
+// for a job its own batch stopped early via the cancel endpoint (clients
+// map it onto their early-stop sentinel).
+const TaskStoppedError = "grid: job stopped by client"
 
 // ExecFunc runs one task payload to a result payload. It must honour ctx:
 // the worker cancels it when the server reports the task cancelled (its
-// batch client disconnected) or the lease went stale.
+// batch client disconnected or stopped the job early) or the lease went
+// stale.
 type ExecFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// ProgressExecFunc is an ExecFunc that additionally reports interval
+// progress through report. The worker overwrites ID, Hash and Worker on
+// every snapshot, so executions only fill the measurement fields. report
+// must not be called after the function returns.
+type ProgressExecFunc func(ctx context.Context, payload []byte, report func(TaskProgress)) ([]byte, error)
 
 // The wire protocol paths. Everything is HTTP/JSON; /v1/batch responds
 // with an NDJSON stream.
@@ -80,12 +132,38 @@ const (
 	pathLease     = "/v1/lease"
 	pathHeartbeat = "/v1/heartbeat"
 	pathComplete  = "/v1/complete"
+	pathCancel    = "/v1/cancel"
 	pathMetrics   = "/metrics"
 	pathHealthz   = "/healthz"
 )
 
+// batchHeader is the response header carrying the server-assigned batch
+// ID of a /v1/batch stream; /v1/cancel addresses jobs through it.
+const batchHeader = "X-Grid-Batch"
+
 type batchRequest struct {
 	Jobs []Task `json:"jobs"`
+	// Progress subscribes the stream to interval progress events for its
+	// jobs (TaskResult lines with Progress set, interleaved best-effort
+	// with final results).
+	Progress bool `json:"progress,omitempty"`
+}
+
+// cancelRequest stops individual jobs of a live batch early: the batch's
+// subscriptions to them are dropped (each answered by a final stopped
+// result on the stream) and tasks left with no subscribers are cancelled
+// at their worker, exactly like a full client disconnect.
+type cancelRequest struct {
+	// Batch is the stream's server-assigned ID (the batchHeader value).
+	Batch string `json:"batch"`
+	// IDs are the batch's own job IDs to stop.
+	IDs []string `json:"ids"`
+}
+
+type cancelResponse struct {
+	// Stopped counts the jobs actually unsubscribed (unknown or already
+	// finished IDs are skipped).
+	Stopped int `json:"stopped"`
 }
 
 type leaseRequest struct {
@@ -113,6 +191,9 @@ type heartbeatRequest struct {
 	// Tasks are the task IDs the worker currently holds.
 	Tasks    []string `json:"tasks,omitempty"`
 	InFlight int      `json:"in_flight"`
+	// Progress carries the latest interval snapshot of each in-flight
+	// task that reported one since the previous beat.
+	Progress []TaskProgress `json:"progress,omitempty"`
 }
 
 type heartbeatResponse struct {
@@ -125,11 +206,13 @@ type heartbeatResponse struct {
 }
 
 type completeRequest struct {
-	Worker string          `json:"worker"`
-	ID     string          `json:"id"`
-	Hash   string          `json:"hash,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Err    string          `json:"error,omitempty"`
+	Worker string `json:"worker"`
+	ID     string `json:"id"`
+	Hash   string `json:"hash,omitempty"`
+	// Attempt echoes the lease generation of the Task being reported.
+	Attempt int             `json:"attempt,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Err     string          `json:"error,omitempty"`
 }
 
 type completeResponse struct {

@@ -145,13 +145,17 @@ func TestBatchEndToEnd(t *testing.T) {
 	}
 
 	m := srv.Metrics()
-	if m.CacheHits < 3 || m.Coalesced < 1 || m.Completed != 2 {
-		t.Errorf("metrics = %+v, want >=3 hits, >=1 coalesced, 2 completed", m)
+	if m.CacheHits != 2 || m.Coalesced != 2 || m.Completed != 2 {
+		t.Errorf("metrics = %+v, want 2 hits, 2 coalesced, 2 completed", m)
 	}
 	// Every submitted job is exactly one of hit/coalesce/miss: the first
-	// batch was 2 misses + 1 coalesce, the second 3 hits.
+	// batch was 2 misses + 1 within-batch coalesce, the second 2 hits
+	// (one store lookup per unique hash) + 1 coalesce.
 	if m.CacheMisses != 2 {
 		t.Errorf("cache misses = %d, want exactly 2 (coalesced jobs are not misses)", m.CacheMisses)
+	}
+	if m.Submitted != m.CacheHits+m.Coalesced+m.CacheMisses {
+		t.Errorf("admission invariant broken: %+v", m)
 	}
 }
 
@@ -327,6 +331,62 @@ func TestStaleErrorCompletionIgnored(t *testing.T) {
 	got := collectResults(t, ch)
 	if tr := got["0"]; tr.Err != "" || !bytes.Equal(tr.Payload, tasks[0].Payload) {
 		t.Fatalf("task poisoned by stale abort: err=%q payload=%s", tr.Err, tr.Payload)
+	}
+}
+
+// TestSameWorkerStaleAbortIgnored pins the attempt-token half of the
+// reassignment race: a task whose lease expires can be re-leased to the
+// SAME worker, and the old execution's abort (same worker name, stale
+// attempt) must be answered Stale rather than failing the new attempt.
+func TestSameWorkerStaleAbortIgnored(t *testing.T) {
+	srv, ts := testGrid(t, WithLeaseTTL(100*time.Millisecond))
+	c := &Client{Server: ts.URL}
+	tasks := []Task{mkTask("0", "release")}
+	ch, err := c.Submit(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attempt 1: leased, never heartbeaten; the reaper takes it back.
+	lr := leaseRaw(t, ts.URL, "same", 1)
+	if len(lr.Tasks) != 1 || lr.Tasks[0].Attempt != 1 {
+		t.Fatalf("first lease = %+v, want one task at attempt 1", lr.Tasks)
+	}
+	old := lr.Tasks[0]
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().Reassigned == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Attempt 2: the same worker gets it again.
+	var again leaseResponse
+	for time.Now().Before(deadline) {
+		if again = leaseRaw(t, ts.URL, "same", 1); len(again.Tasks) == 1 {
+			break
+		}
+	}
+	if len(again.Tasks) != 1 || again.Tasks[0].Attempt != 2 {
+		t.Fatalf("second lease = %+v, want the task back at attempt 2", again.Tasks)
+	}
+
+	// The old attempt's abort arrives — same worker name, stale attempt.
+	cr := completeRaw(t, ts.URL, completeRequest{
+		Worker: "same", ID: old.ID, Hash: old.Hash, Attempt: old.Attempt, Err: "context canceled"})
+	if !cr.Stale {
+		t.Error("stale-attempt abort from the re-leased worker not marked stale")
+	}
+
+	// The live attempt completes; the batch must see success, not the
+	// zombie's context error.
+	completeRaw(t, ts.URL, completeRequest{
+		Worker: "same", ID: again.Tasks[0].ID, Hash: old.Hash,
+		Attempt: again.Tasks[0].Attempt, Result: tasks[0].Payload})
+	got := collectResults(t, ch)
+	if tr := got["0"]; tr.Err != "" || !bytes.Equal(tr.Payload, tasks[0].Payload) {
+		t.Fatalf("task poisoned by same-worker stale abort: err=%q payload=%s", tr.Err, tr.Payload)
 	}
 }
 

@@ -1,0 +1,271 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startProgressWorker runs an in-process worker whose ExecProgress is
+// driven by the test.
+func startProgressWorker(t *testing.T, url string, exec ProgressExecFunc, par int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	w := &Worker{Server: url, ExecProgress: exec, Parallel: par,
+		LeaseWait: 100 * time.Millisecond, Name: fmt.Sprintf("pw-%p", &ctx)}
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// TestProgressEndToEnd pushes interval progress from an execution
+// through worker heartbeats, the server, and the NDJSON stream back to
+// a subscribed client: events arrive under the batch's own job IDs with
+// the worker identity stamped on, and final results are untouched.
+func TestProgressEndToEnd(t *testing.T) {
+	srv, ts := testGrid(t, WithLeaseTTL(150*time.Millisecond))
+	exec := func(ctx context.Context, p []byte, report func(TaskProgress)) ([]byte, error) {
+		// Three snapshots, spaced past the ~50ms heartbeat cadence so at
+		// least one beat carries each.
+		for i := uint64(1); i <= 3; i++ {
+			report(TaskProgress{Uops: i * 100, Total: 300, IntervalIPC: 1.25, Rung: "ir", Phase: 2})
+			if !sleepCtx(ctx, 120*time.Millisecond) {
+				return nil, ctx.Err()
+			}
+		}
+		return p, nil
+	}
+	startProgressWorker(t, ts.URL, exec, 2)
+
+	c := &Client{Server: ts.URL}
+	tasks := []Task{mkTask("job-a", "a"), mkTask("job-b", "b")}
+	progCh := make(chan TaskProgress, 64)
+	ch, handle, err := c.SubmitStream(context.Background(), tasks, func(p TaskProgress) {
+		select {
+		case progCh <- p:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handle == nil || handle.id == "" {
+		t.Fatal("no batch handle")
+	}
+	got := collectResults(t, ch)
+	for _, tk := range tasks {
+		tr := got[tk.ID]
+		if tr.Err != "" || !bytes.Equal(tr.Payload, tk.Payload) {
+			t.Fatalf("task %s: err=%q payload=%s", tk.ID, tr.Err, tr.Payload)
+		}
+	}
+
+	byJob := map[string]TaskProgress{}
+	for len(progCh) > 0 {
+		p := <-progCh
+		byJob[p.ID] = p
+	}
+	if len(byJob) == 0 {
+		t.Fatal("no progress events delivered")
+	}
+	for id, p := range byJob {
+		if id != "job-a" && id != "job-b" {
+			t.Errorf("progress for unknown job %q", id)
+		}
+		if p.Uops == 0 || p.Total != 300 || p.IntervalIPC != 1.25 || p.Rung != "ir" || p.Phase != 2 {
+			t.Errorf("progress %q lost fields: %+v", id, p)
+		}
+		if p.Worker == "" || p.Hash == "" {
+			t.Errorf("progress %q missing identity stamps: %+v", id, p)
+		}
+	}
+	if m := srv.Metrics(); m.ProgressUpdates == 0 {
+		t.Errorf("server accepted no progress updates: %+v", m)
+	}
+}
+
+// TestProgressNotSentWithoutSubscription pins the opt-in: a plain Submit
+// stream never sees progress lines (they would confuse a client counting
+// final results).
+func TestProgressNotSentWithoutSubscription(t *testing.T) {
+	_, ts := testGrid(t, WithLeaseTTL(150*time.Millisecond))
+	exec := func(ctx context.Context, p []byte, report func(TaskProgress)) ([]byte, error) {
+		report(TaskProgress{Uops: 1})
+		sleepCtx(ctx, 120*time.Millisecond)
+		return p, nil
+	}
+	startProgressWorker(t, ts.URL, exec, 1)
+	c := &Client{Server: ts.URL}
+	ch, err := c.Submit(context.Background(), []Task{mkTask("0", "x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectResults(t, ch)
+	if tr := got["0"]; tr.Err != "" || tr.Progress != nil {
+		t.Fatalf("unexpected result: %+v", tr)
+	}
+}
+
+// TestEarlyStopJob stops one job of a two-job batch from the client:
+// the stopped job gets a final TaskStoppedError result immediately, its
+// execution is aborted at the worker via the per-task cancellation path,
+// the sibling completes normally, and the lease counters record the
+// early stop.
+func TestEarlyStopJob(t *testing.T) {
+	srv, ts := testGrid(t, WithLeaseTTL(150*time.Millisecond))
+	var aborted atomic.Int64
+	exec := func(ctx context.Context, p []byte, report func(TaskProgress)) ([]byte, error) {
+		if bytes.Contains(p, []byte("block")) {
+			report(TaskProgress{Uops: 1, Total: 1000})
+			<-ctx.Done() // runs until the early stop propagates
+			aborted.Add(1)
+			return nil, ctx.Err()
+		}
+		return p, nil
+	}
+	startProgressWorker(t, ts.URL, exec, 2)
+
+	c := &Client{Server: ts.URL}
+	tasks := []Task{mkTask("keep", "fine"), mkTask("stop", "block")}
+	progCh := make(chan TaskProgress, 16)
+	ch, handle, err := c.SubmitStream(context.Background(), tasks, func(p TaskProgress) {
+		select {
+		case progCh <- p:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the doomed job proves it is running, then stop it —
+	// draining final results all the while: progress and results share
+	// one stream, so parking on progress alone would wedge it (the
+	// SubmitStream contract).
+	got := map[string]TaskResult{}
+	deadline := time.After(10 * time.Second)
+	stopped := false
+	for len(got) < len(tasks) {
+		select {
+		case p := <-progCh:
+			if p.ID == "stop" && !stopped {
+				if err := handle.Stop(context.Background(), "stop"); err != nil {
+					t.Fatal(err)
+				}
+				stopped = true
+			}
+		case tr, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed after %d of %d results", len(got), len(tasks))
+			}
+			if _, dup := got[tr.ID]; dup {
+				t.Fatalf("task %s delivered twice", tr.ID)
+			}
+			got[tr.ID] = tr
+		case <-deadline:
+			t.Fatalf("stalled: stopped=%v, %d results", stopped, len(got))
+		}
+	}
+	if tr := got["keep"]; tr.Err != "" || !bytes.Equal(tr.Payload, tasks[0].Payload) {
+		t.Fatalf("sibling job damaged: %+v", tr)
+	}
+	if tr := got["stop"]; tr.Err != TaskStoppedError {
+		t.Fatalf("stopped job delivered %+v, want Err=%q", tr, TaskStoppedError)
+	}
+
+	// The worker-side execution must actually be cancelled (frees the
+	// slot) and the counters must show the early stop.
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for aborted.Load() == 0 {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("early stop never reached the worker execution")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m := srv.Metrics()
+	if m.EarlyStopped != 1 || m.Abandoned == 0 {
+		t.Errorf("metrics = %+v, want EarlyStopped=1 and Abandoned>0", m)
+	}
+	// Stopping an already-finished job is a harmless no-op.
+	if err := handle.Stop(context.Background(), "stop", "keep", "ghost"); err != nil {
+		t.Errorf("idempotent stop errored: %v", err)
+	}
+}
+
+// TestDiskBackedServerRestart runs a batch through a disk-backed server,
+// tears the server down without closing the store (crash-equivalent: no
+// flush exists to miss), and checks a fresh server on the same directory
+// answers the resubmission entirely from the recovered cache with no
+// worker attached at all.
+func TestDiskBackedServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(WithLeaseTTL(200*time.Millisecond), WithStorage(st))
+	ts := httptest.NewServer(srv)
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	w := &Worker{Server: ts.URL, Exec: echoExec, Parallel: 2, LeaseWait: 100 * time.Millisecond, Name: "dw"}
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w.Run(wctx)
+	}()
+
+	tasks := []Task{mkTask("0", "alpha"), mkTask("1", "beta"), mkTask("2", "gamma")}
+	c := &Client{Server: ts.URL}
+	ch, err := c.Submit(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := collectResults(t, ch)
+
+	// SIGKILL-equivalent: server and worker go away, the store is never
+	// closed or flushed.
+	wcancel()
+	<-workerDone
+	ts.Close()
+	srv.Close()
+
+	st2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2 := NewServer(WithStorage(st2))
+	ts2 := httptest.NewServer(srv2)
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+
+	c2 := &Client{Server: ts2.URL}
+	ch2, err := c2.Submit(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := collectResults(t, ch2)
+	for id, tr := range second {
+		if !tr.Cached {
+			t.Errorf("task %s not served from the recovered cache", id)
+		}
+		if !bytes.Equal(tr.Payload, first[id].Payload) {
+			t.Errorf("task %s drifted across the restart", id)
+		}
+	}
+	if m := srv2.Metrics(); m.CacheMisses != 0 || m.CacheHits != uint64(len(tasks)) {
+		t.Errorf("restarted server metrics %+v, want %d hits / 0 misses", m, len(tasks))
+	}
+}

@@ -30,6 +30,9 @@ type task struct {
 	// skipped at grant time and reported to its worker if already leased.
 	// A new submission of the same hash revives it.
 	cancelled bool
+	// progress is the latest interval snapshot its worker heartbeat in
+	// (ID is the server-side task ID), nil before the first report.
+	progress *TaskProgress
 
 	subs []subscriber
 }
@@ -40,11 +43,26 @@ type subscriber struct {
 	jobID string
 }
 
-// batch is one connected /v1/batch client. Its channel is buffered with
-// the full job count at creation, so result delivery under the server
-// lock never blocks on a slow reader.
+// batch is one connected /v1/batch client. Its result channel is
+// buffered with the full job count at creation, so result delivery under
+// the server lock never blocks on a slow reader. prog is non-nil only
+// when the batch subscribed to progress; sends to it are non-blocking
+// (progress is lossy, a slow stream just sees coarser updates).
 type batch struct {
-	ch chan TaskResult
+	id   string
+	ch   chan TaskResult
+	prog chan TaskProgress
+}
+
+// sendProgress forwards one progress event without ever blocking.
+func (b *batch) sendProgress(p TaskProgress) {
+	if b.prog == nil {
+		return
+	}
+	select {
+	case b.prog <- p:
+	default:
+	}
 }
 
 // deliver fans a completed task's result out to its subscribers, each

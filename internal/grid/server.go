@@ -6,6 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -14,7 +17,10 @@ import (
 type Metrics struct {
 	// Submitted counts jobs accepted across all batches; each is exactly
 	// one of CacheHits (served from the store), Coalesced (joined a task
-	// already in flight) or CacheMisses (created a new task).
+	// already in flight, or a within-batch duplicate of another job's
+	// hash) or CacheMisses (created a new task). One rare admission race
+	// — a job's store miss landing just as another batch queues the same
+	// hash — counts a job as both a miss and a coalesce.
 	Submitted   uint64 `json:"submitted"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -26,15 +32,25 @@ type Metrics struct {
 	// LeasesGranted counts tasks handed to workers; Reassigned counts
 	// leases that expired without a heartbeat and went back to the queue
 	// (worker death recovery); Abandoned counts tasks dropped because
-	// every subscriber disconnected.
+	// every subscriber went away — a disconnected batch client, or an
+	// explicit early stop (those are additionally counted in
+	// EarlyStopped).
 	LeasesGranted uint64 `json:"leases_granted"`
 	Reassigned    uint64 `json:"reassigned"`
 	Abandoned     uint64 `json:"abandoned"`
+	// ProgressUpdates counts interval progress snapshots accepted from
+	// worker heartbeats; EarlyStopped counts jobs clients stopped early
+	// through the cancel endpoint.
+	ProgressUpdates uint64 `json:"progress_updates"`
+	EarlyStopped    uint64 `json:"early_stopped"`
 	// Point-in-time gauges.
 	QueueDepth   int `json:"queue_depth"`
 	Leased       int `json:"leased"`
 	Workers      int `json:"workers"`
 	StoreEntries int `json:"store_entries"`
+	// Running is the latest interval progress snapshot of each leased
+	// task that has reported one (IDs are server-side task IDs).
+	Running []TaskProgress `json:"running,omitempty"`
 }
 
 // ServerOption configures a Server.
@@ -62,6 +78,19 @@ func WithMaxAttempts(n int) ServerOption {
 	}
 }
 
+// WithStorage plugs a result store into the server: the in-memory
+// default forgets on restart, an OpenDiskStore-backed one makes the
+// cache durable (restart the server on the same directory and every
+// already-simulated point is a hit). The server does not close the
+// store; the caller owns its lifecycle.
+func WithStorage(st Storage) ServerOption {
+	return func(s *Server) {
+		if st != nil {
+			s.store = st
+		}
+	}
+}
+
 // Server is the grid job server: an http.Handler exposing the batch,
 // lease, heartbeat, complete, metrics and healthz endpoints over one
 // priority work queue and one content-addressed result store. Close
@@ -71,7 +100,7 @@ type Server struct {
 	maxAttempts int
 
 	mu     sync.Mutex
-	store  *Store
+	store  Storage
 	byID   map[string]*task
 	byHash map[string]*task
 	queue  taskHeap
@@ -80,11 +109,17 @@ type Server struct {
 	// long-polling lease requests.
 	wake    chan struct{}
 	workers map[string]*workerState
+	// batches tracks connected /v1/batch streams by server-assigned ID,
+	// the namespace /v1/cancel addresses early stops through.
+	batches  map[string]*batch
+	batchSeq uint64
 
 	submitted, coalesced      uint64
 	completed, failed         uint64
 	leasesGranted, reassigned uint64
 	abandoned                 uint64
+	progressUpdates           uint64
+	earlyStopped              uint64
 	closed                    chan struct{}
 	closeOnce                 sync.Once
 	reaperDone                chan struct{}
@@ -109,6 +144,7 @@ func NewServer(opts ...ServerOption) *Server {
 		byHash:      map[string]*task{},
 		wake:        make(chan struct{}),
 		workers:     map[string]*workerState{},
+		batches:     map[string]*batch{},
 		closed:      make(chan struct{}),
 		reaperDone:  make(chan struct{}),
 	}
@@ -128,7 +164,7 @@ func (s *Server) Close() {
 
 // Store exposes the content-addressed result store (tests and embedders
 // may pre-seed or inspect it).
-func (s *Server) Store() *Store { return s.store }
+func (s *Server) Store() Storage { return s.store }
 
 // Metrics returns a counter snapshot.
 func (s *Server) Metrics() Metrics {
@@ -140,24 +176,40 @@ func (s *Server) Metrics() Metrics {
 func (s *Server) metricsLocked() Metrics {
 	entries, hits, misses := s.store.Stats()
 	m := Metrics{
-		Submitted:     s.submitted,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		Coalesced:     s.coalesced,
-		Completed:     s.completed,
-		Failed:        s.failed,
-		LeasesGranted: s.leasesGranted,
-		Reassigned:    s.reassigned,
-		Abandoned:     s.abandoned,
-		StoreEntries:  entries,
+		Submitted:       s.submitted,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Coalesced:       s.coalesced,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		LeasesGranted:   s.leasesGranted,
+		Reassigned:      s.reassigned,
+		Abandoned:       s.abandoned,
+		ProgressUpdates: s.progressUpdates,
+		EarlyStopped:    s.earlyStopped,
+		StoreEntries:    entries,
 	}
 	for _, t := range s.byID {
 		if t.worker != "" {
 			m.Leased++
+			if t.progress != nil {
+				m.Running = append(m.Running, *t.progress)
+			}
 		} else if !t.cancelled {
 			m.QueueDepth++
 		}
 	}
+	// Task IDs are "t<seq>": order by the numeric suffix so t2 precedes
+	// t10 (creation order), falling back to lexicographic for any ID a
+	// future format produces.
+	sort.Slice(m.Running, func(i, j int) bool {
+		a, aerr := strconv.Atoi(strings.TrimPrefix(m.Running[i].ID, "t"))
+		b, berr := strconv.Atoi(strings.TrimPrefix(m.Running[j].ID, "t"))
+		if aerr == nil && berr == nil {
+			return a < b
+		}
+		return m.Running[i].ID < m.Running[j].ID
+	})
 	cutoff := time.Now().Add(-3 * s.leaseTTL)
 	for _, w := range s.workers {
 		if w.lastSeen.After(cutoff) {
@@ -178,6 +230,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleHeartbeat(w, r)
 	case pathComplete:
 		s.handleComplete(w, r)
+	case pathCancel:
+		s.handleCancel(w, r)
 	case pathMetrics:
 		writeJSON(w, s.Metrics())
 	case pathHealthz:
@@ -205,10 +259,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b := &batch{ch: make(chan TaskResult, len(req.Jobs))}
+	if req.Progress {
+		// Progress sends are non-blocking (lossy); the buffer just smooths
+		// bursts between the handler's stream writes.
+		b.prog = make(chan TaskProgress, 64)
+	}
 	var immediate []TaskResult
 	pending := 0
 
+	// coalesceLocked joins a job onto an already-pending task. Coalescing
+	// is checked BEFORE the store: a completing task banks its result
+	// outside the lock and unpends under it, so a hash can momentarily be
+	// in both — joining the pending task is correct either way (the
+	// completion fans out to every subscriber), and a coalesced job is
+	// neither a cache hit nor a miss, keeping the Metrics invariant that
+	// every submitted job is exactly one of hit/coalesce/miss (a rare
+	// admission race, noted below, can add a spurious miss).
+	coalesceLocked := func(t *task, jobID string) {
+		pending++
+		// Reviving a cancelled lease requeues it: its worker may already
+		// have aborted on the cancellation notice, and if it hasn't, the
+		// duplicate grant is harmless — the first completion wins.
+		if t.cancelled && t.worker != "" {
+			t.worker = ""
+			heap.Push(&s.queue, t)
+		}
+		t.cancelled = false
+		t.subs = append(t.subs, subscriber{batch: b, jobID: jobID})
+		s.coalesced++
+	}
+
+	// Phase 1, under the lock: reject empties, coalesce onto pending
+	// tasks, and collect the rest for store lookups — deduplicated by
+	// hash, so a batch repeating a job costs one lookup (its duplicates
+	// count as Coalesced, like any other join onto shared work).
+	type lookup struct {
+		first Task     // carries the payload and priority
+		dups  []string // job IDs of within-batch duplicates of the hash
+		hash  string
+	}
+	var lookups []lookup
+	lookupIdx := map[string]int{}
 	s.mu.Lock()
+	s.batchSeq++
+	b.id = fmt.Sprintf("b%d", s.batchSeq)
+	s.batches[b.id] = b
 	for _, j := range req.Jobs {
 		if len(j.Payload) == 0 {
 			// Rejected before admission: not Submitted, so the invariant
@@ -221,49 +316,81 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if hash == "" {
 			hash = HashBytes(j.Payload)
 		}
-		// A hash is in the store xor pending (completion stores and
-		// unpends atomically), so check pending first: a coalesced job is
-		// neither a cache hit nor a miss, keeping the Metrics invariant
-		// that every submitted job is exactly one of the three.
 		if t, ok := s.byHash[hash]; ok {
-			pending++
-			// Coalesce onto the in-flight task. Reviving a cancelled lease
-			// requeues it: its worker may already have aborted on the
-			// cancellation notice, and if it hasn't, the duplicate grant is
-			// harmless — the first completion wins.
-			if t.cancelled && t.worker != "" {
-				t.worker = ""
-				heap.Push(&s.queue, t)
-			}
-			t.cancelled = false
-			t.subs = append(t.subs, subscriber{batch: b, jobID: j.ID})
+			coalesceLocked(t, j.ID)
+			continue
+		}
+		if i, ok := lookupIdx[hash]; ok {
+			lookups[i].dups = append(lookups[i].dups, j.ID)
 			s.coalesced++
 			continue
 		}
-		if res, ok := s.store.Get(hash); ok {
-			immediate = append(immediate, TaskResult{ID: j.ID, Hash: hash, Cached: true, Payload: res})
+		lookupIdx[hash] = len(lookups)
+		lookups = append(lookups, lookup{first: j, hash: hash})
+	}
+	s.mu.Unlock()
+
+	// Phase 2, outside the lock: store lookups. On a disk-backed store
+	// each Get is a file read plus checksum verification — holding s.mu
+	// across a large cached batch would stall every lease, heartbeat and
+	// completion for the whole scan.
+	hits := make([][]byte, len(lookups))
+	hit := make([]bool, len(lookups))
+	for i, l := range lookups {
+		hits[i], hit[i] = s.store.Get(l.hash)
+	}
+
+	// Phase 3, back under the lock: answer hits, queue misses. A miss
+	// whose hash became pending while unlocked coalesces here (its store
+	// miss was already counted — the one soft spot in the exactly-one-of
+	// invariant, and the only cost of keeping disk I/O out of the lock).
+	s.mu.Lock()
+	for i, l := range lookups {
+		if hit[i] {
+			immediate = append(immediate, TaskResult{ID: l.first.ID, Hash: l.hash, Cached: true, Payload: hits[i]})
+			for _, id := range l.dups {
+				immediate = append(immediate, TaskResult{ID: id, Hash: l.hash, Cached: true, Payload: hits[i]})
+			}
+			continue
+		}
+		if t, ok := s.byHash[l.hash]; ok {
+			coalesceLocked(t, l.first.ID)
+			for _, id := range l.dups {
+				t.subs = append(t.subs, subscriber{batch: b, jobID: id})
+				pending++
+			}
 			continue
 		}
 		pending++
 		s.seq++
 		t := &task{
 			id:       fmt.Sprintf("t%d", s.seq),
-			hash:     hash,
-			payload:  j.Payload,
-			priority: j.Priority,
+			hash:     l.hash,
+			payload:  l.first.Payload,
+			priority: l.first.Priority,
 			seq:      s.seq,
-			subs:     []subscriber{{batch: b, jobID: j.ID}},
+			subs:     []subscriber{{batch: b, jobID: l.first.ID}},
+		}
+		for _, id := range l.dups {
+			t.subs = append(t.subs, subscriber{batch: b, jobID: id})
+			pending++
 		}
 		s.byID[t.id] = t
-		s.byHash[hash] = t
+		s.byHash[l.hash] = t
 		heap.Push(&s.queue, t)
 	}
 	if pending > 0 {
 		s.wakeLocked()
 	}
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.batches, b.id)
+		s.mu.Unlock()
+	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(batchHeader, b.id)
 	w.WriteHeader(http.StatusOK)
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -282,6 +409,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		case res := <-b.ch:
 			enc.Encode(res)
 			flush()
+		case p := <-b.prog:
+			// An interim event: the task still owes its final line, so
+			// the delivered count stands. Receiving on a nil b.prog (a
+			// batch that never asked for progress) blocks forever, which
+			// is exactly the disabled behaviour.
+			enc.Encode(TaskResult{ID: p.ID, Hash: p.Hash, Progress: &p})
+			flush()
+			delivered--
 		case <-r.Context().Done():
 			s.dropBatch(b)
 			return
@@ -298,12 +433,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) dropBatch(b *batch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dropSubsLocked(
+		func(*task, subscriber) bool { return true },
+		b, nil)
+}
+
+// dropSubsLocked removes batch b's subscriptions matched by drop,
+// invoking onDrop (if non-nil) for each removed one, and applies the
+// shared no-subscribers-left transition: the task is marked cancelled —
+// discarded at the next grant if queued, aborted at its worker's next
+// heartbeat if leased — and counted abandoned. Both the full-batch
+// disconnect and the per-job early stop funnel through here so the
+// transition can never drift between them.
+func (s *Server) dropSubsLocked(drop func(*task, subscriber) bool, b *batch, onDrop func(*task, subscriber)) {
 	for _, t := range s.byID {
 		kept := t.subs[:0]
 		for _, sub := range t.subs {
-			if sub.batch != b {
-				kept = append(kept, sub)
+			if sub.batch == b && drop(t, sub) {
+				if onDrop != nil {
+					onDrop(t, sub)
+				}
+				continue
 			}
+			kept = append(kept, sub)
 		}
 		t.subs = kept
 		if len(t.subs) == 0 && !t.cancelled {
@@ -376,7 +528,8 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 		t.deadline = now.Add(s.leaseTTL)
 		t.attempts++
 		s.leasesGranted++
-		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority, Payload: t.payload})
+		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority,
+			Payload: t.payload, Attempt: t.attempts})
 	}
 	return out
 }
@@ -405,6 +558,68 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 			t.deadline = now.Add(s.leaseTTL)
 		}
 	}
+	// Accept interval progress only from the current lease holder (a
+	// reassigned task's zombie must not overwrite the live worker's
+	// numbers) and fan each snapshot out to the subscribed batches under
+	// their own job IDs.
+	for _, p := range req.Progress {
+		t, ok := s.byID[p.ID]
+		if !ok || t.worker != req.Worker {
+			continue
+		}
+		p.Hash = t.hash
+		p.Worker = req.Worker
+		snap := p
+		t.progress = &snap
+		s.progressUpdates++
+		for _, sub := range t.subs {
+			fanned := p
+			fanned.ID = sub.jobID
+			sub.batch.sendProgress(fanned)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// handleCancel stops individual jobs of a live batch early: each named
+// subscription is dropped and answered with a final stopped result on
+// the stream, and a task left with no subscribers is cancelled exactly
+// like a disconnected batch — queued copies are discarded at the next
+// grant, leased ones aborted at their worker's next heartbeat (the
+// cancellation surfaces in the Abandoned/EarlyStopped counters).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req cancelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("grid: bad cancel: %v", err), http.StatusBadRequest)
+		return
+	}
+	want := make(map[string]bool, len(req.IDs))
+	for _, id := range req.IDs {
+		want[id] = true
+	}
+	var resp cancelResponse
+	s.mu.Lock()
+	b := s.batches[req.Batch]
+	if b == nil {
+		// A departed or finished batch: every job already got its final
+		// result, so there is nothing to stop — report zero rather than
+		// erroring, keeping late Stop calls (a progress callback firing
+		// after the stream drained) harmless.
+		s.mu.Unlock()
+		writeJSON(w, cancelResponse{})
+		return
+	}
+	s.dropSubsLocked(
+		func(_ *task, sub subscriber) bool { return want[sub.jobID] },
+		b,
+		func(t *task, sub subscriber) {
+			resp.Stopped++
+			s.earlyStopped++
+			// Buffered to the batch's job count, and each job delivers
+			// at most once: cannot block.
+			b.ch <- TaskResult{ID: sub.jobID, Hash: t.hash, Err: TaskStoppedError}
+		})
 	s.mu.Unlock()
 	writeJSON(w, resp)
 }
@@ -413,31 +628,51 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // completion wins regardless of which worker currently holds the lease
 // (a slow worker may finish after its lease was reassigned — the result
 // is just as good), and successes are banked in the store either way.
-// Error completions are only honoured from the current lease holder: a
-// worker whose lease expired or was cancelled aborts its execution and
-// reports a context error, and that must not poison the task another
-// worker is (or will be) computing correctly.
+// Error completions are only honoured from the current lease ATTEMPT —
+// worker name and attempt generation both matching — because a worker
+// whose lease expired or was cancelled aborts its execution and reports
+// a context error, and that must not poison the task another attempt is
+// (or will be) computing correctly. The attempt check matters even with
+// the name matching: an expired task can be re-leased to the *same*
+// worker, and the old execution's abort must not fail the new one.
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req completeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("grid: bad completion: %v", err), http.StatusBadRequest)
 		return
 	}
+	// Bank a success before taking the main critical section — whether or
+	// not the task is still live, the simulation is deterministic and the
+	// bytes are good. Outside the lock because a Put on a disk-backed
+	// store is a write plus an fsync: holding s.mu across it would stall
+	// every lease, heartbeat and batch handler for milliseconds per
+	// completion. The store may therefore briefly hold a hash that is
+	// still pending, which is why batch admission checks pending before
+	// the store. The key is the server's own record when the task is
+	// still known (a cheap peek under the lock) — a worker echoing a
+	// wrong hash must not plant garbage under a key nothing will ask for.
+	if req.Err == "" {
+		bank := req.Hash
+		s.mu.Lock()
+		if t, ok := s.byID[req.ID]; ok {
+			bank = t.hash
+		}
+		s.mu.Unlock()
+		s.store.Put(bank, req.Result)
+	}
 	s.mu.Lock()
 	t, ok := s.byID[req.ID]
 	if !ok {
-		// Already finished elsewhere (or never existed). Bank a success
-		// anyway: the simulation is deterministic, the bytes are good.
-		if req.Err == "" {
-			s.store.Put(req.Hash, req.Result)
-		}
+		// Already finished elsewhere (or never existed); the success, if
+		// any, is banked above.
 		s.mu.Unlock()
 		writeJSON(w, completeResponse{Stale: true})
 		return
 	}
-	if req.Err != "" && t.worker != req.Worker {
-		// A stale lease's abort: the task has been requeued or reassigned;
-		// leave it to its current (or next) worker.
+	if req.Err != "" && (t.worker != req.Worker || req.Attempt != t.attempts) {
+		// A stale attempt's abort: the task has been requeued or
+		// reassigned (possibly back to the same worker); leave it to its
+		// current (or next) attempt.
 		s.mu.Unlock()
 		writeJSON(w, completeResponse{Stale: true})
 		return
@@ -448,7 +683,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	delete(s.byID, t.id)
 	delete(s.byHash, t.hash)
 	if req.Err == "" {
-		s.store.Put(t.hash, req.Result)
+		// Already banked under t.hash above — the peek saw this task (IDs
+		// are never reused, so a task known here was known then).
 		s.completed++
 		t.deliver(TaskResult{Hash: t.hash, Payload: req.Result})
 	} else {
@@ -493,6 +729,9 @@ func (s *Server) expireLeases() {
 			continue
 		}
 		t.worker = ""
+		// The dead worker's snapshot must not show as the next lease
+		// holder's numbers on /metrics.
+		t.progress = nil
 		if t.cancelled && len(t.subs) == 0 {
 			delete(s.byID, t.id)
 			delete(s.byHash, t.hash)

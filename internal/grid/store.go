@@ -2,11 +2,12 @@ package grid
 
 import "sync"
 
-// Store is the content-addressed result cache: canonical job hash →
+// Store is the in-memory Storage implementation: canonical job hash →
 // result payload bytes, stored verbatim so cache hits are byte-identical
 // to the worker's original answer. Only successful results are stored —
 // failures are delivered but never cached, so a transient error does not
-// poison a sweep point forever.
+// poison a sweep point forever. A Store dies with its process; use
+// DiskStore for a cache that survives server restarts.
 type Store struct {
 	mu      sync.Mutex
 	entries map[string][]byte

@@ -26,8 +26,12 @@ type Worker struct {
 	// Name identifies this worker to the server; leases, heartbeats and
 	// completions are keyed by it. Defaults to host-pid.
 	Name string
-	// Exec runs one task payload. Required.
+	// Exec runs one task payload. Required unless ExecProgress is set.
 	Exec ExecFunc
+	// ExecProgress, when non-nil, is used instead of Exec: it receives a
+	// report callback for interval progress, and the worker relays the
+	// latest snapshot per task to the server on every heartbeat.
+	ExecProgress ProgressExecFunc
 	// Parallel bounds concurrent task executions; < 1 means GOMAXPROCS.
 	// It is also the capacity the worker reports, which caps how many
 	// leases the server grants it — the load-balancing signal.
@@ -44,6 +48,7 @@ type Worker struct {
 
 	mu       sync.Mutex
 	cancels  map[string]context.CancelFunc
+	progress map[string]TaskProgress // latest unsent snapshot per task
 	inFlight atomic.Int64
 	done     atomic.Uint64
 	failed   atomic.Uint64
@@ -52,6 +57,7 @@ type Worker struct {
 // completion is one finished task on its way back to the server.
 type completion struct {
 	id, hash string
+	attempt  int
 	result   []byte
 	err      string
 }
@@ -60,12 +66,13 @@ type completion struct {
 // returns ctx.Err(). Server outages are retried with backoff — a worker
 // survives its server restarting.
 func (w *Worker) Run(ctx context.Context) error {
-	if w.Exec == nil {
+	if w.Exec == nil && w.ExecProgress == nil {
 		return fmt.Errorf("grid: worker has no Exec")
 	}
 	w.name()
 	w.base = BaseURL(w.Server)
 	w.cancels = map[string]context.CancelFunc{}
+	w.progress = map[string]TaskProgress{}
 	w.hbWake = make(chan struct{}, 1)
 	// Assume a short TTL until the first lease response teaches the real
 	// one: over-beating briefly is cheap, missing a short-TTL server's
@@ -151,10 +158,31 @@ lease:
 			}
 		}
 		for _, t := range resp.Tasks {
+			// Drop a grant for a task this worker already holds: when
+			// heartbeats are delayed past the TTL the server can re-lease
+			// an expired task back to its own worker, and running a second
+			// copy would corrupt the per-ID bookkeeping (and waste a slot —
+			// the first execution's success completes the task regardless
+			// of attempt). The in-flight entry is claimed here, under the
+			// grant loop, so the check can never race with runTask's own
+			// registration.
+			w.mu.Lock()
+			if _, held := w.cancels[t.ID]; held {
+				w.mu.Unlock()
+				continue
+			}
+			// Placeholder until runTask installs the real cancel; it also
+			// keeps the task in heartbeat reports while it queues for a
+			// pool slot, so the lease stays renewed.
+			w.cancels[t.ID] = nil
+			w.mu.Unlock()
 			w.inFlight.Add(1)
 			select {
 			case in <- t:
 			case <-ctx.Done():
+				w.mu.Lock()
+				delete(w.cancels, t.ID)
+				w.mu.Unlock()
 				w.inFlight.Add(-1)
 				break lease
 			}
@@ -175,12 +203,24 @@ func (w *Worker) runTask(ctx context.Context, t Task) completion {
 	defer func() {
 		w.mu.Lock()
 		delete(w.cancels, t.ID)
+		delete(w.progress, t.ID)
 		w.mu.Unlock()
 		cancel()
 		w.inFlight.Add(-1)
 	}()
-	result, err := w.Exec(tctx, t.Payload)
-	c := completion{id: t.ID, hash: t.Hash}
+	var result []byte
+	var err error
+	if w.ExecProgress != nil {
+		result, err = w.ExecProgress(tctx, t.Payload, func(p TaskProgress) {
+			p.ID, p.Hash, p.Worker = t.ID, t.Hash, w.name()
+			w.mu.Lock()
+			w.progress[t.ID] = p
+			w.mu.Unlock()
+		})
+	} else {
+		result, err = w.Exec(tctx, t.Payload)
+	}
+	c := completion{id: t.ID, hash: t.Hash, attempt: t.Attempt}
 	if err != nil {
 		c.err = err.Error()
 		w.failed.Add(1)
@@ -208,26 +248,35 @@ func (w *Worker) name() string {
 }
 
 // cancelTasks aborts the named in-flight tasks (server said their
-// subscribers left or their leases went stale).
+// subscribers left or their leases went stale). A nil entry is a task
+// still queued for a pool slot — nothing to abort yet; the server will
+// repeat the notice on a later heartbeat once it is running.
 func (w *Worker) cancelTasks(ids []string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, id := range ids {
-		if cancel, ok := w.cancels[id]; ok {
+		if cancel, ok := w.cancels[id]; ok && cancel != nil {
 			cancel()
 		}
 	}
 }
 
-// heldTasks snapshots the in-flight task IDs for a heartbeat.
-func (w *Worker) heldTasks() []string {
+// heldTasks snapshots the in-flight task IDs for a heartbeat, together
+// with the progress reported since the previous beat (the pending map
+// drains: a task that reported nothing new sends nothing).
+func (w *Worker) heldTasks() ([]string, []TaskProgress) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ids := make([]string, 0, len(w.cancels))
 	for id := range w.cancels {
 		ids = append(ids, id)
 	}
-	return ids
+	var prog []TaskProgress
+	for id, p := range w.progress {
+		prog = append(prog, p)
+		delete(w.progress, id)
+	}
+	return ids, prog
 }
 
 func (w *Worker) lease(ctx context.Context, capacity int, wait time.Duration) (leaseResponse, error) {
@@ -243,14 +292,18 @@ func (w *Worker) lease(ctx context.Context, capacity int, wait time.Duration) (l
 }
 
 func (w *Worker) heartbeat(ctx context.Context) {
+	ids, prog := w.heldTasks()
 	req := heartbeatRequest{
 		Worker:   w.name(),
-		Tasks:    w.heldTasks(),
+		Tasks:    ids,
 		InFlight: int(w.inFlight.Load()),
+		Progress: prog,
 	}
 	var resp heartbeatResponse
 	if err := w.post(ctx, pathHeartbeat, req, &resp); err != nil {
-		return // transient; the next beat retries
+		// Transient; the next beat retries. Progress drained for this
+		// beat is lost, which the lossy-progress contract allows.
+		return
 	}
 	w.cancelTasks(resp.Cancelled)
 	w.cancelTasks(resp.Stale)
@@ -260,7 +313,8 @@ func (w *Worker) heartbeat(ctx context.Context) {
 // dropped packet does not discard a finished simulation (the lease
 // reaper would eventually re-run it, but that wastes a whole execution).
 func (w *Worker) postComplete(ctx context.Context, c completion) {
-	req := completeRequest{Worker: w.name(), ID: c.id, Hash: c.hash, Result: c.result, Err: c.err}
+	req := completeRequest{Worker: w.name(), ID: c.id, Hash: c.hash,
+		Attempt: c.attempt, Result: c.result, Err: c.err}
 	for attempt := 0; attempt < 3; attempt++ {
 		var resp completeResponse
 		if err := w.post(ctx, pathComplete, req, &resp); err == nil {

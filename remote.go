@@ -3,8 +3,10 @@ package repro
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/grid"
 )
@@ -34,6 +36,61 @@ func WithGridPriority(p int) Option {
 	return func(r *Runner) { r.gridPriority = p }
 }
 
+// JobProgress is one interval-granular progress event of a grid job
+// still running: which job, how far along, and what the steering engine
+// is doing right now — the Observe stream surfaced to the submitting
+// client. Events are best-effort (workers publish them over heartbeats;
+// a dropped snapshot just means a coarser next one).
+type JobProgress struct {
+	// Index is the job's position in the batch slice; Job the job as
+	// submitted (defaults resolved).
+	Index int
+	Job   Job
+	// Uops of Total committed uops of the measured phase have retired.
+	Uops  uint64
+	Total uint64
+	// IntervalIPC is the IPC of the most recent feedback interval.
+	IntervalIPC float64
+	// Rung names the steering feature set governing the interval (a
+	// dynamic selector's current choice; the policy itself when static).
+	Rung string
+	// Phase is the interval's program-phase ID, -1 without a detector.
+	Phase int
+	// Worker names the grid worker running the job.
+	Worker string
+	// Stop cancels this one job early: it finishes immediately with
+	// ErrJobStopped (the rest of the batch keeps running) and its
+	// simulation is aborted at the worker through the per-task
+	// cancellation path. Safe to call from the callback or later, and
+	// idempotent. Best-effort: the cancel request is bounded by a short
+	// timeout and a transient failure is dropped — the job then simply
+	// keeps running and keeps producing progress events, so callback
+	// logic that stops on a condition will fire again.
+	Stop func()
+}
+
+// ErrJobStopped reports a grid job ended early because a WithGridProgress
+// callback stopped it. Test with errors.Is on the JobResult error.
+var ErrJobStopped = errors.New("repro: job stopped early")
+
+// WithGridProgress installs an interval progress callback for grid
+// dispatch: once per published interval snapshot of every running job,
+// fn receives a JobProgress (including a Stop hook for early stopping —
+// cancel a sweep point as soon as its numbers are conclusive). Events
+// arrive serially from the result-stream goroutine, which may run
+// concurrently with the WithProgress completion callback; fn must be
+// quick and do its own locking if the two share state. The option is
+// inert on a Runner without WithGrid.
+func WithGridProgress(fn func(JobProgress)) Option {
+	return func(r *Runner) { r.gridProgress = fn }
+}
+
+// GridTaskProgress is the wire-level progress snapshot a worker-side
+// execution reports (see the field docs on the underlying type);
+// JobExecProgress fills its measurement fields and the grid worker
+// stamps the identity ones.
+type GridTaskProgress = grid.TaskProgress
+
 // JobExec returns the payload-level execution function a grid worker
 // plugs into its Exec slot: canonical Job JSON in, canonical Result JSON
 // out. The returned function runs every job locally with exactly the
@@ -41,16 +98,31 @@ func WithGridPriority(p int) Option {
 // before submitting), regardless of this Runner's own warmup fraction or
 // grid dispatch mode.
 func (r *Runner) JobExec() func(ctx context.Context, payload []byte) ([]byte, error) {
+	exec := r.JobExecProgress(0)
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
+		return exec(ctx, payload, nil)
+	}
+}
+
+// JobExecProgress is JobExec for progress-capable workers (the Worker's
+// ExecProgress slot): the same canonical-JSON-in, canonical-JSON-out
+// execution, plus an interval progress report — every `every` committed
+// uops of the measured phase (0 picks the job's natural granularity:
+// the policy's Observe interval, else N/50), report receives the uops
+// retired, the interval IPC, the active rung, and the phase ID. The
+// hook is read-only, so results stay bit-identical to JobExec.
+func (r *Runner) JobExecProgress(every uint64) func(ctx context.Context, payload []byte, report func(GridTaskProgress)) ([]byte, error) {
 	local := *r
 	local.warmupFrac = 0
 	local.grid = ""
 	local.progress = nil
-	return func(ctx context.Context, payload []byte) ([]byte, error) {
+	local.gridProgress = nil
+	return func(ctx context.Context, payload []byte, report func(GridTaskProgress)) ([]byte, error) {
 		var j Job
 		if err := json.Unmarshal(payload, &j); err != nil {
 			return nil, fmt.Errorf("repro: decoding grid job: %w", err)
 		}
-		res, err := local.runLocal(ctx, j)
+		res, err := local.runLocalProgress(ctx, j, every, report)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +190,45 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 		}
 
 		client := &grid.Client{Server: r.grid}
-		ch, err := client.Submit(ctx, tasks)
+		var onProgress func(grid.TaskProgress)
+		// The BatchHandle only exists once SubmitStream returns, but the
+		// first progress event can beat it there; the buffered channel
+		// hands the handle across, and the single stream-reading
+		// goroutine that invokes onProgress caches it after one receive.
+		handleCh := make(chan *grid.BatchHandle, 1)
+		if r.gridProgress != nil {
+			var handle *grid.BatchHandle
+			onProgress = func(p grid.TaskProgress) {
+				if handle == nil {
+					handle = <-handleCh
+				}
+				i, ok := taskIndex[p.ID]
+				if !ok {
+					return
+				}
+				h, id := handle, p.ID
+				stop := func() {
+					// Bounded so a black-holed cancel POST cannot wedge the
+					// caller (Stop is documented callable from the progress
+					// callback, which runs on the stream-reading goroutine).
+					sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer scancel()
+					h.Stop(sctx, id)
+				}
+				r.gridProgress(JobProgress{
+					Index:       i,
+					Job:         batch[i],
+					Uops:        p.Uops,
+					Total:       p.Total,
+					IntervalIPC: p.IntervalIPC,
+					Rung:        p.Rung,
+					Phase:       p.Phase,
+					Worker:      p.Worker,
+					Stop:        stop,
+				})
+			}
+		}
+		ch, handle, err := client.SubmitStream(ctx, tasks, onProgress)
 		if err != nil {
 			for _, t := range tasks {
 				i := taskIndex[t.ID]
@@ -126,6 +236,7 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 			}
 			return
 		}
+		handleCh <- handle
 		for tr := range ch {
 			i, ok := taskIndex[tr.ID]
 			if !ok {
@@ -133,6 +244,8 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 			}
 			jr := JobResult{Index: i, Job: batch[i]}
 			switch {
+			case tr.Err == grid.TaskStoppedError:
+				jr.Err = fmt.Errorf("repro: grid job %s: %w", batch[i].Label(), ErrJobStopped)
 			case tr.Err != "":
 				jr.Err = fmt.Errorf("repro: grid job %s: %s", batch[i].Label(), tr.Err)
 			default:

@@ -124,21 +124,29 @@ func TestRunAllJobError(t *testing.T) {
 }
 
 // testGridRunner builds a grid (server + nWorkers in-process workers
-// executing via JobExec) and a Runner dispatching to it; everything is
-// torn down with the test.
+// executing via the progress-capable JobExecProgress, like production
+// helperd workers) and a Runner dispatching to it; everything is torn
+// down with the test.
 func testGridRunner(t *testing.T, nWorkers int, opts ...Option) (*Runner, *grid.Server) {
+	return testGridRunnerTTL(t, nWorkers, 2*time.Second, opts...)
+}
+
+// testGridRunnerTTL is testGridRunner with a chosen lease TTL — workers
+// heartbeat (and therefore publish progress) at TTL/3, so progress tests
+// use a short one.
+func testGridRunnerTTL(t *testing.T, nWorkers int, ttl time.Duration, opts ...Option) (*Runner, *grid.Server) {
 	t.Helper()
-	srv := grid.NewServer(grid.WithLeaseTTL(2 * time.Second))
+	srv := grid.NewServer(grid.WithLeaseTTL(ttl))
 	ts := httptest.NewServer(srv)
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	for i := 0; i < nWorkers; i++ {
 		w := &grid.Worker{
-			Server:    ts.URL,
-			Name:      fmt.Sprintf("tw%d", i),
-			Exec:      NewRunner().JobExec(),
-			Parallel:  2,
-			LeaseWait: 100 * time.Millisecond,
+			Server:       ts.URL,
+			Name:         fmt.Sprintf("tw%d", i),
+			ExecProgress: NewRunner().JobExecProgress(20_000),
+			Parallel:     2,
+			LeaseWait:    100 * time.Millisecond,
 		}
 		wg.Add(1)
 		go func() {
@@ -250,6 +258,89 @@ func TestWithGridCancellation(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("cancelled grid batch did not unwind")
+	}
+}
+
+// TestWithGridProgressAndEarlyStop drives the observability leg at the
+// API level: a batch under WithGridProgress must surface interval
+// events (uops, total, rung) for a long-running job, and calling the
+// event's Stop hook must end that job with ErrJobStopped while its
+// batch siblings complete untouched — with the early stop visible in
+// the server's lease counters.
+func TestWithGridProgressAndEarlyStop(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	// The huge job can only finish quickly by being stopped; the quick
+	// one proves stopping is per-job, not per-batch. The explicit tiny
+	// warmup matters: progress (and therefore the stop) only starts with
+	// the measured phase, and the default warmup of a 200M-uop job would
+	// stall the test for tens of seconds before the first event.
+	jobs := []Job{
+		{Name: "quick", Policy: PolicyBaseline(), Workload: w, N: 3_000},
+		{Name: "huge", Policy: PolicyFull(), Workload: w, N: 200_000_000, Warmup: 1_000},
+	}
+
+	type event struct {
+		p       JobProgress
+		stopped bool
+	}
+	events := make(chan event, 256)
+	stopped := false
+	remote, srv := testGridRunnerTTL(t, 1, 150*time.Millisecond, WithGridProgress(func(p JobProgress) {
+		// Serial per the contract, so plain locals are safe.
+		if p.Job.Name == "huge" && !stopped {
+			stopped = true
+			p.Stop()
+		}
+		select {
+		case events <- event{p: p, stopped: stopped}:
+		default:
+		}
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var quickErr, hugeErr error
+	var quickRes Result
+	for jr := range remote.RunBatch(ctx, jobs) {
+		switch jr.Job.Name {
+		case "quick":
+			quickErr, quickRes = jr.Err, jr.Result
+		case "huge":
+			hugeErr = jr.Err
+		}
+	}
+	if ctx.Err() != nil {
+		t.Fatal("early stop never took effect; batch ran to timeout")
+	}
+	if quickErr != nil {
+		t.Errorf("sibling job failed: %v", quickErr)
+	}
+	if quickRes.Metrics.Committed < jobs[0].N {
+		t.Errorf("sibling committed %d, want >= %d", quickRes.Metrics.Committed, jobs[0].N)
+	}
+	if !errors.Is(hugeErr, ErrJobStopped) {
+		t.Errorf("stopped job err = %v, want ErrJobStopped", hugeErr)
+	}
+
+	saw := false
+	for len(events) > 0 {
+		ev := <-events
+		if ev.p.Job.Name != "huge" {
+			continue
+		}
+		saw = true
+		if ev.p.Uops == 0 || ev.p.Total != jobs[1].N || ev.p.Rung == "" || ev.p.Worker == "" {
+			t.Errorf("progress event lost fields: %+v", ev.p)
+		}
+		if ev.p.Stop == nil {
+			t.Error("progress event has no Stop hook")
+		}
+	}
+	if !saw {
+		t.Fatal("no progress events for the long-running job")
+	}
+	if m := srv.Metrics(); m.EarlyStopped != 1 || m.ProgressUpdates == 0 {
+		t.Errorf("metrics = %+v, want EarlyStopped=1, ProgressUpdates>0", m)
 	}
 }
 

@@ -149,6 +149,7 @@ type Runner struct {
 	progress     func(Progress)
 	grid         string
 	gridPriority int
+	gridProgress func(JobProgress)
 }
 
 // Option configures a Runner.
@@ -239,6 +240,16 @@ func (r *Runner) Run(ctx context.Context, j Job) (Result, error) {
 // runLocal executes one job in this process — the path grid workers use
 // regardless of their own Runner's dispatch mode.
 func (r *Runner) runLocal(ctx context.Context, j Job) (Result, error) {
+	return r.runLocalProgress(ctx, j, 0, nil)
+}
+
+// runLocalProgress is runLocal with an optional interval progress hook:
+// every `every` committed uops of the measured phase, report receives a
+// snapshot (uops retired, interval IPC, active rung, phase ID). every
+// == 0 picks the job's natural granularity — the policy's Observe
+// interval when it has one, else 1/50th of N. The hook is read-only:
+// results are bit-identical with or without it.
+func (r *Runner) runLocalProgress(ctx context.Context, j Job, every uint64, report func(GridTaskProgress)) (Result, error) {
 	j = r.withDefaults(j)
 	if err := j.Validate(); err != nil {
 		return Result{}, err
@@ -250,6 +261,24 @@ func (r *Runner) runLocal(ctx context.Context, j Job) (Result, error) {
 	sim, err := core.New(j.Config, j.Policy, src)
 	if err != nil {
 		return Result{}, fmt.Errorf("repro: job %s: %w", j.Label(), err)
+	}
+	if report != nil {
+		if every == 0 {
+			if every = j.Policy.Interval(); every == 0 {
+				if every = j.N / 50; every == 0 {
+					every = 1
+				}
+			}
+		}
+		sim.SetProgress(every, func(p core.Progress) {
+			report(GridTaskProgress{
+				Uops:        p.Committed,
+				Total:       j.N,
+				IntervalIPC: p.IntervalIPC,
+				Rung:        p.Rung,
+				Phase:       p.Phase,
+			})
+		})
 	}
 	res, err := sim.RunWarmCtx(ctx, j.N, j.Warmup)
 	if err != nil {

@@ -3,8 +3,10 @@
 # grid: 1 job server + 2 worker processes + `sweep -grid` over a small
 # job set. Asserts (a) grid-routed results are byte-identical to the
 # local RunBatch output, (b) a rerun is served from the content-addressed
-# result store (cache hits > 0), and (c) a worker process being killed
-# mid-study is survived via lease reassignment.
+# result store (cache hits > 0), (c) a worker process being killed
+# mid-study is survived via lease reassignment, and (d) a disk-backed
+# server killed with SIGKILL and restarted on the same -store-dir serves
+# the rerun entirely from the recovered cache (0 misses), byte-identical.
 #
 # Run it via `make grid-smoke`; it builds into a temp dir and cleans up
 # after itself.
@@ -84,5 +86,51 @@ if ! diff "$WORKDIR/localkill.txt" "$WORKDIR/gridkill.txt"; then
 fi
 REASSIGNED=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORT" | grep -o '"reassigned": [0-9]*' | grep -o '[0-9]*')
 echo "grid-smoke: study survived worker death with identical results (${REASSIGNED:-0} leases reassigned)"
+
+# --- server restart with an on-disk store --------------------------------
+# A second server runs disk-backed, gets SIGKILLed (no graceful shutdown,
+# no flush) and is restarted on the same directory; the rerun must be
+# answered entirely from the recovered cache. The worker stays up across
+# the restart — its backoff loop must reconnect on its own.
+PORT2=18549
+STOREDIR="$WORKDIR/store"
+wait_server() {
+    i=0
+    until "$WORKDIR/helperd" metrics -server "127.0.0.1:$1" >/dev/null 2>&1; do
+        i=$((i+1))
+        [ "$i" -gt 50 ] && { echo "grid-smoke: server on :$1 never came up"; exit 1; }
+        sleep 0.1
+    done
+}
+echo "grid-smoke: disk-backed server (store: $STOREDIR)"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORT2" -lease 750ms -store-dir "$STOREDIR" 2>"$WORKDIR/serve2a.log" &
+SERVE2_PID=$!
+PIDS="$PIDS $SERVE2_PID"
+wait_server "$PORT2"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORT2" -workers 2 -name w3 2>"$WORKDIR/w3.log" &
+PIDS="$PIDS $!"
+
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORT2" > "$WORKDIR/disk1.txt" 2>/dev/null
+diff "$WORKDIR/local.txt" "$WORKDIR/disk1.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — disk-backed results differ from local run"; exit 1; }
+
+echo "grid-smoke: SIGKILLing the disk-backed server and restarting on the same dir"
+kill -9 "$SERVE2_PID" 2>/dev/null || true
+wait "$SERVE2_PID" 2>/dev/null || true
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORT2" -lease 750ms -store-dir "$STOREDIR" 2>"$WORKDIR/serve2b.log" &
+PIDS="$PIDS $!"
+wait_server "$PORT2"
+
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORT2" > "$WORKDIR/disk2.txt" 2>/dev/null
+diff "$WORKDIR/disk1.txt" "$WORKDIR/disk2.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — post-restart rerun drifted"; exit 1; }
+MISSES2=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORT2" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+HITS2=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORT2" | grep -o '"cache_hits": [0-9]*' | grep -o '[0-9]*')
+if [ "${MISSES2:-1}" -ne 0 ] || [ "${HITS2:-0}" -lt 1 ]; then
+    echo "grid-smoke: FAIL — restarted server re-simulated (hits=$HITS2 misses=$MISSES2, want 100% hits)"
+    cat "$WORKDIR/serve2b.log"
+    exit 1
+fi
+echo "grid-smoke: restart kept the cache ($HITS2 hits, 0 misses — 100% cached)"
 
 echo "grid-smoke: PASS"
