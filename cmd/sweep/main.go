@@ -15,6 +15,8 @@
 //
 //	sweep -study ladder -grid :0             # in-process server + spawned workers
 //	sweep -study ladder -grid host:8321      # an external `helperd serve` cluster
+//	sweep -study ladder -grid a:8321,b:8321  # a federation: jobs partition by
+//	                                         # affinity, submits fail over to peers
 package main
 
 import (
@@ -45,7 +47,7 @@ func main() {
 		policyName   = flag.String("policy", "cr", "policy for the configuration ablations (see helpersim -list)")
 		n            = flag.Uint64("n", 120_000, "measured uops per point")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		gridAddr     = flag.String("grid", "", "run the study on a simulation grid: a job-server address, or an address ending in :0 to spawn an in-process server plus -grid-workers worker processes")
+		gridAddr     = flag.String("grid", "", "run the study on a simulation grid: a job-server address, a comma-separated list of federation members, or an address ending in :0 to spawn an in-process server plus -grid-workers worker processes")
 		gridWorkers  = flag.Int("grid-workers", 2, "worker processes to spawn for -grid addresses ending in :0")
 		gridWorkFor  = flag.String("as-grid-worker", "", "internal: run as a grid worker for the given server URL")
 	)
@@ -98,9 +100,15 @@ func main() {
 				if p.Total > 0 {
 					pct = 100 * float64(p.Uops) / float64(p.Total)
 				}
+				// The server's per-batch ETA rides on every progress event;
+				// surface it so a long ladder shows when the batch lands.
+				eta := ""
+				if p.BatchETA > 0 {
+					eta = fmt.Sprintf(" eta=%s", p.BatchETA.Round(time.Second))
+				}
 				lineMu.Lock()
-				fmt.Fprintf(os.Stderr, "\r%-60s", fmt.Sprintf("%s %4.1f%% ipc=%.2f rung=%s",
-					p.Job.Label(), pct, p.IntervalIPC, p.Rung))
+				fmt.Fprintf(os.Stderr, "\r%-60s", fmt.Sprintf("%s %4.1f%% ipc=%.2f rung=%s%s",
+					p.Job.Label(), pct, p.IntervalIPC, p.Rung, eta))
 				lineMu.Unlock()
 			}))
 	}
@@ -484,7 +492,9 @@ func setupGrid(ctx context.Context, addr string, nworkers, parallel int) (string
 
 // reportGrid prints the grid's cache and lease counters after a study,
 // so reruns show their cache hits and kill-a-worker runs their
-// reassignments.
+// reassignments. On a federation the counters are summed across members
+// and a second line reports the federation's own machinery: steals,
+// affinity placement, and speculative re-leases.
 func reportGrid(runner *repro.Runner) {
 	m, err := runner.GridMetrics(context.Background())
 	if err != nil {
@@ -492,6 +502,10 @@ func reportGrid(runner *repro.Runner) {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: grid: %d cache hits, %d misses, %d coalesced, %d reassigned, %d workers\n",
 		m.CacheHits, m.CacheMisses, m.Coalesced, m.Reassigned, m.Workers)
+	if m.Peers > 0 || m.StealsOut > 0 || m.StealsIn > 0 || m.AffinityHits > 0 || m.AffinityMisses > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: federation: %d peers, %d steals out, %d in, affinity %d/%d, %d speculated\n",
+			m.Peers, m.StealsOut, m.StealsIn, m.AffinityHits, m.AffinityHits+m.AffinityMisses, m.Speculated)
+	}
 }
 
 // collect gathers a batch in job order, exiting with a clean message on

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -447,6 +448,178 @@ func TestGoldenResultsDiskRestart(t *testing.T) {
 	}
 	if m := srv2.Metrics(); m.CacheMisses != 0 {
 		t.Fatalf("restarted server re-simulated: %+v", m)
+	}
+	compareGolden(t, toGolden(byID2), want)
+}
+
+// TestGoldenResultsFederation is the federated golden gate of ROADMAP
+// item 1: two federated servers — A hosting the shared store tier
+// (disk-backed), B built on a RemoteStore pointing at A — where every
+// worker hangs off B, so a batch submitted to A can only finish via
+// work stealing. The results must stay byte-identical to the committed
+// local goldens. Then B (workers and all) is torn down and the batch is
+// resubmitted to A, which has ZERO workers: a pass proves the rerun is
+// 100% served from the shared storage tier.
+func TestGoldenResultsFederation(t *testing.T) {
+	if *update {
+		t.Skip("goldens regenerate via TestGoldenResults -update")
+	}
+	want := loadGolden(t)
+	dir := t.TempDir()
+
+	exec := func(ctx context.Context, payload []byte) ([]byte, error) {
+		var j Job
+		if err := json.Unmarshal(payload, &j); err != nil {
+			return nil, err
+		}
+		res, err := RunTraceFile(j.Config, j.Policy, goldenTracePath, j.N)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+
+	// Reserve both members' addresses first: peer seeds, the RemoteStore
+	// target and each Federation's self URL all need them before
+	// anything serves.
+	listen := func() (net.Listener, string) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, "http://" + l.Addr().String()
+	}
+	lA, urlA := listen()
+	lB, urlB := listen()
+	serve := func(l net.Listener, fed *grid.Federation) *httptest.Server {
+		ts := httptest.NewUnstartedServer(fed)
+		ts.Listener.Close()
+		ts.Listener = l
+		ts.Start()
+		return ts
+	}
+
+	// Member A: the shared store host. Stays up the whole test.
+	stA, err := grid.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	srvA := grid.NewServer(grid.WithLeaseTTL(5*time.Second), grid.WithStorage(stA))
+	fedA := grid.NewFederation(srvA, urlA, []string{urlB},
+		grid.WithAnnounceInterval(100*time.Millisecond),
+		grid.WithStealInterval(50*time.Millisecond))
+	tsA := serve(lA, fedA)
+	defer func() {
+		fedA.Close()
+		tsA.Close()
+		srvA.Close()
+	}()
+
+	// Member B: banks results through A's store, holds all the workers.
+	srvB := grid.NewServer(grid.WithLeaseTTL(5*time.Second),
+		grid.WithStorage(grid.NewRemoteStore(urlA)))
+	fedB := grid.NewFederation(srvB, urlB, []string{urlA},
+		grid.WithAnnounceInterval(100*time.Millisecond),
+		grid.WithStealInterval(50*time.Millisecond))
+	tsB := serve(lB, fedB)
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &grid.Worker{Server: urlB, Name: fmt.Sprintf("fgold%d", i), Exec: exec,
+			Parallel: 2, LeaseWait: 100 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(wctx)
+		}()
+	}
+
+	jobs := goldenJobs(t)
+	mkTasks := func() []grid.Task {
+		t.Helper()
+		var tasks []grid.Task
+		for i, j := range jobs {
+			wire := Job{Name: j.Label, Config: j.Config, Policy: j.Policy, N: goldenRunUops}
+			payload, err := json.Marshal(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, grid.Task{ID: fmt.Sprintf("%d", i),
+				Hash: grid.HashBytes(payload), Payload: payload, Profile: "p:golden"})
+		}
+		return tasks
+	}
+	submit := func(url string) (map[string]Result, int) {
+		t.Helper()
+		client := &grid.Client{Server: url}
+		ch, err := client.Submit(context.Background(), mkTasks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := map[string]Result{}
+		cached := 0
+		for tr := range ch {
+			if tr.Err != "" {
+				t.Fatalf("federated golden task %s: %s", tr.ID, tr.Err)
+			}
+			if tr.Cached {
+				cached++
+			}
+			var res Result
+			if err := json.Unmarshal(tr.Payload, &res); err != nil {
+				t.Fatalf("decoding federated golden result %s: %v", tr.ID, err)
+			}
+			byID[tr.ID] = res
+		}
+		return byID, cached
+	}
+	toGolden := func(byID map[string]Result) []goldenRun {
+		t.Helper()
+		var out []goldenRun
+		for i, j := range jobs {
+			r, ok := byID[fmt.Sprintf("%d", i)]
+			if !ok {
+				t.Fatalf("golden job %s never delivered", j.Label)
+			}
+			g := goldenRun{
+				Label:         j.Label,
+				Policy:        r.Policy,
+				Committed:     r.Metrics.Committed,
+				WideCycles:    r.Metrics.WideCycles,
+				SteeredHelper: r.Metrics.SteeredHelper,
+				CopiesCreated: r.Metrics.CopiesCreated,
+				FatalFlushes:  r.Metrics.FatalFlushes,
+				SteeredSplit:  r.Metrics.SteeredSplit,
+				EnergyNJ:      EstimatePower(j.Config, r).EnergyNJ,
+			}
+			for _, u := range r.Rungs {
+				g.Rungs = append(g.Rungs, goldenRung{Rung: u.Rung, Committed: u.Committed, EnergyNJ: u.EnergyNJ})
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+
+	// Round one: submitted to A, which has no workers — every simulation
+	// must travel to B by work stealing — and still golden.
+	byID, _ := submit(urlA)
+	compareGolden(t, toGolden(byID), want)
+	if srvA.Metrics().StealsOut == 0 {
+		t.Error("no steals recorded: the federation never moved the work")
+	}
+
+	// Kill member B — workers, federation, server — then resubmit to A.
+	// A has zero workers, so a pass proves 100% shared-store hits.
+	wcancel()
+	wg.Wait()
+	fedB.Close()
+	tsB.Close()
+	srvB.Close()
+
+	byID2, cached := submit(urlA)
+	if cached != len(jobs) {
+		t.Fatalf("post-kill rerun served %d of %d jobs from the shared store, want all", cached, len(jobs))
 	}
 	compareGolden(t, toGolden(byID2), want)
 }

@@ -170,6 +170,30 @@ func (c *Client) SubmitStream(ctx context.Context, tasks []Task, onProgress func
 	return out, handle, nil
 }
 
+// PeerStatus fetches a federation member's load snapshot (identity,
+// known peers, queue depth, stealable tasks, free capacity). Against a
+// bare unfederated Server the endpoint still answers, with Self and
+// Peers empty.
+func (c *Client) PeerStatus(ctx context.Context) (PeerStatus, error) {
+	var st PeerStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, BaseURL(c.Server)+pathPeerStatus, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return st, fmt.Errorf("grid: fetching peer status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("grid: fetching peer status: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("grid: decoding peer status: %w", err)
+	}
+	return st, nil
+}
+
 // Metrics fetches the server's counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var m Metrics

@@ -3,6 +3,7 @@ package grid
 import (
 	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,12 +34,24 @@ func openDisk(t *testing.T, opts ...DiskOption) *DiskStore {
 	return d
 }
 
-// TestStorageContract pins the Storage semantics both implementations
-// share: first write wins, empty-hash no-op, one hit or miss per Get.
+// openRemote backs a RemoteStore with a fresh grid server (the peer
+// whose store the remote client reads and banks into).
+func openRemote(t *testing.T) *RemoteStore {
+	t.Helper()
+	srv := NewServer()
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return NewRemoteStore(hs.URL)
+}
+
+// TestStorageContract pins the Storage semantics every implementation
+// shares: first write wins, empty-hash no-op, one hit or miss per Get.
 func TestStorageContract(t *testing.T) {
 	for name, st := range map[string]Storage{
 		"memory": NewStore(),
 		"disk":   openDisk(t),
+		"remote": openRemote(t),
 	} {
 		t.Run(name, func(t *testing.T) {
 			if _, ok := st.Get("h1"); ok {

@@ -1,0 +1,383 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Federation glues several grid servers into one tier. Each member
+// wraps its own Server (with its own worker pool) in a Federation that
+// speaks the peer protocol:
+//
+//   - /v1/peer/announce — membership gossip. A member periodically
+//     announces its advertised URL to every peer it knows and merges
+//     the peer lists it gets back, so a static -peers seed grows into
+//     a full mesh and late joiners are discovered without restarts.
+//   - /v1/peer/status — a load snapshot (queue depth, stealable tasks,
+//     free capacity), consumed by peers deciding where to steal from.
+//   - /v1/peer/steal — work stealing. An idle member asks the most
+//     loaded peer for queued tasks; the victim answers with regular
+//     lease grants under the worker name "peer:<thief URL>", attempt
+//     tokens and all. The thief runs each stolen task through its own
+//     server (a loopback batch — cache, coalescing and local workers
+//     all apply), heartbeats the victim like any worker, and relays
+//     the final result through /v1/complete with the stolen attempt
+//     token. The victim's exactly-once discipline is untouched: first
+//     success wins, stale aborts are ignored, and a thief that dies
+//     just lets the lease expire and the task requeue.
+//
+// The shared cache tier is the Storage seam, not the Federation: build
+// every member's Server on one DiskStore directory, or on a RemoteStore
+// pointing at one member, and a result banked anywhere is a cache hit
+// everywhere — including for stolen tasks, whose results are banked on
+// both the thief (local run) and the victim (completion relay).
+//
+// A Federation is an http.Handler: serve it instead of the Server (it
+// delegates every non-peer path).
+type Federation struct {
+	self   string
+	server *Server
+	httpc  *http.Client
+
+	announceEvery time.Duration
+	stealEvery    time.Duration
+
+	mu    sync.Mutex
+	peers map[string]bool
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// FederationOption configures a Federation.
+type FederationOption func(*Federation)
+
+// WithAnnounceInterval sets the membership gossip period (default 2s).
+func WithAnnounceInterval(d time.Duration) FederationOption {
+	return func(f *Federation) {
+		if d > 0 {
+			f.announceEvery = d
+		}
+	}
+}
+
+// WithStealInterval sets how often an idle member looks for work to
+// steal (default 500ms; tests shorten it to converge fast).
+func WithStealInterval(d time.Duration) FederationOption {
+	return func(f *Federation) {
+		if d > 0 {
+			f.stealEvery = d
+		}
+	}
+}
+
+// NewFederation federates server under the advertised base URL self
+// (the address peers and the loopback batch reach it on), seeded with
+// the given peer addresses. It starts the announce and steal loops;
+// call Close to stop them. The caller still owns the Server.
+func NewFederation(server *Server, self string, peers []string, opts ...FederationOption) *Federation {
+	f := &Federation{
+		self:          BaseURL(self),
+		server:        server,
+		httpc:         &http.Client{Timeout: 30 * time.Second},
+		announceEvery: 2 * time.Second,
+		stealEvery:    500 * time.Millisecond,
+		peers:         map[string]bool{},
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	for _, p := range peers {
+		f.addPeer(p)
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.wg.Add(2)
+	go f.announceLoop()
+	go f.stealLoop()
+	return f
+}
+
+// Close stops the announce and steal loops and abandons in-flight
+// stolen work (the victims' leases expire and the tasks requeue). It is
+// idempotent.
+func (f *Federation) Close() {
+	f.closeOnce.Do(f.cancel)
+	f.wg.Wait()
+}
+
+// Self reports the advertised base URL.
+func (f *Federation) Self() string { return f.self }
+
+// Peers reports the known peer URLs, sorted.
+func (f *Federation) Peers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.peers))
+	for p := range f.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// addPeer records a peer URL, ignoring self and empties. It reports
+// whether the set grew.
+func (f *Federation) addPeer(addr string) bool {
+	u := BaseURL(addr)
+	if u == "" || u == f.self {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.peers[u] {
+		return false
+	}
+	f.peers[u] = true
+	f.server.SetPeerCount(len(f.peers))
+	return true
+}
+
+// Status is the member's own load snapshot with identity and membership
+// filled in.
+func (f *Federation) Status() PeerStatus {
+	st := f.server.Status()
+	st.Self = f.self
+	st.Peers = f.Peers()
+	return st
+}
+
+// ServeHTTP handles the peer protocol and delegates everything else to
+// the wrapped Server.
+func (f *Federation) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case pathPeerAnnounce:
+		var req announceRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("grid: bad announce: %v", err), http.StatusBadRequest)
+			return
+		}
+		f.addPeer(req.Peer)
+		writeJSON(w, announceResponse{Peers: append(f.Peers(), f.self)})
+	case pathPeerStatus:
+		writeJSON(w, f.Status())
+	case pathPeerSteal:
+		var req stealRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("grid: bad steal: %v", err), http.StatusBadRequest)
+			return
+		}
+		f.addPeer(req.Peer)
+		tasks, ttl := f.server.StealGrant(BaseURL(req.Peer), req.Max)
+		writeJSON(w, leaseResponse{Tasks: tasks, LeaseMS: ttl})
+	default:
+		f.server.ServeHTTP(w, r)
+	}
+}
+
+// announceLoop gossips membership: announce self to every known peer,
+// merge the peer lists that come back. Unreachable peers stay in the
+// set — a crashed member may come back, and the steal loop already
+// tolerates dead peers — so a kill -9 never wedges the survivors.
+func (f *Federation) announceLoop() {
+	defer f.wg.Done()
+	for {
+		for _, p := range f.Peers() {
+			var resp announceResponse
+			if err := f.post(p+pathPeerAnnounce, announceRequest{Peer: f.self}, &resp); err != nil {
+				continue
+			}
+			for _, known := range resp.Peers {
+				f.addPeer(known)
+			}
+		}
+		if !sleepCtx(f.ctx, f.announceEvery) {
+			return
+		}
+	}
+}
+
+// stealLoop watches for the idle-local/loaded-peer imbalance: when this
+// member has free worker capacity and an empty queue, it steals from
+// the peer advertising the most stealable tasks.
+func (f *Federation) stealLoop() {
+	defer f.wg.Done()
+	for {
+		if !sleepCtx(f.ctx, f.stealEvery) {
+			return
+		}
+		local := f.server.Status()
+		if local.FreeCapacity < 1 || local.QueueDepth > 0 {
+			continue
+		}
+		victim, avail := "", 0
+		for _, p := range f.Peers() {
+			st, err := f.peerStatus(p)
+			if err != nil || st.Stealable < 1 {
+				continue
+			}
+			if st.Stealable > avail {
+				victim, avail = p, st.Stealable
+			}
+		}
+		if victim == "" {
+			continue
+		}
+		max := local.FreeCapacity
+		if max > avail {
+			max = avail
+		}
+		var resp leaseResponse
+		if err := f.post(victim+pathPeerSteal, stealRequest{Peer: f.self, Max: max}, &resp); err != nil {
+			continue
+		}
+		if len(resp.Tasks) == 0 {
+			continue
+		}
+		f.server.NoteStealIn(len(resp.Tasks))
+		ttl := time.Duration(resp.LeaseMS) * time.Millisecond
+		for _, t := range resp.Tasks {
+			f.wg.Add(1)
+			go f.runStolen(victim, t, ttl)
+		}
+	}
+}
+
+// runStolen executes one stolen task through this member's own server —
+// a loopback batch, so the shared cache, coalescing and the local
+// worker pool all apply — while heartbeating the victim under the
+// peer worker name, and relays the final result with the stolen
+// attempt token. Transport-level failures relay nothing: the victim's
+// lease expires and the task requeues, which is the safe outcome.
+func (f *Federation) runStolen(victim string, t Task, ttl time.Duration) {
+	defer f.wg.Done()
+	ctx, cancel := context.WithCancel(f.ctx)
+	defer cancel()
+	peerName := PeerWorkerPrefix + f.self
+
+	// Heartbeat the victim's lease while the local run is in flight. A
+	// cancelled verdict aborts the local run; stale verdicts are ignored
+	// (the victim may have speculated the straggler — our eventual
+	// success is still banked and still wins if first).
+	hbDone := make(chan struct{})
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		period := ttl / 3
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			var resp heartbeatResponse
+			err := f.post(victim+pathHeartbeat, heartbeatRequest{Worker: peerName, Tasks: []string{t.ID}}, &resp)
+			if err == nil {
+				for _, id := range resp.Cancelled {
+					if id == t.ID {
+						cancel()
+						return
+					}
+				}
+			}
+			timer := time.NewTimer(period)
+			select {
+			case <-hbDone:
+				timer.Stop()
+				return
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+	}()
+
+	// The default transport, not f.httpc: a batch stream lives as long
+	// as the simulation and must not be cut by the peer-RPC timeout.
+	client := &Client{Server: f.self}
+	ch, err := client.Submit(ctx, []Task{t})
+	var final *TaskResult
+	if err == nil {
+		for tr := range ch {
+			res := tr
+			final = &res
+		}
+	}
+	close(hbDone)
+	if final == nil || strings.HasPrefix(final.Err, "grid: result stream ended early") {
+		// Never ran (submit failed, cancelled, or the loopback stream
+		// died): let the victim's lease expire and requeue.
+		return
+	}
+	comp := completeRequest{Worker: peerName, ID: t.ID, Hash: t.Hash,
+		Attempt: t.Attempt, Result: final.Payload, Err: final.Err}
+	// Retry like a worker: one dropped packet must not waste the run.
+	for attempt := 0; attempt < 3; attempt++ {
+		var resp completeResponse
+		if err := f.post(victim+pathComplete, comp, &resp); err == nil {
+			return
+		}
+		if !sleepCtx(f.ctx, 200*time.Millisecond) {
+			return
+		}
+	}
+}
+
+func (f *Federation) peerStatus(peer string) (PeerStatus, error) {
+	var st PeerStatus
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, peer+pathPeerStatus, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("grid: peer status: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// post is the shared JSON POST helper of the peer protocol.
+func (f *Federation) post(url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("grid: %s: %s", url, resp.Status)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

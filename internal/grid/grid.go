@@ -57,6 +57,15 @@ type Task struct {
 	// aborts the old attempt with a context error, and that abort must
 	// not fail the attempt now running. Clients leave it zero.
 	Attempt int `json:"attempt,omitempty"`
+	// Profile is an optional locality key: jobs sharing expensive warm
+	// state (the repro dispatcher hashes workload+config) carry the same
+	// profile, and the server prefers granting a task to a worker that
+	// recently ran its profile (affinity scheduling). Empty opts out.
+	Profile string `json:"profile,omitempty"`
+	// Hops counts how many times the task has been stolen between
+	// federated servers; a server refuses to let peers steal a task at
+	// its max-hop bound, so work cannot ping-pong around a federation.
+	Hops int `json:"hops,omitempty"`
 }
 
 // TaskResult is one streamed batch outcome — or, when Progress is set,
@@ -106,6 +115,10 @@ type TaskProgress struct {
 	Phase int `json:"phase"`
 	// Worker names the reporting worker.
 	Worker string `json:"worker,omitempty"`
+	// BatchEtaMS is the server's rough estimate, stamped when the event
+	// is fanned to a batch stream, of how many milliseconds remain until
+	// the whole batch finishes (0 when the server cannot estimate yet).
+	BatchEtaMS int64 `json:"batch_eta_ms,omitempty"`
 }
 
 // TaskStoppedError is the Err string of a final TaskResult synthesized
@@ -126,7 +139,7 @@ type ExecFunc func(ctx context.Context, payload []byte) ([]byte, error)
 type ProgressExecFunc func(ctx context.Context, payload []byte, report func(TaskProgress)) ([]byte, error)
 
 // The wire protocol paths. Everything is HTTP/JSON; /v1/batch responds
-// with an NDJSON stream.
+// with an NDJSON stream and the /v1/store payload legs carry raw bytes.
 const (
 	pathBatch     = "/v1/batch"
 	pathLease     = "/v1/lease"
@@ -135,7 +148,61 @@ const (
 	pathCancel    = "/v1/cancel"
 	pathMetrics   = "/metrics"
 	pathHealthz   = "/healthz"
+	// The shared cache tier: a server exposes its Storage over HTTP so a
+	// RemoteStore on a peer can use it as its own store (the federation's
+	// single source of cached results).
+	pathStoreGet  = "/v1/store/get"
+	pathStorePut  = "/v1/store/put"
+	pathStoreStat = "/v1/store/stat"
+	// The peer protocol (see Federation): membership announcements,
+	// status snapshots for steal decisions, and work stealing itself.
+	pathPeerAnnounce = "/v1/peer/announce"
+	pathPeerStatus   = "/v1/peer/status"
+	pathPeerSteal    = "/v1/peer/steal"
 )
+
+// PeerWorkerPrefix marks lease-protocol worker names that are actually
+// federated peers stealing work ("peer:<base URL>"). Peer holders are
+// excluded from the Workers gauge, which keeps meaning simulation
+// workers.
+const PeerWorkerPrefix = "peer:"
+
+// announceRequest is a federation membership beacon: the sender's
+// advertised base URL. The response returns every peer the receiver
+// knows, so static -peers seeds gossip into a full mesh.
+type announceRequest struct {
+	Peer string `json:"peer"`
+}
+
+type announceResponse struct {
+	Peers []string `json:"peers,omitempty"`
+}
+
+// stealRequest asks a loaded server to hand over queued tasks: the
+// thief identifies itself by base URL and caps how many tasks it can
+// absorb. The victim answers with regular lease grants (attempt tokens
+// and all) under the worker name "peer:<url>", so the stolen work rides
+// the exact same exactly-once discipline as a local lease.
+type stealRequest struct {
+	Peer string `json:"peer"`
+	Max  int    `json:"max"`
+}
+
+// PeerStatus is one federated server's load snapshot, served on
+// /v1/peer/status and consumed by peers deciding where to steal from
+// (and by `helperd federate` for operators).
+type PeerStatus struct {
+	Self         string   `json:"self,omitempty"`
+	QueueDepth   int      `json:"queue_depth"`
+	Stealable    int      `json:"stealable"`
+	Leased       int      `json:"leased"`
+	Workers      int      `json:"workers"`
+	FreeCapacity int      `json:"free_capacity"`
+	StoreEntries int      `json:"store_entries"`
+	StealsOut    uint64   `json:"steals_out"`
+	StealsIn     uint64   `json:"steals_in"`
+	Peers        []string `json:"peers,omitempty"`
+}
 
 // batchHeader is the response header carrying the server-assigned batch
 // ID of a /v1/batch stream; /v1/cancel addresses jobs through it.

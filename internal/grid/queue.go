@@ -16,6 +16,11 @@ type task struct {
 	payload  json.RawMessage
 	priority int
 	seq      uint64 // FIFO tiebreak within a priority
+	// profile is the task's locality key (Task.Profile), "" when the
+	// submitter did not supply one; hops the times it has been stolen
+	// between federated servers (Task.Hops).
+	profile string
+	hops    int
 
 	// heapIndex is the position in the priority queue, -1 while leased
 	// (or otherwise out of the heap).
@@ -26,6 +31,17 @@ type task struct {
 	deadline time.Time
 	// attempts counts lease assignments, bounding reassignment loops.
 	attempts int
+	// leasedAt is when the current lease was granted, firstLeased when
+	// the very first one was (the base of the completed-duration EWMA
+	// that calibrates ETAs and straggler detection).
+	leasedAt    time.Time
+	firstLeased time.Time
+	// speculated marks a straggler that was re-leased to the fleet while
+	// its original attempt (prevWorker) keeps running — first completion
+	// wins, and prevWorker's heartbeats are tolerated instead of being
+	// told the task is stale. At most one speculation per task.
+	speculated bool
+	prevWorker string
 	// cancelled marks a task every subscriber walked away from; it is
 	// skipped at grant time and reported to its worker if already leased.
 	// A new submission of the same hash revives it.

@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// RemoteStore is the networked Storage implementation: Get, Put and the
+// entry count translate to the /v1/store/get|put|stat endpoints of a
+// peer grid server, making that peer's store this server's cache tier.
+// It is the federation's shared-storage seam when peers cannot share a
+// DiskStore directory: point every server's RemoteStore at one peer and
+// a result banked anywhere is a cache hit everywhere.
+//
+// Failure policy: the store is a cache, so network trouble must never
+// fail a sweep — an unreachable peer turns Get into a miss (the job
+// simply re-simulates) and drops Put (the result is still delivered;
+// only its reuse is lost). Hit/miss counters are local to this client,
+// keeping the Storage contract's exactly-one-of accounting per Get.
+type RemoteStore struct {
+	base string
+	http *http.Client
+
+	mu     sync.Mutex
+	hits   uint64
+	misses uint64
+}
+
+// NewRemoteStore returns a Storage backed by the grid server at addr
+// (BaseURL rules: ":8321", "host:8321" or a full http URL).
+func NewRemoteStore(addr string) *RemoteStore {
+	return &RemoteStore{
+		base: BaseURL(addr),
+		// Bounded so a wedged peer cannot stall batch admission forever;
+		// generous enough for a large result payload on a slow link.
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Remote reports the peer base URL this store speaks to.
+func (s *RemoteStore) Remote() string { return s.base }
+
+// Get fetches the stored payload for hash from the peer, counting the
+// lookup as a hit or miss. Any transport or server error is a miss.
+func (s *RemoteStore) Get(hash string) ([]byte, bool) {
+	payload, ok := s.fetch(hash)
+	s.mu.Lock()
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return payload, ok
+}
+
+func (s *RemoteStore) fetch(hash string) ([]byte, bool) {
+	if hash == "" {
+		return nil, false
+	}
+	resp, err := s.http.Get(s.base + pathStoreGet + "?hash=" + url.QueryEscape(hash))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxStorePayload))
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put banks a successful result payload under hash at the peer (first
+// write wins there, empty hash ignored here). A failed write is
+// dropped: the result was already delivered to its subscribers, only
+// its cache reuse is lost.
+func (s *RemoteStore) Put(hash string, payload []byte) {
+	if hash == "" {
+		return
+	}
+	resp, err := s.http.Post(
+		s.base+pathStorePut+"?hash="+url.QueryEscape(hash),
+		"application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Stats reports the peer's entry count (0 when unreachable) and this
+// client's own hit/miss counters.
+func (s *RemoteStore) Stats() (entries int, hits, misses uint64) {
+	s.mu.Lock()
+	hits, misses = s.hits, s.misses
+	s.mu.Unlock()
+	resp, err := s.http.Get(s.base + pathStoreStat)
+	if err != nil {
+		return 0, hits, misses
+	}
+	defer resp.Body.Close()
+	var st storeStat
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return 0, hits, misses
+	}
+	return st.Entries, hits, misses
+}

@@ -5,6 +5,7 @@ import (
 	"container/heap"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -43,14 +44,48 @@ type Metrics struct {
 	// through the cancel endpoint.
 	ProgressUpdates uint64 `json:"progress_updates"`
 	EarlyStopped    uint64 `json:"early_stopped"`
-	// Point-in-time gauges.
+	// Federation counters: StealsOut counts tasks peers stole from this
+	// server's queue, StealsIn counts tasks this server's federation
+	// stole from peers and ran locally.
+	StealsOut uint64 `json:"steals_out"`
+	StealsIn  uint64 `json:"steals_in"`
+	// Affinity scheduling outcomes, counted only for profiled tasks: a
+	// hit is a lease granted to a worker that recently ran the task's
+	// profile (its caches are warm), a miss is any other profiled grant.
+	AffinityHits   uint64 `json:"affinity_hits"`
+	AffinityMisses uint64 `json:"affinity_misses"`
+	// Speculated counts straggler re-leases: a leased task projected to
+	// run far past the fleet's typical duration was additionally queued
+	// for an idle worker, first completion winning.
+	Speculated uint64 `json:"speculated"`
+	// Point-in-time gauges. Workers counts simulation workers only
+	// (federated peers holding stolen leases are excluded); Peers is the
+	// known federation peer count, 0 on an unfederated server.
 	QueueDepth   int `json:"queue_depth"`
 	Leased       int `json:"leased"`
 	Workers      int `json:"workers"`
+	Peers        int `json:"peers"`
 	StoreEntries int `json:"store_entries"`
 	// Running is the latest interval progress snapshot of each leased
 	// task that has reported one (IDs are server-side task IDs).
 	Running []TaskProgress `json:"running,omitempty"`
+	// Batches is the progress-driven ETA of every connected batch
+	// stream, coarsest first (see BatchETA).
+	Batches []BatchETA `json:"batches,omitempty"`
+}
+
+// BatchETA is the server's live estimate for one connected batch
+// stream: how many of its jobs are still pending (split into queued and
+// running) and roughly how long until the whole batch finishes. The
+// estimate leans on worker progress snapshots for running tasks and on
+// an EWMA of completed task durations for queued ones; it is operator
+// guidance, not a promise.
+type BatchETA struct {
+	ID      string `json:"id"`
+	Pending int    `json:"pending"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	EtaMS   int64  `json:"eta_ms"`
 }
 
 // ServerOption configures a Server.
@@ -81,14 +116,39 @@ func WithMaxAttempts(n int) ServerOption {
 // WithStorage plugs a result store into the server: the in-memory
 // default forgets on restart, an OpenDiskStore-backed one makes the
 // cache durable (restart the server on the same directory and every
-// already-simulated point is a hit). The server does not close the
-// store; the caller owns its lifecycle.
+// already-simulated point is a hit), and a RemoteStore makes this
+// server a client of a peer's cache tier (the federation's shared
+// store). The server does not close the store; the caller owns its
+// lifecycle.
 func WithStorage(st Storage) ServerOption {
 	return func(s *Server) {
 		if st != nil {
 			s.store = st
 		}
 	}
+}
+
+// WithMaxHops bounds how many times federated peers may steal one task
+// from each other (Task.Hops): a task at the bound is no longer
+// stealable and must run where it sits. The default is 2; work stealing
+// balances load in one or two moves, anything more is ping-pong.
+func WithMaxHops(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxHops = n
+		}
+	}
+}
+
+// WithSpeculation toggles straggler re-leasing (default on): when the
+// queue is empty, workers sit idle and a leased task is projected — from
+// its own progress snapshots against the fleet's EWMA task duration —
+// to run far past typical, the task is additionally re-queued so a fast
+// worker can race it. First completion wins; the slow attempt's late
+// answer is banked as usual. Deterministic payloads make the duplicate
+// execution byte-identical, so speculation is invisible to clients.
+func WithSpeculation(on bool) ServerOption {
+	return func(s *Server) { s.speculation = on }
 }
 
 // Server is the grid job server: an http.Handler exposing the batch,
@@ -98,6 +158,8 @@ func WithStorage(st Storage) ServerOption {
 type Server struct {
 	leaseTTL    time.Duration
 	maxAttempts int
+	maxHops     int
+	speculation bool
 
 	mu     sync.Mutex
 	store  Storage
@@ -113,6 +175,10 @@ type Server struct {
 	// the namespace /v1/cancel addresses early stops through.
 	batches  map[string]*batch
 	batchSeq uint64
+	// avgTaskDur is an EWMA of completed task wall durations (first
+	// lease to completion), the fleet-typical time that calibrates batch
+	// ETAs and straggler detection. Zero until the first completion.
+	avgTaskDur time.Duration
 
 	submitted, coalesced      uint64
 	completed, failed         uint64
@@ -120,9 +186,16 @@ type Server struct {
 	abandoned                 uint64
 	progressUpdates           uint64
 	earlyStopped              uint64
-	closed                    chan struct{}
-	closeOnce                 sync.Once
-	reaperDone                chan struct{}
+	stealsOut, stealsIn       uint64
+	affinityHits              uint64
+	affinityMisses            uint64
+	speculatedCount           uint64
+	// peerCount mirrors the attached Federation's live peer set size for
+	// the Peers gauge (SetPeerCount).
+	peerCount  int
+	closed     chan struct{}
+	closeOnce  sync.Once
+	reaperDone chan struct{}
 }
 
 // workerState is the server's view of one polling worker, fed by its
@@ -131,6 +204,42 @@ type workerState struct {
 	lastSeen time.Time
 	capacity int
 	inFlight int
+	// profiles is the worker's recent locality history, most recent
+	// last: the profile keys of its latest lease grants, consulted by
+	// affinity scheduling so recurring jobs land where their caches
+	// (trace windows, predictor state, OS page cache) are warm.
+	profiles []string
+}
+
+// affinityHistory bounds a worker's remembered profile keys.
+const affinityHistory = 8
+
+// sawProfile reports whether the worker recently ran profile.
+func (w *workerState) sawProfile(profile string) bool {
+	for _, p := range w.profiles {
+		if p == profile {
+			return true
+		}
+	}
+	return false
+}
+
+// noteProfile records a grant's profile in the worker's history.
+func (w *workerState) noteProfile(profile string) {
+	if profile == "" {
+		return
+	}
+	for i, p := range w.profiles {
+		if p == profile {
+			// Refresh recency instead of duplicating.
+			w.profiles = append(append(w.profiles[:i], w.profiles[i+1:]...), profile)
+			return
+		}
+	}
+	w.profiles = append(w.profiles, profile)
+	if len(w.profiles) > affinityHistory {
+		w.profiles = w.profiles[len(w.profiles)-affinityHistory:]
+	}
 }
 
 // NewServer builds a Server and starts its lease reaper. Call Close when
@@ -139,6 +248,8 @@ func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		leaseTTL:    5 * time.Second,
 		maxAttempts: 5,
+		maxHops:     2,
+		speculation: true,
 		store:       NewStore(),
 		byID:        map[string]*task{},
 		byHash:      map[string]*task{},
@@ -187,6 +298,12 @@ func (s *Server) metricsLocked() Metrics {
 		Abandoned:       s.abandoned,
 		ProgressUpdates: s.progressUpdates,
 		EarlyStopped:    s.earlyStopped,
+		StealsOut:       s.stealsOut,
+		StealsIn:        s.stealsIn,
+		AffinityHits:    s.affinityHits,
+		AffinityMisses:  s.affinityMisses,
+		Speculated:      s.speculatedCount,
+		Peers:           s.peerCount,
 		StoreEntries:    entries,
 	}
 	for _, t := range s.byID {
@@ -210,13 +327,164 @@ func (s *Server) metricsLocked() Metrics {
 		}
 		return m.Running[i].ID < m.Running[j].ID
 	})
-	cutoff := time.Now().Add(-3 * s.leaseTTL)
-	for _, w := range s.workers {
-		if w.lastSeen.After(cutoff) {
+	now := time.Now()
+	cutoff := now.Add(-3 * s.leaseTTL)
+	for name, w := range s.workers {
+		if w.lastSeen.After(cutoff) && !strings.HasPrefix(name, PeerWorkerPrefix) {
 			m.Workers++
 		}
 	}
+	for id := range s.batches {
+		m.Batches = append(m.Batches, s.batchEtaLocked(s.batches[id], now))
+	}
+	sort.Slice(m.Batches, func(i, j int) bool { return m.Batches[i].ID < m.Batches[j].ID })
 	return m
+}
+
+// batchEtaLocked estimates one connected batch's remaining wall time:
+// the slowest running task's projected remainder (from its progress
+// snapshots, or the fleet EWMA when it has not reported yet), and —
+// when jobs are still queued — however many fleet-capacity waves of the
+// EWMA duration the queue backlog amounts to, whichever is larger.
+func (s *Server) batchEtaLocked(b *batch, now time.Time) BatchETA {
+	eta := BatchETA{ID: b.id}
+	avg := s.avgTaskDur
+	var longest time.Duration
+	for _, t := range s.byID {
+		subscribed := false
+		for _, sub := range t.subs {
+			if sub.batch == b {
+				subscribed = true
+				break
+			}
+		}
+		if !subscribed {
+			continue
+		}
+		eta.Pending++
+		if t.worker == "" {
+			eta.Queued++
+			continue
+		}
+		eta.Running++
+		remaining := avg - now.Sub(t.leasedAt)
+		if p := t.progress; p != nil && p.Total > 0 && p.Uops > 0 {
+			elapsed := now.Sub(t.leasedAt)
+			if elapsed > 0 {
+				frac := float64(p.Uops) / float64(p.Total)
+				remaining = time.Duration(float64(elapsed) * (1 - frac) / frac)
+			}
+		}
+		if remaining > longest {
+			longest = remaining
+		}
+	}
+	if eta.Queued > 0 && avg > 0 {
+		capacity := s.fleetCapacityLocked()
+		if capacity < 1 {
+			capacity = 1
+		}
+		waves := (eta.Queued + capacity - 1) / capacity
+		if queueEta := avg + time.Duration(waves)*avg; queueEta > longest {
+			longest = queueEta
+		}
+	}
+	eta.EtaMS = longest.Milliseconds()
+	if eta.EtaMS < 0 {
+		eta.EtaMS = 0
+	}
+	return eta
+}
+
+// fleetCapacityLocked sums the reported capacity of live simulation
+// workers; freeCapacityLocked the slots they are not using. Peer holders
+// never report capacity, so both naturally exclude them.
+func (s *Server) fleetCapacityLocked() int {
+	total := 0
+	cutoff := time.Now().Add(-3 * s.leaseTTL)
+	for _, w := range s.workers {
+		if w.lastSeen.After(cutoff) {
+			total += w.capacity
+		}
+	}
+	return total
+}
+
+func (s *Server) freeCapacityLocked() int {
+	free := 0
+	cutoff := time.Now().Add(-3 * s.leaseTTL)
+	for _, w := range s.workers {
+		if w.lastSeen.After(cutoff) && w.capacity > w.inFlight {
+			free += w.capacity - w.inFlight
+		}
+	}
+	return free
+}
+
+// freeCapacityElsewhereLocked reports whether a live worker other than
+// name has a free slot — speculation's precondition: the copy is never
+// granted back to the original worker, so a second worker must exist
+// to race it.
+func (s *Server) freeCapacityElsewhereLocked(name string) bool {
+	cutoff := time.Now().Add(-3 * s.leaseTTL)
+	for n, w := range s.workers {
+		if n != name && w.lastSeen.After(cutoff) && w.capacity > w.inFlight {
+			return true
+		}
+	}
+	return false
+}
+
+// SetPeerCount mirrors the attached Federation's live peer count into
+// the Peers gauge.
+func (s *Server) SetPeerCount(n int) {
+	s.mu.Lock()
+	s.peerCount = n
+	s.mu.Unlock()
+}
+
+// NoteStealIn counts federation-stolen tasks this server absorbed.
+func (s *Server) NoteStealIn(n int) {
+	s.mu.Lock()
+	s.stealsIn += uint64(n)
+	s.mu.Unlock()
+}
+
+// Status is the federation-facing load snapshot (see PeerStatus).
+func (s *Server) Status() PeerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := PeerStatus{
+		FreeCapacity: s.freeCapacityLocked(),
+		StealsOut:    s.stealsOut,
+		StealsIn:     s.stealsIn,
+	}
+	entries, _, _ := s.store.Stats()
+	st.StoreEntries = entries
+	cutoff := time.Now().Add(-3 * s.leaseTTL)
+	for name, w := range s.workers {
+		if w.lastSeen.After(cutoff) && !strings.HasPrefix(name, PeerWorkerPrefix) {
+			st.Workers++
+		}
+	}
+	for _, t := range s.byID {
+		switch {
+		case t.worker != "":
+			st.Leased++
+		case !t.cancelled:
+			st.QueueDepth++
+			if t.hops < s.maxHops {
+				st.Stealable++
+			}
+		}
+	}
+	if st.Stealable > st.QueueDepth-st.FreeCapacity {
+		st.Stealable = st.QueueDepth - st.FreeCapacity
+	}
+	if st.Stealable < 0 {
+		st.Stealable = 0
+	}
+	return st
 }
 
 // ServeHTTP dispatches the wire protocol.
@@ -232,8 +500,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleComplete(w, r)
 	case pathCancel:
 		s.handleCancel(w, r)
+	case pathStoreGet:
+		s.handleStoreGet(w, r)
+	case pathStorePut:
+		s.handleStorePut(w, r)
+	case pathStoreStat:
+		entries, hits, misses := s.store.Stats()
+		writeJSON(w, storeStat{Entries: entries, Hits: hits, Misses: misses})
 	case pathMetrics:
 		writeJSON(w, s.Metrics())
+	case pathPeerStatus:
+		// A bare Server answers its own load snapshot so `helperd
+		// federate` works against unfederated members too; the Federation
+		// intercepts this path to fill in Self and Peers.
+		writeJSON(w, s.Status())
 	case pathHealthz:
 		m := s.Metrics()
 		writeJSON(w, map[string]any{
@@ -246,6 +526,55 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 	}
 }
+
+// storeStat is the /v1/store/stat wire shape, mirroring Storage.Stats.
+type storeStat struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// handleStoreGet serves one stored payload raw: 200 with the bytes on a
+// hit, 404 on a miss. Together with handleStorePut it turns this
+// server's Storage into the federation's shared cache tier — a peer
+// built with a RemoteStore pointing here reads and banks results in the
+// same store this server answers cache hits from.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.URL.Query().Get("hash")
+	if hash == "" {
+		http.Error(w, "grid: store get without hash", http.StatusBadRequest)
+		return
+	}
+	payload, ok := s.store.Get(hash)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+// handleStorePut banks one successful result payload under the given
+// hash (first write wins, like every Storage).
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	hash := r.URL.Query().Get("hash")
+	if hash == "" {
+		http.Error(w, "grid: store put without hash", http.StatusBadRequest)
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStorePayload))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("grid: store put: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.store.Put(hash, payload)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxStorePayload bounds one remote store write (a Result JSON is a few
+// KB; 64 MB leaves room for any future payload without letting a rogue
+// client exhaust memory).
+const maxStorePayload = 64 << 20
 
 // handleBatch accepts a job batch and streams its results back as
 // NDJSON, one TaskResult per line, flushed as they land. The request
@@ -369,6 +698,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			payload:  l.first.Payload,
 			priority: l.first.Priority,
 			seq:      s.seq,
+			profile:  l.first.Profile,
+			hops:     l.first.Hops,
 			subs:     []subscriber{{batch: b, jobID: l.first.ID}},
 		}
 		for _, id := range l.dups {
@@ -508,14 +839,20 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 // grantLocked pops queued tasks for a worker, honouring its reported
-// free capacity and discarding abandoned tasks it encounters.
+// free capacity and discarding abandoned tasks it encounters. Affinity:
+// when the popped task's profile is cold on this worker but an
+// equal-priority queued task's profile is warm, the two swap — affinity
+// only ever reorders within a priority level, so the strict
+// priority-then-FIFO grant order of unprofiled work is untouched.
 func (s *Server) grantLocked(req leaseRequest) []Task {
 	capacity := req.Capacity
 	if capacity < 1 {
 		capacity = 1
 	}
 	k := capacity - req.InFlight
+	ws := s.workers[req.Worker]
 	var out []Task
+	var setAside []*task
 	now := time.Now()
 	for len(out) < k && s.queue.Len() > 0 {
 		t := heap.Pop(&s.queue).(*task)
@@ -524,14 +861,129 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 			delete(s.byHash, t.hash)
 			continue
 		}
+		// Never hand a speculated straggler back to the worker already
+		// running its original attempt: that worker would drop the
+		// duplicate grant and nobody would race the slow copy.
+		if t.speculated && t.prevWorker == req.Worker {
+			setAside = append(setAside, t)
+			continue
+		}
+		if ws != nil && t.profile != "" && !ws.sawProfile(t.profile) {
+			if alt := s.affineAltLocked(ws, t, req.Worker); alt != nil {
+				heap.Push(&s.queue, t)
+				t = alt
+			}
+		}
+		if t.profile != "" {
+			if ws != nil && ws.sawProfile(t.profile) {
+				s.affinityHits++
+			} else {
+				s.affinityMisses++
+			}
+			if ws != nil {
+				ws.noteProfile(t.profile)
+			}
+		}
 		t.worker = req.Worker
 		t.deadline = now.Add(s.leaseTTL)
 		t.attempts++
+		t.leasedAt = now
+		if t.firstLeased.IsZero() {
+			t.firstLeased = now
+		}
 		s.leasesGranted++
 		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority,
-			Payload: t.payload, Attempt: t.attempts})
+			Payload: t.payload, Attempt: t.attempts, Profile: t.profile, Hops: t.hops})
+	}
+	for _, t := range setAside {
+		heap.Push(&s.queue, t)
 	}
 	return out
+}
+
+// affineAltLocked finds the earliest queued task of t's priority whose
+// profile the worker recently ran and removes it from the queue (the
+// caller grants it in t's place). Nil when no affine candidate exists.
+func (s *Server) affineAltLocked(ws *workerState, t *task, worker string) *task {
+	var best *task
+	for _, c := range s.queue {
+		if c.priority != t.priority || c.profile == "" || !ws.sawProfile(c.profile) {
+			continue
+		}
+		if c.cancelled && len(c.subs) == 0 {
+			continue
+		}
+		if c.speculated && c.prevWorker == worker {
+			continue
+		}
+		if best == nil || c.seq < best.seq {
+			best = c
+		}
+	}
+	if best != nil {
+		heap.Remove(&s.queue, best.heapIndex)
+	}
+	return best
+}
+
+// StealGrant leases up to max queued tasks to a federated peer (worker
+// name PeerWorkerPrefix+peer), honouring the hop bound and granting only
+// the queue surplus local free capacity cannot absorb imminently. The
+// returned tasks carry their attempt tokens — the thief heartbeats and
+// completes through the normal worker endpoints, so stolen work keeps
+// the exactly-once discipline. The second result is the lease TTL in
+// milliseconds.
+func (s *Server) StealGrant(peer string, max int) ([]Task, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ttl := s.leaseTTL.Milliseconds()
+	surplus := 0
+	for _, t := range s.byID {
+		if t.worker == "" && !t.cancelled {
+			surplus++
+		}
+	}
+	surplus -= s.freeCapacityLocked()
+	if max > surplus {
+		max = surplus
+	}
+	if max < 1 {
+		return nil, ttl
+	}
+	worker := PeerWorkerPrefix + peer
+	s.touchWorkerLocked(worker, 0, 0)
+	now := time.Now()
+	var out []Task
+	var setAside []*task
+	for len(out) < max && s.queue.Len() > 0 {
+		t := heap.Pop(&s.queue).(*task)
+		if t.cancelled && len(t.subs) == 0 {
+			delete(s.byID, t.id)
+			delete(s.byHash, t.hash)
+			continue
+		}
+		if t.hops >= s.maxHops {
+			// At the hop bound: this task must run where it sits.
+			setAside = append(setAside, t)
+			continue
+		}
+		t.hops++
+		t.worker = worker
+		t.deadline = now.Add(s.leaseTTL)
+		t.attempts++
+		t.leasedAt = now
+		if t.firstLeased.IsZero() {
+			t.firstLeased = now
+		}
+		s.leasesGranted++
+		s.stealsOut++
+		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority,
+			Payload: t.payload, Attempt: t.attempts, Profile: t.profile, Hops: t.hops})
+	}
+	for _, t := range setAside {
+		heap.Push(&s.queue, t)
+	}
+	return out, ttl
 }
 
 // handleHeartbeat renews the worker's leases and tells it which of its
@@ -549,22 +1001,39 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	s.touchWorkerLocked(req.Worker, 0, req.InFlight)
 	for _, id := range req.Tasks {
 		t, ok := s.byID[id]
+		tolerated := ok && t.speculated && t.prevWorker == req.Worker && t.worker != req.Worker
 		switch {
-		case !ok || t.worker != req.Worker:
+		case !ok || (t.worker != req.Worker && !tolerated):
 			resp.Stale = append(resp.Stale, id)
 		case t.cancelled:
+			// Cancellation outranks the speculation tolerance below: an
+			// early-stopped straggler's original attempt must abort like
+			// any other holder instead of burning CPU to the end.
 			resp.Cancelled = append(resp.Cancelled, id)
+		case tolerated:
+			// The original attempt of a speculated straggler: neither
+			// stale nor the lease holder. Let it keep running — first
+			// completion wins — without renewing the current lease.
 		default:
 			t.deadline = now.Add(s.leaseTTL)
 		}
 	}
-	// Accept interval progress only from the current lease holder (a
-	// reassigned task's zombie must not overwrite the live worker's
-	// numbers) and fan each snapshot out to the subscribed batches under
-	// their own job IDs.
+	// Fan each accepted interval snapshot out to the subscribed batches
+	// under their own job IDs.
+	etas := map[*batch]int64{}
 	for _, p := range req.Progress {
 		t, ok := s.byID[p.ID]
-		if !ok || t.worker != req.Worker {
+		if !ok {
+			continue
+		}
+		// Accept progress from the current lease holder — a reassigned
+		// task's zombie must not overwrite the live worker's numbers —
+		// or, while a speculated straggler's copy is still queued, from
+		// the original attempt: it is the only execution alive, and
+		// muting it would blind progress subscribers (and their
+		// early-stop hooks) for the whole speculation window.
+		if t.worker != req.Worker &&
+			!(t.speculated && t.worker == "" && t.prevWorker == req.Worker) {
 			continue
 		}
 		p.Hash = t.hash
@@ -575,6 +1044,15 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		for _, sub := range t.subs {
 			fanned := p
 			fanned.ID = sub.jobID
+			// Stamp the batch's live ETA on the event (computed at most
+			// once per batch per heartbeat) so clients see it without a
+			// separate /metrics poll.
+			eta, cached := etas[sub.batch]
+			if !cached {
+				eta = s.batchEtaLocked(sub.batch, now).EtaMS
+				etas[sub.batch] = eta
+			}
+			fanned.BatchEtaMS = eta
 			sub.batch.sendProgress(fanned)
 		}
 	}
@@ -686,6 +1164,17 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// Already banked under t.hash above — the peek saw this task (IDs
 		// are never reused, so a task known here was known then).
 		s.completed++
+		// Fold the wall duration (first lease to completion) into the
+		// fleet EWMA that calibrates batch ETAs and straggler detection.
+		if !t.firstLeased.IsZero() {
+			if dur := time.Since(t.firstLeased); dur > 0 {
+				if s.avgTaskDur == 0 {
+					s.avgTaskDur = dur
+				} else {
+					s.avgTaskDur = time.Duration(0.7*float64(s.avgTaskDur) + 0.3*float64(dur))
+				}
+			}
+		}
 		t.deliver(TaskResult{Hash: t.hash, Payload: req.Result})
 	} else {
 		s.failed++
@@ -748,6 +1237,47 @@ func (s *Server) expireLeases() {
 		s.reassigned++
 		heap.Push(&s.queue, t)
 		requeued = true
+	}
+	// Straggler speculation: with an empty queue, idle capacity on some
+	// OTHER worker and a calibrated fleet EWMA, re-queue a leased task
+	// projected to run far past typical so an idle worker can race the
+	// slow attempt. The original keeps running — its heartbeats are
+	// tolerated through prevWorker — and the first completion wins;
+	// deterministic payloads make the duplicate byte-identical, so
+	// clients never notice.
+	if s.speculation && s.avgTaskDur > 0 && s.queue.Len() == 0 {
+		for _, t := range s.byID {
+			if t.worker == "" || t.speculated || t.cancelled ||
+				t.attempts > s.maxAttempts-2 {
+				continue
+			}
+			if !s.freeCapacityElsewhereLocked(t.worker) {
+				// The copy is never granted back to the original worker,
+				// so without a free slot on a different live worker it
+				// would only starve in the queue. In particular a
+				// single-worker grid never speculates: the original
+				// attempt stays the task's one true lease.
+				continue
+			}
+			elapsed := now.Sub(t.leasedAt)
+			if elapsed < 2*s.avgTaskDur {
+				continue
+			}
+			if p := t.progress; p != nil && p.Total > 0 && p.Uops > 0 {
+				frac := float64(p.Uops) / float64(p.Total)
+				if time.Duration(float64(elapsed)*(1-frac)/frac) < s.avgTaskDur {
+					// Nearly done: let it finish.
+					continue
+				}
+			}
+			t.prevWorker = t.worker
+			t.worker = ""
+			t.progress = nil
+			t.speculated = true
+			s.speculatedCount++
+			heap.Push(&s.queue, t)
+			requeued = true
+		}
 	}
 	if requeued {
 		s.wakeLocked()

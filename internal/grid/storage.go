@@ -4,12 +4,14 @@ package grid
 // Server: canonical job hash → result payload bytes, stored verbatim so
 // cache hits are byte-identical to the worker's original answer.
 //
-// Two implementations ship with the package: the in-memory Store (the
-// default — a restart forgets everything) and the crash-safe DiskStore
-// (a server restarted on the same directory keeps its cache). A shared
-// DiskStore directory is also the seam for a future server tier.
+// Three implementations ship with the package: the in-memory Store
+// (the default — a restart forgets everything), the crash-safe
+// DiskStore (a server restarted on the same directory keeps its cache),
+// and the networked RemoteStore (this server reads and banks results in
+// a peer's store — the federation's shared cache tier; a shared
+// DiskStore directory is the same seam for co-located peers).
 //
-// Contract, shared by both and pinned by TestStorageContract:
+// Contract, shared by all and pinned by TestStorageContract:
 //
 //   - Only successful results are stored; callers must never Put a
 //     failure payload (a transient error must not poison a sweep point).
@@ -36,4 +38,5 @@ type Storage interface {
 var (
 	_ Storage = (*Store)(nil)
 	_ Storage = (*DiskStore)(nil)
+	_ Storage = (*RemoteStore)(nil)
 )

@@ -4,8 +4,6 @@
 // imbalance metric of §3.7, and the event counts the power model consumes.
 package metrics
 
-import "reflect"
-
 // Metrics is the full counter set of one simulation run.
 type Metrics struct {
 	// Time.
@@ -129,29 +127,57 @@ func (m *Metrics) BranchMispredictRate() float64 {
 }
 
 // Sub returns the field-wise difference m - prev: the counter deltas of
-// the interval between two snapshots of the same run. It walks the struct
-// reflectively so new counters are covered automatically; it runs once
-// per feedback interval (tens of thousands of uops), far off any hot
-// path. Counters are monotonic within a run, so the differences cannot
-// underflow for a genuine (later, earlier) snapshot pair.
+// the interval between two snapshots of the same run. Counters are
+// monotonic within a run, so the differences cannot underflow for a
+// genuine (later, earlier) snapshot pair. The field list is maintained
+// by hand — TestSubCoversEveryField fills every field reflectively and
+// fails on any counter this function misses, so additions to Metrics
+// cannot silently produce zero deltas.
 func (m Metrics) Sub(prev Metrics) Metrics {
-	var out Metrics
-	mv := reflect.ValueOf(m)
-	pv := reflect.ValueOf(prev)
-	ov := reflect.ValueOf(&out).Elem()
-	for i := 0; i < mv.NumField(); i++ {
-		switch f := mv.Field(i); f.Kind() {
-		case reflect.Uint64:
-			ov.Field(i).SetUint(f.Uint() - pv.Field(i).Uint())
-		case reflect.Array:
-			for j := 0; j < f.Len(); j++ {
-				ov.Field(i).Index(j).SetUint(f.Index(j).Uint() - pv.Field(i).Index(j).Uint())
-			}
-		default:
-			panic("metrics: Sub cannot difference field " + mv.Type().Field(i).Name)
-		}
+	d2 := func(a, b [2]uint64) [2]uint64 { return [2]uint64{a[0] - b[0], a[1] - b[1]} }
+	return Metrics{
+		Ticks:      m.Ticks - prev.Ticks,
+		WideCycles: m.WideCycles - prev.WideCycles,
+
+		Committed:       m.Committed - prev.Committed,
+		CommittedCopies: m.CommittedCopies - prev.CommittedCopies,
+		CommittedSplits: m.CommittedSplits - prev.CommittedSplits,
+
+		SteeredHelper: m.SteeredHelper - prev.SteeredHelper,
+		SteeredSplit:  m.SteeredSplit - prev.SteeredSplit,
+		CopiesCreated: m.CopiesCreated - prev.CopiesCreated,
+		CopyPrefetch:  m.CopyPrefetch - prev.CopyPrefetch,
+
+		WidthCorrect:  m.WidthCorrect - prev.WidthCorrect,
+		WidthNonFatal: m.WidthNonFatal - prev.WidthNonFatal,
+		WidthFatal:    m.WidthFatal - prev.WidthFatal,
+		FatalFlushes:  m.FatalFlushes - prev.FatalFlushes,
+
+		Branches:          m.Branches - prev.Branches,
+		BranchMispredicts: m.BranchMispredicts - prev.BranchMispredicts,
+
+		NReadyWideToNarrow: m.NReadyWideToNarrow - prev.NReadyWideToNarrow,
+		NReadyNarrowToWide: m.NReadyNarrowToWide - prev.NReadyNarrowToWide,
+
+		StallROB:  m.StallROB - prev.StallROB,
+		StallIQ:   m.StallIQ - prev.StallIQ,
+		StallPhys: m.StallPhys - prev.StallPhys,
+		StallMOB:  m.StallMOB - prev.StallMOB,
+
+		IQWrites: d2(m.IQWrites, prev.IQWrites),
+		Issues:   d2(m.Issues, prev.Issues),
+		IQOccSum: d2(m.IQOccSum, prev.IQOccSum),
+
+		BranchResolveTicks: m.BranchResolveTicks - prev.BranchResolveTicks,
+		IssueWaitTicks:     d2(m.IssueWaitTicks, prev.IssueWaitTicks),
+		RFReads:            d2(m.RFReads, prev.RFReads),
+		RFWrites:           d2(m.RFWrites, prev.RFWrites),
+		ALUOps:             d2(m.ALUOps, prev.ALUOps),
+		AGUOps:             d2(m.AGUOps, prev.AGUOps),
+		FPOps:              m.FPOps - prev.FPOps,
+		PredictorLookups:   m.PredictorLookups - prev.PredictorLookups,
+		Renames:            m.Renames - prev.Renames,
 	}
-	return out
 }
 
 // Speedup returns the relative performance of m against a baseline run of

@@ -1,11 +1,17 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/grid"
@@ -19,14 +25,72 @@ import (
 // coalesce onto one execution, and dead workers' leases are reassigned —
 // all transparent to Run/RunBatch/RunAll callers.
 
-// WithGrid routes the Runner's executions to the grid job server at
-// addr (":8321", "host:8321" or a full http URL) instead of the local
-// worker pool. Job defaults (warmup fraction, derived config) resolve
-// client-side before dispatch, so results are bit-identical to a local
-// run. WithWorkers does not limit a grid batch — the server's workers
-// set the parallelism.
+// WithGrid routes the Runner's executions to a grid job server instead
+// of the local worker pool. addr is one server (":8321", "host:8321" or
+// a full http URL) or a comma-separated list of federated peers; with
+// several, jobs are partitioned across them by rendezvous-hashing each
+// job's locality profile (workload+config), so recurring jobs keep
+// landing on the server whose workers already have their state warm,
+// and a peer that dies mid-batch is failed over transparently: its jobs
+// are resubmitted to the next peer, and any result already banked in
+// the federation's shared store is a cache hit there. Job defaults
+// (warmup fraction, derived config) resolve client-side before
+// dispatch, so results are bit-identical to a local run. WithWorkers
+// does not limit a grid batch — the servers' workers set the
+// parallelism.
 func WithGrid(addr string) Option {
-	return func(r *Runner) { r.grid = grid.BaseURL(addr) }
+	return func(r *Runner) {
+		var peers []string
+		for _, a := range strings.Split(addr, ",") {
+			if u := grid.BaseURL(a); u != "" {
+				peers = append(peers, u)
+			}
+		}
+		r.grid = strings.Join(peers, ",")
+	}
+}
+
+// gridPeers splits the Runner's normalized peer list.
+func gridPeers(gridAddr string) []string {
+	if gridAddr == "" {
+		return nil
+	}
+	return strings.Split(gridAddr, ",")
+}
+
+// profileKey is a job's locality profile: a short hash over the
+// resolved workload and machine configuration (not the policy or
+// budgets), so every sweep point probing one workload/machine pair maps
+// to the same key. The grid uses it twice — the client rendezvous-hashes
+// it to a federated peer, and each server prefers granting it to a
+// worker that recently ran the same profile.
+func profileKey(j Job) string {
+	data, err := json.Marshal(struct {
+		W Workload `json:"w"`
+		C Config   `json:"c"`
+	}{j.Workload, j.EffectiveConfig()})
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return "p:" + hex.EncodeToString(sum[:8])
+}
+
+// peerOrder ranks peers for a profile by rendezvous (highest random
+// weight) hashing: every client ranks identically, so a profile's jobs
+// converge on one peer without coordination, and the ranking doubles as
+// the failover order — peer down, next in line.
+func peerOrder(profile string, peers []string) []string {
+	out := make([]string, len(peers))
+	copy(out, peers)
+	score := func(peer string) [32]byte {
+		return sha256.Sum256([]byte(profile + "|" + peer))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := score(out[i]), score(out[j])
+		return bytes.Compare(a[:], b[:]) > 0
+	})
+	return out
 }
 
 // WithGridPriority sets the queue priority of every job this Runner
@@ -58,6 +122,10 @@ type JobProgress struct {
 	Phase int
 	// Worker names the grid worker running the job.
 	Worker string
+	// BatchETA is the server's rough estimate of how long until the
+	// whole batch finishes, stamped on the event server-side (zero when
+	// the server cannot estimate yet — no completions to calibrate on).
+	BatchETA time.Duration
 	// Stop cancels this one job early: it finishes immediately with
 	// ErrJobStopped (the rest of the batch keeps running) and its
 	// simulation is aborted at the worker through the per-task
@@ -134,26 +202,41 @@ func (r *Runner) JobExecProgress(every uint64) func(ctx context.Context, payload
 	}
 }
 
+// transportFailedPrefix marks the one TaskResult error class that means
+// "this peer died under us", not "this job failed": the client-side
+// synthetic error for tasks left outstanding when a result stream dies
+// (server crash, connection cut). Those — and nothing else — fail over
+// to the next peer; a genuine execution error is the job's answer.
+const transportFailedPrefix = "grid: result stream ended early"
+
 // runGridBatch is RunBatch over the wire: resolve and validate each job
-// locally (bad jobs fail fast without a round trip), submit the rest as
-// one grid batch, and map the NDJSON result stream back onto JobResults.
-// Delivery follows the RunBatch contract: completion order, per-job
-// errors in JobResult.Err, best-effort after cancellation.
+// locally (bad jobs fail fast without a round trip), partition the rest
+// across the federated peers by locality profile, submit one grid batch
+// per peer, and map the NDJSON result streams back onto JobResults. A
+// peer that dies mid-batch has its unfinished jobs resubmitted down the
+// rendezvous order (the shared store makes anything it did finish a
+// cache hit). Delivery follows the RunBatch contract: completion order,
+// per-job errors in JobResult.Err, best-effort after cancellation.
 func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult {
 	batch := make([]Job, len(jobs))
 	copy(batch, jobs)
 	out := make(chan JobResult)
 	go func() {
 		defer close(out)
+		peers := gridPeers(r.grid)
 		total := len(batch)
-		// Unlike the local pool, everything here runs on this one
-		// goroutine, so the progress callback needs no locking and Done
-		// is trivially strictly increasing.
+		// Result streams of several peers run concurrently; one mutex
+		// serializes the progress callbacks (their documented contract)
+		// and keeps Done strictly increasing.
+		var mu sync.Mutex
 		done := 0
 		emit := func(jr JobResult) {
 			if r.progress != nil {
+				mu.Lock()
 				done++
-				r.progress(Progress{Done: done, Total: total, Job: jr.Job, Err: jr.Err})
+				p := Progress{Done: done, Total: total, Job: jr.Job, Err: jr.Err}
+				r.progress(p)
+				mu.Unlock()
 			}
 			select {
 			case out <- jr:
@@ -182,6 +265,7 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 				Hash:     grid.HashBytes(payload),
 				Priority: r.gridPriority,
 				Payload:  payload,
+				Profile:  profileKey(j),
 			})
 			taskIndex[id] = i
 		}
@@ -189,7 +273,45 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 			return
 		}
 
-		client := &grid.Client{Server: r.grid}
+		// Partition by the profile's rendezvous leader. With one peer
+		// this is one group and zero behaviour change.
+		groups := map[string][]grid.Task{}
+		for _, t := range tasks {
+			leader := peerOrder(t.Profile, peers)[0]
+			groups[leader] = append(groups[leader], t)
+		}
+		var wg sync.WaitGroup
+		for leader, group := range groups {
+			order := []string{leader}
+			for _, p := range peers {
+				if p != leader {
+					order = append(order, p)
+				}
+			}
+			wg.Add(1)
+			go func(order []string, group []grid.Task) {
+				defer wg.Done()
+				r.submitGroup(ctx, order, group, batch, taskIndex, &mu, emit)
+			}(order, group)
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// submitGroup submits one peer's share of a batch, failing transport
+// casualties over to the next peer in order. Each job is tried at most
+// once per peer; when every peer has failed it, the last transport
+// error is its result.
+func (r *Runner) submitGroup(ctx context.Context, order []string, group []grid.Task,
+	batch []Job, taskIndex map[string]int, mu *sync.Mutex, emit func(JobResult)) {
+	remaining := group
+	lastErr := ""
+	for _, peer := range order {
+		if len(remaining) == 0 || ctx.Err() != nil {
+			return
+		}
+		client := &grid.Client{Server: peer}
 		var onProgress func(grid.TaskProgress)
 		// The BatchHandle only exists once SubmitStream returns, but the
 		// first progress event can beat it there; the buffered channel
@@ -215,7 +337,7 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 					defer scancel()
 					h.Stop(sctx, id)
 				}
-				r.gridProgress(JobProgress{
+				jp := JobProgress{
 					Index:       i,
 					Job:         batch[i],
 					Uops:        p.Uops,
@@ -224,22 +346,35 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 					Rung:        p.Rung,
 					Phase:       p.Phase,
 					Worker:      p.Worker,
+					BatchETA:    time.Duration(p.BatchEtaMS) * time.Millisecond,
 					Stop:        stop,
-				})
+				}
+				mu.Lock()
+				r.gridProgress(jp)
+				mu.Unlock()
 			}
 		}
-		ch, handle, err := client.SubmitStream(ctx, tasks, onProgress)
+		ch, handle, err := client.SubmitStream(ctx, remaining, onProgress)
 		if err != nil {
-			for _, t := range tasks {
-				i := taskIndex[t.ID]
-				emit(JobResult{Index: i, Job: batch[i], Err: fmt.Errorf("repro: grid %s: %w", r.grid, err)})
-			}
-			return
+			// The whole submission failed (peer unreachable): every job
+			// moves to the next peer.
+			lastErr = err.Error()
+			continue
 		}
 		handleCh <- handle
+		byID := make(map[string]grid.Task, len(remaining))
+		for _, t := range remaining {
+			byID[t.ID] = t
+		}
+		var failedOver []grid.Task
 		for tr := range ch {
 			i, ok := taskIndex[tr.ID]
 			if !ok {
+				continue
+			}
+			if strings.HasPrefix(tr.Err, transportFailedPrefix) {
+				failedOver = append(failedOver, byID[tr.ID])
+				lastErr = tr.Err
 				continue
 			}
 			jr := JobResult{Index: i, Job: batch[i]}
@@ -255,20 +390,71 @@ func (r *Runner) runGridBatch(ctx context.Context, jobs []Job) <-chan JobResult 
 			}
 			emit(jr)
 		}
-	}()
-	return out
+		remaining = failedOver
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	for _, t := range remaining {
+		i := taskIndex[t.ID]
+		emit(JobResult{Index: i, Job: batch[i], Err: fmt.Errorf("repro: grid %s: %s", r.grid, lastErr)})
+	}
 }
 
-// GridMetrics fetches the counter snapshot of the grid server a Runner
+// GridMetrics fetches the counter snapshot of the grid tier a Runner
 // built WithGrid dispatches to: cache hits and misses from the
 // content-addressed result store, queue depth, lease reassignments,
-// live workers. It errors on a Runner without a grid.
+// live workers — plus the federation counters (steals, affinity hits,
+// per-batch ETAs). With several peers the counters and gauges are
+// summed across every reachable one (Peers is taken as the max — each
+// member already counts the whole mesh) and the per-task/per-batch
+// lists concatenated; it errors only when no peer answers, or on a
+// Runner without a grid.
 func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 	if r.grid == "" {
 		return GridMetrics{}, fmt.Errorf("repro: runner has no grid (build it with WithGrid)")
 	}
-	client := &grid.Client{Server: r.grid}
-	return client.Metrics(ctx)
+	var agg GridMetrics
+	reached := 0
+	var lastErr error
+	for _, peer := range gridPeers(r.grid) {
+		client := &grid.Client{Server: peer}
+		m, err := client.Metrics(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reached++
+		agg.Submitted += m.Submitted
+		agg.CacheHits += m.CacheHits
+		agg.CacheMisses += m.CacheMisses
+		agg.Coalesced += m.Coalesced
+		agg.Completed += m.Completed
+		agg.Failed += m.Failed
+		agg.LeasesGranted += m.LeasesGranted
+		agg.Reassigned += m.Reassigned
+		agg.Abandoned += m.Abandoned
+		agg.ProgressUpdates += m.ProgressUpdates
+		agg.EarlyStopped += m.EarlyStopped
+		agg.StealsOut += m.StealsOut
+		agg.StealsIn += m.StealsIn
+		agg.AffinityHits += m.AffinityHits
+		agg.AffinityMisses += m.AffinityMisses
+		agg.Speculated += m.Speculated
+		agg.QueueDepth += m.QueueDepth
+		agg.Leased += m.Leased
+		agg.Workers += m.Workers
+		agg.StoreEntries += m.StoreEntries
+		if m.Peers > agg.Peers {
+			agg.Peers = m.Peers
+		}
+		agg.Running = append(agg.Running, m.Running...)
+		agg.Batches = append(agg.Batches, m.Batches...)
+	}
+	if reached == 0 {
+		return GridMetrics{}, fmt.Errorf("repro: no grid peer reachable: %w", lastErr)
+	}
+	return agg, nil
 }
 
 // GridMetrics is the grid server's counter snapshot (see the field docs

@@ -367,3 +367,70 @@ func TestWithGridSubmitError(t *testing.T) {
 		t.Error("Run succeeded with no server")
 	}
 }
+
+// TestWithGridFailover covers multi-peer dispatch with a dead member.
+// The dead peer is chosen so that it rendezvous-WINS the jobs' locality
+// profile — every job's first-choice server refuses connections — and
+// the batch must still finish through the live peer, byte-identical to
+// a local run.
+func TestWithGridFailover(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	srv := grid.NewServer(grid.WithLeaseTTL(2 * time.Second))
+	ts := httptest.NewServer(srv)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		gw := &grid.Worker{Server: ts.URL, Name: fmt.Sprintf("fo%d", i),
+			ExecProgress: NewRunner().JobExecProgress(0), Parallel: 2,
+			LeaseWait: 100 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gw.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+		ts.Close()
+		srv.Close()
+	})
+
+	jobs := []Job{
+		{Policy: PolicyBaseline(), Workload: w, N: 2_000},
+		{Policy: PolicyBaseline(), Workload: w, N: 3_000},
+		{Policy: PolicyBaseline(), Workload: w, N: 4_000},
+	}
+	// All three jobs share one profile (same workload+config); pick a
+	// dead address that outranks the live server for it, so failover is
+	// guaranteed to be on the path, not left to hashing luck.
+	prof := profileKey(jobs[0])
+	dead := ""
+	for port := 1; port < 100; port++ {
+		cand := fmt.Sprintf("http://127.0.0.1:%d", port)
+		if peerOrder(prof, []string{cand, ts.URL})[0] == cand {
+			dead = cand
+			break
+		}
+	}
+	if dead == "" {
+		t.Fatal("no candidate address outranks the live server")
+	}
+
+	gridRes, err := NewRunner(WithGrid(dead+","+ts.URL)).RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("federated batch with one dead peer failed: %v", err)
+	}
+	localRes, err := NewRunner().RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(gridRes[i], localRes[i]) {
+			t.Errorf("job %d: failover result differs from local run", i)
+		}
+	}
+	if m := srv.Metrics(); m.Submitted != uint64(len(jobs)) {
+		t.Errorf("live peer saw %d submissions, want %d", m.Submitted, len(jobs))
+	}
+}

@@ -4,9 +4,13 @@
 # job set. Asserts (a) grid-routed results are byte-identical to the
 # local RunBatch output, (b) a rerun is served from the content-addressed
 # result store (cache hits > 0), (c) a worker process being killed
-# mid-study is survived via lease reassignment, and (d) a disk-backed
+# mid-study is survived via lease reassignment, (d) a disk-backed
 # server killed with SIGKILL and restarted on the same -store-dir serves
-# the rerun entirely from the recovered cache (0 misses), byte-identical.
+# the rerun entirely from the recovered cache (0 misses), byte-identical,
+# and (e) the federation chaos leg: one of two federated servers is
+# SIGKILLed mid-ladder, the surviving peer finishes the batch (client
+# failover + lease expiry), and a rerun is 100% served from the shared
+# store — still byte-identical to the local run.
 #
 # Run it via `make grid-smoke`; it builds into a temp dir and cleans up
 # after itself.
@@ -132,5 +136,57 @@ if [ "${MISSES2:-1}" -ne 0 ] || [ "${HITS2:-0}" -lt 1 ]; then
     exit 1
 fi
 echo "grid-smoke: restart kept the cache ($HITS2 hits, 0 misses — 100% cached)"
+
+# --- federation chaos: kill a member mid-ladder ---------------------------
+# Two federated servers share one store (A's disk store; B reaches it
+# over HTTP via -store-remote). `sweep -grid A,B` partitions the ladder
+# across both by job affinity; B is SIGKILLed mid-study. The client
+# fails B's jobs over to A, B's stolen leases on A expire and requeue,
+# and A's worker finishes everything — byte-identical to the local run.
+# The rerun, with B still dead, must be answered entirely from the
+# shared store.
+PORTA=18551
+PORTB=18552
+FEDSTORE="$WORKDIR/fedstore"
+echo "grid-smoke: federation of two servers (shared store: $FEDSTORE)"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTA" -lease 750ms -store-dir "$FEDSTORE" \
+    -self "127.0.0.1:$PORTA" -peers "127.0.0.1:$PORTB" 2>"$WORKDIR/fedA.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTA"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTB" -lease 750ms -store-remote "127.0.0.1:$PORTA" \
+    -self "127.0.0.1:$PORTB" -peers "127.0.0.1:$PORTA" 2>"$WORKDIR/fedB.log" &
+FEDB_PID=$!
+PIDS="$PIDS $FEDB_PID"
+wait_server "$PORTB"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORTA" -workers 2 -name fa 2>"$WORKDIR/fa.log" &
+PIDS="$PIDS $!"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORTB" -workers 2 -name fb 2>"$WORKDIR/fb.log" &
+PIDS="$PIDS $!"
+
+echo "grid-smoke: SIGKILLing federation member B mid-ladder"
+( sleep 0.5; kill -9 "$FEDB_PID" 2>/dev/null || true ) &
+"$WORKDIR/sweep" -study ladder -n 20000 -grid "127.0.0.1:$PORTA,127.0.0.1:$PORTB" \
+    > "$WORKDIR/fedkill.txt" 2>"$WORKDIR/fedkill.err"
+if ! diff "$WORKDIR/localkill.txt" "$WORKDIR/fedkill.txt"; then
+    echo "grid-smoke: FAIL — results after federation member death differ from local run"
+    cat "$WORKDIR/fedkill.err"
+    exit 1
+fi
+echo "grid-smoke: surviving member finished the ladder with identical results"
+
+# The rerun lists dead B too: the client must fail over to A and serve
+# every job from the shared store (no new misses on A).
+MISSA=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTA" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+"$WORKDIR/sweep" -study ladder -n 20000 -grid "127.0.0.1:$PORTA,127.0.0.1:$PORTB" \
+    > "$WORKDIR/fedrerun.txt" 2>/dev/null
+diff "$WORKDIR/fedkill.txt" "$WORKDIR/fedrerun.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — federated rerun drifted"; exit 1; }
+MISSB=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTA" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+if [ "${MISSB:-1}" -ne "${MISSA:-0}" ]; then
+    echo "grid-smoke: FAIL — federated rerun re-simulated (misses $MISSA -> $MISSB, want no change)"
+    exit 1
+fi
+STEALS=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTA" | grep -o '"steals_out": [0-9]*' | grep -o '[0-9]*')
+echo "grid-smoke: federated rerun 100% from the shared store (steals_out=${STEALS:-0})"
 
 echo "grid-smoke: PASS"
