@@ -80,9 +80,41 @@ bench-json:
 # *_overhead_pct metric over its $(BENCH_OVERHEAD_BUDGET_PCT)% budget
 # (the dispatch/phase-UCB/grid overheads are promised cheap — creeping
 # past budget fails loudly instead of landing silently).
+# The allocation side of the gate is deterministic and therefore strict:
+# allocs/op and bytes/op may not grow more than
+# $(BENCH_MAX_ALLOC_REGRESS_PCT)% over the committed baseline on any
+# benchmark, and the hot-loop ablation benchmarks additionally carry the
+# explicit $(BENCH_ALLOC_BUDGETS) ceilings — the zero-steady-state-alloc
+# core keeps them at a few hundred allocs per op (per-job construction:
+# the workload stream and the policy clone), so a return of per-tick
+# garbage (tens of thousands per op) fails even if BENCH_core.json were
+# refreshed past it.
 BENCH_MAX_REGRESS_PCT ?= 10
 BENCH_OVERHEAD_BUDGET_PCT ?= 5
+BENCH_MAX_ALLOC_REGRESS_PCT ?= 10
+BENCH_ALLOC_BUDGETS ?= BenchmarkAblationClockRatio=2500,BenchmarkAblationConfidence=2500,BenchmarkAblationHelperWidth=2500,BenchmarkAblationSplitMode=2500
 .PHONY: bench-check
 bench-check:
 	GO="$(GO)" BENCH_MAX_REGRESS_PCT=$(BENCH_MAX_REGRESS_PCT) \
-	    BENCH_OVERHEAD_BUDGET_PCT=$(BENCH_OVERHEAD_BUDGET_PCT) sh scripts/bench_check.sh
+	    BENCH_OVERHEAD_BUDGET_PCT=$(BENCH_OVERHEAD_BUDGET_PCT) \
+	    BENCH_MAX_ALLOC_REGRESS_PCT=$(BENCH_MAX_ALLOC_REGRESS_PCT) \
+	    BENCH_ALLOC_BUDGETS="$(BENCH_ALLOC_BUDGETS)" sh scripts/bench_check.sh
+
+# pprof artifacts for the simulator hot loop: CPU and allocation
+# profiles of the ablation benchmarks (the rename/queue/exec/commit
+# path), written to cpu.pprof / mem.pprof for `go tool pprof`. The
+# same profiles are available from real studies via the -cpuprofile /
+# -memprofile flags on helpersim and sweep.
+.PHONY: bench-profile
+bench-profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchtime 20x \
+	    -cpuprofile cpu.pprof -memprofile mem.pprof -o bench-profile.test .
+	@rm -f bench-profile.test
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: $(GO) tool pprof -top cpu.pprof"
+
+# The zero-alloc steady-state gate on its own (it also runs in `make
+# test`): once warm, the measured phase of the simulator core must not
+# allocate at all.
+.PHONY: alloc-gate
+alloc-gate:
+	$(GO) test -run TestSteadyStateZeroAllocs -count=1 ./internal/core

@@ -11,7 +11,17 @@
 //     overheads are features sold as "nearly free", so their cost is
 //     budgeted, not just tracked — or
 //   - an overhead metric present in the baseline but missing fresh (a
-//     silently deleted guard is a failure, not a pass).
+//     silently deleted guard is a failure, not a pass) — or
+//   - any benchmark whose fresh allocs_per_op or bytes_per_op exceeds
+//     the baseline by more than -max-alloc-regress-pct. Allocation
+//     counts are deterministic (no machine-state drift, no retry): a
+//     jump means garbage crept back into a measured loop — exactly the
+//     regression the zero-steady-state-alloc core is guarded against —
+//     or
+//   - any benchmark named in -alloc-budgets whose fresh allocs_per_op
+//     exceeds its explicit ceiling, independent of the committed
+//     baseline (so an accidental baseline refresh cannot ratchet the
+//     hot-loop benchmarks' allocation budget upward silently).
 //
 // Suite-drift normalization: raw ns/op does not compare across machine
 // states — a busy host, a different CPU, or frequency scaling shifts the
@@ -48,6 +58,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // summary mirrors the benchjson output fields the gate reads.
@@ -72,6 +84,8 @@ type bench struct {
 	// than the baseline has EVER seen it, by more than the gate. Falls
 	// back to NsPerOpMin when absent.
 	NsPerOpFloorWorst float64 `json:"ns_per_op_floor_worst"`
+	BytesPerOp        float64 `json:"bytes_per_op"`
+	AllocsPerOp       uint64  `json:"allocs_per_op"`
 }
 
 func main() {
@@ -80,6 +94,8 @@ func main() {
 	retryPath := flag.String("retry", "", "optional second summary from a focused rerun; the per-benchmark minimum of the two is gated")
 	maxRegress := flag.Float64("max-regress-pct", 10, "max tolerated ns/op regression per benchmark")
 	budget := flag.Float64("overhead-budget-pct", 5, "budget for every *_overhead_pct metric")
+	maxAllocRegress := flag.Float64("max-alloc-regress-pct", 10, "max tolerated allocs/op or bytes/op growth per benchmark (deterministic: never retried)")
+	allocBudgets := flag.String("alloc-budgets", "", "explicit allocs/op ceilings, comma-separated Name=N pairs, gated regardless of baseline")
 	writeRegressed := flag.String("write-regressed", "", "write the names of benchmarks failing the ns/op gate to this file (one per line) for a focused retry")
 	flag.Parse()
 	if *freshPath == "" {
@@ -107,7 +123,14 @@ func main() {
 		fresh = mergeMin(fresh, retry)
 	}
 
+	budgets, err := parseAllocBudgets(*allocBudgets)
+	if err != nil {
+		fatal(err)
+	}
 	failures, notes, regressed := compareAt(base, fresh, drift, driftNote, *maxRegress, *budget)
+	allocFailures, allocNotes := compareAllocs(base, fresh, *maxAllocRegress, budgets)
+	failures = append(failures, allocFailures...)
+	notes = append(notes, allocNotes...)
 	if *writeRegressed != "" {
 		var buf []byte
 		for _, n := range regressed {
@@ -274,6 +297,78 @@ func compareAt(base, fresh summary, drift float64, driftNote string, maxRegress,
 		}
 	}
 	return failures, notes, regressed
+}
+
+// parseAllocBudgets decodes "Name=N,Name=N" into explicit ceilings.
+func parseAllocBudgets(spec string) (map[string]uint64, error) {
+	budgets := map[string]uint64{}
+	if spec == "" {
+		return budgets, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("benchcheck: malformed -alloc-budgets entry %q (want Name=N)", pair)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: -alloc-budgets %s: %w", name, err)
+		}
+		budgets[name] = n
+	}
+	return budgets, nil
+}
+
+// compareAllocs gates the allocation profile. Allocation counts are
+// deterministic — no drift normalization, no retry phase: a fresh count
+// above the baseline by more than the gate is a real change in what the
+// code allocates. Explicit budgets bind even when the committed baseline
+// itself is worse (a poisoned baseline must not grandfather garbage in),
+// and a budget naming a benchmark absent from the fresh run fails, so
+// deleting a gated benchmark is loud. Alloc deltas beyond the gate in
+// the improving direction surface as notes: a big drop is worth folding
+// into the committed baseline.
+func compareAllocs(base, fresh summary, maxRegressPct float64, budgets map[string]uint64) (failures, notes []string) {
+	known := map[string]bench{}
+	for _, b := range base.Benchmarks {
+		known[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, b := range fresh.Benchmarks {
+		seen[b.Name] = true
+		if budget, ok := budgets[b.Name]; ok && b.AllocsPerOp > budget {
+			failures = append(failures, fmt.Sprintf("%s allocates %d allocs/op, over its explicit budget of %d",
+				b.Name, b.AllocsPerOp, budget))
+		}
+		bb, ok := known[b.Name]
+		if !ok {
+			continue
+		}
+		if bb.AllocsPerOp > 0 {
+			pct := 100 * (float64(b.AllocsPerOp) - float64(bb.AllocsPerOp)) / float64(bb.AllocsPerOp)
+			if pct > maxRegressPct {
+				failures = append(failures, fmt.Sprintf("%s allocs/op grew %.1f%% (%d → %d, gate %.0f%%)",
+					b.Name, pct, bb.AllocsPerOp, b.AllocsPerOp, maxRegressPct))
+			} else if pct < -maxRegressPct {
+				notes = append(notes, fmt.Sprintf("%s allocs/op dropped %.1f%% (%d → %d) — consider refreshing the baseline",
+					b.Name, -pct, bb.AllocsPerOp, b.AllocsPerOp))
+			}
+		}
+		if bb.BytesPerOp > 0 {
+			pct := 100 * (b.BytesPerOp - bb.BytesPerOp) / bb.BytesPerOp
+			if pct > maxRegressPct {
+				failures = append(failures, fmt.Sprintf("%s bytes/op grew %.1f%% (%.4g → %.4g, gate %.0f%%)",
+					b.Name, pct, bb.BytesPerOp, b.BytesPerOp, maxRegressPct))
+			}
+		}
+	}
+	for name := range budgets {
+		if !seen[name] {
+			failures = append(failures, fmt.Sprintf("%s has an explicit alloc budget but is missing from the fresh run", name))
+		}
+	}
+	sort.Strings(failures)
+	return failures, notes
 }
 
 // minSuiteForDrift is the smallest shared-benchmark count that makes the

@@ -169,3 +169,66 @@ func TestCompareNotesOnly(t *testing.T) {
 		}
 	}
 }
+
+// abm builds a benchmark entry with an allocation profile.
+func abm(name string, min float64, allocs uint64, bytes float64) bench {
+	return bench{Name: name, NsPerOpMin: min, AllocsPerOp: allocs, BytesPerOp: bytes}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	base := mkSummary(nil, abm("BenchmarkA", 100, 800, 100_000))
+	fresh := mkSummary(nil, abm("BenchmarkA", 100, 40_000, 2_000_000))
+	failures, _ := compareAllocs(base, fresh, 10, nil)
+	if len(failures) != 2 {
+		t.Fatalf("alloc+bytes blowup must fail twice, got %v", failures)
+	}
+	if !strings.Contains(failures[0], "allocs/op grew") || !strings.Contains(failures[1], "bytes/op grew") {
+		t.Fatalf("unexpected failure text: %v", failures)
+	}
+	// Within the gate passes; a large improvement is a note, not a failure.
+	failures, notes := compareAllocs(base, mkSummary(nil, abm("BenchmarkA", 100, 850, 104_000)), 10, nil)
+	if len(failures) != 0 {
+		t.Fatalf("in-gate alloc jitter must pass: %v", failures)
+	}
+	_, notes = compareAllocs(base, mkSummary(nil, abm("BenchmarkA", 100, 80, 10_000)), 10, nil)
+	if len(notes) != 1 || !strings.Contains(notes[0], "allocs/op dropped") {
+		t.Fatalf("10x alloc improvement should suggest a baseline refresh: %v", notes)
+	}
+	_ = notes
+}
+
+func TestCompareAllocsExplicitBudget(t *testing.T) {
+	// The explicit budget binds even when the committed baseline is worse:
+	// a poisoned baseline cannot grandfather garbage back in.
+	base := mkSummary(nil, abm("BenchmarkHot", 100, 50_000, 2_000_000))
+	fresh := mkSummary(nil, abm("BenchmarkHot", 100, 50_000, 2_000_000))
+	failures, _ := compareAllocs(base, fresh, 10, map[string]uint64{"BenchmarkHot": 2_500})
+	if len(failures) != 1 || !strings.Contains(failures[0], "over its explicit budget") {
+		t.Fatalf("budget must bind regardless of baseline: %v", failures)
+	}
+	// A budget naming a vanished benchmark fails rather than silently passing.
+	failures, _ = compareAllocs(base, mkSummary(nil, abm("BenchmarkOther", 1, 1, 1)), 10,
+		map[string]uint64{"BenchmarkHot": 2_500})
+	found := false
+	for _, f := range failures {
+		if strings.Contains(f, "missing from the fresh run") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("budgeted benchmark vanished without failure: %v", failures)
+	}
+}
+
+func TestParseAllocBudgets(t *testing.T) {
+	budgets, err := parseAllocBudgets("BenchmarkA=100, BenchmarkB=2500")
+	if err != nil || budgets["BenchmarkA"] != 100 || budgets["BenchmarkB"] != 2500 {
+		t.Fatalf("parse failed: %v %v", budgets, err)
+	}
+	if _, err := parseAllocBudgets("BenchmarkA"); err == nil {
+		t.Fatal("malformed entry must be rejected")
+	}
+	if budgets, err := parseAllocBudgets(""); err != nil || len(budgets) != 0 {
+		t.Fatal("empty spec must parse to no budgets")
+	}
+}

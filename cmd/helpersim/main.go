@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -31,8 +32,20 @@ func main() {
 		compare      = flag.Bool("baseline", true, "also run the monolithic baseline and report speedup")
 		showPower    = flag.Bool("power", false, "print the Wattch-like energy estimate")
 		list         = flag.Bool("list", false, "list policies, configs and workloads, then exit")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocs-inclusive heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *list {
 		fmt.Printf("policies:  %s\n", strings.Join(repro.PolicyNames(), ", "))

@@ -37,6 +37,7 @@ import (
 
 	"repro"
 	"repro/internal/grid"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -50,8 +51,20 @@ func main() {
 		gridAddr     = flag.String("grid", "", "run the study on a simulation grid: a job-server address, a comma-separated list of federation members, or an address ending in :0 to spawn an in-process server plus -grid-workers worker processes")
 		gridWorkers  = flag.Int("grid-workers", 2, "worker processes to spawn for -grid addresses ending in :0")
 		gridWorkFor  = flag.String("as-grid-worker", "", "internal: run as a grid worker for the given server URL")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the study to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocs-inclusive heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -137,6 +137,16 @@ func (c *Cache) Stats() Stats { return c.stats }
 // (measurement warmup).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset restores the fully cold state — every line invalid, LRU clock and
+// counters at zero — without reallocating the arrays.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.age)
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
@@ -154,6 +164,25 @@ func NewHierarchy(l1, l2 Config, memLatency int) *Hierarchy {
 		panic("cache: memory latency must be >= 1")
 	}
 	return &Hierarchy{L1: New(l1), L2: New(l2), Mem: memLatency}
+}
+
+// Reinit restores the cold state, reusing each cache's arrays when its
+// configuration is unchanged and rebuilding it otherwise.
+func (h *Hierarchy) Reinit(l1, l2 Config, memLatency int) {
+	if memLatency < 1 {
+		panic("cache: memory latency must be >= 1")
+	}
+	h.L1 = reinitCache(h.L1, l1)
+	h.L2 = reinitCache(h.L2, l2)
+	h.Mem = memLatency
+}
+
+func reinitCache(c *Cache, cfg Config) *Cache {
+	if c != nil && c.cfg == cfg {
+		c.Reset()
+		return c
+	}
+	return New(cfg)
 }
 
 // Access returns the total latency in wide cycles for a data access.

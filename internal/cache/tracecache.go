@@ -33,6 +33,18 @@ func NewTraceCache(capacityUops, lineUops, ways, buildPenalty int) *TraceCache {
 	return &TraceCache{cache: New(cfg), lineUops: lineUops, buildPenalty: buildPenalty}
 }
 
+// Reinit restores the cold state, reusing the underlying cache arrays
+// when the geometry is unchanged and rebuilding them otherwise.
+func (t *TraceCache) Reinit(capacityUops, lineUops, ways, buildPenalty int) {
+	if t.cache == nil || t.lineUops != lineUops || t.buildPenalty != buildPenalty ||
+		t.cache.cfg.SizeBytes != capacityUops*4 || t.cache.cfg.Ways != ways {
+		*t = *NewTraceCache(capacityUops, lineUops, ways, buildPenalty)
+		return
+	}
+	t.cache.Reset()
+	t.lastLine, t.haveLine = 0, false
+}
+
 // Fetch looks up the trace line containing pc and returns the fetch stall
 // in wide cycles (0 on a hit, the build penalty on a miss).
 func (t *TraceCache) Fetch(pc uint32) int {

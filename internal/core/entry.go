@@ -45,20 +45,19 @@ const maxDeps = 4
 // (§3.7's proposed extension).
 const blockSplitWindow = 12
 
-// robEntry is one reorder-buffer entry.
+// robEntry is one reorder-buffer entry: the cold per-entry metadata. The
+// fields the wakeup/select and writeback scans read every cycle — state,
+// completion tick, per-cluster availability, dependency list, prefetch
+// flag — live in parallel struct-of-arrays storage on the Sim (hotState,
+// hotDone, hotAvail, hotDeps/hotNdeps, hotPref, indexed by pos&robMask)
+// so the scans walk dense arrays instead of striding over ~250-byte
+// entries.
 type robEntry struct {
 	u             isa.Uop
 	kind          entryKind
-	state         entryState
 	cluster       uint8 // execution cluster
 	seq           uint64
 	countsAsInstr bool
-
-	deps  [maxDeps]uint64
-	ndeps uint8
-
-	done  int64    // completion tick in the execution cluster
-	avail [2]int64 // tick the result becomes usable per cluster
 
 	// Steering/width bookkeeping.
 	steered888      bool // helper-steered under the all-narrow rule
@@ -85,11 +84,10 @@ type robEntry struct {
 	crBorrow     int32
 
 	// Copy bookkeeping.
-	hasCopyTo    [2]bool // producer side: a copy toward cluster exists
-	copySrc      uint64  // copy side: producer position
-	copyTarget   uint8   // copy side: destination cluster
-	replicated   bool    // LR: value lands in both register files
-	prefetchCopy bool    // CP: speculative copy, issues at low priority
+	hasCopyTo  [2]bool // producer side: a copy toward cluster exists
+	copySrc    uint64  // copy side: producer position
+	copyTarget uint8   // copy side: destination cluster
+	replicated bool    // LR: value lands in both register files
 
 	// Branch bookkeeping.
 	predCorrect bool
@@ -102,11 +100,10 @@ type robEntry struct {
 	isLoad, isStore, isFP bool
 }
 
-// resetEntry initializes e for reuse in the ring.
+// resetEntry initializes e for reuse in the ring (the hot SoA slot is
+// reset separately by Sim.allocEntry).
 func resetEntry(e *robEntry) {
 	*e = robEntry{
-		avail:      [2]int64{never, never},
-		done:       never,
 		definedReg: isa.RegNone,
 		definedFP:  0xFF,
 		physReg:    -1,

@@ -65,12 +65,31 @@ type Sim struct {
 	nextProg     uint64
 	lastProgUops uint64
 	lastProgWide uint64
+	// progRung/progRungName memoize the active rung's display name so
+	// snapshots don't rebuild the string every interval.
+	progRung     steer.Features
+	progRungName string
+	// polName memoizes pol.Name() (policy names are stable for a run, and
+	// building one allocates) so result() is allocation-free.
+	polName string
 
 	window *trace.Window
 	rob    *queue.Ring[robEntry]
 	iq     [2]*queue.IssueQueue
 	fpIQ   *queue.IssueQueue
 	mob    *queue.MOB
+
+	// Struct-of-arrays mirrors of the per-entry fields every scheduler,
+	// writeback and commit scan reads, indexed by pos&robMask. Keeping
+	// them out of robEntry means the per-cycle scans touch a handful of
+	// dense cache lines instead of striding over the full entries.
+	robMask  uint64
+	hotState []entryState
+	hotDone  []int64
+	hotAvail [2][]int64
+	hotDeps  [][maxDeps]uint64
+	hotNdeps []uint8
+	hotPref  []bool
 
 	table *rename.Table
 	prf   *rename.PhysRegFile
@@ -98,15 +117,37 @@ type Sim struct {
 	// (trace = correct-path) uops rename until it resolves. -1 = none.
 	pendingBranch int64
 
-	// Entries issued and awaiting completion.
-	executing []uint64
+	// Entries issued and awaiting completion, plus the writeback scratch
+	// holding the completions due this tick. Both are preallocated to the
+	// ROB capacity (their upper bound) so the measured phase never grows
+	// them.
+	executing  []uint64
+	dueScratch []uint64
 
 	// Per-wide-cycle issue accounting for the NREADY imbalance metric.
 	readyUnissued [2]int
 	spareSlots    [2]int
 	issueScratch  []int
+	prefScratch   []int
+
+	// Issue-scan skip state. When a scan proves no queued entry is ready,
+	// iqWake[c] records the earliest tick a blocking dependency could
+	// become available; until then the scan is skipped unless iqDirty[c]
+	// reports an event that can change readiness (dispatch into the
+	// queue, any issue, commit retiring entries, a flush). The skip fires
+	// only when the scan would provably select nothing, so behaviour is
+	// identical — the quiesced stretches of a long memory stall just stop
+	// paying O(occupancy) per tick.
+	iqDirty [2]bool
+	iqWake  [2]int64
+
+	// Earliest completion time among in-flight executions; writeback
+	// skips scanning the in-flight list until then (issue lowers it).
+	execWake int64
 
 	// Uops that fatally mispredicted and must re-steer wide on refetch.
+	// Allocated lazily on the first fatal flush: baseline and well-
+	// predicted runs never pay for the map.
 	forcedWide map[uint64]struct{}
 
 	m metrics.Metrics
@@ -130,8 +171,26 @@ type Sim struct {
 // stateful policies are taken as private clones (steer.Fresh), so one
 // policy value may fan out over a batch of concurrent simulations.
 func New(cfg config.Processor, pol steer.Policy, src trace.Source) (*Sim, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &Sim{}
+	if err := s.Reset(cfg, pol, src); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// Reset reconfigures the Sim in place for a fresh run — New on a zero Sim
+// and Reset on a used one are the same code path, so a reset-reused Sim is
+// byte-identical in behaviour to a freshly built one. Component storage
+// (the ROB ring and its hot arrays, issue queues, rename structures,
+// predictor tables, cache arrays, the replay window and scratch buffers)
+// is reused whenever the new configuration has the same shape and
+// reallocated otherwise; everything else is reinitialized to the cold
+// state. This is what makes pooling sims (Acquire/Release) cheap: a grid
+// worker or ablation loop re-runs configurations out of warm storage
+// instead of rebuilding ~1.2 MB of simulator state per job.
+func (s *Sim) Reset(cfg config.Processor, pol steer.Policy, src trace.Source) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if pol == nil {
 		pol = steer.Baseline()
@@ -144,54 +203,154 @@ func New(cfg config.Processor, pol steer.Policy, src trace.Source) (*Sim, error)
 	// cluster.
 	if v, ok := pol.(interface{ Validate() error }); ok {
 		if err := v.Validate(); err != nil {
-			return nil, fmt.Errorf("core: invalid policy: %w", err)
+			return fmt.Errorf("core: invalid policy: %w", err)
 		}
 	}
 	if pol.NeedsHelper() && !cfg.HelperEnabled {
-		return nil, fmt.Errorf("core: policy %s steers to the helper cluster, which cfg disables (HelperEnabled)", pol.Name())
+		return fmt.Errorf("core: policy %s steers to the helper cluster, which cfg disables (HelperEnabled)", pol.Name())
 	}
 	pol = steer.Fresh(pol)
-	windowCap := cfg.ROBSize * 4
-	s := &Sim{
-		cfg:           cfg,
-		pol:           pol,
-		obsInterval:   pol.Interval(),
-		window:        trace.NewWindow(src, windowCap),
-		rob:           queue.NewRing[robEntry](cfg.ROBSize),
-		mob:           queue.NewMOB(cfg.MOBSize),
-		table:         rename.NewTable(),
-		prf:           rename.NewPhysRegFile(cfg.PhysRegs),
-		wp:            predict.NewWidthPredictor(cfg.WidthEntries),
-		bp:            predict.NewBranchPredictor(cfg.BranchPattern, cfg.BranchBTB, cfg.BranchHistory),
-		tc:            cache.NewTraceCache(cfg.TCUops, cfg.TCLineUops, cfg.TCWays, cfg.TCMissPenalty),
-		mem:           cache.NewHierarchy(cfg.L1, cfg.L2, cfg.MemLatency),
-		imb:           steer.NewImbalanceDetector(),
-		ratio:         int64(cfg.HelperClockRatio),
-		helperWidth:   uint(cfg.HelperWidthBits),
-		forcedWide:    make(map[uint64]struct{}),
-		pendingBranch: -1,
-	}
+
+	s.cfg = cfg
+	s.pol = pol
+	s.active = steer.Features{}
+	s.staticPol = false
 	if f, ok := pol.(steer.Features); ok {
 		// The static fast path: the feature set never changes, so the hot
 		// stages read the cached copy and no interface call ever happens.
 		s.staticPol = true
 		s.active = f
 	}
+	s.pview = steer.View{}
+	s.obsInterval = pol.Interval()
+	s.nextObserve = s.obsInterval
+	s.lastObs = metrics.Metrics{}
 	if s.obsInterval > 0 {
 		// Adaptive policies get phase-classified, energy-priced feedback:
 		// the detector fingerprints each interval's branch/working-set
 		// footprint and the power model prices its event-count delta.
-		s.phases = phase.New()
+		if s.phases == nil {
+			s.phases = phase.New()
+		} else {
+			s.phases.Reset()
+		}
 		s.pw = power.New(cfg)
+	} else {
+		s.phases = nil
+		s.pw = nil
 	}
-	s.nextObserve = s.obsInterval
-	s.iq[wide] = queue.NewIssueQueue(cfg.WideIQ)
-	s.iq[helper] = queue.NewIssueQueue(cfg.HelperIQ)
-	s.fpIQ = queue.NewIssueQueue(cfg.FPIQ)
+	s.lastL1, s.lastL2, s.lastTC = cache.Stats{}, cache.Stats{}, cache.Stats{}
+
+	s.progEvery, s.progFn = 0, nil
+	s.progArmed = false
+	s.nextProg, s.lastProgUops, s.lastProgWide = 0, 0, 0
+	s.progRung, s.progRungName = steer.Features{}, ""
+	s.polName = pol.Name()
+
+	windowCap := cfg.ROBSize * 4
+	if s.window == nil || s.window.Cap() != windowCap {
+		s.window = trace.NewWindow(src, windowCap)
+	} else {
+		s.window.Reset(src)
+	}
+	if s.rob == nil || s.rob.Cap() != cfg.ROBSize {
+		s.rob = queue.NewRing[robEntry](cfg.ROBSize)
+		s.robMask = uint64(cfg.ROBSize - 1)
+		s.hotState = make([]entryState, cfg.ROBSize)
+		s.hotDone = make([]int64, cfg.ROBSize)
+		s.hotAvail[wide] = make([]int64, cfg.ROBSize)
+		s.hotAvail[helper] = make([]int64, cfg.ROBSize)
+		s.hotDeps = make([][maxDeps]uint64, cfg.ROBSize)
+		s.hotNdeps = make([]uint8, cfg.ROBSize)
+		s.hotPref = make([]bool, cfg.ROBSize)
+	} else {
+		s.rob.Reset()
+	}
+	if s.iq[wide] == nil {
+		s.iq[wide] = queue.NewIssueQueue(cfg.WideIQ)
+		s.iq[helper] = queue.NewIssueQueue(cfg.HelperIQ)
+		s.fpIQ = queue.NewIssueQueue(cfg.FPIQ)
+	} else {
+		s.iq[wide].Reinit(cfg.WideIQ)
+		s.iq[helper].Reinit(cfg.HelperIQ)
+		s.fpIQ.Reinit(cfg.FPIQ)
+	}
+	if s.mob == nil {
+		s.mob = queue.NewMOB(cfg.MOBSize)
+	} else {
+		s.mob.Reinit(cfg.MOBSize)
+	}
+	if s.table == nil {
+		s.table = rename.NewTable()
+	} else {
+		s.table.Reset()
+	}
+	if s.prf == nil {
+		s.prf = rename.NewPhysRegFile(cfg.PhysRegs)
+	} else {
+		s.prf.Reinit(cfg.PhysRegs)
+	}
+	if s.wp == nil || s.wp.Size() != cfg.WidthEntries {
+		s.wp = predict.NewWidthPredictor(cfg.WidthEntries)
+	} else {
+		s.wp.Reset()
+	}
+	if s.bp == nil {
+		s.bp = predict.NewBranchPredictor(cfg.BranchPattern, cfg.BranchBTB, cfg.BranchHistory)
+	} else {
+		s.bp.Reinit(cfg.BranchPattern, cfg.BranchBTB, cfg.BranchHistory)
+	}
+	if s.tc == nil {
+		s.tc = cache.NewTraceCache(cfg.TCUops, cfg.TCLineUops, cfg.TCWays, cfg.TCMissPenalty)
+	} else {
+		s.tc.Reinit(cfg.TCUops, cfg.TCLineUops, cfg.TCWays, cfg.TCMissPenalty)
+	}
+	if s.mem == nil {
+		s.mem = cache.NewHierarchy(cfg.L1, cfg.L2, cfg.MemLatency)
+	} else {
+		s.mem.Reinit(cfg.L1, cfg.L2, cfg.MemLatency)
+	}
+	s.imb = steer.NewImbalanceDetector()
+
+	s.tick = 0
+	s.ratio = int64(cfg.HelperClockRatio)
+	s.helperWidth = uint(cfg.HelperWidthBits)
+	s.fetchSeq = 0
+	s.fetchStallUntil = 0
+	s.pendingBranch = -1
+	if cap(s.executing) < cfg.ROBSize {
+		s.executing = make([]uint64, 0, cfg.ROBSize)
+		s.dueScratch = make([]uint64, 0, cfg.ROBSize)
+	} else {
+		s.executing = s.executing[:0]
+		s.dueScratch = s.dueScratch[:0]
+	}
+	s.readyUnissued = [2]int{}
+	s.spareSlots = [2]int{}
+	if maxIssue := max(cfg.WideIssue, cfg.HelperIssue, cfg.FPIssue); cap(s.issueScratch) < maxIssue {
+		s.issueScratch = make([]int, 0, maxIssue)
+	} else {
+		s.issueScratch = s.issueScratch[:0]
+	}
+	if maxIQ := max(cfg.WideIQ, cfg.HelperIQ); cap(s.prefScratch) < maxIQ {
+		s.prefScratch = make([]int, 0, maxIQ)
+	} else {
+		s.prefScratch = s.prefScratch[:0]
+	}
+	s.iqDirty = [2]bool{true, true}
+	s.iqWake = [2]int64{}
+	s.execWake = 0
+	s.forcedWide = nil
+	s.m = metrics.Metrics{}
+	s.noSplitDebug = false
+	s.helperOverloaded = false
+	s.overloadStreak = 0
+	s.splitStreak = 0
+	s.lastCommitTick = 0
 	for i := range s.fpMap {
 		s.fpMap[i] = -1
 	}
-	return s, nil
+	return nil
 }
 
 // MustNew is New for known-good arguments.
@@ -353,9 +512,15 @@ func (s *Sim) runLoop(ctx context.Context, n uint64) error {
 	const watchdogTicks = 1 << 21
 	s.lastCommitTick = s.tick
 	nextCtxCheck := s.tick + ctxCheckTicks
+	// Countdown instead of a per-tick modulo for the wide-cycle boundary.
+	wideCD := s.ratio - s.tick%s.ratio
 	for s.m.Committed < n {
 		s.tick++
-		onWide := s.tick%s.ratio == 0
+		wideCD--
+		onWide := wideCD == 0
+		if onWide {
+			wideCD = s.ratio
+		}
 		s.m.Ticks++
 		if onWide {
 			s.m.WideCycles++
@@ -424,7 +589,10 @@ func (s *Sim) observe() {
 // callback. Pure observation: nothing the callback sees or does feeds
 // back into the simulation.
 func (s *Sim) reportProgress() {
-	p := Progress{Committed: s.m.Committed, Rung: s.active.Name(), Phase: -1}
+	if s.progRungName == "" || s.active != s.progRung {
+		s.progRung, s.progRungName = s.active, s.active.Name()
+	}
+	p := Progress{Committed: s.m.Committed, Rung: s.progRungName, Phase: -1}
 	if dw := s.m.WideCycles - s.lastProgWide; dw > 0 {
 		p.IntervalIPC = float64(s.m.Committed-s.lastProgUops) / float64(dw)
 	}
@@ -450,7 +618,7 @@ func (s *Sim) result() Result {
 		L1:      s.mem.L1.Stats(),
 		L2:      s.mem.L2.Stats(),
 		TC:      s.tc.Stats(),
-		Policy:  s.pol.Name(),
+		Policy:  s.polName,
 	}
 	if ur, ok := s.pol.(steer.UsageReporter); ok {
 		r.Rungs = ur.Usage()
@@ -461,20 +629,39 @@ func (s *Sim) result() Result {
 // Metrics exposes the live counters (tests and incremental harnesses).
 func (s *Sim) Metrics() *metrics.Metrics { return &s.m }
 
+// allocEntry pushes a fresh ROB entry, resetting both the cold in-ring
+// entry and its hot SoA slot, and returns the position with the in-place
+// entry pointer.
+func (s *Sim) allocEntry() (uint64, *robEntry) {
+	pos, e := s.rob.Alloc()
+	resetEntry(e)
+	i := pos & s.robMask
+	s.hotState[i] = stWaiting
+	s.hotDone[i] = never
+	s.hotAvail[wide][i] = never
+	s.hotAvail[helper][i] = never
+	s.hotNdeps[i] = 0
+	s.hotPref[i] = false
+	return pos, e
+}
+
 // depReady reports whether dependency position p has its value available
 // in cluster c at the current tick.
 func (s *Sim) depReady(p uint64, c uint8) bool {
 	if p < s.rob.Head() {
 		return true // committed: architectural state visible everywhere
 	}
-	return s.rob.At(p).avail[c] <= s.tick
+	return s.hotAvail[c][p&s.robMask] <= s.tick
 }
 
-// entryReady reports whether all dependencies of e are available in its
-// execution cluster.
-func (s *Sim) entryReady(e *robEntry) bool {
-	for i := uint8(0); i < e.ndeps; i++ {
-		if !s.depReady(e.deps[i], e.cluster) {
+// entryReadyAt reports whether all dependencies of the entry at pos are
+// available in cluster c (its execution cluster). Hot-array only: the
+// scheduler scan never touches the cold entry of a not-ready uop.
+func (s *Sim) entryReadyAt(pos uint64, c uint8) bool {
+	i := pos & s.robMask
+	deps := &s.hotDeps[i]
+	for k := uint8(0); k < s.hotNdeps[i]; k++ {
+		if !s.depReady(deps[k], c) {
 			return false
 		}
 	}

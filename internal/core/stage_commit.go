@@ -7,10 +7,13 @@ import "repro/internal/isa"
 func (s *Sim) commit() {
 	for budget := s.cfg.CommitWidth; budget > 0 && !s.rob.Empty(); budget-- {
 		pos := s.rob.Head()
-		e := s.rob.At(pos)
-		if e.state != stDone {
+		if s.hotState[pos&s.robMask] != stDone {
 			return
 		}
+		// Retirement makes this entry's value architectural — visible to
+		// dependents in both clusters regardless of availability times.
+		s.iqDirty[wide], s.iqDirty[helper] = true, true
+		e := s.rob.At(pos)
 
 		if e.isStore {
 			s.mob.RetireStore(pos)
@@ -51,7 +54,9 @@ func (s *Sim) commit() {
 				!e.hasCopyTo[wide] && !e.hasCopyTo[helper] {
 				s.wp.UpdateCopy(e.u.PC, false)
 			}
-			delete(s.forcedWide, e.seq)
+			if len(s.forcedWide) > 0 {
+				delete(s.forcedWide, e.seq)
+			}
 			s.window.Release(e.seq)
 		case kindCopy:
 			s.m.CommittedCopies++
@@ -60,12 +65,14 @@ func (s *Sim) commit() {
 				s.m.Committed++
 				s.m.SteeredHelper++
 				s.lastCommitTick = s.tick
-				delete(s.forcedWide, e.seq)
+				if len(s.forcedWide) > 0 {
+					delete(s.forcedWide, e.seq)
+				}
 				s.window.Release(e.seq)
 			} else {
 				s.m.CommittedSplits++
 			}
 		}
-		s.rob.Pop()
+		s.rob.Drop()
 	}
 }

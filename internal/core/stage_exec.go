@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/bitwidth"
 	"repro/internal/isa"
 )
@@ -19,56 +17,90 @@ func (s *Sim) issueCluster(c uint8) {
 	if c == helper {
 		budget = s.cfg.HelperIssue
 	}
-	q := s.iq[c]
-	take := s.issueScratch[:0]
-	readyLeft := 0
-	// Two select passes: demand work first, then prefetched copies —
-	// speculative transfers must not displace real instructions.
-	for pass := 0; pass < 2 && budget > 0; pass++ {
-		k := 0
-		for i, pos := range q.Entries() {
-			if k < len(take) && take[k] == i {
-				k++
-				continue // already selected in pass 0
-			}
-			e := s.rob.At(pos)
-			if (e.prefetchCopy) != (pass == 1) {
-				continue
-			}
-			if !s.entryReady(e) {
-				continue
-			}
-			if budget == 0 {
-				break
-			}
-			s.issueEntry(pos, e)
-			take = insertSorted(take, i)
-			budget--
-		}
+	if !s.iqDirty[c] && s.tick < s.iqWake[c] {
+		// Nothing relevant changed since a scan that proved no entry
+		// ready, and the earliest blocking availability is still in the
+		// future: publish exactly what the empty scan would have.
+		s.readyUnissued[c] = 0
+		s.spareSlots[c] = budget
+		return
 	}
-	// NREADY (§3.7): ready but unissued; count entries the other cluster
-	// could in principle have executed (splittable ALU work for
-	// wide→narrow, anything non-copy for narrow→wide).
-	if budget == 0 {
-		k := 0
-		for i, pos := range q.Entries() {
-			if k < len(take) && take[k] == i {
-				k++
-				continue
-			}
-			e := s.rob.At(pos)
-			if !s.entryReady(e) {
-				continue
-			}
-			if c == wide {
-				if e.kind == kindReal && e.u.Class == isa.ClassALU {
-					readyLeft++
+	s.iqDirty[c] = false
+	q := s.iq[c]
+	entries := q.Entries()
+	take := s.issueScratch[:0]
+	prefs := s.prefScratch[:0]
+	readyLeft := 0
+	minBlock := never
+	// One fused scan does the work of the old demand pass, prefetch pass
+	// and NREADY pass. Demand work has priority over prefetched copies —
+	// speculative transfers must not displace real instructions — so ready
+	// prefetch entries are only remembered here and issued from whatever
+	// budget remains afterwards. Readiness is static within a tick (issue
+	// never lowers an availability time below the current tick), so the
+	// fused selection is identical to the multi-pass one. The scan runs
+	// entirely on the hot arrays with every indirection hoisted into
+	// locals; the cold entry is touched only on actual issue (or for the
+	// NREADY kind filter once issue bandwidth is exhausted).
+	head, tick, mask := s.rob.Head(), s.tick, s.robMask
+	avail := s.hotAvail[c]
+	for i, pos := range entries {
+		hi := pos & mask
+		if nd := s.hotNdeps[hi]; nd != 0 {
+			deps := &s.hotDeps[hi]
+			ready := true
+			for k := uint8(0); k < nd; k++ {
+				if p := deps[k]; p >= head {
+					if a := avail[p&mask]; a > tick {
+						ready = false
+						if a < minBlock {
+							minBlock = a
+						}
+						break
+					}
 				}
-			} else if e.kind != kindCopy {
+			}
+			if !ready {
+				continue
+			}
+		}
+		if s.hotPref[hi] {
+			prefs = append(prefs, i)
+			continue
+		}
+		if budget > 0 {
+			s.issueEntry(pos, s.rob.At(pos))
+			take = append(take, i)
+			budget--
+			continue
+		}
+		// NREADY (§3.7): ready but unissued; count entries the other
+		// cluster could in principle have executed (splittable ALU work
+		// for wide→narrow, anything non-copy for narrow→wide).
+		e := s.rob.At(pos)
+		if c == wide {
+			if e.kind == kindReal && e.u.Class == isa.ClassALU {
 				readyLeft++
 			}
+		} else if e.kind != kindCopy {
+			readyLeft++
 		}
 	}
+	for _, i := range prefs {
+		if budget == 0 {
+			break
+		}
+		pos := entries[i]
+		s.issueEntry(pos, s.rob.At(pos))
+		take = insertSorted(take, i)
+		budget--
+	}
+	if len(take) == 0 && len(prefs) == 0 {
+		s.iqWake[c] = minBlock // nothing ready: sleep until a dep can mature
+	} else {
+		s.iqWake[c] = 0
+	}
+	s.prefScratch = prefs[:0]
 	q.RemoveIndexes(take)
 	s.issueScratch = take[:0]
 	s.m.Issues[c] += uint64(len(take))
@@ -96,11 +128,10 @@ func (s *Sim) issueFP() {
 		if budget == 0 {
 			break
 		}
-		e := s.rob.At(pos)
-		if !s.entryReady(e) {
+		if !s.entryReadyAt(pos, wide) {
 			continue
 		}
-		s.issueEntry(pos, e)
+		s.issueEntry(pos, s.rob.At(pos))
 		take = append(take, i)
 		budget--
 	}
@@ -113,8 +144,11 @@ func (s *Sim) issueFP() {
 // availability (full bypass within a cluster: dependents may issue on the
 // completion tick).
 func (s *Sim) issueEntry(pos uint64, e *robEntry) {
-	e.state = stExecuting
-	s.m.RFReads[e.cluster] += uint64(e.ndeps)
+	// Availability writes below can mature dependents in either cluster.
+	s.iqDirty[wide], s.iqDirty[helper] = true, true
+	i := pos & s.robMask
+	s.hotState[i] = stExecuting
+	s.m.RFReads[e.cluster] += uint64(s.hotNdeps[i])
 	s.m.IssueWaitTicks[e.cluster] += uint64(s.tick - e.renameTick)
 
 	cyc := s.ticksPer(e.cluster)
@@ -123,11 +157,11 @@ func (s *Sim) issueEntry(pos uint64, e *robEntry) {
 	case e.kind == kindCopy:
 		// Read in the holding cluster, transfer across.
 		done = s.tick + cyc + s.wideTicks(s.cfg.CopyLatency)
-		e.avail[e.copyTarget] = done
+		s.hotAvail[e.copyTarget][i] = done
 		if e.copySrc >= s.rob.Head() {
-			src := s.rob.At(e.copySrc)
-			if src.avail[e.copyTarget] > done {
-				src.avail[e.copyTarget] = done
+			si := e.copySrc & s.robMask
+			if s.hotAvail[e.copyTarget][si] > done {
+				s.hotAvail[e.copyTarget][si] = done
 			}
 		}
 	case e.isLoad:
@@ -138,9 +172,9 @@ func (s *Sim) issueEntry(pos uint64, e *robEntry) {
 			lat += s.wideTicks(s.mem.Access(e.u.MemAddr))
 		}
 		done = s.tick + lat
-		e.avail[wide] = done
+		s.hotAvail[wide][i] = done
 		if e.replicated {
-			e.avail[helper] = done
+			s.hotAvail[helper][i] = done
 		}
 		s.m.AGUOps[e.cluster]++
 	case e.isStore:
@@ -148,60 +182,93 @@ func (s *Sim) issueEntry(pos uint64, e *robEntry) {
 		s.m.AGUOps[e.cluster]++
 	case e.isFP:
 		done = s.tick + s.wideTicks(s.cfg.FPLatency)
-		e.avail[wide] = done
+		s.hotAvail[wide][i] = done
 	case e.u.Class == isa.ClassMul:
 		done = s.tick + s.wideTicks(s.cfg.MulLatency)
-		e.avail[wide] = done
+		s.hotAvail[wide][i] = done
 		s.m.ALUOps[e.cluster]++
 	case e.u.Class == isa.ClassDiv:
 		done = s.tick + s.wideTicks(s.cfg.DivLatency)
-		e.avail[wide] = done
+		s.hotAvail[wide][i] = done
 		s.m.ALUOps[e.cluster]++
 	default: // ALU, branch, split piece
 		done = s.tick + cyc
-		e.avail[e.cluster] = done
+		s.hotAvail[e.cluster][i] = done
 		s.m.ALUOps[e.cluster]++
 	}
-	e.done = done
+	s.hotDone[i] = done
+	if done < s.execWake {
+		s.execWake = done
+	}
 	s.executing = append(s.executing, pos)
 }
 
 // writeback completes due executions, performing the width checks that
 // trigger fatal-misprediction flushes and resolving branches.
 func (s *Sim) writeback() {
-	if len(s.executing) == 0 {
+	if len(s.executing) == 0 || s.tick < s.execWake {
 		return
 	}
 	keep := s.executing[:0]
-	var due []uint64
+	// The due list reuses a Sim-owned scratch slice: this runs every tick
+	// and a per-tick allocation here (plus the sort.Slice closure it used
+	// to feed) dominated the simulator's entire allocation profile.
+	due := s.dueScratch[:0]
+	head, tail := s.rob.Head(), s.rob.Tail()
 	for _, pos := range s.executing {
-		if pos < s.rob.Head() || pos >= s.rob.Tail() {
+		if pos < head || pos >= tail {
 			continue // squashed
 		}
-		e := s.rob.At(pos)
-		if e.state != stExecuting {
+		i := pos & s.robMask
+		if s.hotState[i] != stExecuting {
 			continue
 		}
-		if e.done <= s.tick {
+		if s.hotDone[i] <= s.tick {
 			due = append(due, pos)
 		} else {
 			keep = append(keep, pos)
 		}
 	}
 	s.executing = keep
+	s.dueScratch = due
+	// The surviving in-flight entries all complete strictly later; skip
+	// the scan until the earliest of them is due. Issue keeps this in
+	// sync, and squashed stragglers are filtered on the next real scan.
+	next := never
+	for _, pos := range keep {
+		if d := s.hotDone[pos&s.robMask]; d < next {
+			next = d
+		}
+	}
+	s.execWake = next
 	if len(due) == 0 {
 		return
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	sortPositions(due)
 	for _, pos := range due {
 		if pos < s.rob.Head() || pos >= s.rob.Tail() {
 			continue // flushed by an earlier completion this tick
 		}
 		e := s.rob.At(pos)
-		if e.state != stExecuting {
+		if s.hotState[pos&s.robMask] != stExecuting {
 			continue
 		}
 		s.completeEntry(pos, e)
+	}
+}
+
+// sortPositions is an allocation-free ascending insertion sort; the due
+// list is a handful of entries (bounded by issue bandwidth × latency
+// spread), where insertion sort beats a general sort anyway.
+func sortPositions(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i
+		for j > 0 && a[j-1] > v {
+			a[j] = a[j-1]
+			j--
+		}
+		a[j] = v
 	}
 }
 
@@ -257,12 +324,15 @@ func (s *Sim) completeEntry(pos uint64, e *robEntry) {
 		s.trainWidth(pos, e, false)
 		s.m.WidthFatal++
 		s.m.FatalFlushes++
+		if s.forcedWide == nil {
+			s.forcedWide = make(map[uint64]struct{})
+		}
 		s.forcedWide[e.seq] = struct{}{}
 		s.flushFrom(pos, e.seq, s.cfg.FatalFlushPenalty)
 		return
 	}
 
-	e.state = stDone
+	s.hotState[pos&s.robMask] = stDone
 	if e.definedReg != isa.RegNone || e.definedFlags {
 		s.m.RFWrites[e.cluster]++
 	}
@@ -387,6 +457,7 @@ func (s *Sim) flushFrom(truncatePos uint64, seq uint64, penaltyWideCycles int) {
 	s.fpIQ.FlushFrom(truncatePos)
 	s.mob.FlushFrom(truncatePos)
 
+	s.iqDirty[wide], s.iqDirty[helper] = true, true
 	s.fetchSeq = seq
 	if until := s.tick + s.wideTicks(penaltyWideCycles); until > s.fetchStallUntil {
 		s.fetchStallUntil = until

@@ -155,8 +155,12 @@ func (s *Sim) steerUop(u *isa.Uop) decision {
 	d.widthClassify = (u.HasDest() || u.WritesFlags) &&
 		u.Class != isa.ClassFP && u.Class != isa.ClassStore
 
-	if _, forced := s.forcedWide[u.Seq]; forced {
-		return d
+	if s.forcedWide != nil {
+		// Lazily allocated: most runs never take a fatal flush, and the
+		// nil check spares them the per-uop map hash as well.
+		if _, forced := s.forcedWide[u.Seq]; forced {
+			return d
+		}
 	}
 
 	// Scheme (5) balance: when the helper cluster is overloaded, narrow
@@ -343,9 +347,12 @@ func copyExecCluster(p *robEntry) uint8 {
 	return helper
 }
 
-// addDeps collects the in-flight producers of the uop's register operands
-// and creates the demand copies the PACT-99 scheme requires.
-func (s *Sim) addDeps(u *isa.Uop, e *robEntry, target uint8) {
+// collectDeps gathers the in-flight producers of the uop's register
+// operands into deps and creates the demand copies the PACT-99 scheme
+// requires. It runs before the consumer's own ROB entry is allocated so
+// the copies occupy earlier positions, exactly as dispatch orders them.
+func (s *Sim) collectDeps(u *isa.Uop, target uint8, deps *[maxDeps]uint64) uint8 {
+	var n uint8
 	for i := 0; i < int(u.NSrc); i++ {
 		r := u.SrcReg[i]
 		if r == isa.RegNone {
@@ -356,10 +363,11 @@ func (s *Sim) addDeps(u *isa.Uop, e *robEntry, target uint8) {
 			continue
 		}
 		pos := uint64(m.Producer)
-		e.deps[e.ndeps] = pos
-		e.ndeps++
+		deps[n] = pos
+		n++
 		s.demandCopy(pos, target)
 	}
+	return n
 }
 
 // demandCopy creates a copy toward target for the value produced at pos,
@@ -405,24 +413,25 @@ func (s *Sim) addCopy(srcPos uint64, target uint8, prefetch bool) {
 		}
 		panic("core: copy capacity violated despite preflight")
 	}
-	var e robEntry
-	resetEntry(&e)
+	srcPC := src.u.PC
+	pos, e := s.allocEntry()
 	e.kind = kindCopy
 	e.cluster = execIn
 	e.copySrc = srcPos
 	e.copyTarget = target
-	e.prefetchCopy = prefetch
 	e.seq = s.fetchSeq
-	e.u.PC = src.u.PC
+	e.u.PC = srcPC
 	e.u.Class = isa.ClassCopy
-	e.deps[0] = srcPos
-	e.ndeps = 1
 	e.ghr = s.bp.History()
 	e.renameTick = s.tick
-	pos := s.rob.Push(e)
+	i := pos & s.robMask
+	s.hotDeps[i][0] = srcPos
+	s.hotNdeps[i] = 1
+	s.hotPref[i] = prefetch
 	s.iq[execIn].Add(pos)
+	s.iqDirty[execIn] = true
 	s.m.IQWrites[execIn]++
-	src = s.rob.At(srcPos) // re-resolve: Push may not invalidate, but be safe
+	src = s.rob.At(srcPos) // re-resolve: alloc may not invalidate, but be safe
 	src.hasCopyTo[target] = true
 	s.m.CopiesCreated++
 	if prefetch {
@@ -437,53 +446,62 @@ func (s *Sim) addCopy(srcPos uint64, target uint8, prefetch bool) {
 
 // renameOne dispatches a non-split uop.
 func (s *Sim) renameOne(u *isa.Uop, d decision) {
-	var e robEntry
-	resetEntry(&e)
-	e.u = *u
-	e.kind = kindReal
-	e.cluster = d.cluster
-	e.seq = u.Seq
-	e.countsAsInstr = true
-	e.steered888 = d.steered888
-	e.crSteered = d.crSteered
-	e.widthPredNarrow = d.widthPredNarrow
-	e.widthClassify = d.widthClassify
-	e.trainCP = s.active.EnableCP
-	e.trainCR = s.active.EnableCR
-	e.isLoad = u.Class == isa.ClassLoad
-	e.isStore = u.Class == isa.ClassStore
-	e.isFP = u.Class == isa.ClassFP
+	isLoad := u.Class == isa.ClassLoad
+	isFP := u.Class == isa.ClassFP
 
-	if e.isLoad {
-		// LR (§3.4): predicted-narrow load values are allocated in both
-		// register files; helper-executed narrow loads likewise deliver
-		// to both.
+	// LR (§3.4): predicted-narrow load values are allocated in both
+	// register files; helper-executed narrow loads likewise deliver
+	// to both.
+	replicated := false
+	if isLoad {
 		narrowLoad := d.widthPredNarrow && d.predNarrowConf
-		e.replicated = narrowLoad && (s.active.EnableLR || d.cluster == helper)
+		replicated = narrowLoad && (s.active.EnableLR || d.cluster == helper)
 	}
 
-	if e.isFP {
+	// Dependencies (and the demand copies they imply) are gathered before
+	// the uop's own entry is allocated, so the copies take the earlier ROB
+	// positions dispatch order dictates.
+	var deps [maxDeps]uint64
+	var ndeps uint8
+	if isFP {
 		for i := 0; i < int(u.NSrc); i++ {
 			if p := s.fpMap[u.SrcReg[i]&7]; p >= 0 && uint64(p) >= s.rob.Head() {
-				e.deps[e.ndeps] = uint64(p)
-				e.ndeps++
+				deps[ndeps] = uint64(p)
+				ndeps++
 			}
 		}
 	} else {
-		s.addDeps(u, &e, d.cluster)
+		ndeps = s.collectDeps(u, d.cluster, &deps)
 	}
 
-	e.ghr = s.bp.History()
-	e.renameTick = s.tick
-	pos := s.rob.Push(e)
-	en := s.rob.At(pos)
+	pos, en := s.allocEntry()
+	en.u = *u
+	en.kind = kindReal
+	en.cluster = d.cluster
+	en.seq = u.Seq
+	en.countsAsInstr = true
+	en.steered888 = d.steered888
+	en.crSteered = d.crSteered
+	en.widthPredNarrow = d.widthPredNarrow
+	en.widthClassify = d.widthClassify
+	en.trainCP = s.active.EnableCP
+	en.trainCR = s.active.EnableCR
+	en.isLoad = isLoad
+	en.isStore = u.Class == isa.ClassStore
+	en.isFP = isFP
+	en.replicated = replicated
+	en.ghr = s.bp.History()
+	en.renameTick = s.tick
+	hi := pos & s.robMask
+	s.hotDeps[hi] = deps
+	s.hotNdeps[hi] = ndeps
 
 	// Rename defines (with undo state for flushes).
-	if u.HasDest() && !e.isFP {
+	if u.HasDest() && !isFP {
 		phys := s.prf.Alloc()
 		en.physReg = phys
 		valueCluster := d.cluster
-		if e.isLoad && !e.replicated {
+		if isLoad && !replicated {
 			valueCluster = wide // MOB delivers to the wide file
 		}
 		prev := s.table.Define(u.DstReg, int64(pos), valueCluster, d.widthPredNarrow, phys)
@@ -496,7 +514,7 @@ func (s *Sim) renameOne(u *isa.Uop, d decision) {
 		en.definedFlags = true
 		en.prevFlags = prev
 	}
-	if e.isFP && u.HasDest() {
+	if isFP && u.HasDest() {
 		fp := u.DstReg & 7
 		en.definedFP = fp
 		en.prevFP = s.fpMap[fp]
@@ -522,16 +540,17 @@ func (s *Sim) renameOne(u *isa.Uop, d decision) {
 	// Dispatch.
 	switch {
 	case u.Class == isa.ClassJump:
-		en.state = stDone
-		en.done = s.tick
-	case e.isFP:
+		s.hotState[hi] = stDone
+		s.hotDone[hi] = s.tick
+	case isFP:
 		s.fpIQ.Add(pos)
 	default:
 		s.iq[d.cluster].Add(pos)
+		s.iqDirty[d.cluster] = true
 		s.m.IQWrites[d.cluster]++
 	}
 
-	if e.isStore {
+	if en.isStore {
 		s.mob.AddStore(pos, u.MemAddr, u.MemSize)
 	}
 
@@ -592,8 +611,7 @@ func (s *Sim) renameSplit(u *isa.Uop, d decision) {
 	hasPrev := false
 	var lastPiece uint64
 	for i := 0; i < steer.SplitPieces; i++ {
-		var e robEntry
-		resetEntry(&e)
+		pos, e := s.allocEntry()
 		e.kind = kindSplit
 		e.cluster = helper
 		e.seq = u.Seq
@@ -603,20 +621,21 @@ func (s *Sim) renameSplit(u *isa.Uop, d decision) {
 		e.u.DstVal = u.DstVal
 		e.countsAsInstr = i == 0
 		e.splitHead = i == 0
+		hi := pos & s.robMask
 		for k := 0; k < nsrc; k++ {
-			e.deps[e.ndeps] = srcDeps[k]
-			e.ndeps++
+			s.hotDeps[hi][s.hotNdeps[hi]] = srcDeps[k]
+			s.hotNdeps[hi]++
 		}
 		if hasPrev {
 			// Byte slices chain through the carry, least significant
 			// first (§3.7).
-			e.deps[e.ndeps] = prev
-			e.ndeps++
+			s.hotDeps[hi][s.hotNdeps[hi]] = prev
+			s.hotNdeps[hi]++
 		}
 		e.ghr = s.bp.History()
 		e.renameTick = s.tick
-		pos := s.rob.Push(e)
 		s.iq[helper].Add(pos)
+		s.iqDirty[helper] = true
 		s.m.IQWrites[helper]++
 		prev = pos
 		hasPrev = true
@@ -639,8 +658,7 @@ func (s *Sim) renameSplit(u *isa.Uop, d decision) {
 		// ready when the reassembly copies land (the copies advertise
 		// the piece's wide availability).
 		for i := 0; i < steer.SplitPieces; i++ {
-			var e robEntry
-			resetEntry(&e)
+			pos, e := s.allocEntry()
 			e.kind = kindCopy
 			e.cluster = helper
 			e.copySrc = lastPiece
@@ -649,12 +667,13 @@ func (s *Sim) renameSplit(u *isa.Uop, d decision) {
 			e.u.PC = u.PC
 			e.u.Class = isa.ClassCopy
 			e.u.DstVal = u.DstVal
-			e.deps[0] = lastPiece
-			e.ndeps = 1
 			e.ghr = s.bp.History()
 			e.renameTick = s.tick
-			pos := s.rob.Push(e)
+			hi := pos & s.robMask
+			s.hotDeps[hi][0] = lastPiece
+			s.hotNdeps[hi] = 1
 			s.iq[helper].Add(pos)
+			s.iqDirty[helper] = true
 			s.m.IQWrites[helper]++
 			s.m.CopiesCreated++
 			s.m.CopyPrefetch++

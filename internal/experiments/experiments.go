@@ -46,16 +46,20 @@ func Quick() Options {
 	return Options{SpecUops: 20_000, SuiteUops: 5_000, Warmup: 5_000}
 }
 
-// runOne simulates one workload under one policy with warmup.
+// runOne simulates one workload under one policy with warmup. Sims come
+// from the core pool: the full-suite sweeps (Figure 14 runs 824
+// simulations) recycle one Sim per worker instead of constructing a
+// megabyte of simulator state per run.
 func runOne(ctx context.Context, p workload.Profile, pol steer.Policy, n, warm uint64) (core.Result, error) {
 	cfg := config.PentiumLikeBaseline()
 	if pol.NeedsHelper() {
 		cfg = config.WithHelper()
 	}
-	sim, err := core.New(cfg, pol, p.MustStream())
+	sim, err := core.Acquire(cfg, pol, p.MustStream())
 	if err != nil {
 		return core.Result{}, err
 	}
+	defer core.Release(sim)
 	return sim.RunWarmCtx(ctx, n, warm)
 }
 

@@ -49,7 +49,21 @@ type Detector struct {
 
 // New returns a detector with the default table bound and threshold.
 func New() *Detector {
-	return &Detector{maxPhases: DefaultMaxPhases, threshold: DefaultThreshold}
+	return &Detector{
+		maxPhases: DefaultMaxPhases,
+		threshold: DefaultThreshold,
+		table:     make([]signature, 0, DefaultMaxPhases),
+	}
+}
+
+// Reset discards the interval footprint and every learned phase, keeping
+// the table storage and tuning (a reused detector classifies exactly like
+// a fresh one).
+func (d *Detector) Reset() {
+	d.cur = [Buckets]uint32{}
+	d.branches, d.pages = 0, 0
+	d.table = d.table[:0]
+	d.last = 0
 }
 
 // NewWith returns a detector with an explicit phase-table bound and

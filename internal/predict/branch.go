@@ -46,6 +46,21 @@ func NewBranchPredictor(patternEntries, btbEntries, historyBits int) *BranchPred
 	}
 }
 
+// Reinit restores the cold state, reusing the tables when the geometry is
+// unchanged and rebuilding them otherwise.
+func (b *BranchPredictor) Reinit(patternEntries, btbEntries, historyBits int) {
+	if len(b.counters) != patternEntries || len(b.btbTags) != btbEntries ||
+		b.histMask != (1<<historyBits)-1 {
+		*b = *NewBranchPredictor(patternEntries, btbEntries, historyBits)
+		return
+	}
+	clear(b.counters)
+	clear(b.btbTags)
+	clear(b.btbTargets)
+	b.history = 0
+	b.stats = BranchStats{}
+}
+
 func (b *BranchPredictor) patternIndex(pc uint32) uint32 {
 	return (pc ^ b.history) & b.mask
 }

@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof file outputs into the
+// command-line tools, so a slow study can be profiled exactly as it is
+// normally invoked (helpersim -cpuprofile=cpu.pprof ...) instead of
+// reconstructing it as a Go benchmark first.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two standard flag values: a
+// CPU profile streams to cpuPath until the returned stop function runs,
+// and memPath receives an allocation-inclusive heap profile snapshot at
+// stop time (after a final GC, so live-heap numbers are not inflated by
+// collectable garbage). Either path may be empty to disable that
+// profile; stop is always safe to call exactly once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -19,7 +19,21 @@ func NewMOB(capacity int) *MOB {
 	if capacity < 1 {
 		panic("queue: MOB capacity must be >= 1")
 	}
-	return &MOB{cap: capacity}
+	return &MOB{cap: capacity, stores: make([]mobStore, 0, capacity)}
+}
+
+// Reinit empties the MOB and re-targets it at a (possibly different)
+// capacity, reusing the store tracking when it is large enough.
+func (m *MOB) Reinit(capacity int) {
+	if capacity < 1 {
+		panic("queue: MOB capacity must be >= 1")
+	}
+	m.cap = capacity
+	if cap(m.stores) < capacity {
+		m.stores = make([]mobStore, 0, capacity)
+	} else {
+		m.stores = m.stores[:0]
+	}
 }
 
 // Full reports whether another store can be tracked.

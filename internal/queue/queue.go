@@ -11,6 +11,7 @@ import "fmt"
 // tail, retire from the head, flush back to a position.
 type Ring[T any] struct {
 	buf  []T
+	mask uint64
 	head uint64 // oldest live position
 	tail uint64 // next position to allocate
 }
@@ -20,7 +21,7 @@ func NewRing[T any](capacity int) *Ring[T] {
 	if capacity <= 0 || capacity&(capacity-1) != 0 {
 		panic("queue: ring capacity must be a positive power of two")
 	}
-	return &Ring[T]{buf: make([]T, capacity)}
+	return &Ring[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}
 }
 
 // Len returns the number of live entries.
@@ -43,21 +44,37 @@ func (r *Ring[T]) Tail() uint64 { return r.tail }
 
 // Push allocates a new entry position and returns it.
 func (r *Ring[T]) Push(v T) uint64 {
+	pos, slot := r.Alloc()
+	*slot = v
+	return pos
+}
+
+// Alloc allocates the next position and returns it together with a pointer
+// to its slot so large entries can be initialized in place instead of
+// being built locally and copied in. The slot holds whatever a previous
+// occupant left behind; the caller must overwrite every field it reads.
+func (r *Ring[T]) Alloc() (uint64, *T) {
 	if r.Full() {
 		panic("queue: ring overflow")
 	}
 	pos := r.tail
-	r.buf[pos&uint64(len(r.buf)-1)] = v
 	r.tail++
-	return pos
+	return pos, &r.buf[pos&r.mask]
 }
 
 // At returns a pointer to the entry at position pos, which must be live.
+// The liveness check stays branch-only so At inlines into the scheduler
+// scans; the panic formatting lives in badPos.
 func (r *Ring[T]) At(pos uint64) *T {
-	if pos < r.head || pos >= r.tail {
-		panic(fmt.Sprintf("queue: position %d not live [%d,%d)", pos, r.head, r.tail))
+	if pos-r.head >= r.tail-r.head {
+		r.badPos(pos)
 	}
-	return &r.buf[pos&uint64(len(r.buf)-1)]
+	return &r.buf[pos&r.mask]
+}
+
+//go:noinline
+func (r *Ring[T]) badPos(pos uint64) {
+	panic(fmt.Sprintf("queue: position %d not live [%d,%d)", pos, r.head, r.tail))
 }
 
 // Pop retires the oldest entry.
@@ -65,10 +82,24 @@ func (r *Ring[T]) Pop() T {
 	if r.Empty() {
 		panic("queue: pop from empty ring")
 	}
-	v := r.buf[r.head&uint64(len(r.buf)-1)]
+	v := r.buf[r.head&r.mask]
 	r.head++
 	return v
 }
+
+// Drop retires the oldest entry without copying it out (commit discards
+// the value; the copy is measurable for large T).
+func (r *Ring[T]) Drop() {
+	if r.Empty() {
+		panic("queue: drop from empty ring")
+	}
+	r.head++
+}
+
+// Reset empties the ring and rewinds the position space to zero. Slot
+// contents are left stale; Alloc's contract already requires callers to
+// overwrite what they read.
+func (r *Ring[T]) Reset() { r.head, r.tail = 0, 0 }
 
 // TruncateTo flushes all entries at positions >= pos (misprediction
 // recovery squashes the tail of the ROB).
@@ -94,7 +125,21 @@ func NewIssueQueue(capacity int) *IssueQueue {
 	if capacity < 1 {
 		panic("queue: issue queue capacity must be >= 1")
 	}
-	return &IssueQueue{cap: capacity}
+	return &IssueQueue{cap: capacity, entries: make([]uint64, 0, capacity)}
+}
+
+// Reinit empties the queue and re-targets it at a (possibly different)
+// capacity, reusing the entry storage when it is large enough.
+func (q *IssueQueue) Reinit(capacity int) {
+	if capacity < 1 {
+		panic("queue: issue queue capacity must be >= 1")
+	}
+	q.cap = capacity
+	if cap(q.entries) < capacity {
+		q.entries = make([]uint64, 0, capacity)
+	} else {
+		q.entries = q.entries[:0]
+	}
 }
 
 // Len returns the occupancy.

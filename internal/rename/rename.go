@@ -43,10 +43,15 @@ type Table struct {
 // wide, and actual — the conservative cold state.
 func NewTable() *Table {
 	t := &Table{}
+	t.Reset()
+	return t
+}
+
+// Reset restores the cold state of NewTable in place.
+func (t *Table) Reset() {
 	for i := range t.regs {
 		t.regs[i] = Mapping{Producer: NoProducer, Phys: -1, Actual: true}
 	}
-	return t
 }
 
 // Lookup returns the current mapping of reg.
@@ -110,14 +115,35 @@ func NewPhysRegFile(size int) *PhysRegFile {
 	}
 	f := &PhysRegFile{
 		size:     size,
+		free:     make([]int32, 0, size),
 		refs:     make([]int32, size),
 		deferred: make([]bool, size),
 		live:     make([]bool, size),
 	}
-	for i := size - 1; i >= 0; i-- {
+	f.refill()
+	return f
+}
+
+// Reinit restores the all-free cold state, reusing storage when the size
+// is unchanged.
+func (f *PhysRegFile) Reinit(size int) {
+	if size != f.size {
+		*f = *NewPhysRegFile(size)
+		return
+	}
+	clear(f.refs)
+	clear(f.deferred)
+	clear(f.live)
+	f.refill()
+}
+
+// refill repopulates the free list in the canonical descending order of
+// NewPhysRegFile (allocation order is observable via register identity).
+func (f *PhysRegFile) refill() {
+	f.free = f.free[:0]
+	for i := f.size - 1; i >= 0; i-- {
 		f.free = append(f.free, int32(i))
 	}
-	return f
 }
 
 // Alloc takes a free register, returning -1 when the file is exhausted

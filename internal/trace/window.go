@@ -65,6 +65,17 @@ func (w *Window) Release(seq uint64) {
 	}
 }
 
+// Cap returns the retention capacity.
+func (w *Window) Cap() int { return len(w.ring) }
+
+// Reset re-targets the window at a new source from sequence zero, reusing
+// the ring storage. Stale uops are unreachable: Get refills every slot
+// from the new source before returning it.
+func (w *Window) Reset(src Source) {
+	w.src = src
+	w.base, w.head = 0, 0
+}
+
 // Base returns the oldest retained sequence number.
 func (w *Window) Base() uint64 { return w.base }
 

@@ -1,0 +1,52 @@
+package repro
+
+// Pooled-simulator fan-out safety: every local run — sequential or on
+// RunBatch worker goroutines — draws its Sim from the core pool, so a
+// job's result must be independent of which recycled Sim it lands on and
+// of what ran on that Sim before. Run under -race this also checks the
+// pool hand-off itself (concurrent Acquire/Release with in-place Reset).
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestRunBatchPooledMatchesSequential(t *testing.T) {
+	var jobs []Job
+	for _, wl := range []string{"gcc", "gzip", "mcf", "crafty"} {
+		w := mustWorkload(t, wl)
+		jobs = append(jobs,
+			Job{Policy: PolicyBaseline(), Workload: w, N: 8_000, Warmup: 1_000},
+			Job{Policy: Policy888(), Workload: w, N: 8_000, Warmup: 1_000},
+			Job{Policy: PolicyFull(), Workload: w, N: 8_000, Warmup: 1_000},
+		)
+	}
+
+	// Sequential reference pass: one worker, so each job reuses the Sim
+	// the previous (differently shaped) job just released.
+	want := make([]Result, len(jobs))
+	seq := NewRunner(WithWorkers(1))
+	for i, j := range jobs {
+		r, err := seq.Run(context.Background(), j)
+		if err != nil {
+			t.Fatalf("sequential job %d: %v", i, err)
+		}
+		want[i] = r
+	}
+
+	// Two parallel rounds: the second is guaranteed to see a pool warmed
+	// with Sims of every shape, maximizing cross-shape recycling.
+	for round := 0; round < 2; round++ {
+		got, err := NewRunner(WithWorkers(4)).RunAll(context.Background(), jobs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range jobs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("round %d job %d (%s): pooled parallel result differs from sequential",
+					round, i, jobs[i].Label())
+			}
+		}
+	}
+}

@@ -258,10 +258,15 @@ func (r *Runner) runLocalProgress(ctx context.Context, j Job, every uint64, repo
 	if err != nil {
 		return Result{}, fmt.Errorf("repro: job %s: %w", j.Label(), err)
 	}
-	sim, err := core.New(j.Config, j.Policy, src)
+	// Acquire from the sim pool: a recycled Sim reset for this job is
+	// byte-identical in behaviour to a fresh one, and reusing its storage
+	// (ROB, queues, predictor tables, cache arrays) keeps batch loops and
+	// grid workers out of the allocator.
+	sim, err := core.Acquire(j.Config, j.Policy, src)
 	if err != nil {
 		return Result{}, fmt.Errorf("repro: job %s: %w", j.Label(), err)
 	}
+	defer core.Release(sim)
 	if report != nil {
 		if every == 0 {
 			if every = j.Policy.Interval(); every == 0 {
@@ -407,9 +412,10 @@ func (r *Runner) RunTraceFile(ctx context.Context, cfg Config, pol Policy, path 
 	if len(uops) == 0 {
 		return Result{}, fmt.Errorf("repro: empty trace %s", path)
 	}
-	sim, err := core.New(cfg, pol, trace.NewSliceSource(uops))
+	sim, err := core.Acquire(cfg, pol, trace.NewSliceSource(uops))
 	if err != nil {
 		return Result{}, err
 	}
+	defer core.Release(sim)
 	return sim.RunCtx(ctx, n)
 }

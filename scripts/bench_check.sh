@@ -13,6 +13,19 @@ cd "$(dirname "$0")/.."
 GO=${GO:-go}
 MAX=${BENCH_MAX_REGRESS_PCT:-10}
 BUDGET=${BENCH_OVERHEAD_BUDGET_PCT:-5}
+ALLOC_MAX=${BENCH_MAX_ALLOC_REGRESS_PCT:-10}
+ALLOC_BUDGETS=${BENCH_ALLOC_BUDGETS:-}
+
+# On failure, print the allocation profile side by side so an alloc
+# regression is diagnosable from the CI log alone.
+alloc_report() {
+    echo "bench-check: allocation profile (baseline vs fresh):" >&2
+    for f in BENCH_core.json BENCH_fresh.json; do
+        echo "  $f:" >&2
+        grep -E '"name"|"allocs_per_op"|"bytes_per_op"' "$f" \
+            | sed 's/^ */    /' >&2
+    done
+}
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK" BENCH_fresh.json BENCH_retry.json' EXIT
@@ -20,15 +33,18 @@ trap 'rm -rf "$WORK" BENCH_fresh.json BENCH_retry.json' EXIT
 $GO test -run '^$' -bench=. -benchmem -count=3 . | $GO run ./cmd/benchjson -o BENCH_fresh.json
 if $GO run ./cmd/benchcheck -baseline BENCH_core.json -fresh BENCH_fresh.json \
     -max-regress-pct "$MAX" -overhead-budget-pct "$BUDGET" \
+    -max-alloc-regress-pct "$ALLOC_MAX" -alloc-budgets "$ALLOC_BUDGETS" \
     -write-regressed "$WORK/regressed"; then
     exit 0
 fi
 
-# Only timing failures are worth a second look; anything else is final.
-[ -s "$WORK/regressed" ] || exit 1
+# Only timing failures are worth a second look; anything else —
+# overhead budgets, allocation growth — is deterministic and final.
+[ -s "$WORK/regressed" ] || { alloc_report; exit 1; }
 
 names=$(paste -s -d'|' "$WORK/regressed")
 echo "bench-check: retrying suspected regressions with -count=5: $names" >&2
 $GO test -run '^$' -bench "^($names)\$" -benchmem -count=5 . | $GO run ./cmd/benchjson -o BENCH_retry.json
 $GO run ./cmd/benchcheck -baseline BENCH_core.json -fresh BENCH_fresh.json -retry BENCH_retry.json \
-    -max-regress-pct "$MAX" -overhead-budget-pct "$BUDGET"
+    -max-regress-pct "$MAX" -overhead-budget-pct "$BUDGET" \
+    -max-alloc-regress-pct "$ALLOC_MAX" -alloc-budgets "$ALLOC_BUDGETS" || { alloc_report; exit 1; }
