@@ -25,17 +25,20 @@ race:
 # End-to-end smoke test of the distributed grid: 1 job server + 2 worker
 # processes + `sweep -grid`, asserting byte-identical results vs the
 # local run, cache hits on a rerun, survival of a worker killed
-# mid-study (lease reassignment), and the federation chaos leg (a
-# member SIGKILLed mid-ladder; the survivor finishes, the rerun is 100%
-# served from the shared store).
+# mid-study (lease reassignment), the federation chaos leg (a member
+# SIGKILLed mid-ladder; the survivor finishes, the rerun is 100% served
+# from the shared store), and the multi-tenant service leg (an
+# autoscaled server under two tenant identities survives a SIGKILLed
+# peer and SIGKILLed autoscaled workers, enforces the metered tenant's
+# rate limit, and stays byte-identical).
 .PHONY: grid-smoke
 grid-smoke:
 	sh scripts/grid_smoke.sh
 
 # Coverage gate for the grid subsystem: the distributed fabric (storage,
-# leases, streams, fault recovery) must keep at least GRID_COVER_MIN%
-# statement coverage.
-GRID_COVER_MIN ?= 75
+# leases, streams, fault recovery, admission control, fair scheduling,
+# autoscaling) must keep at least GRID_COVER_MIN% statement coverage.
+GRID_COVER_MIN ?= 82
 .PHONY: grid-cover
 grid-cover:
 	@$(GO) test -coverprofile=grid.coverprofile ./internal/grid

@@ -29,11 +29,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -79,10 +82,19 @@ func usage() {
 
   serve    -addr :8321 [-lease 5s] [-max-attempts 5] [-store-dir dir] [-store-max-bytes 0]
            [-self URL] [-peers a:8321,b:8321] [-store-remote URL]
+           [-tenants spec] [-default-tenant spec] [-max-queue 0]
+           [-min-workers 0] [-max-workers 0] [-worker-parallel 0] [-scale-tick 500ms]
+           [-log off|error|warn|info|debug]
   work     -server :8321 [-workers 0] [-name ""] [-health ""]
-  submit   -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2] [-progress]
+  submit   -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2] [-progress] [-client ""]
   metrics  -server :8321
   federate -servers a:8321,b:8321
+
+A -tenants spec registers per-client limits, ';'-separated:
+  alice,weight=4,rate=50,burst=100;bob,weight=1,jobs=500,bytes=33554432
+-default-tenant takes the same key=value list (no leading id) for
+clients the spec does not name. -min/max-workers enable the autoscaler:
+the server spawns and drains re-exec'd local workers with the queue.
 `)
 }
 
@@ -101,16 +113,53 @@ func serveCmd(ctx context.Context, args []string) error {
 	storeRemote := fs.String("store-remote", "", "serve results from a peer's store over HTTP (the shared federation cache; mutually exclusive with -store-dir)")
 	self := fs.String("self", "", "advertised base URL for federation (default: derived from -addr; set it when peers reach this member on another address)")
 	peers := fs.String("peers", "", "comma-separated peer servers; federates this member with them")
+	tenants := fs.String("tenants", "", "per-tenant limits spec: id,key=value,...;id,... (keys: weight rate burst jobs bytes)")
+	defaultTenant := fs.String("default-tenant", "", "limits for tenants the -tenants spec does not name (key=value,... without an id)")
+	maxQueue := fs.Int("max-queue", 0, "server-wide queue bound; batches past it get 503 + Retry-After (0 = unbounded)")
+	minWorkers := fs.Int("min-workers", 0, "autoscaler floor: local workers kept alive (0 with -max-workers 0 disables autoscaling)")
+	maxWorkers := fs.Int("max-workers", 0, "autoscaler ceiling: most local workers spawned under load")
+	workerPar := fs.Int("worker-parallel", 0, "parallel simulations per spawned worker (0 = GOMAXPROCS)")
+	scaleTick := fs.Duration("scale-tick", 500*time.Millisecond, "autoscaler evaluation period")
+	logLevel := fs.String("log", "", "structured log level: off (default), error, warn, info, debug")
 	fs.Parse(args)
 
 	if *storeDir != "" && *storeRemote != "" {
 		return fmt.Errorf("-store-dir and -store-remote are mutually exclusive")
+	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return err
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	opts := []grid.ServerOption{grid.WithLeaseTTL(*lease), grid.WithMaxAttempts(*maxAttempts)}
+	if logger != nil {
+		opts = append(opts, grid.WithLogger(logger))
+	}
+	if *maxQueue > 0 {
+		opts = append(opts, grid.WithMaxQueue(*maxQueue))
+	}
+	if *tenants != "" {
+		limits, err := grid.ParseTenantSpec(*tenants)
+		if err != nil {
+			return err
+		}
+		for id, l := range limits {
+			opts = append(opts, grid.WithTenant(id, l))
+		}
+		fmt.Fprintf(os.Stderr, "helperd: %d tenant limit(s) registered\n", len(limits))
+	}
+	if *defaultTenant != "" {
+		// The shared parser wants a leading tenant id; give the
+		// defaults spec a synthetic one.
+		limits, err := grid.ParseTenantSpec("_default," + *defaultTenant)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, grid.WithTenantDefaults(limits["_default"]))
+	}
 	if *storeDir != "" {
 		st, err := grid.OpenDiskStore(*storeDir, grid.WithMaxBytes(*storeMax))
 		if err != nil {
@@ -143,6 +192,28 @@ func serveCmd(ctx context.Context, args []string) error {
 		handler = fed
 		fmt.Fprintf(os.Stderr, "helperd: federation member %s, seed peers %v\n", fed.Self(), fed.Peers())
 	}
+	if *minWorkers > 0 || *maxWorkers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		serverURL := advertiseURL(ln.Addr())
+		as, err := grid.NewAutoscaler(srv, grid.AutoscalerConfig{
+			Min:  *minWorkers,
+			Max:  *maxWorkers,
+			Tick: *scaleTick,
+			Log:  logger,
+			Spawn: func(id int) (grid.WorkerHandle, error) {
+				return spawnWorker(exe, serverURL, id, *workerPar)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer as.Close()
+		fmt.Fprintf(os.Stderr, "helperd: autoscaling %d..%d local workers (tick %s)\n",
+			*minWorkers, max(*minWorkers, *maxWorkers), *scaleTick)
+	}
 	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "helperd: serving grid on %s\n", ln.Addr())
 	go func() {
@@ -153,6 +224,61 @@ func serveCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	return nil
+}
+
+// buildLogger maps the -log flag onto a stderr slog.Logger, nil for
+// off.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "off":
+		return nil, nil
+	case "error":
+		lv = slog.LevelError
+	case "warn":
+		lv = slog.LevelWarn
+	case "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	default:
+		return nil, fmt.Errorf("unknown -log level %q (want off|error|warn|info|debug)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// procHandle adapts a re-exec'd `helperd work` process to the
+// autoscaler's WorkerHandle: Drain is SIGTERM (the worker finishes its
+// in-flight leases and exits), Kill is SIGKILL.
+type procHandle struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+}
+
+func (p *procHandle) Drain() { p.cmd.Process.Signal(syscall.SIGTERM) }
+func (p *procHandle) Kill()  { p.cmd.Process.Kill() }
+
+func (p *procHandle) Done() <-chan struct{} { return p.done }
+
+// spawnWorker launches one supervised `helperd work` process against
+// the server, named auto<N> so operators can tell autoscaled workers
+// from hand-started ones in /metrics.
+func spawnWorker(exe, serverURL string, id, parallel int) (grid.WorkerHandle, error) {
+	args := []string{"work", "-server", serverURL, "-name", fmt.Sprintf("auto%d", id)}
+	if parallel > 0 {
+		args = append(args, "-workers", fmt.Sprint(parallel))
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		close(done)
+	}()
+	return &procHandle{cmd: cmd, done: done}, nil
 }
 
 // advertiseURL derives the federation base URL from the listen address:
@@ -202,6 +328,20 @@ func workCmd(ctx context.Context, args []string) error {
 		Parallel:     *workers,
 		ExecProgress: repro.NewRunner().JobExecProgress(0),
 	}
+	// SIGTERM is the graceful-drain signal (the autoscaler's reap path):
+	// stop leasing, finish in-flight simulations, post the completions,
+	// exit 0. Interrupt (via ctx) stays the hard stop.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		select {
+		case <-sigs:
+			fmt.Fprintln(os.Stderr, "helperd: worker draining (SIGTERM)")
+			w.Drain()
+		case <-ctx.Done():
+		}
+	}()
 	if *health != "" {
 		ln, err := net.Listen("tcp", *health)
 		if err != nil {
@@ -229,6 +369,7 @@ func submitCmd(ctx context.Context, args []string) error {
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
 	warmupFrac := fs.Float64("warmup-frac", 0.2, "default warmup fraction for jobs without an explicit warmup")
 	progress := fs.Bool("progress", false, "stream interval progress lines (uops, IPC, rung, phase) to stderr as jobs run")
+	client := fs.String("client", "", "tenant identity (X-Grid-Client) this batch submits as")
 	fs.Parse(args)
 
 	jobs, err := readJobs(*jobsPath)
@@ -242,6 +383,9 @@ func submitCmd(ctx context.Context, args []string) error {
 		repro.WithGrid(*server),
 		repro.WithGridPriority(*priority),
 		repro.WithWarmupFrac(*warmupFrac),
+	}
+	if *client != "" {
+		ropts = append(ropts, repro.WithGridClientID(*client))
 	}
 	if *progress {
 		ropts = append(ropts, repro.WithGridProgress(func(p repro.JobProgress) {
@@ -306,6 +450,19 @@ func metricsCmd(ctx context.Context, args []string) error {
 	if m.Peers > 0 || m.StealsOut > 0 || m.StealsIn > 0 {
 		fmt.Fprintf(os.Stderr, "helperd: federation: %d peers, %d steals out, %d in, affinity %d/%d, %d speculated\n",
 			m.Peers, m.StealsOut, m.StealsIn, m.AffinityHits, m.AffinityHits+m.AffinityMisses, m.Speculated)
+	}
+	for _, t := range m.Tenants {
+		fmt.Fprintf(os.Stderr, "helperd: tenant %-12s weight=%g admitted=%d rejected=%d(rate)+%d(quota) queued=%d running=%d completed=%d failed=%d pending_bytes=%d\n",
+			t.ID, t.Weight, t.Admitted, t.RejectedRate, t.RejectedQuota,
+			t.Queued, t.Running, t.Completed, t.Failed, t.PendingBytes)
+	}
+	if lw := m.LeaseWaits; lw != nil {
+		fmt.Fprintf(os.Stderr, "helperd: lease waits: %d grants, mean %.1fms, max %.1fms\n",
+			lw.Count, lw.MeanMS, lw.MaxMS)
+	}
+	if a := m.Autoscaler; a != nil {
+		fmt.Fprintf(os.Stderr, "helperd: autoscaler: %d workers (target %d), %d ups, %d downs\n",
+			a.Workers, a.Target, a.ScaleUps, a.ScaleDowns)
 	}
 	return nil
 }

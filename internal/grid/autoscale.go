@@ -1,0 +1,246 @@
+package grid
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// AutoscaleStats is the autoscaler's self-report, published into the
+// server's /metrics after every evaluation tick.
+type AutoscaleStats struct {
+	// ScaleUps/ScaleDowns count spawn and reap actions.
+	ScaleUps   uint64 `json:"scale_ups"`
+	ScaleDowns uint64 `json:"scale_downs"`
+	// Workers is how many supervised workers are live (draining ones
+	// excluded); Target the last evaluation's desired count.
+	Workers int `json:"workers"`
+	Target  int `json:"target"`
+}
+
+// WorkerHandle is one supervised worker as the autoscaler sees it.
+// Drain asks it to stop taking new leases, finish in-flight work and
+// exit; Kill terminates it immediately; Done is closed once it has
+// exited (however it exited).
+type WorkerHandle interface {
+	Drain()
+	Kill()
+	Done() <-chan struct{}
+}
+
+// SpawnFunc launches one worker against the supervised server. id is a
+// monotonically increasing ordinal the spawner may fold into the worker
+// name (helperd spawns "auto<N>" re-exec'd processes; tests spawn
+// in-process Workers).
+type SpawnFunc func(id int) (WorkerHandle, error)
+
+// AutoscalerConfig sizes an Autoscaler.
+type AutoscalerConfig struct {
+	// Min/Max bound the supervised worker count. Min workers are brought
+	// up immediately and crashed ones respawned; Max caps scale-up.
+	// Max < Min is raised to Min.
+	Min, Max int
+	// Tick is the evaluation period (default 500ms).
+	Tick time.Duration
+	// IdleTicks is how many consecutive empty-queue evaluations a worker
+	// above Min must sit through before one is drained (default 4) —
+	// hysteresis, so a gap between batches does not flap the fleet.
+	IdleTicks int
+	// Spawn launches one worker. Required.
+	Spawn SpawnFunc
+	// Log receives scale action logs (nil = silent).
+	Log *slog.Logger
+}
+
+// Autoscaler supervises a local worker fleet against one Server: every
+// tick it compares queue pressure (queue depth vs the fleet's free
+// capacity, from the server's own load snapshot) and spawns workers up
+// to Max when the backlog outruns capacity, drains them down to Min
+// after a sustained idle period, and respawns crashed ones up to Min.
+// Draining — not killing — is how workers are reaped, so in-flight
+// leases always finish.
+type Autoscaler struct {
+	srv *Server
+	cfg AutoscalerConfig
+
+	mu     sync.Mutex
+	procs  []*supervisedWorker
+	nextID int
+	idle   int
+	stats  AutoscaleStats
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// supervisedWorker is one live (or draining) supervised worker.
+type supervisedWorker struct {
+	id       int
+	handle   WorkerHandle
+	draining bool
+}
+
+// NewAutoscaler starts supervising. Call Close to stop the loop and
+// kill whatever is still running.
+func NewAutoscaler(srv *Server, cfg AutoscalerConfig) (*Autoscaler, error) {
+	if cfg.Spawn == nil {
+		return nil, fmt.Errorf("grid: autoscaler needs a Spawn function")
+	}
+	if cfg.Min < 0 {
+		cfg.Min = 0
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 500 * time.Millisecond
+	}
+	if cfg.IdleTicks <= 0 {
+		cfg.IdleTicks = 4
+	}
+	a := &Autoscaler{
+		srv:    srv,
+		cfg:    cfg,
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go a.loop()
+	return a, nil
+}
+
+// Stats returns the latest self-report.
+func (a *Autoscaler) Stats() AutoscaleStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Close stops the evaluation loop, kills every supervised worker and
+// waits for them to exit. Idempotent.
+func (a *Autoscaler) Close() {
+	a.closeOnce.Do(func() { close(a.closed) })
+	<-a.done
+	a.mu.Lock()
+	procs := a.procs
+	a.procs = nil
+	a.mu.Unlock()
+	for _, p := range procs {
+		p.handle.Kill()
+	}
+	for _, p := range procs {
+		<-p.handle.Done()
+	}
+}
+
+func (a *Autoscaler) loop() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.cfg.Tick)
+	defer ticker.Stop()
+	// Bring the floor up immediately instead of waiting a tick.
+	a.evaluate()
+	for {
+		select {
+		case <-a.closed:
+			return
+		case <-ticker.C:
+			a.evaluate()
+		}
+	}
+}
+
+// evaluate is one supervision tick: prune exited workers, compute the
+// target from the server's load snapshot, and spawn or drain toward it.
+func (a *Autoscaler) evaluate() {
+	st := a.srv.Status()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	// Prune workers that exited; a crash (an exit nobody asked for) is
+	// logged and, below Min, respawned by the floor rule.
+	kept := a.procs[:0]
+	live := 0
+	for _, p := range a.procs {
+		select {
+		case <-p.handle.Done():
+			if !p.draining && a.cfg.Log != nil {
+				a.cfg.Log.Warn("autoscaler: worker exited unexpectedly", "worker", p.id)
+			}
+		default:
+			kept = append(kept, p)
+			if !p.draining {
+				live++
+			}
+		}
+	}
+	a.procs = kept
+
+	target := live
+	switch {
+	case st.QueueDepth > st.FreeCapacity:
+		// Backlog outruns the fleet: add the deficit, capped at Max. One
+		// spike therefore spawns within a single evaluation tick.
+		a.idle = 0
+		target = live + (st.QueueDepth - st.FreeCapacity)
+		if target > a.cfg.Max {
+			target = a.cfg.Max
+		}
+	case st.QueueDepth == 0:
+		a.idle++
+		if a.idle >= a.cfg.IdleTicks && live > a.cfg.Min {
+			// Gentle scale-down: one worker per idle period, drained so
+			// its in-flight leases finish.
+			target = live - 1
+			a.idle = 0
+		}
+	default:
+		a.idle = 0
+	}
+	if target < a.cfg.Min {
+		target = a.cfg.Min
+	}
+
+	for live < target {
+		a.nextID++
+		h, err := a.cfg.Spawn(a.nextID)
+		if err != nil {
+			if a.cfg.Log != nil {
+				a.cfg.Log.Error("autoscaler: spawn failed", "err", err)
+			}
+			break
+		}
+		a.procs = append(a.procs, &supervisedWorker{id: a.nextID, handle: h})
+		a.stats.ScaleUps++
+		live++
+		if a.cfg.Log != nil {
+			a.cfg.Log.Info("autoscaler: spawned worker",
+				"worker", a.nextID, "workers", live, "queue", st.QueueDepth)
+		}
+	}
+	for live > target {
+		// Drain the newest non-draining worker (LIFO keeps the stable
+		// floor workers stable).
+		var victim *supervisedWorker
+		for i := len(a.procs) - 1; i >= 0; i-- {
+			if !a.procs[i].draining {
+				victim = a.procs[i]
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.draining = true
+		victim.handle.Drain()
+		a.stats.ScaleDowns++
+		live--
+		if a.cfg.Log != nil {
+			a.cfg.Log.Info("autoscaler: draining worker", "worker", victim.id, "workers", live)
+		}
+	}
+
+	a.stats.Workers = live
+	a.stats.Target = target
+	a.srv.SetAutoscaleStats(a.stats)
+}

@@ -1,0 +1,248 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// inprocHandle adapts an in-process Worker to the WorkerHandle the
+// autoscaler supervises — what helperd does with re-exec'd processes,
+// minus the fork.
+type inprocHandle struct {
+	w      *Worker
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (h *inprocHandle) Drain()                { h.w.Drain() }
+func (h *inprocHandle) Kill()                 { h.cancel() }
+func (h *inprocHandle) Done() <-chan struct{} { return h.done }
+
+// inprocSpawner builds a SpawnFunc launching in-process Workers against
+// url, recording every handle it hands out so tests can reach in and
+// crash one.
+func inprocSpawner(url string, exec ExecFunc, handles *[]*inprocHandle, mu *sync.Mutex) SpawnFunc {
+	return func(id int) (WorkerHandle, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		h := &inprocHandle{cancel: cancel, done: make(chan struct{})}
+		h.w = &Worker{Server: url, Exec: exec, Parallel: 1,
+			LeaseWait: 50 * time.Millisecond, Name: fmt.Sprintf("auto%d", id)}
+		go func() {
+			defer close(h.done)
+			h.w.Run(ctx)
+		}()
+		if handles != nil {
+			mu.Lock()
+			*handles = append(*handles, h)
+			mu.Unlock()
+		}
+		return h, nil
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAutoscalerSpikeSpawnIdleReap runs the full lifecycle under the
+// leak check: a queue spike must spawn workers within the evaluation
+// tick, the batch must complete, the idle hysteresis must then reap the
+// fleet back to Min=0, and after Close not a single goroutine (workers,
+// their heartbeat/poster loops, the evaluation loop) may survive.
+func TestAutoscalerSpikeSpawnIdleReap(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		srv := NewServer(WithLeaseTTL(2 * time.Second))
+		ts := httptest.NewServer(srv)
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		exec := func(ctx context.Context, p []byte) ([]byte, error) {
+			if !sleepCtx(ctx, 20*time.Millisecond) {
+				return nil, ctx.Err()
+			}
+			return p, nil
+		}
+		as, err := NewAutoscaler(srv, AutoscalerConfig{
+			Min: 0, Max: 3, Tick: 40 * time.Millisecond, IdleTicks: 2,
+			Spawn: inprocSpawner(ts.URL, exec, nil, nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer as.Close()
+
+		// No backlog, Min 0: nothing may be running.
+		if st := as.Stats(); st.Workers != 0 || st.ScaleUps != 0 {
+			t.Fatalf("idle autoscaler spawned workers: %+v", st)
+		}
+
+		var tasks []Task
+		for i := 0; i < 9; i++ {
+			tasks = append(tasks, mkTask(fmt.Sprintf("%d", i), fmt.Sprintf("spike-%d", i)))
+		}
+		c := &Client{Server: ts.URL}
+		ch, err := c.Submit(context.Background(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The spike: 9 queued vs 0 capacity must drive a spawn within a
+		// tick or two (the first evaluation may land just before Submit).
+		waitFor(t, 2*time.Second, "spike to spawn workers", func() bool {
+			return as.Stats().ScaleUps > 0
+		})
+
+		got := collectResults(t, ch)
+		if len(got) != len(tasks) {
+			t.Fatalf("delivered %d of %d", len(got), len(tasks))
+		}
+		for _, tk := range tasks {
+			if tr := got[tk.ID]; tr.Err != "" || !bytes.Equal(tr.Payload, tk.Payload) {
+				t.Fatalf("task %s: %+v", tk.ID, tr)
+			}
+		}
+
+		// Queue empty again: the idle hysteresis must drain the whole
+		// fleet back down to Min=0, one worker per idle period.
+		waitFor(t, 10*time.Second, "idle fleet to drain to zero", func() bool {
+			st := as.Stats()
+			return st.Workers == 0 && st.ScaleDowns == st.ScaleUps
+		})
+		// The autoscaler's self-report must be visible in /metrics.
+		if m := srv.Metrics(); m.Autoscaler == nil || m.Autoscaler.ScaleUps == 0 {
+			t.Errorf("autoscaler stats missing from metrics: %+v", m.Autoscaler)
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestAutoscalerDrainPreservesInflight pins the reap path's safety
+// property: scaling down drains — the victim finishes its in-flight
+// lease and posts the result — and never kills. A single worker runs a
+// gated task; the queue reads empty (the task is leased), so the idle
+// rule drains that worker while its execution is still blocked. The
+// task must still complete exactly once with its own bytes.
+func TestAutoscalerDrainPreservesInflight(t *testing.T) {
+	srv, ts := testGrid(t, WithLeaseTTL(2*time.Second))
+	release := make(chan struct{})
+	var execs atomic.Int64
+	exec := func(ctx context.Context, p []byte) ([]byte, error) {
+		execs.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return p, nil
+	}
+	as, err := NewAutoscaler(srv, AutoscalerConfig{
+		Min: 0, Max: 1, Tick: 30 * time.Millisecond, IdleTicks: 2,
+		Spawn: inprocSpawner(ts.URL, exec, nil, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+
+	tk := mkTask("0", "inflight-survives-drain")
+	c := &Client{Server: ts.URL}
+	ch, err := c.Submit(context.Background(), []Task{tk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker spawns, leases the task, blocks in exec; with the queue
+	// empty the idle rule must then drain it mid-flight.
+	waitFor(t, 5*time.Second, "worker to start executing", func() bool {
+		return execs.Load() > 0
+	})
+	waitFor(t, 5*time.Second, "idle rule to drain the busy worker", func() bool {
+		return as.Stats().ScaleDowns > 0
+	})
+	select {
+	case tr := <-ch:
+		t.Fatalf("result delivered before the gate opened: %+v", tr)
+	default:
+	}
+
+	close(release)
+	got := collectResults(t, ch)
+	if tr := got["0"]; tr.Err != "" || !bytes.Equal(tr.Payload, tk.Payload) {
+		t.Fatalf("drained worker lost the in-flight task: %+v", tr)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Errorf("task executed %d times, want 1 (drain must not cancel or re-run)", n)
+	}
+	waitFor(t, 5*time.Second, "drained worker to exit", func() bool {
+		return as.Stats().Workers == 0
+	})
+	if m := srv.Metrics(); m.Completed != 1 || m.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 1/0", m.Completed, m.Failed)
+	}
+}
+
+// TestAutoscalerRespawnsCrashedWorker pins the Min floor: a worker that
+// exits without being asked (a crash) is pruned on the next tick and a
+// replacement spawned, and the grid keeps serving.
+func TestAutoscalerRespawnsCrashedWorker(t *testing.T) {
+	srv, ts := testGrid(t, WithLeaseTTL(2*time.Second))
+	var mu sync.Mutex
+	var handles []*inprocHandle
+	as, err := NewAutoscaler(srv, AutoscalerConfig{
+		Min: 1, Max: 1, Tick: 30 * time.Millisecond, IdleTicks: 2,
+		Spawn: inprocSpawner(ts.URL, echoExec, &handles, &mu),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+
+	waitFor(t, 5*time.Second, "floor worker to spawn", func() bool {
+		return as.Stats().Workers == 1
+	})
+	mu.Lock()
+	first := handles[0]
+	mu.Unlock()
+	first.cancel() // crash it: an exit nobody asked for
+	<-first.done
+
+	waitFor(t, 5*time.Second, "crashed worker to be respawned", func() bool {
+		st := as.Stats()
+		return st.ScaleUps >= 2 && st.Workers == 1
+	})
+	// The replacement must actually serve.
+	tk := mkTask("0", "served-after-respawn")
+	c := &Client{Server: ts.URL}
+	ch, err := c.Submit(context.Background(), []Task{tk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectResults(t, ch)
+	if tr := got["0"]; tr.Err != "" || !bytes.Equal(tr.Payload, tk.Payload) {
+		t.Fatalf("respawned fleet failed the task: %+v", tr)
+	}
+}

@@ -2,10 +2,10 @@ package grid
 
 import (
 	"bufio"
-	"container/heap"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -58,6 +58,12 @@ type Metrics struct {
 	// run far past the fleet's typical duration was additionally queued
 	// for an idle worker, first completion winning.
 	Speculated uint64 `json:"speculated"`
+	// Admission control: Rejected counts whole-batch 429 refusals
+	// (per-tenant rate limits and pending-work quotas, summed over
+	// tenants — the per-reason split is in Tenants), Overloaded counts
+	// 503s from the server-wide WithMaxQueue backpressure bound.
+	Rejected   uint64 `json:"rejected"`
+	Overloaded uint64 `json:"overloaded"`
 	// Point-in-time gauges. Workers counts simulation workers only
 	// (federated peers holding stolen leases are excluded); Peers is the
 	// known federation peer count, 0 on an unfederated server.
@@ -72,7 +78,30 @@ type Metrics struct {
 	// Batches is the progress-driven ETA of every connected batch
 	// stream, coarsest first (see BatchETA).
 	Batches []BatchETA `json:"batches,omitempty"`
+	// Tenants is the per-tenant slice of the multi-tenant surface:
+	// admission counters, live queued/running gauges and quota holds,
+	// sorted by tenant ID.
+	Tenants []TenantMetrics `json:"tenants,omitempty"`
+	// LeaseWaits summarizes queue latency — enqueue (or requeue) to
+	// lease grant — of every grant so far; the full histogram is on the
+	// Prometheus endpoint.
+	LeaseWaits *LatencySummary `json:"lease_waits,omitempty"`
+	// Autoscaler is the supervisor's latest self-report when one is
+	// attached (see Autoscaler).
+	Autoscaler *AutoscaleStats `json:"autoscaler,omitempty"`
 }
+
+// LatencySummary is the JSON face of the lease-wait histogram.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the lease-wait
+// histogram exported in Prometheus text form; the implicit +Inf bucket
+// follows.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
 // BatchETA is the server's live estimate for one connected batch
 // stream: how many of its jobs are still pending (split into queued and
@@ -140,6 +169,15 @@ func WithMaxHops(n int) ServerOption {
 	}
 }
 
+// WithLogger attaches a structured logger: admission refusals,
+// overload backpressure, lease reassignments and task failures are
+// logged at the levels an operator would expect (warn for refusals and
+// reassignments, error for failures). The default is no logging — the
+// embedded in-process grids (tests, `sweep -grid :0`) stay quiet.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
+}
+
 // WithSpeculation toggles straggler re-leasing (default on): when the
 // queue is empty, workers sit idle and a leased task is projected — from
 // its own progress snapshots against the fleet's EWMA task duration —
@@ -160,13 +198,21 @@ type Server struct {
 	maxAttempts int
 	maxHops     int
 	speculation bool
+	maxQueue    int
+	log         *slog.Logger
 
-	mu     sync.Mutex
-	store  Storage
-	byID   map[string]*task
-	byHash map[string]*task
-	queue  taskHeap
-	seq    uint64
+	// Tenant configuration is written only by options (before the
+	// server serves) and read under mu afterwards.
+	tenantLimits   map[string]TenantLimits
+	tenantDefaults TenantLimits
+
+	mu      sync.Mutex
+	store   Storage
+	byID    map[string]*task
+	byHash  map[string]*task
+	queue   *fairQueue
+	tenants map[string]*tenantState
+	seq     uint64
 	// wake is closed and replaced whenever work is queued, releasing
 	// long-polling lease requests.
 	wake    chan struct{}
@@ -190,6 +236,17 @@ type Server struct {
 	affinityHits              uint64
 	affinityMisses            uint64
 	speculatedCount           uint64
+	overloaded                uint64
+	// Lease-wait histogram: time from (re)enqueue to grant, in the
+	// latencyBucketsMS buckets plus +Inf, with sum/count/max for the
+	// JSON summary.
+	latBuckets [14]uint64
+	latSumMS   float64
+	latMaxMS   float64
+	latCount   uint64
+	// autoStats is the attached Autoscaler's latest self-report (pushed
+	// via SetAutoscaleStats, so metrics never take two locks).
+	autoStats *AutoscaleStats
 	// peerCount mirrors the attached Federation's live peer set size for
 	// the Peers gauge (SetPeerCount).
 	peerCount  int
@@ -246,19 +303,29 @@ func (w *workerState) noteProfile(profile string) {
 // done with it.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
-		leaseTTL:    5 * time.Second,
-		maxAttempts: 5,
-		maxHops:     2,
-		speculation: true,
-		store:       NewStore(),
-		byID:        map[string]*task{},
-		byHash:      map[string]*task{},
-		wake:        make(chan struct{}),
-		workers:     map[string]*workerState{},
-		batches:     map[string]*batch{},
-		closed:      make(chan struct{}),
-		reaperDone:  make(chan struct{}),
+		leaseTTL:     5 * time.Second,
+		maxAttempts:  5,
+		maxHops:      2,
+		speculation:  true,
+		store:        NewStore(),
+		byID:         map[string]*task{},
+		byHash:       map[string]*task{},
+		tenantLimits: map[string]TenantLimits{},
+		tenants:      map[string]*tenantState{},
+		wake:         make(chan struct{}),
+		workers:      map[string]*workerState{},
+		batches:      map[string]*batch{},
+		closed:       make(chan struct{}),
+		reaperDone:   make(chan struct{}),
 	}
+	// The fair queue resolves weights through the live tenant table; it is
+	// only ever consulted under s.mu, like the table itself.
+	s.queue = newFairQueue(func(tenant string) float64 {
+		if ts := s.tenants[tenant]; ts != nil {
+			return ts.limits.weight()
+		}
+		return 1
+	})
 	for _, o := range opts {
 		o(s)
 	}
@@ -303,8 +370,22 @@ func (s *Server) metricsLocked() Metrics {
 		AffinityHits:    s.affinityHits,
 		AffinityMisses:  s.affinityMisses,
 		Speculated:      s.speculatedCount,
+		Overloaded:      s.overloaded,
 		Peers:           s.peerCount,
 		StoreEntries:    entries,
+	}
+	// Per-tenant queued/running gauges: each live subscription counts for
+	// the batch's tenant (a coalesced task can serve several tenants at
+	// once, and each holds quota for its own subscription).
+	type gauges struct{ queued, running int }
+	liveSubs := map[*tenantState]*gauges{}
+	gaugeFor := func(ts *tenantState) *gauges {
+		g := liveSubs[ts]
+		if g == nil {
+			g = &gauges{}
+			liveSubs[ts] = g
+		}
+		return g
 	}
 	for _, t := range s.byID {
 		if t.worker != "" {
@@ -315,6 +396,44 @@ func (s *Server) metricsLocked() Metrics {
 		} else if !t.cancelled {
 			m.QueueDepth++
 		}
+		for _, sub := range t.subs {
+			if ts := sub.batch.tenant; ts != nil {
+				if t.worker != "" {
+					gaugeFor(ts).running++
+				} else {
+					gaugeFor(ts).queued++
+				}
+			}
+		}
+	}
+	for _, ts := range s.tenants {
+		m.Rejected += ts.rejectedRate + ts.rejectedQuota
+		tm := TenantMetrics{
+			ID:            ts.id,
+			Weight:        ts.limits.weight(),
+			Admitted:      ts.admitted,
+			RejectedRate:  ts.rejectedRate,
+			RejectedQuota: ts.rejectedQuota,
+			PendingBytes:  ts.pendingBytes,
+			Completed:     ts.completed,
+			Failed:        ts.failed,
+		}
+		if g := liveSubs[ts]; g != nil {
+			tm.Queued, tm.Running = g.queued, g.running
+		}
+		m.Tenants = append(m.Tenants, tm)
+	}
+	sort.Slice(m.Tenants, func(i, j int) bool { return m.Tenants[i].ID < m.Tenants[j].ID })
+	if s.latCount > 0 {
+		m.LeaseWaits = &LatencySummary{
+			Count:  s.latCount,
+			MeanMS: s.latSumMS / float64(s.latCount),
+			MaxMS:  s.latMaxMS,
+		}
+	}
+	if s.autoStats != nil {
+		st := *s.autoStats
+		m.Autoscaler = &st
 	}
 	// Task IDs are "t<seq>": order by the numeric suffix so t2 precedes
 	// t10 (creation order), falling back to lexicographic for any ID a
@@ -435,6 +554,35 @@ func (s *Server) freeCapacityElsewhereLocked(name string) bool {
 	return false
 }
 
+// SetAutoscaleStats publishes the attached Autoscaler's latest
+// self-report into /metrics. Pushed by the autoscaler tick (rather than
+// pulled by metrics) so the server lock and the autoscaler lock never
+// nest in both orders.
+func (s *Server) SetAutoscaleStats(st AutoscaleStats) {
+	s.mu.Lock()
+	s.autoStats = &st
+	s.mu.Unlock()
+}
+
+// recordLeaseWaitLocked folds one enqueue-to-grant wait into the lease
+// latency histogram.
+func (s *Server) recordLeaseWaitLocked(wait time.Duration) {
+	if wait < 0 {
+		wait = 0
+	}
+	ms := float64(wait) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	s.latBuckets[i]++
+	s.latSumMS += ms
+	s.latCount++
+	if ms > s.latMaxMS {
+		s.latMaxMS = ms
+	}
+}
+
 // SetPeerCount mirrors the attached Federation's live peer count into
 // the Peers gauge.
 func (s *Server) SetPeerCount(n int) {
@@ -508,7 +656,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		entries, hits, misses := s.store.Stats()
 		writeJSON(w, storeStat{Entries: entries, Hits: hits, Misses: misses})
 	case pathMetrics:
+		if wantsProm(r) {
+			s.servePromMetrics(w)
+			return
+		}
 		writeJSON(w, s.Metrics())
+	case pathMetricsProm:
+		s.servePromMetrics(w)
 	case pathPeerStatus:
 		// A bare Server answers its own load snapshot so `helperd
 		// federate` works against unfederated members too; the Federation
@@ -576,16 +730,65 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 // client exhaust memory).
 const maxStorePayload = 64 << 20
 
+// subscribeLocked attaches one (batch, job ID) subscription to a task,
+// charging the payload bytes against the batch tenant's pending quota
+// (released by subscriber.release on delivery or drop).
+func (s *Server) subscribeLocked(t *task, b *batch, jobID string) {
+	n := int64(len(t.payload))
+	t.subs = append(t.subs, subscriber{batch: b, jobID: jobID, bytes: n})
+	if ts := b.tenant; ts != nil {
+		ts.pendingJobs++
+		ts.pendingBytes += n
+	}
+}
+
+// refuseBatch answers an admission refusal: the structured JSON body
+// plus, when a retry can succeed, a Retry-After header in whole seconds
+// (ceiling, so a 10ms token deficit still reads as 1 for header-only
+// clients; grid.Client uses the precise RetryAfterMS).
+func refuseBatch(w http.ResponseWriter, status int, ref batchRefusal) {
+	if ref.Retryable {
+		secs := (ref.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ref)
+}
+
 // handleBatch accepts a job batch and streams its results back as
 // NDJSON, one TaskResult per line, flushed as they land. The request
 // context is the batch's lifetime: when the client disconnects, queued
 // work is abandoned and leased work is cancelled at the owning worker's
 // next heartbeat.
+//
+// Admission control runs first, all-or-nothing over the whole batch:
+// the submitting tenant (X-Grid-Client, defaulted) must clear the
+// server-wide queue bound (503) and its own token bucket and pending
+// quotas (429) before any job is looked at. The check deliberately
+// counts every non-empty job — including ones that would turn out to be
+// cache hits — because admission is the cheap gate in front of the
+// cache, not behind it.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("grid: bad batch: %v", err), http.StatusBadRequest)
 		return
+	}
+	tenantID := r.Header.Get(ClientHeader)
+	if tenantID == "" {
+		tenantID = DefaultTenant
+	}
+	admitJobs := 0
+	var admitBytes int64
+	for _, j := range req.Jobs {
+		if len(j.Payload) > 0 {
+			admitJobs++
+			admitBytes += int64(len(j.Payload))
+		}
 	}
 	b := &batch{ch: make(chan TaskResult, len(req.Jobs))}
 	if req.Progress {
@@ -611,10 +814,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// duplicate grant is harmless — the first completion wins.
 		if t.cancelled && t.worker != "" {
 			t.worker = ""
-			heap.Push(&s.queue, t)
+			t.enqueuedAt = time.Now()
+			s.queue.Push(t)
 		}
 		t.cancelled = false
-		t.subs = append(t.subs, subscriber{batch: b, jobID: jobID})
+		s.subscribeLocked(t, b, jobID)
 		s.coalesced++
 	}
 
@@ -630,6 +834,63 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var lookups []lookup
 	lookupIdx := map[string]int{}
 	s.mu.Lock()
+	ts := s.tenantLocked(tenantID)
+	b.tenant = ts
+	if admitJobs > 0 {
+		if s.maxQueue > 0 && s.queue.Len()+admitJobs > s.maxQueue {
+			// Server-wide backpressure: conservative (cache hits count
+			// against the bound too), but overload is exactly when the
+			// cheap refusal must win over the precise one.
+			s.overloaded++
+			depth := s.queue.Len()
+			retry := s.avgTaskDur
+			s.mu.Unlock()
+			if retry <= 0 {
+				retry = time.Second
+			}
+			if s.log != nil {
+				s.log.Warn("batch refused: server overloaded",
+					"tenant", tenantID, "jobs", admitJobs, "queue", depth, "max_queue", s.maxQueue)
+			}
+			refuseBatch(w, http.StatusServiceUnavailable, batchRefusal{
+				Error: fmt.Sprintf("grid: server overloaded (queue %d + batch %d jobs > max %d)",
+					depth, admitJobs, s.maxQueue),
+				Reason:       "overload",
+				Tenant:       tenantID,
+				RetryAfterMS: retry.Milliseconds(),
+				Retryable:    true,
+			})
+			return
+		}
+		ok, kind, reason, retryAfter, retryable := ts.admitLocked(time.Now(), admitJobs, admitBytes)
+		if !ok {
+			if kind == "rate" {
+				ts.rejectedRate++
+			} else {
+				ts.rejectedQuota++
+			}
+			s.mu.Unlock()
+			if s.log != nil {
+				s.log.Warn("batch refused: tenant limit",
+					"tenant", tenantID, "kind", kind, "reason", reason,
+					"jobs", admitJobs, "bytes", admitBytes, "retry_after", retryAfter)
+			}
+			status := http.StatusTooManyRequests
+			if !retryable {
+				// Waiting cannot help: the batch exceeds a hard cap outright.
+				status = http.StatusRequestEntityTooLarge
+			}
+			refuseBatch(w, status, batchRefusal{
+				Error:        "grid: " + reason,
+				Reason:       kind,
+				Tenant:       tenantID,
+				RetryAfterMS: retryAfter.Milliseconds(),
+				Retryable:    retryable,
+			})
+			return
+		}
+		ts.admitted += uint64(admitJobs)
+	}
 	s.batchSeq++
 	b.id = fmt.Sprintf("b%d", s.batchSeq)
 	s.batches[b.id] = b
@@ -685,7 +946,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if t, ok := s.byHash[l.hash]; ok {
 			coalesceLocked(t, l.first.ID)
 			for _, id := range l.dups {
-				t.subs = append(t.subs, subscriber{batch: b, jobID: id})
+				s.subscribeLocked(t, b, id)
 				pending++
 			}
 			continue
@@ -693,22 +954,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		pending++
 		s.seq++
 		t := &task{
-			id:       fmt.Sprintf("t%d", s.seq),
-			hash:     l.hash,
-			payload:  l.first.Payload,
-			priority: l.first.Priority,
-			seq:      s.seq,
-			profile:  l.first.Profile,
-			hops:     l.first.Hops,
-			subs:     []subscriber{{batch: b, jobID: l.first.ID}},
+			id:         fmt.Sprintf("t%d", s.seq),
+			hash:       l.hash,
+			payload:    l.first.Payload,
+			priority:   l.first.Priority,
+			seq:        s.seq,
+			tenant:     ts.id,
+			profile:    l.first.Profile,
+			hops:       l.first.Hops,
+			enqueuedAt: time.Now(),
 		}
+		s.subscribeLocked(t, b, l.first.ID)
 		for _, id := range l.dups {
-			t.subs = append(t.subs, subscriber{batch: b, jobID: id})
+			s.subscribeLocked(t, b, id)
 			pending++
 		}
 		s.byID[t.id] = t
 		s.byHash[l.hash] = t
-		heap.Push(&s.queue, t)
+		s.queue.Push(t)
 	}
 	if pending > 0 {
 		s.wakeLocked()
@@ -781,6 +1044,7 @@ func (s *Server) dropSubsLocked(drop func(*task, subscriber) bool, b *batch, onD
 		kept := t.subs[:0]
 		for _, sub := range t.subs {
 			if sub.batch == b && drop(t, sub) {
+				sub.release()
 				if onDrop != nil {
 					onDrop(t, sub)
 				}
@@ -855,7 +1119,7 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 	var setAside []*task
 	now := time.Now()
 	for len(out) < k && s.queue.Len() > 0 {
-		t := heap.Pop(&s.queue).(*task)
+		t := s.queue.Pop()
 		if t.cancelled && len(t.subs) == 0 {
 			delete(s.byID, t.id)
 			delete(s.byHash, t.hash)
@@ -870,7 +1134,7 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 		}
 		if ws != nil && t.profile != "" && !ws.sawProfile(t.profile) {
 			if alt := s.affineAltLocked(ws, t, req.Worker); alt != nil {
-				heap.Push(&s.queue, t)
+				s.queue.Push(t)
 				t = alt
 			}
 		}
@@ -884,6 +1148,12 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 				ws.noteProfile(t.profile)
 			}
 		}
+		// The grant is real: charge the tenant's fair share and record
+		// the queue wait. Discarded and set-aside pops above cost nothing.
+		s.queue.Charge(t)
+		if !t.enqueuedAt.IsZero() {
+			s.recordLeaseWaitLocked(now.Sub(t.enqueuedAt))
+		}
 		t.worker = req.Worker
 		t.deadline = now.Add(s.leaseTTL)
 		t.attempts++
@@ -896,7 +1166,7 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 			Payload: t.payload, Attempt: t.attempts, Profile: t.profile, Hops: t.hops})
 	}
 	for _, t := range setAside {
-		heap.Push(&s.queue, t)
+		s.queue.Push(t)
 	}
 	return out
 }
@@ -906,22 +1176,22 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 // caller grants it in t's place). Nil when no affine candidate exists.
 func (s *Server) affineAltLocked(ws *workerState, t *task, worker string) *task {
 	var best *task
-	for _, c := range s.queue {
+	s.queue.each(func(c *task) {
 		if c.priority != t.priority || c.profile == "" || !ws.sawProfile(c.profile) {
-			continue
+			return
 		}
 		if c.cancelled && len(c.subs) == 0 {
-			continue
+			return
 		}
 		if c.speculated && c.prevWorker == worker {
-			continue
+			return
 		}
 		if best == nil || c.seq < best.seq {
 			best = c
 		}
-	}
+	})
 	if best != nil {
-		heap.Remove(&s.queue, best.heapIndex)
+		s.queue.Remove(best)
 	}
 	return best
 }
@@ -956,7 +1226,7 @@ func (s *Server) StealGrant(peer string, max int) ([]Task, int64) {
 	var out []Task
 	var setAside []*task
 	for len(out) < max && s.queue.Len() > 0 {
-		t := heap.Pop(&s.queue).(*task)
+		t := s.queue.Pop()
 		if t.cancelled && len(t.subs) == 0 {
 			delete(s.byID, t.id)
 			delete(s.byHash, t.hash)
@@ -966,6 +1236,10 @@ func (s *Server) StealGrant(peer string, max int) ([]Task, int64) {
 			// At the hop bound: this task must run where it sits.
 			setAside = append(setAside, t)
 			continue
+		}
+		s.queue.Charge(t)
+		if !t.enqueuedAt.IsZero() {
+			s.recordLeaseWaitLocked(now.Sub(t.enqueuedAt))
 		}
 		t.hops++
 		t.worker = worker
@@ -981,7 +1255,7 @@ func (s *Server) StealGrant(peer string, max int) ([]Task, int64) {
 			Payload: t.payload, Attempt: t.attempts, Profile: t.profile, Hops: t.hops})
 	}
 	for _, t := range setAside {
-		heap.Push(&s.queue, t)
+		s.queue.Push(t)
 	}
 	return out, ttl
 }
@@ -1156,7 +1430,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if t.heapIndex >= 0 {
-		heap.Remove(&s.queue, t.heapIndex)
+		s.queue.Remove(t)
 	}
 	delete(s.byID, t.id)
 	delete(s.byHash, t.hash)
@@ -1178,6 +1452,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		t.deliver(TaskResult{Hash: t.hash, Payload: req.Result})
 	} else {
 		s.failed++
+		if s.log != nil {
+			s.log.Error("task failed", "task", t.id, "worker", req.Worker, "err", req.Err)
+		}
 		t.deliver(TaskResult{Hash: t.hash, Err: req.Err})
 	}
 	s.mu.Unlock()
@@ -1230,12 +1507,21 @@ func (s *Server) expireLeases() {
 			delete(s.byID, t.id)
 			delete(s.byHash, t.hash)
 			s.failed++
+			if s.log != nil {
+				s.log.Error("task abandoned: max attempts",
+					"task", t.id, "attempts", t.attempts)
+			}
 			t.deliver(TaskResult{Hash: t.hash, Err: fmt.Sprintf(
 				"grid: task abandoned after %d expired leases (workers dying?)", t.attempts)})
 			continue
 		}
 		s.reassigned++
-		heap.Push(&s.queue, t)
+		if s.log != nil {
+			s.log.Warn("lease expired: task requeued",
+				"task", t.id, "attempt", t.attempts)
+		}
+		t.enqueuedAt = now
+		s.queue.Push(t)
 		requeued = true
 	}
 	// Straggler speculation: with an empty queue, idle capacity on some
@@ -1275,7 +1561,8 @@ func (s *Server) expireLeases() {
 			t.progress = nil
 			t.speculated = true
 			s.speculatedCount++
-			heap.Push(&s.queue, t)
+			t.enqueuedAt = now
+			s.queue.Push(t)
 			requeued = true
 		}
 	}

@@ -1,0 +1,260 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultTenant is the identity of clients that send no X-Grid-Client
+// header: they all share one bucket, one quota and one fair-queue lane,
+// so an anonymous crowd cannot out-schedule named tenants.
+const DefaultTenant = "anon"
+
+// ClientHeader carries the submitting client's tenant identity on
+// /v1/batch (grid.Client sets it from its ClientID, `helperd submit
+// -client` and repro.WithGridClientID from their flags/options).
+const ClientHeader = "X-Grid-Client"
+
+// TenantLimits is one tenant's admission contract. The zero value means
+// unlimited everything with weight 1 — exactly the pre-tenancy
+// behaviour, which is also what unknown tenants get unless the server
+// was built with different WithTenantDefaults.
+type TenantLimits struct {
+	// Weight is the tenant's fair-queue share relative to other tenants
+	// at the same priority (< 1 means the default, 1).
+	Weight float64 `json:"weight,omitempty"`
+	// RatePerSec refills the tenant's token bucket (jobs per second);
+	// Burst caps it. Zero rate disables rate limiting. A batch is
+	// admitted all-or-nothing: it needs len(jobs) tokens, so Burst
+	// bounds the largest admissible batch when rate limiting is on
+	// (Burst < 1 defaults to max(RatePerSec, 1)).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      float64 `json:"burst,omitempty"`
+	// MaxPendingJobs / MaxPendingBytes cap how much admitted-but-
+	// unfinished work (jobs and payload bytes) the tenant may hold on
+	// the server at once; a batch that would exceed either is rejected
+	// with 429 + Retry-After. Zero means unlimited.
+	MaxPendingJobs  int   `json:"max_pending_jobs,omitempty"`
+	MaxPendingBytes int64 `json:"max_pending_bytes,omitempty"`
+}
+
+// weight resolves the effective fair-share weight.
+func (l TenantLimits) weight() float64 {
+	if l.Weight >= 1 {
+		return l.Weight
+	}
+	return 1
+}
+
+// burst resolves the effective bucket capacity.
+func (l TenantLimits) burst() float64 {
+	if l.Burst >= 1 {
+		return l.Burst
+	}
+	return math.Max(l.RatePerSec, 1)
+}
+
+// tenantState is the server's live record of one tenant: its limits,
+// its token bucket, its pending-work quota holds, and its counters.
+// Everything is mutated under the server lock.
+type tenantState struct {
+	id     string
+	limits TenantLimits
+
+	// tokens is the rate-limit bucket level at lastRefill.
+	tokens     float64
+	lastRefill time.Time
+
+	// pendingJobs/pendingBytes are the live quota holds: admitted
+	// subscriptions (jobs) not yet resolved, and their payload bytes.
+	pendingJobs  int
+	pendingBytes int64
+
+	// Counters (see TenantMetrics).
+	admitted      uint64
+	rejectedRate  uint64
+	rejectedQuota uint64
+	completed     uint64
+	failed        uint64
+}
+
+// refillLocked advances the token bucket to now.
+func (ts *tenantState) refillLocked(now time.Time) {
+	if ts.limits.RatePerSec <= 0 {
+		return
+	}
+	if !ts.lastRefill.IsZero() {
+		ts.tokens += now.Sub(ts.lastRefill).Seconds() * ts.limits.RatePerSec
+	} else {
+		ts.tokens = ts.limits.burst()
+	}
+	if cap := ts.limits.burst(); ts.tokens > cap {
+		ts.tokens = cap
+	}
+	ts.lastRefill = now
+}
+
+// admitLocked answers whether a batch of n jobs totalling bytes payload
+// may be admitted now. On refusal it returns the kind ("rate" or
+// "quota"), a human reason, and how long until a retry could succeed
+// (retryable false when waiting cannot help — the batch exceeds a hard
+// cap outright).
+func (ts *tenantState) admitLocked(now time.Time, n int, bytes int64) (ok bool, kind, reason string, retryAfter time.Duration, retryable bool) {
+	if ts.limits.MaxPendingJobs > 0 && ts.pendingJobs+n > ts.limits.MaxPendingJobs {
+		if n > ts.limits.MaxPendingJobs {
+			return false, "quota", fmt.Sprintf("batch of %d jobs exceeds the tenant's max_pending_jobs=%d outright",
+				n, ts.limits.MaxPendingJobs), 0, false
+		}
+		return false, "quota", fmt.Sprintf("pending-jobs quota exhausted (%d pending, limit %d)",
+			ts.pendingJobs, ts.limits.MaxPendingJobs), time.Second, true
+	}
+	if ts.limits.MaxPendingBytes > 0 && ts.pendingBytes+bytes > ts.limits.MaxPendingBytes {
+		if bytes > ts.limits.MaxPendingBytes {
+			return false, "quota", fmt.Sprintf("batch of %d bytes exceeds the tenant's max_pending_bytes=%d outright",
+				bytes, ts.limits.MaxPendingBytes), 0, false
+		}
+		return false, "quota", fmt.Sprintf("pending-bytes quota exhausted (%d pending, limit %d)",
+			ts.pendingBytes, ts.limits.MaxPendingBytes), time.Second, true
+	}
+	if ts.limits.RatePerSec > 0 {
+		ts.refillLocked(now)
+		need := float64(n)
+		if need > ts.limits.burst() {
+			return false, "rate", fmt.Sprintf("batch of %d jobs exceeds the tenant's burst=%g outright",
+				n, ts.limits.burst()), 0, false
+		}
+		if ts.tokens < need {
+			wait := time.Duration((need - ts.tokens) / ts.limits.RatePerSec * float64(time.Second))
+			if wait < 10*time.Millisecond {
+				wait = 10 * time.Millisecond
+			}
+			return false, "rate", fmt.Sprintf("rate limit (%g jobs/s, burst %g)",
+				ts.limits.RatePerSec, ts.limits.burst()), wait, true
+		}
+		ts.tokens -= need
+	}
+	return true, "", "", 0, true
+}
+
+// TenantMetrics is one tenant's slice of the /metrics snapshot.
+type TenantMetrics struct {
+	ID string `json:"id"`
+	// Weight is the tenant's fair-queue share.
+	Weight float64 `json:"weight"`
+	// Admitted counts jobs accepted at /v1/batch; RejectedRate and
+	// RejectedQuota count whole-batch refusals (429s) by reason.
+	Admitted      uint64 `json:"admitted"`
+	RejectedRate  uint64 `json:"rejected_rate"`
+	RejectedQuota uint64 `json:"rejected_quota"`
+	// Queued/Running are point-in-time gauges over the tenant's live
+	// subscriptions; PendingBytes the payload bytes they hold against
+	// the byte quota.
+	Queued       int   `json:"queued"`
+	Running      int   `json:"running"`
+	PendingBytes int64 `json:"pending_bytes"`
+	// Completed/Failed count the tenant's delivered final results.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// WithTenant registers a tenant's limits up front. Unregistered tenants
+// get the WithTenantDefaults limits on first contact.
+func WithTenant(id string, l TenantLimits) ServerOption {
+	return func(s *Server) {
+		if id != "" {
+			s.tenantLimits[id] = l
+		}
+	}
+}
+
+// WithTenantDefaults sets the limits a previously unseen tenant starts
+// with. The zero default is unlimited/weight-1 — the open-grid
+// behaviour.
+func WithTenantDefaults(l TenantLimits) ServerOption {
+	return func(s *Server) { s.tenantDefaults = l }
+}
+
+// WithMaxQueue bounds the server-wide queue depth: a batch whose
+// non-cached jobs would push the queue past n is refused with 503 +
+// Retry-After (global backpressure, distinct from the per-tenant 429s).
+// Zero means unbounded.
+func WithMaxQueue(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxQueue = n
+		}
+	}
+}
+
+// tenantLocked finds or creates the tenant record.
+func (s *Server) tenantLocked(id string) *tenantState {
+	if id == "" {
+		id = DefaultTenant
+	}
+	ts := s.tenants[id]
+	if ts == nil {
+		limits, ok := s.tenantLimits[id]
+		if !ok {
+			limits = s.tenantDefaults
+		}
+		ts = &tenantState{id: id, limits: limits}
+		s.tenants[id] = ts
+	}
+	return ts
+}
+
+// ParseTenantSpec parses the `helperd serve -tenants` flag: tenants are
+// separated by ';', fields within a tenant by ',', the first field is
+// the tenant ID and the rest are key=value pairs — weight, rate, burst,
+// jobs (max pending jobs) and bytes (max pending bytes):
+//
+//	alice,weight=4,rate=50,burst=100;bob,weight=1,jobs=500,bytes=33554432
+func ParseTenantSpec(spec string) (map[string]TenantLimits, error) {
+	out := map[string]TenantLimits{}
+	for _, ent := range strings.Split(spec, ";") {
+		if ent = strings.TrimSpace(ent); ent == "" {
+			continue
+		}
+		fields := strings.Split(ent, ",")
+		id := strings.TrimSpace(fields[0])
+		if id == "" || strings.Contains(id, "=") {
+			return nil, fmt.Errorf("grid: tenant spec %q: first field must be the tenant id", ent)
+		}
+		var l TenantLimits
+		for _, f := range fields[1:] {
+			if f = strings.TrimSpace(f); f == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("grid: tenant %s: field %q is not key=value", id, f)
+			}
+			n, err := strconv.ParseFloat(val, 64)
+			if err != nil || n < 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+				return nil, fmt.Errorf("grid: tenant %s: bad %s value %q", id, key, val)
+			}
+			switch key {
+			case "weight":
+				l.Weight = n
+			case "rate":
+				l.RatePerSec = n
+			case "burst":
+				l.Burst = n
+			case "jobs":
+				l.MaxPendingJobs = int(n)
+			case "bytes":
+				l.MaxPendingBytes = int64(n)
+			default:
+				return nil, fmt.Errorf("grid: tenant %s: unknown limit %q (want weight|rate|burst|jobs|bytes)", id, key)
+			}
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("grid: tenant %s specified twice", id)
+		}
+		out[id] = l
+	}
+	return out, nil
+}

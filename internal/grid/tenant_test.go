@@ -1,0 +1,299 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTenantSpec(t *testing.T) {
+	got, err := ParseTenantSpec("alice,weight=4,rate=50,burst=100; bob,jobs=500,bytes=33554432 ;carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]TenantLimits{
+		"alice": {Weight: 4, RatePerSec: 50, Burst: 100},
+		"bob":   {MaxPendingJobs: 500, MaxPendingBytes: 32 << 20},
+		"carol": {},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d tenants, want %d: %+v", len(got), len(want), got)
+	}
+	for id, l := range want {
+		if got[id] != l {
+			t.Errorf("tenant %s = %+v, want %+v", id, got[id], l)
+		}
+	}
+
+	for _, bad := range []string{
+		"alice,weight=4;alice,rate=2", // duplicate id
+		"alice,speed=4",               // unknown key
+		"alice,weight=fast",           // unparseable value
+		"alice,weight=-1",             // negative value
+		"weight=4",                    // missing id
+		"alice,weight",                // not key=value
+	} {
+		if _, err := ParseTenantSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestTokenBucketAdmit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ts := &tenantState{id: "x", limits: TenantLimits{RatePerSec: 10, Burst: 5}}
+
+	// A fresh bucket starts full: burst admits at once.
+	if ok, _, _, _, _ := ts.admitLocked(now, 5, 0); !ok {
+		t.Fatal("full bucket refused a burst-sized batch")
+	}
+	// Empty now; the next job must wait ~1/rate.
+	ok, kind, _, wait, retryable := ts.admitLocked(now, 1, 0)
+	if ok || kind != "rate" || !retryable {
+		t.Fatalf("empty bucket admitted: ok=%v kind=%s retryable=%v", ok, kind, retryable)
+	}
+	if wait < 10*time.Millisecond || wait > 150*time.Millisecond {
+		t.Errorf("retry hint %v, want ~100ms", wait)
+	}
+	// A batch above burst can never be admitted: non-retryable.
+	if ok, _, _, _, retryable := ts.admitLocked(now, 6, 0); ok || retryable {
+		t.Errorf("over-burst batch: ok=%v retryable=%v, want refused non-retryable", ok, retryable)
+	}
+	// Refill: one second restores the full burst.
+	if ok, _, _, _, _ := ts.admitLocked(now.Add(time.Second), 5, 0); !ok {
+		t.Error("bucket did not refill")
+	}
+
+	// Pending-quota holds, independent of rate.
+	qs := &tenantState{id: "q", limits: TenantLimits{MaxPendingJobs: 4, MaxPendingBytes: 100}}
+	qs.pendingJobs, qs.pendingBytes = 3, 90
+	ok, kind, _, _, retryable = qs.admitLocked(now, 2, 5)
+	if ok || kind != "quota" || !retryable {
+		t.Errorf("jobs quota: ok=%v kind=%s retryable=%v, want refused retryable quota", ok, kind, retryable)
+	}
+	ok, kind, _, _, retryable = qs.admitLocked(now, 1, 20)
+	if ok || kind != "quota" || !retryable {
+		t.Errorf("bytes quota: ok=%v kind=%s retryable=%v, want refused retryable quota", ok, kind, retryable)
+	}
+	// A batch bigger than the whole cap is hopeless: non-retryable.
+	if ok, _, _, _, retryable := qs.admitLocked(now, 5, 0); ok || retryable {
+		t.Errorf("over-cap batch: ok=%v retryable=%v, want refused non-retryable", ok, retryable)
+	}
+	if ok, _, _, _, _ := qs.admitLocked(now, 1, 10); !ok {
+		t.Error("batch within both quotas refused")
+	}
+}
+
+// postRawBatch submits tasks straight at /v1/batch with an explicit
+// tenant header. Refusal bodies are read in full; an admitted batch's
+// body is a live result stream, so it is just closed (which disconnects
+// the batch and releases its quota holds).
+func postRawBatch(t *testing.T, url, tenant string, tasks []Task) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(batchRequest{Jobs: tasks})
+	req, err := http.NewRequest(http.MethodPost, url+pathBatch, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(ClientHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []byte
+	if resp.StatusCode != http.StatusOK {
+		raw, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	}
+	resp.Body.Close()
+	return resp, raw
+}
+
+// TestAdmissionHTTPStatuses pins the wire contract of each refusal
+// class: 429 (retryable rate/quota) with Retry-After and a structured
+// JSON body, 413 for a batch no amount of waiting can admit, 503 for
+// server-wide overload — and 200 for everyone within limits.
+func TestAdmissionHTTPStatuses(t *testing.T) {
+	_, ts := testGrid(t,
+		WithLeaseTTL(5*time.Second),
+		WithTenant("metered", TenantLimits{RatePerSec: 1, Burst: 2}),
+	)
+
+	// Within burst: admitted.
+	resp, _ := postRawBatch(t, ts.URL, "metered", []Task{mkTask("0", "ok-1")})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first batch: %s", resp.Status)
+	}
+	// Bucket exhausted: 429, retryable, Retry-After present.
+	resp, raw := postRawBatch(t, ts.URL, "metered", []Task{mkTask("0", "ok-2"), mkTask("1", "ok-3")})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("exhausted bucket: %s, want 429", resp.Status)
+	}
+	var ref batchRefusal
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		t.Fatalf("unparseable refusal %q: %v", raw, err)
+	}
+	if ref.Reason != "rate" || !ref.Retryable || ref.Tenant != "metered" || ref.RetryAfterMS <= 0 {
+		t.Errorf("refusal body: %+v", ref)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	// Above burst outright: 413, not retryable, no Retry-After.
+	var big []Task
+	for i := 0; i < 3; i++ {
+		big = append(big, mkTask(fmt.Sprintf("%d", i), fmt.Sprintf("big-%d", i)))
+	}
+	resp, raw = postRawBatch(t, ts.URL, "metered", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-burst batch: %s, want 413", resp.Status)
+	}
+	if json.Unmarshal(raw, &ref) != nil || ref.Retryable {
+		t.Errorf("413 body: %+v", ref)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Error("413 carries Retry-After; waiting cannot help")
+	}
+	// Unmetered tenants are untouched.
+	resp, _ = postRawBatch(t, ts.URL, "", []Task{mkTask("0", "anon-ok")})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous batch: %s", resp.Status)
+	}
+}
+
+func TestMaxQueueOverload(t *testing.T) {
+	_, ts := testGrid(t, WithLeaseTTL(5*time.Second), WithMaxQueue(2))
+	var tasks []Task
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, mkTask(fmt.Sprintf("%d", i), fmt.Sprintf("flood-%d", i)))
+	}
+	resp, raw := postRawBatch(t, ts.URL, "", tasks)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("oversized flood: %s, want 503", resp.Status)
+	}
+	var ref batchRefusal
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Reason != "overload" || !ref.Retryable || ref.RetryAfterMS <= 0 {
+		t.Errorf("overload body: %+v", ref)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	// Under the bound: admitted, even on the same server.
+	resp, _ = postRawBatch(t, ts.URL, "", tasks[:2])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bounds batch: %s", resp.Status)
+	}
+}
+
+// TestPromMetrics pins the Prometheus text exposition and its content
+// negotiation: JSON stays the default (the federation and helperd
+// metrics depend on it), ?format=prom / a text/plain Accept / the
+// /metrics/prom alias switch to the 0.0.4 text form with per-tenant
+// labelled series and the lease-wait histogram.
+func TestPromMetrics(t *testing.T) {
+	_, ts := testGrid(t, WithLeaseTTL(5*time.Second), WithTenant("alice", TenantLimits{Weight: 2}))
+	startWorker(t, ts.URL, echoExec, 2)
+	c := &Client{Server: ts.URL, ClientID: "alice"}
+	tasks := []Task{mkTask("0", "prom-a"), mkTask("1", "prom-b")}
+	ch, err := c.Submit(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectResults(t, ch)
+
+	get := func(path, accept string) (*http.Response, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(raw)
+	}
+
+	// Default stays JSON.
+	resp, body := get(pathMetrics, "")
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Fatalf("bare /metrics is not JSON anymore: %.80s", body)
+	}
+	var m Metrics
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tenants) == 0 || m.LeaseWaits == nil || m.LeaseWaits.Count == 0 {
+		t.Errorf("JSON metrics missing tenant/lease-wait sections: %.200s", body)
+	}
+
+	for _, req := range []struct{ path, accept string }{
+		{pathMetrics + "?format=prom", ""},
+		{pathMetrics, "text/plain"},
+		{pathMetricsProm, ""},
+	} {
+		resp, body = get(req.path, req.accept)
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+			t.Errorf("%s (Accept %q): Content-Type %q", req.path, req.accept, ct)
+		}
+		for _, want := range []string{
+			"# TYPE grid_submitted_total counter",
+			"grid_submitted_total 2",
+			"grid_completed_total 2",
+			`grid_tenant_admitted_total{tenant="alice"} 2`,
+			`grid_tenant_completed_total{tenant="alice"} 2`,
+			`grid_lease_wait_ms_bucket{le="+Inf"} 2`,
+			"grid_lease_wait_ms_count 2",
+			"# TYPE grid_queue_depth gauge",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("%s (Accept %q): missing %q\n%s", req.path, req.accept, want, body)
+			}
+		}
+	}
+
+	// A browser-ish Accept that also takes JSON keeps JSON.
+	_, body = get(pathMetrics, "text/plain, application/json")
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("json-accepting client got the text form: %.80s", body)
+	}
+}
+
+// TestClientJitterSeeded pins the retry jitter: seeded, it is
+// deterministic (a failing schedule replays), bounded by the window,
+// and actually spread (not a constant that would re-synchronize a
+// refused fleet).
+func TestClientJitterSeeded(t *testing.T) {
+	a := &Client{Rand: rand.New(rand.NewSource(42))}
+	b := &Client{Rand: rand.New(rand.NewSource(42))}
+	window := 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		da, db := a.jitter(window), b.jitter(window)
+		if da != db {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, da, db)
+		}
+		if da < 0 || da >= window {
+			t.Fatalf("draw %d out of [0, window): %v", i, da)
+		}
+		seen[da] = true
+	}
+	if len(seen) < 16 {
+		t.Errorf("64 draws produced only %d distinct values; jitter is not spreading", len(seen))
+	}
+	if d := a.jitter(0); d != 0 {
+		t.Errorf("jitter(0) = %v, want 0", d)
+	}
+}

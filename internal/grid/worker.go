@@ -46,6 +46,13 @@ type Worker struct {
 	hbWake   chan struct{} // nudges the heartbeat loop after a grant
 	nameOnce sync.Once     // guards the host-pid default for Name
 
+	// Graceful drain: drainCh is closed by Drain; Run then stops taking
+	// new leases, finishes in-flight work (heartbeats keep flowing so the
+	// leases stay renewed), posts the completions and returns nil.
+	drainInit sync.Once
+	drainStop sync.Once
+	drainCh   chan struct{}
+
 	mu       sync.Mutex
 	cancels  map[string]context.CancelFunc
 	progress map[string]TaskProgress // latest unsent snapshot per task
@@ -62,9 +69,36 @@ type completion struct {
 	err      string
 }
 
-// Run pulls and executes leases until ctx is cancelled; it always
-// returns ctx.Err(). Server outages are retried with backoff — a worker
-// survives its server restarting.
+// drainChan lazily builds the drain signal so Drain may be called
+// before, during or after Run (SIGTERM can land any time).
+func (w *Worker) drainChan() chan struct{} {
+	w.drainInit.Do(func() { w.drainCh = make(chan struct{}) })
+	return w.drainCh
+}
+
+// Drain asks a running worker to wind down gracefully: stop taking new
+// leases, finish and post everything in flight, then have Run return
+// nil. The reap path of autoscaling and `helperd work`'s SIGTERM
+// handler both use it — a drained worker never abandons a lease.
+// Idempotent and safe from any goroutine.
+func (w *Worker) Drain() {
+	w.drainStop.Do(func() { close(w.drainChan()) })
+}
+
+// draining reports whether Drain has been called.
+func (w *Worker) draining() bool {
+	select {
+	case <-w.drainChan():
+		return true
+	default:
+		return false
+	}
+}
+
+// Run pulls and executes leases until ctx is cancelled — returning
+// ctx.Err() — or Drain is called, in which case it finishes in-flight
+// tasks, posts their completions and returns nil. Server outages are
+// retried with backoff — a worker survives its server restarting.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Exec == nil && w.ExecProgress == nil {
 		return fmt.Errorf("grid: worker has no Exec")
@@ -90,16 +124,23 @@ func (w *Worker) Run(ctx context.Context) error {
 	in := make(chan Task)
 	out := parallel.StreamChan(ctx, in, par, w.runTask)
 
-	var wg sync.WaitGroup
-	wg.Add(2)
+	// The poster and the heartbeat loop wind down in strict order on
+	// drain: the poster must finish posting completions while heartbeats
+	// are still renewing the leases, so they get separate WaitGroups and
+	// the heartbeat loop a dedicated stop signal instead of sharing
+	// ctx.Done().
+	var postWG, hbWG sync.WaitGroup
+	hbStop := make(chan struct{})
+	postWG.Add(1)
 	go func() { // completion poster
-		defer wg.Done()
+		defer postWG.Done()
 		for c := range out {
 			w.postComplete(ctx, c)
 		}
 	}()
+	hbWG.Add(1)
 	go func() { // heartbeat loop
-		defer wg.Done()
+		defer hbWG.Done()
 		for {
 			interval := time.Duration(w.leaseTTL.Load()) * time.Millisecond / 3
 			if interval < 10*time.Millisecond {
@@ -108,6 +149,9 @@ func (w *Worker) Run(ctx context.Context) error {
 			timer := time.NewTimer(interval)
 			select {
 			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-hbStop:
 				timer.Stop()
 				return
 			case <-timer.C:
@@ -122,9 +166,23 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}()
 
+	// Drain aborts the in-flight long-poll lease request (but nothing
+	// else): a granted-but-unread response is simply dropped and its
+	// leases reassigned after the TTL, while idle drains — the common
+	// case — stop waiting immediately.
+	leaseCtx, cancelLease := context.WithCancel(ctx)
+	defer cancelLease()
+	go func() {
+		select {
+		case <-w.drainChan():
+			cancelLease()
+		case <-ctx.Done():
+		}
+	}()
+
 	backoff := 100 * time.Millisecond
 lease:
-	for ctx.Err() == nil {
+	for ctx.Err() == nil && !w.draining() {
 		free := par - int(w.inFlight.Load())
 		if free <= 0 {
 			// All slots busy: nothing to ask for. The next completion
@@ -134,9 +192,9 @@ lease:
 			}
 			continue
 		}
-		resp, err := w.lease(ctx, par, leaseWait)
+		resp, err := w.lease(leaseCtx, par, leaseWait)
 		if err != nil {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || w.draining() {
 				break
 			}
 			if !sleepCtx(ctx, backoff) {
@@ -189,7 +247,13 @@ lease:
 		}
 	}
 	close(in)
-	wg.Wait() // the poster exits when the pool drains and closes out
+	// The pool drains (in-flight tasks finish under the live ctx), closes
+	// out, and the poster posts every completion — all while heartbeats
+	// keep the leases renewed. Only then may the heartbeat loop stop. On
+	// a drain ctx is still nil-error, so a drained worker returns nil.
+	postWG.Wait()
+	close(hbStop)
+	hbWG.Wait()
 	return ctx.Err()
 }
 

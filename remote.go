@@ -100,6 +100,26 @@ func WithGridPriority(p int) Option {
 	return func(r *Runner) { r.gridPriority = p }
 }
 
+// WithGridClientID names the tenant this Runner submits as (the
+// X-Grid-Client header): a multi-tenant grid server rate-limits,
+// quota-checks and fair-shares by it. Empty (the default) submits as
+// the server's shared anonymous tenant.
+func WithGridClientID(id string) Option {
+	return func(r *Runner) { r.gridClientID = id }
+}
+
+// GridBackoff shapes how grid submissions retry admission refusals
+// (HTTP 429/503 + Retry-After from a multi-tenant server); see the
+// field docs on the underlying type. The zero value means the
+// defaults.
+type GridBackoff = grid.Backoff
+
+// WithGridBackoff overrides the admission-refusal retry policy for
+// this Runner's grid submissions.
+func WithGridBackoff(b GridBackoff) Option {
+	return func(r *Runner) { r.gridBackoff = b }
+}
+
 // JobProgress is one interval-granular progress event of a grid job
 // still running: which job, how far along, and what the steering engine
 // is doing right now — the Observe stream surfaced to the submitting
@@ -311,7 +331,7 @@ func (r *Runner) submitGroup(ctx context.Context, order []string, group []grid.T
 		if len(remaining) == 0 || ctx.Err() != nil {
 			return
 		}
-		client := &grid.Client{Server: peer}
+		client := &grid.Client{Server: peer, ClientID: r.gridClientID, Backoff: r.gridBackoff}
 		var onProgress func(grid.TaskProgress)
 		// The BatchHandle only exists once SubmitStream returns, but the
 		// first progress event can beat it there; the buffered channel
@@ -441,6 +461,8 @@ func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 		agg.AffinityHits += m.AffinityHits
 		agg.AffinityMisses += m.AffinityMisses
 		agg.Speculated += m.Speculated
+		agg.Rejected += m.Rejected
+		agg.Overloaded += m.Overloaded
 		agg.QueueDepth += m.QueueDepth
 		agg.Leased += m.Leased
 		agg.Workers += m.Workers
@@ -450,11 +472,59 @@ func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 		}
 		agg.Running = append(agg.Running, m.Running...)
 		agg.Batches = append(agg.Batches, m.Batches...)
+		for _, t := range m.Tenants {
+			mergeTenant(&agg, t)
+		}
+		if lw := m.LeaseWaits; lw != nil {
+			if agg.LeaseWaits == nil {
+				agg.LeaseWaits = &grid.LatencySummary{}
+			}
+			// Count-weighted mean; the max of maxes.
+			total := agg.LeaseWaits.Count + lw.Count
+			if total > 0 {
+				agg.LeaseWaits.MeanMS = (agg.LeaseWaits.MeanMS*float64(agg.LeaseWaits.Count) +
+					lw.MeanMS*float64(lw.Count)) / float64(total)
+			}
+			agg.LeaseWaits.Count = total
+			if lw.MaxMS > agg.LeaseWaits.MaxMS {
+				agg.LeaseWaits.MaxMS = lw.MaxMS
+			}
+		}
+		if a := m.Autoscaler; a != nil {
+			if agg.Autoscaler == nil {
+				agg.Autoscaler = &grid.AutoscaleStats{}
+			}
+			agg.Autoscaler.ScaleUps += a.ScaleUps
+			agg.Autoscaler.ScaleDowns += a.ScaleDowns
+			agg.Autoscaler.Workers += a.Workers
+			agg.Autoscaler.Target += a.Target
+		}
 	}
 	if reached == 0 {
 		return GridMetrics{}, fmt.Errorf("repro: no grid peer reachable: %w", lastErr)
 	}
+	sort.Slice(agg.Tenants, func(i, j int) bool { return agg.Tenants[i].ID < agg.Tenants[j].ID })
 	return agg, nil
+}
+
+// mergeTenant folds one peer's per-tenant counters into the aggregate
+// by tenant ID (the weight is taken from whichever peer reported it;
+// a well-configured federation gives every peer the same table).
+func mergeTenant(agg *GridMetrics, t grid.TenantMetrics) {
+	for i := range agg.Tenants {
+		if agg.Tenants[i].ID == t.ID {
+			agg.Tenants[i].Admitted += t.Admitted
+			agg.Tenants[i].RejectedRate += t.RejectedRate
+			agg.Tenants[i].RejectedQuota += t.RejectedQuota
+			agg.Tenants[i].Queued += t.Queued
+			agg.Tenants[i].Running += t.Running
+			agg.Tenants[i].PendingBytes += t.PendingBytes
+			agg.Tenants[i].Completed += t.Completed
+			agg.Tenants[i].Failed += t.Failed
+			return
+		}
+	}
+	agg.Tenants = append(agg.Tenants, t)
 }
 
 // GridMetrics is the grid server's counter snapshot (see the field docs

@@ -150,6 +150,8 @@ type Runner struct {
 	grid         string
 	gridPriority int
 	gridProgress func(JobProgress)
+	gridClientID string
+	gridBackoff  GridBackoff
 }
 
 // Option configures a Runner.

@@ -7,10 +7,15 @@
 # mid-study is survived via lease reassignment, (d) a disk-backed
 # server killed with SIGKILL and restarted on the same -store-dir serves
 # the rerun entirely from the recovered cache (0 misses), byte-identical,
-# and (e) the federation chaos leg: one of two federated servers is
+# (e) the federation chaos leg: one of two federated servers is
 # SIGKILLed mid-ladder, the surviving peer finishes the batch (client
 # failover + lease expiry), and a rerun is 100% served from the shared
-# store — still byte-identical to the local run.
+# store — still byte-identical to the local run, and (f) the
+# multi-tenant service leg: an autoscaled, federated server under two
+# tenant identities survives a SIGKILLed federation peer AND a
+# SIGKILLed autoscaled worker mid-study (the supervisor respawns it),
+# loses no job, enforces the metered tenant's rate limit (429 + client
+# retry), and still produces byte-identical results.
 #
 # Run it via `make grid-smoke`; it builds into a temp dir and cleans up
 # after itself.
@@ -188,5 +193,67 @@ if [ "${MISSB:-1}" -ne "${MISSA:-0}" ]; then
 fi
 STEALS=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTA" | grep -o '"steals_out": [0-9]*' | grep -o '[0-9]*')
 echo "grid-smoke: federated rerun 100% from the shared store (steals_out=${STEALS:-0})"
+
+# --- multi-tenant service: autoscaling + quotas + chaos --------------------
+# Server C runs in service mode: it supervises its own worker fleet
+# (min 1, max 3) and meters two tenants — alice (weight 4, unmetered)
+# and bob (weight 1, rate 2 jobs/s, burst 4). Peer D federates with C
+# and has no workers of its own. Mid-ladder, D is SIGKILLed (client
+# failover) and so is one of C's autoscaled workers (the supervisor
+# must respawn it). No job may be lost and the output must stay
+# byte-identical. Then bob runs the small study twice CONCURRENTLY:
+# two 3-job batches against a burst of 4 guarantee the second one
+# overdraws his token bucket, so the server must answer 429 +
+# Retry-After and the client must retry it to success — quotas
+# enforced, work still byte-identical.
+PORTC=18554
+PORTD=18555
+SVCSTORE="$WORKDIR/svcstore"
+echo "grid-smoke: service-mode server (autoscaled min=1 max=3, tenants alice+bob)"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTC" -lease 750ms -store-dir "$SVCSTORE" \
+    -min-workers 1 -max-workers 3 -scale-tick 100ms -worker-parallel 2 \
+    -tenants "alice,weight=4;bob,weight=1,rate=2,burst=4" -log warn \
+    -self "127.0.0.1:$PORTC" -peers "127.0.0.1:$PORTD" 2>"$WORKDIR/svcC.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTC"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTD" -lease 750ms -store-remote "127.0.0.1:$PORTC" \
+    -self "127.0.0.1:$PORTD" -peers "127.0.0.1:$PORTC" 2>"$WORKDIR/svcD.log" &
+SVCD_PID=$!
+PIDS="$PIDS $SVCD_PID"
+wait_server "$PORTD"
+
+echo "grid-smoke: SIGKILLing peer D and the autoscaled workers mid-ladder (tenant alice)"
+( sleep 0.6; kill -9 "$SVCD_PID" 2>/dev/null || true
+  pkill -9 -f "$WORKDIR/helperd work .*$PORTC" 2>/dev/null || true ) &
+"$WORKDIR/sweep" -study ladder -n 20000 -grid "127.0.0.1:$PORTC,127.0.0.1:$PORTD" \
+    -grid-client alice > "$WORKDIR/svckill.txt" 2>"$WORKDIR/svckill.err"
+if ! diff "$WORKDIR/localkill.txt" "$WORKDIR/svckill.txt"; then
+    echo "grid-smoke: FAIL — service-mode results differ from local run after peer+worker SIGKILL"
+    cat "$WORKDIR/svckill.err"
+    exit 1
+fi
+UPS=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTC" 2>/dev/null | grep -o '"scale_ups": [0-9]*' | grep -o '[0-9]*')
+if [ "${UPS:-0}" -lt 2 ]; then
+    echo "grid-smoke: FAIL — autoscaler never churned (scale_ups=${UPS:-0}, want >= 2: floor + respawn/spike)"
+    cat "$WORKDIR/svcC.log"
+    exit 1
+fi
+echo "grid-smoke: autoscaled fleet survived peer+worker SIGKILL, identical results (scale_ups=$UPS)"
+
+echo "grid-smoke: tenant bob overdraws his rate limit (expect 429 + client retry)"
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORTC" -grid-client bob > "$WORKDIR/bob1.txt" 2>/dev/null &
+BOB1_PID=$!
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORTC" -grid-client bob > "$WORKDIR/bob2.txt" 2>/dev/null
+wait "$BOB1_PID"
+diff "$WORKDIR/local.txt" "$WORKDIR/bob1.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — metered tenant's results differ from local run"; exit 1; }
+diff "$WORKDIR/bob1.txt" "$WORKDIR/bob2.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — metered tenant's rerun drifted"; exit 1; }
+REJECTED=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTC" | grep -o '"rejected": [0-9]*' | grep -o '[0-9]*')
+if [ "${REJECTED:-0}" -lt 1 ]; then
+    echo "grid-smoke: FAIL — rate limit never bit (rejected=${REJECTED:-0}); quotas are not enforced"
+    exit 1
+fi
+echo "grid-smoke: quota enforced and retried through (rejected=$REJECTED), results byte-identical"
 
 echo "grid-smoke: PASS"
