@@ -41,6 +41,7 @@ import (
 
 	"repro"
 	"repro/internal/grid"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func main() {
 		err = submitCmd(ctx, os.Args[2:])
 	case "metrics":
 		err = metricsCmd(ctx, os.Args[2:])
+	case "trace":
+		err = traceCmd(ctx, os.Args[2:])
+	case "top":
+		err = topCmd(ctx, os.Args[2:])
 	case "federate":
 		err = federateCmd(ctx, os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -78,16 +83,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics|federate> [flags]
+	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics|trace|top|federate> [flags]
 
   serve    -addr :8321 [-lease 5s] [-max-attempts 5] [-store-dir dir] [-store-max-bytes 0]
            [-self URL] [-peers a:8321,b:8321] [-store-remote URL]
            [-tenants spec] [-default-tenant spec] [-max-queue 0]
            [-min-workers 0] [-max-workers 0] [-worker-parallel 0] [-scale-tick 500ms]
-           [-log off|error|warn|info|debug]
-  work     -server :8321 [-workers 0] [-name ""] [-health ""]
+           [-log off|error|warn|info|debug] [-trace 4096] [-trace-spill file]
+           [-debug-addr ""]
+  work     -server :8321 [-workers 0] [-name ""] [-health ""] [-debug-addr ""]
   submit   -server :8321 [-jobs file|-] [-priority 0] [-warmup-frac 0.2] [-progress] [-client ""]
   metrics  -server :8321
+  trace    -server :8321 [-check exec|cached|stolen] [-limit 20] [id]
+  top      -server :8321 [-interval 1s] [-once]
   federate -servers a:8321,b:8321
 
 A -tenants spec registers per-client limits, ';'-separated:
@@ -95,6 +103,11 @@ A -tenants spec registers per-client limits, ';'-separated:
 -default-tenant takes the same key=value list (no leading id) for
 clients the spec does not name. -min/max-workers enable the autoscaler:
 the server spawns and drains re-exec'd local workers with the queue.
+
+trace with no id lists recent traces; with a trace/task/batch id it
+reconstructs the span tree, following steal hops across federation
+peers. -debug-addr serves net/http/pprof on its own listener (off by
+default). The server also serves a live dashboard on /dashboard.
 `)
 }
 
@@ -121,6 +134,9 @@ func serveCmd(ctx context.Context, args []string) error {
 	workerPar := fs.Int("worker-parallel", 0, "parallel simulations per spawned worker (0 = GOMAXPROCS)")
 	scaleTick := fs.Duration("scale-tick", 500*time.Millisecond, "autoscaler evaluation period")
 	logLevel := fs.String("log", "", "structured log level: off (default), error, warn, info, debug")
+	traceCap := fs.Int("trace", 0, "trace ring capacity in events (0 = default 4096, negative = disable tracing)")
+	traceSpill := fs.String("trace-spill", "", "append every trace event to this NDJSON file (operators point it next to -store-dir)")
+	debugAddr := fs.String("debug-addr", "", "optional listen address for net/http/pprof (off by default)")
 	fs.Parse(args)
 
 	if *storeDir != "" && *storeRemote != "" {
@@ -134,7 +150,25 @@ func serveCmd(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []grid.ServerOption{grid.WithLeaseTTL(*lease), grid.WithMaxAttempts(*maxAttempts)}
+	if *debugAddr != "" {
+		bound, stopDebug, err := profiling.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "helperd: pprof on http://%s/debug/pprof/\n", bound)
+	}
+	opts := []grid.ServerOption{grid.WithLeaseTTL(*lease), grid.WithMaxAttempts(*maxAttempts),
+		grid.WithTrace(*traceCap)}
+	if *traceSpill != "" {
+		f, err := os.OpenFile(*traceSpill, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -trace-spill: %w", err)
+		}
+		defer f.Close()
+		opts = append(opts, grid.WithTraceSpill(f))
+		fmt.Fprintf(os.Stderr, "helperd: trace spill %s\n", *traceSpill)
+	}
 	if logger != nil {
 		opts = append(opts, grid.WithLogger(logger))
 	}
@@ -314,7 +348,17 @@ func workCmd(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS); also the reported capacity")
 	name := fs.String("name", "", "worker name (default host-pid)")
 	health := fs.String("health", "", "optional listen address for a /healthz load endpoint")
+	debugAddr := fs.String("debug-addr", "", "optional listen address for net/http/pprof (off by default)")
 	fs.Parse(args)
+
+	if *debugAddr != "" {
+		bound, stopDebug, err := profiling.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "helperd: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	// The exec runner applies no warmup fraction of its own: wire jobs
 	// arrive fully resolved and must run with exactly the warmup they
@@ -465,6 +509,269 @@ func metricsCmd(ctx context.Context, args []string) error {
 			a.Workers, a.Target, a.ScaleUps, a.ScaleDowns)
 	}
 	return nil
+}
+
+// traceCmd reconstructs the span tree of one traced job and prints it
+// with per-event offsets and a span-duration digest, following steal
+// hops to the federation peers named by stolen events. Without an id it
+// lists the server's most recently touched traces. -check validates the
+// merged tree as a local execution, a cache hit, or a stolen run, and
+// fails the command when the tree does not match.
+func traceCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd trace", flag.ExitOnError)
+	server := fs.String("server", ":8321", "job server address")
+	check := fs.String("check", "", "validate the span tree as exec|cached|stolen (non-zero exit on mismatch)")
+	limit := fs.Int("limit", 20, "most recent traces listed when no id is given")
+	fs.Parse(args)
+	client := &grid.Client{Server: *server}
+
+	id := fs.Arg(0)
+	if id == "" {
+		traces, err := client.TraceList(ctx, *limit)
+		if err != nil {
+			return err
+		}
+		if len(traces) == 0 {
+			fmt.Println("helperd: no traces recorded")
+			return nil
+		}
+		for _, t := range traces {
+			span := time.Duration(t.LastNS - t.FirstNS)
+			fmt.Printf("%-71s %3d events %12s  %s\n",
+				t.Trace, t.Events, span.Round(time.Microsecond), strings.Join(t.Stages, ","))
+		}
+		return nil
+	}
+
+	events, sources, err := collectTrace(ctx, grid.BaseURL(*server), id)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no trace events for %q (tracing disabled, or the ring has rotated past it)", id)
+	}
+	fmt.Printf("trace %s — %d event(s) from %d server(s)\n", events[0].Trace, len(events), sources)
+	base := events[0].TimeNS
+	for _, ev := range events {
+		off := float64(ev.TimeNS-base) / 1e6
+		fmt.Printf("  %+12.3fms  %-10s %s\n", off, ev.Stage, traceFields(ev))
+	}
+	d := grid.Durations(events)
+	fmt.Printf("spans: admission=%s queue=%s first_progress=%s exec=%s e2e=%s\n",
+		fmtSpan(d.Admission), fmtSpan(d.Queue), fmtSpan(d.FirstProgress),
+		fmtSpan(d.Exec), fmtSpan(d.EndToEnd))
+	if *check != "" {
+		if err := grid.ValidateTrace(events, *check); err != nil {
+			return err
+		}
+		fmt.Printf("helperd: trace validates as %s\n", *check)
+	}
+	return nil
+}
+
+// collectTrace merges the trace's events across the federation: fetch
+// from origin, stamp each event's Source, then follow every peer a
+// stolen event names (the victim from a steal-in, the thief from a
+// steal-out) and fetch the same trace ID there — the content hash is
+// identical on both sides of a hop, so it is the cross-server join key.
+// It reports the merged, time-ordered events and how many servers
+// contributed.
+func collectTrace(ctx context.Context, origin, id string) ([]grid.TraceEvent, int, error) {
+	evs, err := (&grid.Client{Server: origin}).TraceEvents(ctx, id)
+	if err != nil {
+		return nil, 0, err
+	}
+	hashes := map[string]bool{}
+	for i := range evs {
+		evs[i].Source = origin
+		if evs[i].Trace != "" {
+			hashes[evs[i].Trace] = true
+		}
+	}
+	merged := evs
+	visited := map[string]bool{origin: true}
+	queue := stealPeers(evs)
+	sources := 1
+	for len(queue) > 0 {
+		peer := queue[0]
+		queue = queue[1:]
+		if peer == "" || visited[peer] {
+			continue
+		}
+		visited[peer] = true
+		c := &grid.Client{Server: peer}
+		contributed := false
+		for h := range hashes {
+			pevs, err := c.TraceEvents(ctx, h)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "helperd: peer %s unreachable, tree may be partial: %v\n", peer, err)
+				break
+			}
+			for i := range pevs {
+				pevs[i].Source = peer
+			}
+			if len(pevs) > 0 {
+				contributed = true
+			}
+			merged = append(merged, pevs...)
+			queue = append(queue, stealPeers(pevs)...)
+		}
+		if contributed {
+			sources++
+		}
+	}
+	grid.SortEvents(merged)
+	return merged, sources, nil
+}
+
+// stealPeers extracts the peer URLs named by a event set's steal hops.
+func stealPeers(evs []grid.TraceEvent) []string {
+	var out []string
+	for _, ev := range evs {
+		if ev.Stage == grid.StageStolen && ev.Peer != "" {
+			out = append(out, grid.BaseURL(ev.Peer))
+		}
+	}
+	return out
+}
+
+// traceFields renders one event's identifying fields for the span tree.
+func traceFields(ev grid.TraceEvent) string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("task", ev.Task)
+	add("batch", ev.Batch)
+	add("tenant", ev.Tenant)
+	add("worker", ev.Worker)
+	if ev.Attempt > 0 {
+		add("attempt", fmt.Sprint(ev.Attempt))
+	}
+	add("peer", ev.Peer)
+	if ev.Hop > 0 {
+		add("hop", fmt.Sprint(ev.Hop))
+	}
+	if ev.Total > 0 {
+		add("uops", fmt.Sprintf("%d/%d", ev.Uops, ev.Total))
+	}
+	add("detail", ev.Detail)
+	add("@", ev.Source)
+	return strings.Join(parts, " ")
+}
+
+// fmtSpan renders one reconstructed span, "-" for unobserved endpoints.
+func fmtSpan(d time.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fms", float64(d)/1e6)
+}
+
+// topCmd renders a live text dashboard of one server — the terminal
+// sibling of /dashboard: fleet counters, tenant shares with stage
+// latencies, batch ETAs and in-flight progress bars, refreshed in
+// place every -interval. -once prints a single snapshot (scripts and
+// tests use it).
+func topCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("helperd top", flag.ExitOnError)
+	server := fs.String("server", ":8321", "job server address")
+	interval := fs.Duration("interval", time.Second, "refresh period")
+	once := fs.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	fs.Parse(args)
+	client := &grid.Client{Server: *server}
+	for {
+		m, err := client.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		renderTop(&b, grid.BaseURL(*server), &m)
+		if *once {
+			os.Stdout.WriteString(b.String())
+			return nil
+		}
+		// ANSI home+clear keeps the refresh flicker-free on a dumb
+		// terminal without any curses dependency.
+		os.Stdout.WriteString("\033[H\033[2J" + b.String())
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// renderTop formats one metrics snapshot as the top screen.
+func renderTop(b *strings.Builder, server string, m *grid.Metrics) {
+	fmt.Fprintf(b, "helperd top — %s — %s\n\n", server, time.Now().Format("15:04:05"))
+	fmt.Fprintf(b, "fleet    workers=%d peers=%d queued=%d leased=%d store=%d\n",
+		m.Workers, m.Peers, m.QueueDepth, m.Leased, m.StoreEntries)
+	fmt.Fprintf(b, "jobs     submitted=%d completed=%d failed=%d cache_hits=%d coalesced=%d\n",
+		m.Submitted, m.Completed, m.Failed, m.CacheHits, m.Coalesced)
+	fmt.Fprintf(b, "leases   granted=%d empty_polls=%d reassigned=%d speculated=%d steals=%d out/%d in\n",
+		m.LeasesGranted, m.LeasePollEmpty, m.Reassigned, m.Speculated, m.StealsOut, m.StealsIn)
+	if t := m.Trace; t != nil {
+		fmt.Fprintf(b, "trace    ring %d/%d events (lifetime %d, spill dropped %d)\n",
+			t.Events, t.Capacity, t.Total, t.SpillDropped)
+	}
+	if a := m.Autoscaler; a != nil {
+		fmt.Fprintf(b, "scaler   %d workers (target %d), %d ups, %d downs\n",
+			a.Workers, a.Target, a.ScaleUps, a.ScaleDowns)
+	}
+	if len(m.Tenants) > 0 {
+		fmt.Fprintf(b, "\n%-14s %6s %9s %9s %6s %7s %6s %11s %11s\n",
+			"TENANT", "WEIGHT", "ADMITTED", "COMPLETED", "QUEUED", "RUNNING", "FAILED", "EXEC MEAN", "E2E MEAN")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(b, "%-14s %6g %9d %9d %6d %7d %6d %11s %11s\n",
+				t.ID, t.Weight, t.Admitted, t.Completed, t.Queued, t.Running, t.Failed,
+				stageMean(t.Stages, "exec"), stageMean(t.Stages, "e2e"))
+		}
+	}
+	if len(m.Batches) > 0 {
+		fmt.Fprintf(b, "\n%-14s %8s %7s %8s %10s\n", "BATCH", "PENDING", "QUEUED", "RUNNING", "ETA")
+		for _, bt := range m.Batches {
+			eta := "-"
+			if bt.EtaMS > 0 {
+				eta = (time.Duration(bt.EtaMS) * time.Millisecond).Round(time.Millisecond).String()
+			}
+			fmt.Fprintf(b, "%-14s %8d %7d %8d %10s\n", bt.ID, bt.Pending, bt.Queued, bt.Running, eta)
+		}
+	}
+	if len(m.Running) > 0 {
+		fmt.Fprintf(b, "\nIN FLIGHT\n")
+		for _, p := range m.Running {
+			frac := 0.0
+			if p.Total > 0 {
+				frac = float64(p.Uops) / float64(p.Total)
+			}
+			fmt.Fprintf(b, "  %-12s [%s] %5.1f%%  ipc=%.3f rung=%s worker=%s\n",
+				p.ID, progressBar(frac, 30), 100*frac, p.IntervalIPC, p.Rung, p.Worker)
+		}
+	}
+}
+
+// stageMean renders a tenant's mean latency for one stage, "-" before
+// the first observation.
+func stageMean(stages map[string]grid.LatencySummary, stage string) string {
+	if s, ok := stages[stage]; ok && s.Count > 0 {
+		return fmt.Sprintf("%.1fms", s.MeanMS)
+	}
+	return "-"
+}
+
+// progressBar renders a fixed-width ASCII fill bar.
+func progressBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac * float64(width))
+	return strings.Repeat("=", fill) + strings.Repeat(" ", width-fill)
 }
 
 // federateCmd prints one load-snapshot line per federation member: who

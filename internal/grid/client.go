@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -61,6 +62,11 @@ type Client struct {
 	// ClientID is the tenant identity sent as the X-Grid-Client header;
 	// empty means the server's shared anonymous tenant.
 	ClientID string
+	// Trace annotates every batch this client submits with trace context
+	// (the X-Grid-Trace header). The federation sets a steal origin here
+	// when re-submitting stolen work, so the hop is recorded in the
+	// thief's trace ring; ordinary clients leave it empty.
+	Trace string
 	// Backoff shapes admission-refusal retries (zero value = defaults).
 	Backoff Backoff
 	// Rand seeds the retry jitter; nil uses a time-seeded private
@@ -269,6 +275,9 @@ func (c *Client) postBatch(ctx context.Context, body []byte) (*http.Response, er
 		if c.ClientID != "" {
 			req.Header.Set(ClientHeader, c.ClientID)
 		}
+		if c.Trace != "" {
+			req.Header.Set(TraceHeader, c.Trace)
+		}
 		req.Header.Set(retryHeader, strconv.Itoa(attempt))
 		resp, err := c.client().Do(req)
 		release()
@@ -343,6 +352,53 @@ func (c *Client) PeerStatus(ctx context.Context) (PeerStatus, error) {
 		return st, fmt.Errorf("grid: decoding peer status: %w", err)
 	}
 	return st, nil
+}
+
+// TraceEvents fetches one trace's span events from the server's ring —
+// id may be a trace ID (content hash), a server task ID, or a batch ID.
+// An empty slice means the ring holds nothing for the ID (evicted or
+// never seen); an error includes the tracing-disabled 404.
+func (c *Client) TraceEvents(ctx context.Context, id string) ([]TraceEvent, error) {
+	var resp traceResponse
+	if err := c.getJSON(ctx, pathTrace+"?id="+neturl.QueryEscape(id), &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
+// TraceList fetches the server's most recently touched trace summaries
+// (limit <= 0 uses the server default).
+func (c *Client) TraceList(ctx context.Context, limit int) ([]TraceSummary, error) {
+	path := pathTrace
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var resp traceResponse
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// getJSON GETs one endpoint and decodes the JSON answer.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, BaseURL(c.Server)+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("grid: fetching %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("grid: fetching %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("grid: decoding %s: %w", path, err)
+	}
+	return nil
 }
 
 // Metrics fetches the server's counter snapshot.

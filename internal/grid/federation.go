@@ -308,7 +308,11 @@ func (f *Federation) runStolen(victim string, t Task, ttl time.Duration) {
 
 	// The default transport, not f.httpc: a batch stream lives as long
 	// as the simulation and must not be cut by the peer-RPC timeout.
-	client := &Client{Server: f.self}
+	// The trace annotation records the steal hop in this member's ring
+	// (the victim's task ID and hop count), so a merged trace shows the
+	// job crossing the federation.
+	client := &Client{Server: f.self,
+		Trace: formatTraceOrigin(victim, t.ID, t.Hops)}
 	ch, err := client.Submit(ctx, []Task{t})
 	var final *TaskResult
 	if err == nil {

@@ -163,6 +163,11 @@ const (
 	pathPeerAnnounce = "/v1/peer/announce"
 	pathPeerStatus   = "/v1/peer/status"
 	pathPeerSteal    = "/v1/peer/steal"
+	// The observability surface: /v1/trace serves the tracer's ring
+	// (events of one trace/task/batch with ?id=, recent summaries
+	// without), /dashboard the self-contained live HTML dashboard.
+	pathTrace     = "/v1/trace"
+	pathDashboard = "/dashboard"
 )
 
 // PeerWorkerPrefix marks lease-protocol worker names that are actually

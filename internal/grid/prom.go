@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -31,7 +32,33 @@ func (s *Server) servePromMetrics(w http.ResponseWriter) {
 	m := s.metricsLocked()
 	buckets := s.latBuckets
 	latSum, latCount := s.latSumMS, s.latCount
+	// Deep-copy the per-tenant stage histograms so rendering happens off
+	// the lock (tenant and stage order are sorted for a stable scrape).
+	type stageSeries struct {
+		tenant, stage string
+		hist          stageHist
+	}
+	var stages []stageSeries
+	for tenant, byStage := range s.stageHists {
+		for stage, h := range byStage {
+			stages = append(stages, stageSeries{tenant, stage, *h})
+		}
+	}
 	s.mu.Unlock()
+	stageRankOf := func(stage string) int {
+		for i, st := range stageOrder {
+			if st == stage {
+				return i
+			}
+		}
+		return len(stageOrder)
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].tenant != stages[j].tenant {
+			return stages[i].tenant < stages[j].tenant
+		}
+		return stageRankOf(stages[i].stage) < stageRankOf(stages[j].stage)
+	})
 
 	var b strings.Builder
 	counter := func(name, help string, v uint64) {
@@ -47,6 +74,7 @@ func (s *Server) servePromMetrics(w http.ResponseWriter) {
 	counter("grid_completed_total", "Task executions reported successful.", m.Completed)
 	counter("grid_failed_total", "Task executions reported failed.", m.Failed)
 	counter("grid_leases_granted_total", "Tasks handed to workers.", m.LeasesGranted)
+	counter("grid_lease_poll_empty_total", "Lease polls answered with zero tasks.", m.LeasePollEmpty)
 	counter("grid_reassigned_total", "Leases expired without a heartbeat and requeued.", m.Reassigned)
 	counter("grid_abandoned_total", "Tasks dropped because every subscriber left.", m.Abandoned)
 	counter("grid_rejected_total", "Whole-batch admission refusals (429).", m.Rejected)
@@ -101,6 +129,31 @@ func (s *Server) servePromMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "grid_lease_wait_ms_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(&b, "grid_lease_wait_ms_sum %g\n", latSum)
 	fmt.Fprintf(&b, "grid_lease_wait_ms_count %d\n", latCount)
+
+	if len(stages) > 0 {
+		fmt.Fprintf(&b, "# HELP grid_stage_ms Per-tenant job lifecycle stage latency (admission, first_progress, exec, e2e).\n")
+		fmt.Fprintf(&b, "# TYPE grid_stage_ms histogram\n")
+		for _, ss := range stages {
+			cum := uint64(0)
+			for i, ub := range latencyBucketsMS {
+				cum += ss.hist.buckets[i]
+				fmt.Fprintf(&b, "grid_stage_ms_bucket{tenant=%q,stage=%q,le=\"%g\"} %d\n",
+					ss.tenant, ss.stage, ub, cum)
+			}
+			cum += ss.hist.buckets[len(latencyBucketsMS)]
+			fmt.Fprintf(&b, "grid_stage_ms_bucket{tenant=%q,stage=%q,le=\"+Inf\"} %d\n",
+				ss.tenant, ss.stage, cum)
+			fmt.Fprintf(&b, "grid_stage_ms_sum{tenant=%q,stage=%q} %g\n", ss.tenant, ss.stage, ss.hist.sumMS)
+			fmt.Fprintf(&b, "grid_stage_ms_count{tenant=%q,stage=%q} %d\n", ss.tenant, ss.stage, ss.hist.count)
+		}
+	}
+
+	if t := m.Trace; t != nil {
+		gauge("grid_trace_ring_events", "Trace events currently held in the bounded ring.", int64(t.Events))
+		gauge("grid_trace_ring_capacity", "Trace ring capacity.", int64(t.Capacity))
+		counter("grid_trace_events_total", "Trace events ever recorded.", t.Total)
+		counter("grid_trace_spill_dropped_total", "Trace events dropped by a lagging NDJSON spill.", t.SpillDropped)
+	}
 
 	if a := m.Autoscaler; a != nil {
 		counter("grid_autoscaler_scale_ups_total", "Autoscaler spawn actions.", a.ScaleUps)

@@ -29,6 +29,9 @@ type task struct {
 	// enqueuedAt is when the task last entered the queue (admission or
 	// requeue); the grant-time delta feeds the lease latency histogram.
 	enqueuedAt time.Time
+	// admittedAt is when the creating batch entered handleBatch — the
+	// base of the admission and end-to-end stage latencies.
+	admittedAt time.Time
 
 	// heapIndex is the position in the priority queue, -1 while leased
 	// (or otherwise out of the heap).
@@ -41,9 +44,12 @@ type task struct {
 	attempts int
 	// leasedAt is when the current lease was granted, firstLeased when
 	// the very first one was (the base of the completed-duration EWMA
-	// that calibrates ETAs and straggler detection).
-	leasedAt    time.Time
-	firstLeased time.Time
+	// that calibrates ETAs and straggler detection), firstProgress when
+	// the first interval snapshot arrived (the lease-to-first-progress
+	// stage latency).
+	leasedAt      time.Time
+	firstLeased   time.Time
+	firstProgress time.Time
 	// speculated marks a straggler that was re-leased to the fleet while
 	// its original attempt (prevWorker) keeps running — first completion
 	// wins, and prevWorker's heartbeats are tolerated instead of being

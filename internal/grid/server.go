@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,6 +31,10 @@ type Metrics struct {
 	// hits never reach either).
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+	// LeasePollEmpty counts lease polls answered with zero tasks (the
+	// long poll timed out or the server closed before work arrived) —
+	// the idle side of the lease-wait histogram, which only sees grants.
+	LeasePollEmpty uint64 `json:"lease_poll_empty"`
 	// LeasesGranted counts tasks handed to workers; Reassigned counts
 	// leases that expired without a heartbeat and went back to the queue
 	// (worker death recovery); Abandoned counts tasks dropped because
@@ -86,6 +91,8 @@ type Metrics struct {
 	// lease grant — of every grant so far; the full histogram is on the
 	// Prometheus endpoint.
 	LeaseWaits *LatencySummary `json:"lease_waits,omitempty"`
+	// Trace is the tracer's ring occupancy when tracing is enabled.
+	Trace *TraceStats `json:"trace,omitempty"`
 	// Autoscaler is the supervisor's latest self-report when one is
 	// attached (see Autoscaler).
 	Autoscaler *AutoscaleStats `json:"autoscaler,omitempty"`
@@ -178,6 +185,21 @@ func WithLogger(l *slog.Logger) ServerOption {
 	return func(s *Server) { s.log = l }
 }
 
+// WithTrace sizes the server's lifecycle trace ring (see Tracer). The
+// default is DefaultTraceCapacity; n < 0 disables tracing entirely
+// (recording is allocation-free either way, but a disabled tracer is a
+// nil-check and nothing else).
+func WithTrace(n int) ServerOption {
+	return func(s *Server) { s.traceCap = n }
+}
+
+// WithTraceSpill streams every trace event to w as NDJSON (helperd
+// points this next to the DiskStore dir). The writer outlives the
+// server; Close flushes what is buffered.
+func WithTraceSpill(w io.Writer) ServerOption {
+	return func(s *Server) { s.traceSpill = w }
+}
+
 // WithSpeculation toggles straggler re-leasing (default on): when the
 // queue is empty, workers sit idle and a leased task is projected — from
 // its own progress snapshots against the fleet's EWMA task duration —
@@ -200,6 +222,12 @@ type Server struct {
 	speculation bool
 	maxQueue    int
 	log         *slog.Logger
+	traceCap    int
+	traceSpill  io.Writer
+	// tracer records lifecycle span events; set once in NewServer (nil
+	// when disabled) and safe to use without s.mu — its own mutex is a
+	// leaf lock, taken under s.mu but never the other way around.
+	tracer *Tracer
 
 	// Tenant configuration is written only by options (before the
 	// server serves) and read under mu afterwards.
@@ -244,6 +272,13 @@ type Server struct {
 	latSumMS   float64
 	latMaxMS   float64
 	latCount   uint64
+	// leasePollEmpty counts lease polls answered without work. Atomic
+	// because the empty answer is decided after s.mu is released.
+	leasePollEmpty atomic.Uint64
+	// stageHists are the per-tenant per-stage latency histograms
+	// (stageOrder names the stages) behind grid_stage_ms and
+	// TenantMetrics.Stages.
+	stageHists map[string]map[string]*stageHist
 	// autoStats is the attached Autoscaler's latest self-report (pushed
 	// via SetAutoscaleStats, so metrics never take two locks).
 	autoStats *AutoscaleStats
@@ -315,6 +350,7 @@ func NewServer(opts ...ServerOption) *Server {
 		wake:         make(chan struct{}),
 		workers:      map[string]*workerState{},
 		batches:      map[string]*batch{},
+		stageHists:   map[string]map[string]*stageHist{},
 		closed:       make(chan struct{}),
 		reaperDone:   make(chan struct{}),
 	}
@@ -329,6 +365,12 @@ func NewServer(opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.traceCap >= 0 {
+		s.tracer = NewTracer(s.traceCap)
+		if s.traceSpill != nil {
+			s.tracer.SetSpill(s.traceSpill)
+		}
+	}
 	go s.reap()
 	return s
 }
@@ -338,6 +380,63 @@ func NewServer(opts ...ServerOption) *Server {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
 	<-s.reaperDone
+	s.tracer.Close()
+}
+
+// Tracer exposes the lifecycle trace ring (nil when disabled).
+func (s *Server) Tracer() *Tracer { return s.tracer }
+
+// The span-tree stage names of the per-tenant latency histograms:
+// admission (batch arrival to enqueue, store lookup included), queue
+// wait lives in the lease-wait histogram, first_progress (lease to the
+// first interval snapshot), exec (last lease to completion) and e2e
+// (batch arrival to completion).
+var stageOrder = []string{"admission", "first_progress", "exec", "e2e"}
+
+// stageHist is one per-tenant per-stage latency histogram, sharing the
+// lease-wait bucket bounds. Mutated under s.mu.
+type stageHist struct {
+	buckets [14]uint64
+	sumMS   float64
+	maxMS   float64
+	count   uint64
+}
+
+func (h *stageHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.buckets[i]++
+	h.sumMS += ms
+	h.count++
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+}
+
+func (h *stageHist) summary() LatencySummary {
+	return LatencySummary{Count: h.count, MeanMS: h.sumMS / float64(h.count), MaxMS: h.maxMS}
+}
+
+// observeStageLocked folds one stage latency into the tenant's
+// histogram set.
+func (s *Server) observeStageLocked(tenant, stage string, d time.Duration) {
+	byStage := s.stageHists[tenant]
+	if byStage == nil {
+		byStage = map[string]*stageHist{}
+		s.stageHists[tenant] = byStage
+	}
+	h := byStage[stage]
+	if h == nil {
+		h = &stageHist{}
+		byStage[stage] = h
+	}
+	h.observe(d)
 }
 
 // Store exposes the content-addressed result store (tests and embedders
@@ -360,6 +459,7 @@ func (s *Server) metricsLocked() Metrics {
 		Coalesced:       s.coalesced,
 		Completed:       s.completed,
 		Failed:          s.failed,
+		LeasePollEmpty:  s.leasePollEmpty.Load(),
 		LeasesGranted:   s.leasesGranted,
 		Reassigned:      s.reassigned,
 		Abandoned:       s.abandoned,
@@ -421,6 +521,12 @@ func (s *Server) metricsLocked() Metrics {
 		if g := liveSubs[ts]; g != nil {
 			tm.Queued, tm.Running = g.queued, g.running
 		}
+		if byStage := s.stageHists[ts.id]; len(byStage) > 0 {
+			tm.Stages = map[string]LatencySummary{}
+			for stage, h := range byStage {
+				tm.Stages[stage] = h.summary()
+			}
+		}
 		m.Tenants = append(m.Tenants, tm)
 	}
 	sort.Slice(m.Tenants, func(i, j int) bool { return m.Tenants[i].ID < m.Tenants[j].ID })
@@ -434,6 +540,10 @@ func (s *Server) metricsLocked() Metrics {
 	if s.autoStats != nil {
 		st := *s.autoStats
 		m.Autoscaler = &st
+	}
+	if s.tracer != nil {
+		st := s.tracer.Stats()
+		m.Trace = &st
 	}
 	// Task IDs are "t<seq>": order by the numeric suffix so t2 precedes
 	// t10 (creation order), falling back to lexicographic for any ID a
@@ -663,6 +773,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Metrics())
 	case pathMetricsProm:
 		s.servePromMetrics(w)
+	case pathTrace:
+		s.handleTrace(w, r)
+	case pathDashboard:
+		serveDashboard(w)
 	case pathPeerStatus:
 		// A bare Server answers its own load snapshot so `helperd
 		// federate` works against unfederated members too; the Federation
@@ -679,6 +793,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// handleTrace serves the tracer's ring: ?id=<trace|task|batch> answers
+// that trace's events oldest-first, no id answers recent trace
+// summaries (?limit= caps them, default 50). 404 when tracing is
+// disabled, so clients can tell "off" from "empty".
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "grid: tracing disabled", http.StatusNotFound)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		writeJSON(w, traceResponse{Events: s.tracer.Events(id)})
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			limit = n
+		}
+	}
+	writeJSON(w, traceResponse{Traces: s.tracer.Recent(limit)})
 }
 
 // storeStat is the /v1/store/stat wire shape, mirroring Storage.Stats.
@@ -773,6 +909,7 @@ func refuseBatch(w http.ResponseWriter, status int, ref batchRefusal) {
 // cache hits — because admission is the cheap gate in front of the
 // cache, not behind it.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	admittedAt := time.Now()
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("grid: bad batch: %v", err), http.StatusBadRequest)
@@ -782,6 +919,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if tenantID == "" {
 		tenantID = DefaultTenant
 	}
+	// A federated thief re-submitting stolen work annotates the steal
+	// origin in X-Grid-Trace; the hop lands in this server's ring so a
+	// merged trace shows where the job came from.
+	origin, stolenIn := parseTraceOrigin(r.Header.Get(TraceHeader))
 	admitJobs := 0
 	var admitBytes int64
 	for _, j := range req.Jobs {
@@ -906,6 +1047,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if hash == "" {
 			hash = HashBytes(j.Payload)
 		}
+		s.tracer.Record(TraceEvent{Trace: hash, Stage: StageAdmitted,
+			Batch: b.id, Tenant: tenantID})
+		if stolenIn {
+			s.tracer.Record(TraceEvent{Trace: hash, Stage: StageStolen,
+				Batch: b.id, Peer: origin.peer, Hop: origin.hop,
+				Task: origin.task, Detail: "in"})
+		}
 		if t, ok := s.byHash[hash]; ok {
 			coalesceLocked(t, j.ID)
 			continue
@@ -937,6 +1085,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	for i, l := range lookups {
 		if hit[i] {
+			s.tracer.Record(TraceEvent{Trace: l.hash, Stage: StageCacheHit,
+				Batch: b.id, Tenant: tenantID})
 			immediate = append(immediate, TaskResult{ID: l.first.ID, Hash: l.hash, Cached: true, Payload: hits[i]})
 			for _, id := range l.dups {
 				immediate = append(immediate, TaskResult{ID: id, Hash: l.hash, Cached: true, Payload: hits[i]})
@@ -953,6 +1103,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		pending++
 		s.seq++
+		now := time.Now()
 		t := &task{
 			id:         fmt.Sprintf("t%d", s.seq),
 			hash:       l.hash,
@@ -962,8 +1113,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			tenant:     ts.id,
 			profile:    l.first.Profile,
 			hops:       l.first.Hops,
-			enqueuedAt: time.Now(),
+			enqueuedAt: now,
+			admittedAt: admittedAt,
 		}
+		s.tracer.Record(TraceEvent{Trace: l.hash, Stage: StageEnqueued,
+			Task: t.id, Batch: b.id})
+		s.observeStageLocked(ts.id, "admission", now.Sub(admittedAt))
 		s.subscribeLocked(t, b, l.first.ID)
 		for _, id := range l.dups {
 			s.subscribeLocked(t, b, id)
@@ -1083,6 +1238,11 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		wake := s.wake
 		s.mu.Unlock()
 		if len(tasks) > 0 || !time.Now().Before(deadline) {
+			if len(tasks) == 0 {
+				// The long poll ran dry: the lease-wait histogram only
+				// sees grants, so idle polling is invisible without this.
+				s.leasePollEmpty.Add(1)
+			}
 			writeJSON(w, leaseResponse{Tasks: tasks, LeaseMS: s.leaseTTL.Milliseconds()})
 			return
 		}
@@ -1095,6 +1255,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-s.closed:
 			timer.Stop()
+			s.leasePollEmpty.Add(1)
 			writeJSON(w, leaseResponse{LeaseMS: s.leaseTTL.Milliseconds()})
 			return
 		}
@@ -1162,6 +1323,8 @@ func (s *Server) grantLocked(req leaseRequest) []Task {
 			t.firstLeased = now
 		}
 		s.leasesGranted++
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageLeased,
+			Task: t.id, Worker: req.Worker, Attempt: t.attempts})
 		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority,
 			Payload: t.payload, Attempt: t.attempts, Profile: t.profile, Hops: t.hops})
 	}
@@ -1251,6 +1414,10 @@ func (s *Server) StealGrant(peer string, max int) ([]Task, int64) {
 		}
 		s.leasesGranted++
 		s.stealsOut++
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageLeased,
+			Task: t.id, Worker: worker, Attempt: t.attempts})
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageStolen,
+			Task: t.id, Peer: peer, Hop: t.hops, Detail: "out"})
 		out = append(out, Task{ID: t.id, Hash: t.hash, Priority: t.priority,
 			Payload: t.payload, Attempt: t.attempts, Profile: t.profile, Hops: t.hops})
 	}
@@ -1315,6 +1482,14 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		snap := p
 		t.progress = &snap
 		s.progressUpdates++
+		if t.firstProgress.IsZero() {
+			t.firstProgress = now
+			if !t.leasedAt.IsZero() {
+				s.observeStageLocked(t.tenant, "first_progress", now.Sub(t.leasedAt))
+			}
+		}
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageProgress,
+			Task: t.id, Worker: req.Worker, Uops: p.Uops, Total: p.Total})
 		for _, sub := range t.subs {
 			fanned := p
 			fanned.ID = sub.jobID
@@ -1412,11 +1587,26 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.store.Put(bank, req.Result)
 	}
+	// The worker echoes the task's trace ID on the completion post; it
+	// keeps even a stale completion — the server already forgot the task
+	// — attributable to its trace.
+	headerTrace := r.Header.Get(TraceHeader)
 	s.mu.Lock()
 	t, ok := s.byID[req.ID]
 	if !ok {
 		// Already finished elsewhere (or never existed); the success, if
 		// any, is banked above.
+		if trace := headerTrace; trace != "" || req.Hash != "" {
+			if trace == "" {
+				trace = req.Hash
+			}
+			stage := StageCompleted
+			if req.Err != "" {
+				stage = StageFailed
+			}
+			s.tracer.Record(TraceEvent{Trace: trace, Stage: stage, Task: req.ID,
+				Worker: req.Worker, Attempt: req.Attempt, Detail: "stale"})
+		}
 		s.mu.Unlock()
 		writeJSON(w, completeResponse{Stale: true})
 		return
@@ -1425,6 +1615,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// A stale attempt's abort: the task has been requeued or
 		// reassigned (possibly back to the same worker); leave it to its
 		// current (or next) attempt.
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageFailed, Task: t.id,
+			Worker: req.Worker, Attempt: req.Attempt, Detail: "stale"})
 		s.mu.Unlock()
 		writeJSON(w, completeResponse{Stale: true})
 		return
@@ -1434,6 +1626,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	delete(s.byID, t.id)
 	delete(s.byHash, t.hash)
+	now := time.Now()
 	if req.Err == "" {
 		// Already banked under t.hash above — the peek saw this task (IDs
 		// are never reused, so a task known here was known then).
@@ -1441,7 +1634,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// Fold the wall duration (first lease to completion) into the
 		// fleet EWMA that calibrates batch ETAs and straggler detection.
 		if !t.firstLeased.IsZero() {
-			if dur := time.Since(t.firstLeased); dur > 0 {
+			if dur := now.Sub(t.firstLeased); dur > 0 {
 				if s.avgTaskDur == 0 {
 					s.avgTaskDur = dur
 				} else {
@@ -1449,12 +1642,22 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageCompleted,
+			Task: t.id, Worker: req.Worker, Attempt: req.Attempt})
+		if !t.leasedAt.IsZero() {
+			s.observeStageLocked(t.tenant, "exec", now.Sub(t.leasedAt))
+		}
+		if !t.admittedAt.IsZero() {
+			s.observeStageLocked(t.tenant, "e2e", now.Sub(t.admittedAt))
+		}
 		t.deliver(TaskResult{Hash: t.hash, Payload: req.Result})
 	} else {
 		s.failed++
 		if s.log != nil {
 			s.log.Error("task failed", "task", t.id, "worker", req.Worker, "err", req.Err)
 		}
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageFailed, Task: t.id,
+			Worker: req.Worker, Attempt: req.Attempt, Detail: req.Err})
 		t.deliver(TaskResult{Hash: t.hash, Err: req.Err})
 	}
 	s.mu.Unlock()
@@ -1511,6 +1714,8 @@ func (s *Server) expireLeases() {
 				s.log.Error("task abandoned: max attempts",
 					"task", t.id, "attempts", t.attempts)
 			}
+			s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageFailed,
+				Task: t.id, Attempt: t.attempts, Detail: "max attempts"})
 			t.deliver(TaskResult{Hash: t.hash, Err: fmt.Sprintf(
 				"grid: task abandoned after %d expired leases (workers dying?)", t.attempts)})
 			continue
@@ -1521,6 +1726,8 @@ func (s *Server) expireLeases() {
 				"task", t.id, "attempt", t.attempts)
 		}
 		t.enqueuedAt = now
+		s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageEnqueued,
+			Task: t.id, Detail: "reassigned"})
 		s.queue.Push(t)
 		requeued = true
 	}
@@ -1562,6 +1769,8 @@ func (s *Server) expireLeases() {
 			t.speculated = true
 			s.speculatedCount++
 			t.enqueuedAt = now
+			s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageEnqueued,
+				Task: t.id, Detail: "speculated"})
 			s.queue.Push(t)
 			requeued = true
 		}

@@ -158,6 +158,10 @@ type TenantMetrics struct {
 	// Completed/Failed count the tenant's delivered final results.
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+	// Stages summarizes the tenant's per-stage latencies (stageOrder
+	// keys: admission, first_progress, exec, e2e); the full histograms
+	// are on the Prometheus endpoint as grid_stage_ms.
+	Stages map[string]LatencySummary `json:"stages,omitempty"`
 }
 
 // WithTenant registers a tenant's limits up front. Unregistered tenants

@@ -381,7 +381,10 @@ func (w *Worker) postComplete(ctx context.Context, c completion) {
 		Attempt: c.attempt, Result: c.result, Err: c.err}
 	for attempt := 0; attempt < 3; attempt++ {
 		var resp completeResponse
-		if err := w.post(ctx, pathComplete, req, &resp); err == nil {
+		// The hash is the task's trace ID; echoing it as the trace header
+		// keeps even a completion the server has forgotten the task for
+		// attributable to its trace.
+		if err := w.postTrace(ctx, pathComplete, c.hash, req, &resp); err == nil {
 			return
 		}
 		if !sleepCtx(ctx, 200*time.Millisecond) {
@@ -390,8 +393,13 @@ func (w *Worker) postComplete(ctx context.Context, c completion) {
 	}
 }
 
-// post is the shared JSON POST helper.
+// post is the shared JSON POST helper; postTrace additionally stamps the
+// task's trace context on the request.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return w.postTrace(ctx, path, "", in, out)
+}
+
+func (w *Worker) postTrace(ctx context.Context, path, trace string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -401,6 +409,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(TraceHeader, trace)
+	}
 	client := w.HTTP
 	if client == nil {
 		client = http.DefaultClient

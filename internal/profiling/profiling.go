@@ -6,9 +6,12 @@ package profiling
 
 import (
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	runtimepprof "runtime/pprof"
 )
 
 // Start begins profiling according to the two standard flag values: a
@@ -24,14 +27,14 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		if err := runtimepprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
 		}
 	}
 	return func() error {
 		if cpuFile != nil {
-			pprof.StopCPUProfile()
+			runtimepprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return fmt.Errorf("profiling: close cpu profile: %w", err)
 			}
@@ -43,10 +46,38 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			}
 			defer f.Close()
 			runtime.GC()
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			if err := runtimepprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 				return fmt.Errorf("profiling: write heap profile: %w", err)
 			}
 		}
 		return nil
 	}, nil
+}
+
+// DebugHandler is the live-profiling surface behind `helperd -debug-addr`:
+// the standard net/http/pprof endpoints on their usual /debug/pprof/
+// paths, on a mux of their own so they never leak onto the grid's
+// public listener.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds DebugHandler on addr and serves it from a background
+// goroutine, returning the bound address (useful with ":0") and a stop
+// function. A live server or worker started with -debug-addr can then
+// be profiled in place: go tool pprof http://<addr>/debug/pprof/profile.
+func ServeDebug(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("profiling: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
 }

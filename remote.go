@@ -451,6 +451,7 @@ func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 		agg.Coalesced += m.Coalesced
 		agg.Completed += m.Completed
 		agg.Failed += m.Failed
+		agg.LeasePollEmpty += m.LeasePollEmpty
 		agg.LeasesGranted += m.LeasesGranted
 		agg.Reassigned += m.Reassigned
 		agg.Abandoned += m.Abandoned
@@ -489,6 +490,15 @@ func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 			if lw.MaxMS > agg.LeaseWaits.MaxMS {
 				agg.LeaseWaits.MaxMS = lw.MaxMS
 			}
+		}
+		if t := m.Trace; t != nil {
+			if agg.Trace == nil {
+				agg.Trace = &grid.TraceStats{}
+			}
+			agg.Trace.Events += t.Events
+			agg.Trace.Capacity += t.Capacity
+			agg.Trace.Total += t.Total
+			agg.Trace.SpillDropped += t.SpillDropped
 		}
 		if a := m.Autoscaler; a != nil {
 			if agg.Autoscaler == nil {

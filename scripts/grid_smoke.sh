@@ -256,4 +256,78 @@ if [ "${REJECTED:-0}" -lt 1 ]; then
 fi
 echo "grid-smoke: quota enforced and retried through (rejected=$REJECTED), results byte-identical"
 
+# --- observability: trace span trees, spill, top ---------------------------
+# A fresh traced server + worker run the small study twice and `helperd
+# trace` must reconstruct a complete span tree for (a) a job that ran
+# locally (exec: admitted → enqueued → leased → completed) and (b) the
+# rerun answered by the store (cached: a cache_hit terminal and a zero
+# exec span). The NDJSON spill must have streamed events, and `helperd
+# top -once` must render the trace ring.
+PORTE=18557
+echo "grid-smoke: observability leg (trace + spill + top)"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTE" -lease 750ms \
+    -trace-spill "$WORKDIR/spill.ndjson" 2>"$WORKDIR/serveE.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTE"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORTE" -workers 2 -name we 2>"$WORKDIR/we.log" &
+PIDS="$PIDS $!"
+
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORTE" > /dev/null 2>&1
+TRACE_ID=$("$WORKDIR/helperd" trace -server "127.0.0.1:$PORTE" -limit 1 | awk '{print $1}')
+if [ -z "$TRACE_ID" ]; then
+    echo "grid-smoke: FAIL — server recorded no traces"
+    exit 1
+fi
+"$WORKDIR/helperd" trace -server "127.0.0.1:$PORTE" -check exec "$TRACE_ID" > "$WORKDIR/trace_exec.txt" || {
+    echo "grid-smoke: FAIL — local job's span tree incomplete"
+    cat "$WORKDIR/trace_exec.txt"; exit 1; }
+echo "grid-smoke: local job span tree complete ($TRACE_ID)"
+
+"$WORKDIR/sweep" $STUDY -grid "127.0.0.1:$PORTE" > /dev/null 2>&1
+"$WORKDIR/helperd" trace -server "127.0.0.1:$PORTE" -check cached "$TRACE_ID" > "$WORKDIR/trace_cached.txt" || {
+    echo "grid-smoke: FAIL — cached rerun's span tree incomplete"
+    cat "$WORKDIR/trace_cached.txt"; exit 1; }
+echo "grid-smoke: cached rerun span tree complete (zero exec span)"
+
+[ -s "$WORKDIR/spill.ndjson" ] || {
+    echo "grid-smoke: FAIL — trace spill file is empty"; exit 1; }
+"$WORKDIR/helperd" top -server "127.0.0.1:$PORTE" -once > "$WORKDIR/top.txt"
+grep -q "trace" "$WORKDIR/top.txt" || {
+    echo "grid-smoke: FAIL — helperd top renders no trace ring line"
+    cat "$WORKDIR/top.txt"; exit 1; }
+echo "grid-smoke: spill streamed $(wc -l < "$WORKDIR/spill.ndjson") events; top renders"
+
+# --- observability: a stolen job's trace crosses the hop -------------------
+# Federated pair F (no workers) + G (all the workers): every job
+# submitted to F is stolen by G, so the span tree reconstructed FROM F
+# must contain the steal hop — `helperd trace` follows the stolen
+# event's peer URL to G and merges both rings before validating.
+PORTF=18558
+PORTG=18559
+echo "grid-smoke: tracing a stolen job across a federation hop"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTF" -lease 750ms \
+    -self "127.0.0.1:$PORTF" -peers "127.0.0.1:$PORTG" 2>"$WORKDIR/serveF.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTF"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTG" -lease 750ms \
+    -self "127.0.0.1:$PORTG" -peers "127.0.0.1:$PORTF" 2>"$WORKDIR/serveG.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTG"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORTG" -workers 2 -name wg 2>"$WORKDIR/wg.log" &
+PIDS="$PIDS $!"
+
+"$WORKDIR/sweep" -study confidence -workload gcc -n 4000 -grid "127.0.0.1:$PORTF" > /dev/null 2>&1
+STOLEN_ID=$("$WORKDIR/helperd" trace -server "127.0.0.1:$PORTF" -limit 1 | awk '{print $1}')
+if [ -z "$STOLEN_ID" ]; then
+    echo "grid-smoke: FAIL — victim recorded no traces"
+    exit 1
+fi
+"$WORKDIR/helperd" trace -server "127.0.0.1:$PORTF" -check stolen "$STOLEN_ID" > "$WORKDIR/trace_stolen.txt" || {
+    echo "grid-smoke: FAIL — stolen job's span tree incomplete or missing the hop"
+    cat "$WORKDIR/trace_stolen.txt"; exit 1; }
+grep -q "127.0.0.1:$PORTG" "$WORKDIR/trace_stolen.txt" || {
+    echo "grid-smoke: FAIL — merged trace never names the thief"
+    cat "$WORKDIR/trace_stolen.txt"; exit 1; }
+echo "grid-smoke: stolen job span tree complete across the hop ($STOLEN_ID)"
+
 echo "grid-smoke: PASS"
