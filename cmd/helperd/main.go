@@ -15,10 +15,13 @@
 // lookups. `sweep -grid` drives the same fabric for the paper studies.
 //
 // Several servers federate into one tier: each `serve -self URL -peers
-// a,b` member gossips membership, advertises stealable queue depth, and
-// steals work when its own workers idle — while `-store-remote` (or a
-// shared `-store-dir`) makes one result store serve the whole tier, so
-// any member answers a rerun from cache no matter who simulated it.
+// a,b` member gossips membership, advertises stealable queue depth and
+// its worst batch ETA, and steals from the member that would otherwise
+// finish last. `-store-shard N` turns the members' local stores into
+// one sharded cache — every result rendezvous-hashes to N owners, so
+// any member answers a rerun from cache and one member's death loses
+// nothing. A shared `-peer-secret` authenticates all of that peer
+// traffic (HMAC per request); members without the secret are rejected.
 package main
 
 import (
@@ -86,8 +89,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: helperd <serve|work|submit|metrics|trace|top|federate> [flags]
 
   serve    -addr :8321 [-lease 5s] [-max-attempts 5] [-store-dir dir] [-store-max-bytes 0]
-           [-self URL] [-peers a:8321,b:8321] [-store-remote URL]
-           [-tenants spec] [-default-tenant spec] [-max-queue 0]
+           [-self URL] [-peers a:8321,b:8321] [-peer-secret s] [-store-remote URL]
+           [-store-shard 2] [-tenants spec] [-default-tenant spec] [-max-queue 0]
            [-min-workers 0] [-max-workers 0] [-worker-parallel 0] [-scale-tick 500ms]
            [-log off|error|warn|info|debug] [-trace 4096] [-trace-spill file]
            [-debug-addr ""]
@@ -96,7 +99,7 @@ func usage() {
   metrics  -server :8321
   trace    -server :8321 [-check exec|cached|stolen] [-limit 20] [id]
   top      -server :8321 [-interval 1s] [-once]
-  federate -servers a:8321,b:8321
+  federate -servers a:8321,b:8321 [-peer-secret s]
 
 A -tenants spec registers per-client limits, ';'-separated:
   alice,weight=4,rate=50,burst=100;bob,weight=1,jobs=500,bytes=33554432
@@ -124,8 +127,10 @@ func serveCmd(ctx context.Context, args []string) error {
 	storeDir := fs.String("store-dir", "", "directory for the on-disk result store (empty = in-memory; a restart on the same dir keeps the cache)")
 	storeMax := fs.Int64("store-max-bytes", 0, "byte cap for -store-dir, LRU-evicted (0 = unbounded)")
 	storeRemote := fs.String("store-remote", "", "serve results from a peer's store over HTTP (the shared federation cache; mutually exclusive with -store-dir)")
+	storeShard := fs.Int("store-shard", 0, "replication factor for the sharded federation store (0 = off; rendezvous-hashes results over live members, requires -self/-peers)")
 	self := fs.String("self", "", "advertised base URL for federation (default: derived from -addr; set it when peers reach this member on another address)")
 	peers := fs.String("peers", "", "comma-separated peer servers; federates this member with them")
+	peerSecret := fs.String("peer-secret", "", "shared secret authenticating the peer seam (HMAC on announce/status/steal/store; empty = open)")
 	tenants := fs.String("tenants", "", "per-tenant limits spec: id,key=value,...;id,... (keys: weight rate burst jobs bytes)")
 	defaultTenant := fs.String("default-tenant", "", "limits for tenants the -tenants spec does not name (key=value,... without an id)")
 	maxQueue := fs.Int("max-queue", 0, "server-wide queue bound; batches past it get 503 + Retry-After (0 = unbounded)")
@@ -141,6 +146,14 @@ func serveCmd(ctx context.Context, args []string) error {
 
 	if *storeDir != "" && *storeRemote != "" {
 		return fmt.Errorf("-store-dir and -store-remote are mutually exclusive")
+	}
+	if *storeShard > 0 {
+		if *storeRemote != "" {
+			return fmt.Errorf("-store-shard and -store-remote are mutually exclusive (the shard tier replaces the single-owner remote store)")
+		}
+		if *peers == "" && *self == "" {
+			return fmt.Errorf("-store-shard needs a federation (-peers and/or -self)")
+		}
 	}
 	logger, err := buildLogger(*logLevel)
 	if err != nil {
@@ -194,6 +207,11 @@ func serveCmd(ctx context.Context, args []string) error {
 		}
 		opts = append(opts, grid.WithTenantDefaults(limits["_default"]))
 	}
+	adv := *self
+	if adv == "" {
+		adv = advertiseURL(ln.Addr())
+	}
+	var local grid.Storage
 	if *storeDir != "" {
 		st, err := grid.OpenDiskStore(*storeDir, grid.WithMaxBytes(*storeMax))
 		if err != nil {
@@ -202,12 +220,30 @@ func serveCmd(ctx context.Context, args []string) error {
 		defer st.Close()
 		entries, _, _ := st.Stats()
 		fmt.Fprintf(os.Stderr, "helperd: disk store %s: %d results recovered\n", *storeDir, entries)
-		opts = append(opts, grid.WithStorage(st))
+		local = st
 	}
 	if *storeRemote != "" {
-		rs := grid.NewRemoteStore(*storeRemote)
+		rs := grid.NewRemoteStore(*storeRemote, grid.WithRemoteSecret(*peerSecret))
+		defer rs.Close()
 		fmt.Fprintf(os.Stderr, "helperd: remote store %s\n", rs.Remote())
-		opts = append(opts, grid.WithStorage(rs))
+		local = rs
+	}
+	var shard *grid.ShardedStore
+	if *storeShard > 0 {
+		if local == nil {
+			local = grid.NewStore()
+		}
+		shard = grid.NewShardedStore(local, adv,
+			grid.WithShardReplication(*storeShard), grid.WithShardSecret(*peerSecret))
+		defer shard.Close()
+		fmt.Fprintf(os.Stderr, "helperd: sharded store, replication %d\n", *storeShard)
+		local = shard
+	}
+	if local != nil {
+		opts = append(opts, grid.WithStorage(local))
+	}
+	if *peerSecret != "" {
+		opts = append(opts, grid.WithPeerSecret(*peerSecret))
 	}
 	srv := grid.NewServer(opts...)
 	defer srv.Close()
@@ -217,12 +253,11 @@ func serveCmd(ctx context.Context, args []string) error {
 	// has already cut any loopback batch streams it would wait on.
 	var handler http.Handler = srv
 	if *peers != "" || *self != "" {
-		adv := *self
-		if adv == "" {
-			adv = advertiseURL(ln.Addr())
-		}
 		fed := grid.NewFederation(srv, adv, splitList(*peers))
 		defer fed.Close()
+		if shard != nil {
+			shard.SetMembership(fed.Peers)
+		}
 		handler = fed
 		fmt.Fprintf(os.Stderr, "helperd: federation member %s, seed peers %v\n", fed.Self(), fed.Peers())
 	}
@@ -781,6 +816,7 @@ func progressBar(frac float64, width int) string {
 func federateCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("helperd federate", flag.ExitOnError)
 	servers := fs.String("servers", ":8321", "comma-separated federation members to query")
+	peerSecret := fs.String("peer-secret", "", "shared secret for members serving with -peer-secret")
 	fs.Parse(args)
 	members := splitList(*servers)
 	if len(members) == 0 {
@@ -788,7 +824,7 @@ func federateCmd(ctx context.Context, args []string) error {
 	}
 	reached := 0
 	for _, m := range members {
-		client := &grid.Client{Server: m}
+		client := &grid.Client{Server: m, PeerSecret: *peerSecret}
 		st, err := client.PeerStatus(ctx)
 		if err != nil {
 			fmt.Printf("%-28s unreachable: %v\n", grid.BaseURL(m), err)

@@ -69,6 +69,11 @@ type Client struct {
 	Trace string
 	// Backoff shapes admission-refusal retries (zero value = defaults).
 	Backoff Backoff
+	// PeerSecret signs requests to the authenticated peer seam (today
+	// only PeerStatus needs it) with the federation's shared secret; on
+	// a server without WithPeerSecret it is simply ignored. The client
+	// and worker endpoints never require it.
+	PeerSecret string
 	// Rand seeds the retry jitter; nil uses a time-seeded private
 	// source. Tests inject a seeded one for deterministic schedules.
 	Rand *rand.Rand
@@ -339,6 +344,10 @@ func (c *Client) PeerStatus(ctx context.Context) (PeerStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, BaseURL(c.Server)+pathPeerStatus, nil)
 	if err != nil {
 		return st, err
+	}
+	if c.PeerSecret != "" {
+		req.Header.Set(PeerAuthHeader,
+			signPeerAuth(c.PeerSecret, http.MethodGet, pathPeerStatus, nil, time.Now()))
 	}
 	resp, err := c.client().Do(req)
 	if err != nil {

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
+	"time"
 )
 
 // DiskStore is the crash-safe on-disk Storage implementation. Layout
@@ -21,7 +23,8 @@ import (
 //	                 a crash mid-write never leaves a half entry under a
 //	                 live name.
 //	index.log        append-only recency log, one JSON line per Put.
-//	                 Rewritten atomically (tmp + rename) on every open,
+//	                 Rewritten atomically (tmp + rename) on open by the
+//	                 directory's elected compactor (see the .lock file),
 //	                 which both compacts it and heals any corruption.
 //	quarantine/      entries that failed verification on load or read,
 //	                 moved aside (never deleted) for post-mortems.
@@ -51,6 +54,16 @@ type DiskStore struct {
 
 	quarantined uint64
 	evicted     uint64
+
+	// Shared-directory coordination: several servers may open the same
+	// store dir (the federation's co-located cache seam). The first
+	// opener takes an exclusive flock on .lock and becomes the
+	// compactor — only it sweeps orphaned temp files and rewrites
+	// index.log, so a second opener can never delete the first's
+	// in-progress temps or strand its index append handle on an
+	// unlinked inode. Non-compactors are append-only on the index.
+	lockf     *os.File
+	compactor bool
 }
 
 // diskEntry is the in-memory handle of one stored payload.
@@ -58,6 +71,12 @@ type diskEntry struct {
 	hash string
 	size int64 // payload bytes (excluding the header line)
 	elem *list.Element
+	// mtime is the object file's modification time as of when this
+	// store learned of it (write or recovery). Eviction re-stats the
+	// file and refuses to delete one that is newer — on a shared dir
+	// that means another server re-wrote the object after we recorded
+	// it, and deleting would evict their just-written result.
+	mtime time.Time
 }
 
 // entryHeader is the JSON header line of an object file. Sum and Len pin
@@ -103,19 +122,40 @@ func OpenDiskStore(dir string, opts ...DiskOption) (*DiskStore, error) {
 			return nil, fmt.Errorf("grid: disk store: %w", err)
 		}
 	}
-	// Sweep temp files orphaned by a crash between CreateTemp and rename
-	// (the exact window the atomic writes protect against) — they are
-	// incomplete by construction and would otherwise accumulate forever.
-	for _, pattern := range []string{"entry-*", "index-*"} {
-		matches, _ := filepath.Glob(filepath.Join(dir, pattern))
-		for _, m := range matches {
-			os.Remove(m)
+	// Single-compactor election (see the lockf field): a non-blocking
+	// exclusive flock, held for the store's lifetime and released by the
+	// OS even on kill -9. Losing the election is not an error — the
+	// store still serves and appends, it just leaves dir maintenance to
+	// the holder.
+	if f, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644); err == nil {
+		if syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) == nil {
+			d.lockf = f
+			d.compactor = true
+		} else {
+			f.Close()
+		}
+	}
+	if d.compactor {
+		// Sweep temp files orphaned by a crash between CreateTemp and
+		// rename (the exact window the atomic writes protect against) —
+		// they are incomplete by construction and would otherwise
+		// accumulate forever. Compactor-only: a live sibling store's
+		// in-progress temps must not be swept from under it.
+		for _, pattern := range []string{"entry-*", "index-*"} {
+			matches, _ := filepath.Glob(filepath.Join(dir, pattern))
+			for _, m := range matches {
+				os.Remove(m)
+			}
 		}
 	}
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
-	if err := d.compactIndex(); err != nil {
+	if d.compactor {
+		if err := d.compactIndex(); err != nil {
+			return nil, err
+		}
+	} else if err := d.openIndexAppend(); err != nil {
 		return nil, err
 	}
 	d.evictLocked()
@@ -167,7 +207,11 @@ func (d *DiskStore) recover() error {
 			d.quarantine(path)
 			continue
 		}
-		loaded[hdr.Hash] = &diskEntry{hash: hdr.Hash, size: hdr.Len}
+		e := &diskEntry{hash: hdr.Hash, size: hdr.Len}
+		if info, err := de.Info(); err == nil {
+			e.mtime = info.ModTime()
+		}
+		loaded[hdr.Hash] = e
 	}
 
 	// Replay the index for recency: later lines are more recent. Lines
@@ -250,6 +294,19 @@ func (d *DiskStore) compactIndex() error {
 		return fmt.Errorf("grid: disk store: %w", err)
 	}
 	f, err := os.OpenFile(d.indexPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("grid: disk store: %w", err)
+	}
+	d.index = f
+	return nil
+}
+
+// openIndexAppend opens index.log for appends without rewriting it —
+// the non-compactor path on a shared directory, where replacing the log
+// would unlink the inode the compactor's append handle points at (its
+// subsequent appends would land in a dead file and be lost).
+func (d *DiskStore) openIndexAppend() error {
+	f, err := os.OpenFile(d.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("grid: disk store: %w", err)
 	}
@@ -347,10 +404,11 @@ func (d *DiskStore) Put(hash string, payload []byte) {
 	if _, ok := d.entries[hash]; ok {
 		return
 	}
-	if err := d.writeEntry(hash, payload); err != nil {
+	mtime, err := d.writeEntry(hash, payload)
+	if err != nil {
 		return
 	}
-	e := &diskEntry{hash: hash, size: int64(len(payload))}
+	e := &diskEntry{hash: hash, size: int64(len(payload)), mtime: mtime}
 	e.elem = d.lru.PushFront(e)
 	d.entries[hash] = e
 	d.total += e.size
@@ -363,15 +421,16 @@ func (d *DiskStore) Put(hash string, payload []byte) {
 
 // writeEntry writes one object file atomically: header + payload into a
 // temp file in the store directory (same filesystem), synced, then
-// renamed onto its content-derived name.
-func (d *DiskStore) writeEntry(hash string, payload []byte) error {
+// renamed onto its content-derived name. It returns the written file's
+// modification time, the reference eviction re-stats against.
+func (d *DiskStore) writeEntry(hash string, payload []byte) (time.Time, error) {
 	hdr, err := json.Marshal(entryHeader{Hash: hash, Sum: HashBytes(payload), Len: int64(len(payload))})
 	if err != nil {
-		return err
+		return time.Time{}, err
 	}
 	tmp, err := os.CreateTemp(d.dir, "entry-*")
 	if err != nil {
-		return err
+		return time.Time{}, err
 	}
 	_, werr := tmp.Write(append(hdr, '\n'))
 	if werr == nil {
@@ -383,20 +442,30 @@ func (d *DiskStore) writeEntry(hash string, payload []byte) error {
 	tmp.Close()
 	if werr != nil {
 		os.Remove(tmp.Name())
-		return werr
+		return time.Time{}, werr
 	}
 	dst := filepath.Join(d.objectsDir(), objectName(hash))
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return time.Time{}, err
 	}
-	return nil
+	mtime := time.Now()
+	if st, err := os.Stat(dst); err == nil {
+		mtime = st.ModTime()
+	}
+	return mtime, nil
 }
 
 // evictLocked removes least-recently-used entries until the store fits
 // its byte cap. The index is not rewritten — recovery treats it as
 // advisory, so stale lines for evicted entries are harmless and get
 // compacted away on the next open.
+//
+// Before unlinking, each victim's object file is re-statted: a file
+// newer than this store's record of it was re-written by another server
+// sharing the directory (evict-then-re-put on their side), and deleting
+// it here would throw away their just-banked result. Such entries are
+// merely forgotten — the bytes stay, owned by whoever rewrote them.
 func (d *DiskStore) evictLocked() {
 	if d.maxBytes <= 0 {
 		return
@@ -404,7 +473,11 @@ func (d *DiskStore) evictLocked() {
 	for d.total > d.maxBytes && d.lru.Len() > 1 {
 		e := d.lru.Back().Value.(*diskEntry)
 		d.dropLocked(e)
-		os.Remove(filepath.Join(d.objectsDir(), objectName(e.hash)))
+		path := filepath.Join(d.objectsDir(), objectName(e.hash))
+		if st, err := os.Stat(path); err == nil && st.ModTime().After(e.mtime) {
+			continue
+		}
+		os.Remove(path)
 		d.evicted++
 	}
 }
@@ -443,12 +516,18 @@ func (d *DiskStore) Hashes() []string {
 	return out
 }
 
-// Close releases the index file handle. Entries are already durable —
-// Close is not a flush, and a store that is never closed (a crashed
-// server) loses nothing.
+// Close releases the index file handle and the compactor lock (the OS
+// releases the flock anyway when the process dies, so a crashed server
+// never wedges the directory). Entries are already durable — Close is
+// not a flush, and a store that is never closed loses nothing.
 func (d *DiskStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.lockf != nil {
+		d.lockf.Close()
+		d.lockf = nil
+		d.compactor = false
+	}
 	if d.index == nil {
 		return nil
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // reopen closes a store and opens a fresh one on the same directory —
@@ -49,9 +50,10 @@ func openRemote(t *testing.T) *RemoteStore {
 // shares: first write wins, empty-hash no-op, one hit or miss per Get.
 func TestStorageContract(t *testing.T) {
 	for name, st := range map[string]Storage{
-		"memory": NewStore(),
-		"disk":   openDisk(t),
-		"remote": openRemote(t),
+		"memory":  NewStore(),
+		"disk":    openDisk(t),
+		"remote":  openRemote(t),
+		"sharded": NewShardedStore(NewStore(), "http://self:1"), // membership-less: local-only degradation
 	} {
 		t.Run(name, func(t *testing.T) {
 			if _, ok := st.Get("h1"); ok {
@@ -260,6 +262,72 @@ func TestDiskStoreMisplacedEntry(t *testing.T) {
 	nd := reopen(t, d)
 	if entries, _, _ := nd.Stats(); entries != 0 {
 		t.Fatalf("misplaced entry adopted (%d entries)", entries)
+	}
+}
+
+// TestDiskStoreSharedDirCompactor pins the shared-directory discipline
+// two federated servers pointing -store-dir at the same path rely on:
+// exactly one store wins the compactor flock, and a non-compactor's
+// eviction re-stats the object file before unlinking — so it never
+// deletes a result its sibling re-wrote after the non-compactor last
+// recorded it (the lost-write regression of the single-owner era).
+func TestDiskStoreSharedDirCompactor(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDiskStore(dir, WithMaxBytes(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	p1 := []byte("0123456789abcdef") // 16 bytes
+	h1 := HashBytes(p1)
+	a.Put(h1, p1)
+
+	b, err := OpenDiskStore(dir, WithMaxBytes(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !a.compactor || b.compactor {
+		t.Fatalf("compactor election broken: a=%v b=%v, want exactly the first opener", a.compactor, b.compactor)
+	}
+	if entries, _, _ := b.Stats(); entries != 1 {
+		t.Fatalf("second opener recovered %d entries, want 1", entries)
+	}
+
+	// a cycles h1 out (its own cap) and re-puts it: the file on disk is
+	// now NEWER than b's recorded mtime for h1.
+	big := bytes.Repeat([]byte("B"), 30)
+	a.Put(HashBytes(big), big) // 16+30 > 32: a evicts h1
+	if _, ok := a.Get(h1); ok {
+		t.Fatal("h1 survived a's cap")
+	}
+	time.Sleep(20 * time.Millisecond) // ensure a distinguishable mtime
+	a.Put(h1, p1)                     // re-banked; a evicts big instead
+
+	// b overflows too and picks its stale LRU victim: h1. The re-stat
+	// must see a's fresh rewrite and refuse the unlink.
+	other := bytes.Repeat([]byte("C"), 30)
+	b.Put(HashBytes(other), other)
+	if _, err := os.Stat(filepath.Join(a.objectsDir(), objectName(h1))); err != nil {
+		t.Fatalf("sibling's re-written result deleted from disk: %v", err)
+	}
+	if v, ok := a.Get(h1); !ok || !bytes.Equal(v, p1) {
+		t.Fatalf("a lost its just-banked result to b's eviction: %q/%v", v, ok)
+	}
+	if _, _, evicted := b.DiskStats(); evicted != 0 {
+		t.Errorf("b counted %d evictions for a skipped unlink, want 0", evicted)
+	}
+
+	// Releasing the flock hands the compactor role to the next opener.
+	a.Close()
+	c, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.compactor {
+		t.Error("compactor role not released with the flock")
 	}
 }
 

@@ -32,6 +32,16 @@ import (
 //     token. The victim's exactly-once discipline is untouched: first
 //     success wins, stale aborts are ignored, and a thief that dies
 //     just lets the lease expire and the task requeue.
+//   - /v1/peer/release — steal handback. A thief whose loopback batch
+//     was never admitted (its own server refused or died under it)
+//     returns the lease with the stolen attempt token, and the victim
+//     requeues immediately instead of waiting out the lease TTL.
+//
+// When the underlying Server was built WithPeerSecret, all four peer
+// endpoints (plus the /v1/store tier) demand a valid X-Grid-Peer-Auth
+// HMAC, and the Federation signs its own outbound peer traffic with the
+// same secret — members holding different secrets refuse each other's
+// gossip and never merge.
 //
 // The shared cache tier is the Storage seam, not the Federation: build
 // every member's Server on one DiskStore directory, or on a RemoteStore
@@ -45,6 +55,9 @@ type Federation struct {
 	self   string
 	server *Server
 	httpc  *http.Client
+	// secret mirrors the server's peer secret (WithPeerSecret): outbound
+	// peer traffic is signed with it, inbound peer paths are gated on it.
+	secret string
 
 	announceEvery time.Duration
 	stealEvery    time.Duration
@@ -89,6 +102,7 @@ func NewFederation(server *Server, self string, peers []string, opts ...Federati
 		self:          BaseURL(self),
 		server:        server,
 		httpc:         &http.Client{Timeout: 30 * time.Second},
+		secret:        server.peerSecret,
 		announceEvery: 2 * time.Second,
 		stealEvery:    500 * time.Millisecond,
 		peers:         map[string]bool{},
@@ -160,6 +174,9 @@ func (f *Federation) Status() PeerStatus {
 func (f *Federation) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case pathPeerAnnounce:
+		if !f.server.requirePeerAuth(w, r) {
+			return
+		}
 		var req announceRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, fmt.Sprintf("grid: bad announce: %v", err), http.StatusBadRequest)
@@ -168,8 +185,14 @@ func (f *Federation) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.addPeer(req.Peer)
 		writeJSON(w, announceResponse{Peers: append(f.Peers(), f.self)})
 	case pathPeerStatus:
+		if !f.server.requirePeerAuth(w, r) {
+			return
+		}
 		writeJSON(w, f.Status())
 	case pathPeerSteal:
+		if !f.server.requirePeerAuth(w, r) {
+			return
+		}
 		var req stealRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, fmt.Sprintf("grid: bad steal: %v", err), http.StatusBadRequest)
@@ -178,6 +201,17 @@ func (f *Federation) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		f.addPeer(req.Peer)
 		tasks, ttl := f.server.StealGrant(BaseURL(req.Peer), req.Max)
 		writeJSON(w, leaseResponse{Tasks: tasks, LeaseMS: ttl})
+	case pathPeerRelease:
+		if !f.server.requirePeerAuth(w, r) {
+			return
+		}
+		var req releaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("grid: bad release: %v", err), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, releaseResponse{
+			Released: f.server.ReleaseStolen(req.Peer, req.ID, req.Attempt)})
 	default:
 		f.server.ServeHTTP(w, r)
 	}
@@ -192,7 +226,7 @@ func (f *Federation) announceLoop() {
 	for {
 		for _, p := range f.Peers() {
 			var resp announceResponse
-			if err := f.post(p+pathPeerAnnounce, announceRequest{Peer: f.self}, &resp); err != nil {
+			if err := f.post(p, pathPeerAnnounce, announceRequest{Peer: f.self}, &resp); err != nil {
 				continue
 			}
 			for _, known := range resp.Peers {
@@ -205,9 +239,44 @@ func (f *Federation) announceLoop() {
 	}
 }
 
+// stealCandidate pairs one peer URL with its load snapshot for victim
+// selection.
+type stealCandidate struct {
+	peer   string
+	status PeerStatus
+}
+
+// pickVictim chooses the steal victim among peers advertising stealable
+// work: the one whose worst still-queued batch ETA is largest, so the
+// stolen cycles go to the batch that will finish last and shorten the
+// federation's critical path. Peers publishing no ETA (uncalibrated, or
+// queue-only load with no completions yet) rank below any positive ETA
+// and among themselves by stealable depth — the pre-ETA behaviour. Ties
+// break by stealable depth, then lexicographically smallest URL, so
+// selection is deterministic. Returns the victim URL ("" when no peer
+// qualifies) and its advertised stealable count.
+func pickVictim(cands []stealCandidate) (string, int) {
+	victim, avail := "", 0
+	var bestEta int64 = -1
+	for _, c := range cands {
+		if c.status.Stealable < 1 {
+			continue
+		}
+		eta := c.status.WorstEtaMS
+		better := eta > bestEta ||
+			(eta == bestEta && c.status.Stealable > avail) ||
+			(eta == bestEta && c.status.Stealable == avail && (victim == "" || c.peer < victim))
+		if better {
+			victim, avail, bestEta = c.peer, c.status.Stealable, eta
+		}
+	}
+	return victim, avail
+}
+
 // stealLoop watches for the idle-local/loaded-peer imbalance: when this
 // member has free worker capacity and an empty queue, it steals from
-// the peer advertising the most stealable tasks.
+// the peer whose published batch ETAs say it will finish last (see
+// pickVictim).
 func (f *Federation) stealLoop() {
 	defer f.wg.Done()
 	for {
@@ -218,16 +287,15 @@ func (f *Federation) stealLoop() {
 		if local.FreeCapacity < 1 || local.QueueDepth > 0 {
 			continue
 		}
-		victim, avail := "", 0
+		var cands []stealCandidate
 		for _, p := range f.Peers() {
 			st, err := f.peerStatus(p)
-			if err != nil || st.Stealable < 1 {
+			if err != nil {
 				continue
 			}
-			if st.Stealable > avail {
-				victim, avail = p, st.Stealable
-			}
+			cands = append(cands, stealCandidate{peer: p, status: st})
 		}
+		victim, avail := pickVictim(cands)
 		if victim == "" {
 			continue
 		}
@@ -236,7 +304,7 @@ func (f *Federation) stealLoop() {
 			max = avail
 		}
 		var resp leaseResponse
-		if err := f.post(victim+pathPeerSteal, stealRequest{Peer: f.self, Max: max}, &resp); err != nil {
+		if err := f.post(victim, pathPeerSteal, stealRequest{Peer: f.self, Max: max}, &resp); err != nil {
 			continue
 		}
 		if len(resp.Tasks) == 0 {
@@ -284,7 +352,7 @@ func (f *Federation) runStolen(victim string, t Task, ttl time.Duration) {
 			default:
 			}
 			var resp heartbeatResponse
-			err := f.post(victim+pathHeartbeat, heartbeatRequest{Worker: peerName, Tasks: []string{t.ID}}, &resp)
+			err := f.post(victim, pathHeartbeat, heartbeatRequest{Worker: peerName, Tasks: []string{t.ID}}, &resp)
 			if err == nil {
 				for _, id := range resp.Cancelled {
 					if id == t.ID {
@@ -324,7 +392,22 @@ func (f *Federation) runStolen(victim string, t Task, ttl time.Duration) {
 	close(hbDone)
 	if final == nil || strings.HasPrefix(final.Err, "grid: result stream ended early") {
 		// Never ran (submit failed, cancelled, or the loopback stream
-		// died): let the victim's lease expire and requeue.
+		// died): hand the lease back so the victim requeues immediately
+		// instead of stranding the task until its TTL expires. The
+		// release echoes the stolen attempt token — like /v1/complete —
+		// so a stale handback after the lease moved on is a no-op. If
+		// even the release cannot be delivered, lease expiry remains the
+		// backstop.
+		rel := releaseRequest{Peer: f.self, ID: t.ID, Attempt: t.Attempt}
+		for attempt := 0; attempt < 3; attempt++ {
+			var resp releaseResponse
+			if err := f.post(victim, pathPeerRelease, rel, &resp); err == nil {
+				return
+			}
+			if !sleepCtx(f.ctx, 200*time.Millisecond) {
+				return
+			}
+		}
 		return
 	}
 	comp := completeRequest{Worker: peerName, ID: t.ID, Hash: t.Hash,
@@ -332,7 +415,7 @@ func (f *Federation) runStolen(victim string, t Task, ttl time.Duration) {
 	// Retry like a worker: one dropped packet must not waste the run.
 	for attempt := 0; attempt < 3; attempt++ {
 		var resp completeResponse
-		if err := f.post(victim+pathComplete, comp, &resp); err == nil {
+		if err := f.post(victim, pathComplete, comp, &resp); err == nil {
 			return
 		}
 		if !sleepCtx(f.ctx, 200*time.Millisecond) {
@@ -346,6 +429,10 @@ func (f *Federation) peerStatus(peer string) (PeerStatus, error) {
 	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, peer+pathPeerStatus, nil)
 	if err != nil {
 		return st, err
+	}
+	if f.secret != "" {
+		req.Header.Set(PeerAuthHeader,
+			signPeerAuth(f.secret, http.MethodGet, pathPeerStatus, nil, time.Now()))
 	}
 	resp, err := f.httpc.Do(req)
 	if err != nil {
@@ -361,24 +448,30 @@ func (f *Federation) peerStatus(peer string) (PeerStatus, error) {
 	return st, nil
 }
 
-// post is the shared JSON POST helper of the peer protocol.
-func (f *Federation) post(url string, in, out any) error {
+// post is the shared JSON POST helper of the peer protocol, addressed
+// as base URL + path so the request can be signed over the exact path
+// the receiver verifies.
+func (f *Federation) post(base, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodPost, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if f.secret != "" {
+		req.Header.Set(PeerAuthHeader,
+			signPeerAuth(f.secret, http.MethodPost, path, body, time.Now()))
+	}
 	resp, err := f.httpc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("grid: %s: %s", url, resp.Status)
+		return fmt.Errorf("grid: %s%s: %s", base, path, resp.Status)
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)

@@ -163,6 +163,10 @@ const (
 	pathPeerAnnounce = "/v1/peer/announce"
 	pathPeerStatus   = "/v1/peer/status"
 	pathPeerSteal    = "/v1/peer/steal"
+	// pathPeerRelease returns a stolen lease whose loopback handoff on the
+	// thief failed, so the victim can requeue immediately instead of
+	// waiting out the lease TTL.
+	pathPeerRelease = "/v1/peer/release"
 	// The observability surface: /v1/trace serves the tracer's ring
 	// (events of one trace/task/batch with ?id=, recent summaries
 	// without), /dashboard the self-contained live HTML dashboard.
@@ -197,6 +201,25 @@ type stealRequest struct {
 	Max  int    `json:"max"`
 }
 
+// releaseRequest hands a stolen lease back: the thief's loopback batch
+// was never admitted (its own server died or refused the work), so it
+// returns the task — identified by ID and the attempt token from the
+// steal grant, the same discipline /v1/complete uses — and the victim
+// requeues it immediately rather than stranding it until lease expiry.
+type releaseRequest struct {
+	Peer    string `json:"peer"`
+	ID      string `json:"id"`
+	Attempt int    `json:"attempt"`
+}
+
+type releaseResponse struct {
+	// Released reports that the task was still leased to this peer at
+	// this attempt and went back on the queue; false means the release
+	// was stale (expired, reassigned, or already finished) and nothing
+	// happened.
+	Released bool `json:"released,omitempty"`
+}
+
 // PeerStatus is one federated server's load snapshot, served on
 // /v1/peer/status and consumed by peers deciding where to steal from
 // (and by `helperd federate` for operators).
@@ -210,7 +233,14 @@ type PeerStatus struct {
 	StoreEntries int      `json:"store_entries"`
 	StealsOut    uint64   `json:"steals_out"`
 	StealsIn     uint64   `json:"steals_in"`
-	Peers        []string `json:"peers,omitempty"`
+	// WorstEtaMS is the largest projected time-to-finish, in
+	// milliseconds, over this server's connected batches that still have
+	// queued work — the published BatchETA of the batch that will finish
+	// last. Thieves prefer the victim with the worst ETA, so stealing
+	// shortens the federation's critical path instead of just draining
+	// the deepest queue. Zero when no ETA can be projected yet.
+	WorstEtaMS int64    `json:"worst_eta_ms,omitempty"`
+	Peers      []string `json:"peers,omitempty"`
 }
 
 // batchHeader is the response header carrying the server-assigned batch

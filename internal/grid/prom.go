@@ -81,12 +81,21 @@ func (s *Server) servePromMetrics(w http.ResponseWriter) {
 	counter("grid_overloaded_total", "Whole-batch overload refusals (503).", m.Overloaded)
 	counter("grid_steals_out_total", "Tasks stolen by federation peers.", m.StealsOut)
 	counter("grid_steals_in_total", "Tasks stolen from federation peers.", m.StealsIn)
+	counter("grid_steal_returns_total", "Stolen leases handed back after a failed thief handoff.", m.StealReturns)
+	counter("grid_peer_auth_rejected_total", "Peer-seam requests refused for a missing or invalid HMAC.", m.PeerAuthRejected)
 	counter("grid_speculated_total", "Straggler re-leases.", m.Speculated)
 	gauge("grid_queue_depth", "Queued tasks.", int64(m.QueueDepth))
 	gauge("grid_leased", "Leased tasks.", int64(m.Leased))
 	gauge("grid_workers", "Live simulation workers.", int64(m.Workers))
 	gauge("grid_peers", "Known federation peers.", int64(m.Peers))
 	gauge("grid_store_entries", "Content-addressed store entries.", int64(m.StoreEntries))
+	counter("grid_store_puts_dropped_total", "Background store writes shed (peer down, queue overflow, or failure).", m.StorePutsDropped)
+	if m.StoreReplication > 0 {
+		counter("grid_store_remote_hits_total", "Gets answered by a shard peer after a local miss.", m.StoreRemoteHits)
+		counter("grid_store_read_repairs_total", "Remote hits re-replicated into the local store.", m.StoreReadRepairs)
+		gauge("grid_store_replication", "Configured sharded-store owners per hash.", int64(m.StoreReplication))
+		gauge("grid_store_shard_members", "Live sharded-store membership, self included.", int64(m.StoreShardMembers))
+	}
 
 	if len(m.Tenants) > 0 {
 		series := []struct {

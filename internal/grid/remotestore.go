@@ -1,11 +1,6 @@
 package grid
 
 import (
-	"bytes"
-	"encoding/json"
-	"io"
-	"net/http"
-	"net/url"
 	"sync"
 	"time"
 )
@@ -15,40 +10,53 @@ import (
 // peer grid server, making that peer's store this server's cache tier.
 // It is the federation's shared-storage seam when peers cannot share a
 // DiskStore directory: point every server's RemoteStore at one peer and
-// a result banked anywhere is a cache hit everywhere.
+// a result banked anywhere is a cache hit everywhere. (For a tier that
+// survives the death of any one member, see ShardedStore.)
 //
 // Failure policy: the store is a cache, so network trouble must never
 // fail a sweep — an unreachable peer turns Get into a miss (the job
-// simply re-simulates) and drops Put (the result is still delivered;
-// only its reuse is lost). Hit/miss counters are local to this client,
-// keeping the Storage contract's exactly-one-of accounting per Get.
+// simply re-simulates) and sheds Put. Gets are synchronous but bounded
+// by a short deadline plus a cooldown breaker, so a wedged peer costs
+// the admission path one short timeout per cooldown window instead of
+// 30s per lookup; Puts run on a background bounded queue whose overflow
+// and failures are counted in DroppedPuts instead of lost silently.
+// Hit/miss counters are local to this client, keeping the Storage
+// contract's exactly-one-of accounting per Get.
 type RemoteStore struct {
-	base string
-	http *http.Client
+	c *storeClient
 
 	mu     sync.Mutex
 	hits   uint64
 	misses uint64
 }
 
+// RemoteStoreOption configures a RemoteStore.
+type RemoteStoreOption func(*RemoteStore)
+
+// WithRemoteSecret signs every store request with the federation's
+// shared peer secret (see WithPeerSecret on the serving peer).
+func WithRemoteSecret(secret string) RemoteStoreOption {
+	return func(s *RemoteStore) { s.c.secret = secret }
+}
+
 // NewRemoteStore returns a Storage backed by the grid server at addr
-// (BaseURL rules: ":8321", "host:8321" or a full http URL).
-func NewRemoteStore(addr string) *RemoteStore {
-	return &RemoteStore{
-		base: BaseURL(addr),
-		// Bounded so a wedged peer cannot stall batch admission forever;
-		// generous enough for a large result payload on a slow link.
-		http: &http.Client{Timeout: 30 * time.Second},
+// (BaseURL rules: ":8321", "host:8321" or a full http URL). Call Close
+// when done to stop the background put worker.
+func NewRemoteStore(addr string, opts ...RemoteStoreOption) *RemoteStore {
+	s := &RemoteStore{c: newStoreClient(addr, "")}
+	for _, o := range opts {
+		o(s)
 	}
+	return s
 }
 
 // Remote reports the peer base URL this store speaks to.
-func (s *RemoteStore) Remote() string { return s.base }
+func (s *RemoteStore) Remote() string { return s.c.base }
 
 // Get fetches the stored payload for hash from the peer, counting the
 // lookup as a hit or miss. Any transport or server error is a miss.
 func (s *RemoteStore) Get(hash string) ([]byte, bool) {
-	payload, ok := s.fetch(hash)
+	payload, ok := s.c.get(hash)
 	s.mu.Lock()
 	if ok {
 		s.hits++
@@ -59,42 +67,12 @@ func (s *RemoteStore) Get(hash string) ([]byte, bool) {
 	return payload, ok
 }
 
-func (s *RemoteStore) fetch(hash string) ([]byte, bool) {
-	if hash == "" {
-		return nil, false
-	}
-	resp, err := s.http.Get(s.base + pathStoreGet + "?hash=" + url.QueryEscape(hash))
-	if err != nil {
-		return nil, false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return nil, false
-	}
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxStorePayload))
-	if err != nil {
-		return nil, false
-	}
-	return payload, true
-}
-
 // Put banks a successful result payload under hash at the peer (first
-// write wins there, empty hash ignored here). A failed write is
-// dropped: the result was already delivered to its subscribers, only
-// its cache reuse is lost.
+// write wins there, empty hash ignored here). The write happens on the
+// background put queue; a shed write only loses cache reuse, and is
+// counted in DroppedPuts.
 func (s *RemoteStore) Put(hash string, payload []byte) {
-	if hash == "" {
-		return
-	}
-	resp, err := s.http.Post(
-		s.base+pathStorePut+"?hash="+url.QueryEscape(hash),
-		"application/octet-stream", bytes.NewReader(payload))
-	if err != nil {
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	s.c.putAsync(hash, payload)
 }
 
 // Stats reports the peer's entry count (0 when unreachable) and this
@@ -103,14 +81,22 @@ func (s *RemoteStore) Stats() (entries int, hits, misses uint64) {
 	s.mu.Lock()
 	hits, misses = s.hits, s.misses
 	s.mu.Unlock()
-	resp, err := s.http.Get(s.base + pathStoreStat)
-	if err != nil {
-		return 0, hits, misses
-	}
-	defer resp.Body.Close()
-	var st storeStat
-	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+	st, ok := s.c.stat()
+	if !ok {
 		return 0, hits, misses
 	}
 	return st.Entries, hits, misses
 }
+
+// DroppedPuts reports how many background writes were shed (peer down,
+// queue overflow, or write failure); surfaced as store_puts_dropped in
+// the serving Server's /metrics.
+func (s *RemoteStore) DroppedPuts() uint64 { return s.c.droppedPuts() }
+
+// Flush waits until pending background puts drain or timeout elapses,
+// reporting whether they all landed. Tests and graceful shutdown use it;
+// the serving hot paths never need to.
+func (s *RemoteStore) Flush(timeout time.Duration) bool { return s.c.flush(timeout) }
+
+// Close stops the background put worker, shedding still-queued writes.
+func (s *RemoteStore) Close() { s.c.close() }

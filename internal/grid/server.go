@@ -2,6 +2,7 @@ package grid
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -54,6 +55,16 @@ type Metrics struct {
 	// stole from peers and ran locally.
 	StealsOut uint64 `json:"steals_out"`
 	StealsIn  uint64 `json:"steals_in"`
+	// StealReturns counts stolen leases handed back through the peer
+	// release endpoint — the thief's loopback handoff failed and the
+	// task went straight back on this server's queue instead of waiting
+	// out its lease TTL.
+	StealReturns uint64 `json:"steal_returns"`
+	// PeerAuthRejected counts requests to the authenticated peer seam
+	// (announce/status/steal/release and the /v1/store endpoints)
+	// refused 403: missing, malformed, stale or mismatched
+	// X-Grid-Peer-Auth signatures.
+	PeerAuthRejected uint64 `json:"peer_auth_rejected"`
 	// Affinity scheduling outcomes, counted only for profiled tasks: a
 	// hit is a lease granted to a worker that recently ran the task's
 	// profile (its caches are warm), a miss is any other profiled grant.
@@ -77,6 +88,19 @@ type Metrics struct {
 	Workers      int `json:"workers"`
 	Peers        int `json:"peers"`
 	StoreEntries int `json:"store_entries"`
+	// Federated store tier counters, all zero on a purely local store.
+	// StorePutsDropped counts background replica/remote Puts shed
+	// because a peer was down or its bounded put queue overflowed (the
+	// local copy is unaffected); StoreRemoteHits counts Gets answered by
+	// a shard peer after a local miss; StoreReadRepairs counts the
+	// re-replications those remote hits triggered. StoreReplication and
+	// StoreShardMembers gauge the sharded store's configuration and live
+	// membership.
+	StorePutsDropped  uint64 `json:"store_puts_dropped,omitempty"`
+	StoreRemoteHits   uint64 `json:"store_remote_hits,omitempty"`
+	StoreReadRepairs  uint64 `json:"store_read_repairs,omitempty"`
+	StoreReplication  int    `json:"store_replication,omitempty"`
+	StoreShardMembers int    `json:"store_shard_members,omitempty"`
 	// Running is the latest interval progress snapshot of each leased
 	// task that has reported one (IDs are server-side task IDs).
 	Running []TaskProgress `json:"running,omitempty"`
@@ -211,6 +235,18 @@ func WithSpeculation(on bool) ServerOption {
 	return func(s *Server) { s.speculation = on }
 }
 
+// WithPeerSecret arms shared-secret authentication on the peer seam:
+// every request to the peer protocol (announce/status/steal/release)
+// and the /v1/store endpoints must carry a valid X-Grid-Peer-Auth HMAC
+// (see PeerAuthHeader) or is rejected 403 and counted. The attached
+// Federation signs its outbound peer traffic with the same secret. An
+// empty secret leaves the seam open (the pre-auth behaviour). The
+// client and worker endpoints are never gated — they face the
+// operator's own tools, not other servers.
+func WithPeerSecret(secret string) ServerOption {
+	return func(s *Server) { s.peerSecret = secret }
+}
+
 // Server is the grid job server: an http.Handler exposing the batch,
 // lease, heartbeat, complete, metrics and healthz endpoints over one
 // priority work queue and one content-addressed result store. Close
@@ -224,6 +260,9 @@ type Server struct {
 	log         *slog.Logger
 	traceCap    int
 	traceSpill  io.Writer
+	// peerSecret arms peer-seam authentication (see WithPeerSecret);
+	// empty means open. Written only by options, read-only afterwards.
+	peerSecret string
 	// tracer records lifecycle span events; set once in NewServer (nil
 	// when disabled) and safe to use without s.mu — its own mutex is a
 	// leaf lock, taken under s.mu but never the other way around.
@@ -261,6 +300,7 @@ type Server struct {
 	progressUpdates           uint64
 	earlyStopped              uint64
 	stealsOut, stealsIn       uint64
+	stealReturns              uint64
 	affinityHits              uint64
 	affinityMisses            uint64
 	speculatedCount           uint64
@@ -275,6 +315,9 @@ type Server struct {
 	// leasePollEmpty counts lease polls answered without work. Atomic
 	// because the empty answer is decided after s.mu is released.
 	leasePollEmpty atomic.Uint64
+	// authRejects counts 403s from the peer-auth gate. Atomic because
+	// rejections happen before any handler takes s.mu.
+	authRejects atomic.Uint64
 	// stageHists are the per-tenant per-stage latency histograms
 	// (stageOrder names the stages) behind grid_stage_ms and
 	// TenantMetrics.Stages.
@@ -473,6 +516,18 @@ func (s *Server) metricsLocked() Metrics {
 		Overloaded:      s.overloaded,
 		Peers:           s.peerCount,
 		StoreEntries:    entries,
+		StealReturns:    s.stealReturns,
+	}
+	m.PeerAuthRejected = s.authRejects.Load()
+	if dp, ok := s.store.(interface{ DroppedPuts() uint64 }); ok {
+		m.StorePutsDropped = dp.DroppedPuts()
+	}
+	if ss, ok := s.store.(*ShardedStore); ok {
+		sh := ss.ShardStats()
+		m.StoreRemoteHits = sh.RemoteHits
+		m.StoreReadRepairs = sh.ReadRepairs
+		m.StoreReplication = sh.Replication
+		m.StoreShardMembers = sh.Members
 	}
 	// Per-tenant queued/running gauges: each live subscription counts for
 	// the batch's tenant (a coalesced task can serve several tenants at
@@ -742,6 +797,17 @@ func (s *Server) Status() PeerStatus {
 	if st.Stealable < 0 {
 		st.Stealable = 0
 	}
+	// Publish the worst still-queued batch ETA so thieves can steal from
+	// the batch that will finish last (see PeerStatus.WorstEtaMS). Only
+	// batches with queued work count — stealing cannot shorten a batch
+	// whose every task is already running somewhere.
+	now := time.Now()
+	for id := range s.batches {
+		eta := s.batchEtaLocked(s.batches[id], now)
+		if eta.Queued > 0 && eta.EtaMS > st.WorstEtaMS {
+			st.WorstEtaMS = eta.EtaMS
+		}
+	}
 	return st
 }
 
@@ -759,11 +825,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case pathCancel:
 		s.handleCancel(w, r)
 	case pathStoreGet:
+		if !s.requirePeerAuth(w, r) {
+			return
+		}
 		s.handleStoreGet(w, r)
 	case pathStorePut:
+		if !s.requirePeerAuth(w, r) {
+			return
+		}
 		s.handleStorePut(w, r)
 	case pathStoreStat:
-		entries, hits, misses := s.store.Stats()
+		if !s.requirePeerAuth(w, r) {
+			return
+		}
+		entries, hits, misses := s.peerStore().Stats()
 		writeJSON(w, storeStat{Entries: entries, Hits: hits, Misses: misses})
 	case pathMetrics:
 		if wantsProm(r) {
@@ -781,6 +856,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// A bare Server answers its own load snapshot so `helperd
 		// federate` works against unfederated members too; the Federation
 		// intercepts this path to fill in Self and Peers.
+		if !s.requirePeerAuth(w, r) {
+			return
+		}
 		writeJSON(w, s.Status())
 	case pathHealthz:
 		m := s.Metrics()
@@ -793,6 +871,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// requirePeerAuth gates one request behind the shared-secret HMAC when
+// WithPeerSecret armed it: a missing or invalid X-Grid-Peer-Auth header
+// answers 403 and bumps the rejection counter. The body is read in full
+// for MAC verification and restored for the handler behind the gate.
+func (s *Server) requirePeerAuth(w http.ResponseWriter, r *http.Request) bool {
+	if s.peerSecret == "" {
+		return true
+	}
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxStorePayload+4096))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("grid: peer auth: %v", err), http.StatusBadRequest)
+			return false
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	err := verifyPeerAuth(s.peerSecret, r.Header.Get(PeerAuthHeader),
+		r.Method, requestAuthPath(r), body, time.Now())
+	if err != nil {
+		s.authRejects.Add(1)
+		if s.log != nil {
+			s.log.Warn("peer auth rejected", "path", r.URL.Path,
+				"remote", r.RemoteAddr, "err", err)
+		}
+		http.Error(w, "grid: peer auth required", http.StatusForbidden)
+		return false
+	}
+	return true
 }
 
 // handleTrace serves the tracer's ring: ?id=<trace|task|batch> answers
@@ -824,6 +934,21 @@ type storeStat struct {
 	Misses  uint64 `json:"misses"`
 }
 
+// peerStore is the Storage the /v1/store endpoints expose: this
+// member's LOCAL tier only. When the server's store is a ShardedStore,
+// answering a peer's lookup through the sharded Get would fan the
+// request back out to the other owners — members asking members asking
+// members, a mutual recursion that wedges every lookup until the
+// timeouts trip (and a put echo that re-replicates every replica).
+// A peer asking this member wants this member's slice, nothing more;
+// the asking side already walks the owner list itself.
+func (s *Server) peerStore() Storage {
+	if ss, ok := s.store.(*ShardedStore); ok {
+		return ss.Local()
+	}
+	return s.store
+}
+
 // handleStoreGet serves one stored payload raw: 200 with the bytes on a
 // hit, 404 on a miss. Together with handleStorePut it turns this
 // server's Storage into the federation's shared cache tier — a peer
@@ -835,7 +960,7 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "grid: store get without hash", http.StatusBadRequest)
 		return
 	}
-	payload, ok := s.store.Get(hash)
+	payload, ok := s.peerStore().Get(hash)
 	if !ok {
 		http.NotFound(w, r)
 		return
@@ -857,7 +982,7 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("grid: store put: %v", err), http.StatusBadRequest)
 		return
 	}
-	s.store.Put(hash, payload)
+	s.peerStore().Put(hash, payload)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -1425,6 +1550,42 @@ func (s *Server) StealGrant(peer string, max int) ([]Task, int64) {
 		s.queue.Push(t)
 	}
 	return out, ttl
+}
+
+// ReleaseStolen returns a stolen lease immediately: the thief's
+// loopback handoff failed (its own server died or refused the batch),
+// so instead of burning CPU-less wall time until the lease TTL expires,
+// the task goes straight back on the queue. The release is honoured
+// only from the current peer holder at the current attempt — the same
+// discipline handleComplete applies to failure reports — so a stale
+// release (the lease already expired and moved on) is a no-op.
+func (s *Server) ReleaseStolen(peer, id string, attempt int) bool {
+	worker := PeerWorkerPrefix + BaseURL(peer)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[id]
+	if !ok || t.worker != worker || t.attempts != attempt {
+		return false
+	}
+	t.worker = ""
+	t.progress = nil
+	if t.cancelled && len(t.subs) == 0 {
+		delete(s.byID, t.id)
+		delete(s.byHash, t.hash)
+		return true
+	}
+	// The steal never ran anywhere: give the hop back so a failed
+	// handoff cannot eat the task's hop budget.
+	if t.hops > 0 {
+		t.hops--
+	}
+	s.stealReturns++
+	t.enqueuedAt = time.Now()
+	s.tracer.Record(TraceEvent{Trace: t.hash, Stage: StageEnqueued,
+		Task: t.id, Detail: "steal released"})
+	s.queue.Push(t)
+	s.wakeLocked()
+	return true
 }
 
 // handleHeartbeat renews the worker's leases and tells it which of its

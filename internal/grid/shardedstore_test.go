@@ -1,0 +1,250 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestShardedOwnersAgree pins the rendezvous placement: every member,
+// whatever its own vantage point, computes the same owner set for the
+// same hash — the property that makes reads findable without a
+// directory — and the set size follows the replication factor.
+func TestShardedOwnersAgree(t *testing.T) {
+	urls := []string{"http://10.0.0.1:8321", "http://10.0.0.2:8321", "http://10.0.0.3:8321"}
+	stores := make([]*ShardedStore, len(urls))
+	for i, u := range urls {
+		s := NewShardedStore(NewStore(), u, WithShardReplication(2))
+		rest := append([]string{}, urls[:i]...)
+		rest = append(rest, urls[i+1:]...)
+		s.SetMembership(func() []string { return rest })
+		stores[i] = s
+	}
+	for i := 0; i < 20; i++ {
+		hash := HashBytes([]byte(fmt.Sprintf("job-%d", i)))
+		want := stores[0].owners(hash)
+		if len(want) != 2 {
+			t.Fatalf("hash %s: %d owners, want replication 2", hash, len(want))
+		}
+		for _, s := range stores[1:] {
+			got := s.owners(hash)
+			if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+				t.Fatalf("hash %s: owner sets disagree: %v vs %v", hash, got, want)
+			}
+		}
+	}
+	// Sanity: placement actually spreads — across many hashes every
+	// member owns something.
+	owned := map[string]int{}
+	for i := 0; i < 64; i++ {
+		for _, o := range stores[0].owners(HashBytes([]byte(fmt.Sprintf("spread-%d", i)))) {
+			owned[o]++
+		}
+	}
+	for _, u := range urls {
+		if owned[u] == 0 {
+			t.Errorf("member %s owns no hashes out of 64", u)
+		}
+	}
+}
+
+// TestShardedStoreLocalOnly checks graceful degradation: with no
+// membership attached (or no live peers) a ShardedStore is just its
+// local store, meeting the full Storage contract.
+func TestShardedStoreLocalOnly(t *testing.T) {
+	s := NewShardedStore(NewStore(), "http://self:1")
+	if _, ok := s.Get("h1"); ok {
+		t.Fatal("empty store hit")
+	}
+	s.Put("h1", []byte("a"))
+	s.Put("h1", []byte("b"))
+	if v, ok := s.Get("h1"); !ok || string(v) != "a" {
+		t.Fatalf("got %q/%v, want first write", v, ok)
+	}
+	s.Put("", []byte("x"))
+	entries, hits, misses := s.Stats()
+	if entries != 1 || hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1 entry, 1 hit, 1 miss", entries, hits, misses)
+	}
+	st := s.ShardStats()
+	if st.Members != 1 || st.RemoteHits != 0 {
+		t.Errorf("shard stats %+v, want 1 member, no remote traffic", st)
+	}
+}
+
+// TestShardedStoreReadRepair plants a result on only one of a hash's
+// owners, then reads it through a third member: the read must be served
+// remotely, adopted locally, and re-replicated to the owner that lost
+// its copy.
+func TestShardedStoreReadRepair(t *testing.T) {
+	stA, stB := NewStore(), NewStore()
+	srvA, srvB := NewServer(WithStorage(stA)), NewServer(WithStorage(stB))
+	tsA, tsB := httptest.NewServer(srvA), httptest.NewServer(srvB)
+	t.Cleanup(func() { tsA.Close(); tsB.Close(); srvA.Close(); srvB.Close() })
+
+	// Replication 3 over 3 members: A, B and the reader all own every
+	// hash, so the repair set is deterministic.
+	reader := NewShardedStore(NewStore(), "http://reader:1", WithShardReplication(3))
+	reader.SetMembership(func() []string { return []string{tsA.URL, tsB.URL} })
+	t.Cleanup(reader.Close)
+
+	p := []byte("survivor")
+	h := HashBytes(p)
+	stB.Put(h, p) // only B still holds it (A "lost" its replica)
+
+	got, ok := reader.Get(h)
+	if !ok || !bytes.Equal(got, p) {
+		t.Fatalf("sharded Get = %q/%v, want the surviving replica", got, ok)
+	}
+	if v, ok := reader.Local().Get(h); !ok || !bytes.Equal(v, p) {
+		t.Fatalf("remote hit not adopted locally: %q/%v", v, ok)
+	}
+	st := reader.ShardStats()
+	if st.RemoteHits != 1 || st.ReadRepairs != 1 {
+		t.Errorf("shard stats %+v, want 1 remote hit, 1 read repair", st)
+	}
+	// The lost replica on A is restored by the background re-replication.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := stA.Get(h); ok && bytes.Equal(v, p) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("read repair never restored the lost replica")
+}
+
+// shardedMember is one federated server whose store is a ShardedStore
+// over its own private memory store — the 3-peer topology of the golden
+// gate test, built by hand so members can be killed mid-test.
+type shardedMember struct {
+	srv   *Server
+	fed   *Federation
+	shard *ShardedStore
+	ts    *httptest.Server
+	url   string
+	dead  bool
+}
+
+func (m *shardedMember) kill() {
+	if m.dead {
+		return
+	}
+	m.dead = true
+	m.fed.Close()
+	m.ts.Close()
+	m.srv.Close()
+	m.shard.Close()
+}
+
+// startShardedFederation builds n members, each serving its own
+// ShardedStore (replication 2) under a shared peer secret.
+func startShardedFederation(t *testing.T, n int, secret string) []*shardedMember {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		listeners[i], urls[i] = fedListen(t)
+	}
+	members := make([]*shardedMember, n)
+	for i := range members {
+		shard := NewShardedStore(NewStore(), urls[i],
+			WithShardReplication(2), WithShardSecret(secret))
+		opts := []ServerOption{WithLeaseTTL(200 * time.Millisecond), WithStorage(shard)}
+		if secret != "" {
+			opts = append(opts, WithPeerSecret(secret))
+		}
+		srv := NewServer(opts...)
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		fed := NewFederation(srv, urls[i], peers,
+			WithAnnounceInterval(100*time.Millisecond),
+			WithStealInterval(50*time.Millisecond))
+		shard.SetMembership(fed.Peers)
+		ts := httptest.NewUnstartedServer(nil)
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Config.Handler = fed
+		ts.Start()
+		members[i] = &shardedMember{srv: srv, fed: fed, shard: shard, ts: ts, url: urls[i]}
+		t.Cleanup(members[i].kill)
+	}
+	return members
+}
+
+// TestShardedStoreSurvivesPeerDeath is the golden gate of the sharded
+// cache tier: a batch executed on one member of a 3-peer secreted
+// federation, then any one peer killed — a rerun submitted to a member
+// that never ran anything must still be answered 100% from cache,
+// byte-identical, because every result lives on two owners.
+func TestShardedStoreSurvivesPeerDeath(t *testing.T) {
+	members := startShardedFederation(t, 3, "shard-secret")
+	m0, m1, m2 := members[0], members[1], members[2]
+	stop := startWorker(t, m0.url, echoExec, 4)
+
+	var tasks []Task
+	for i := 0; i < 24; i++ {
+		tasks = append(tasks, mkTask(fmt.Sprintf("g%d", i), fmt.Sprintf("golden-%d", i)))
+	}
+	// Cancellable contexts so a failed assertion can close the batch
+	// streams during cleanup instead of deadlocking the httptest server.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &Client{Server: m0.url}
+	ch, err := client.Submit(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := collectResults(t, ch)
+	if len(first) != len(tasks) {
+		t.Fatalf("first run: %d results, want %d", len(first), len(tasks))
+	}
+	stop() // no workers anywhere from here on
+
+	// Let the replica puts land everywhere before pulling a peer.
+	if !m0.shard.Flush(10 * time.Second) {
+		t.Fatal("replica puts never drained")
+	}
+	m1.kill()
+
+	// The rerun goes to a member that executed nothing. Every job must be
+	// served from the sharded cache — local copy or surviving owner.
+	before := m2.srv.Metrics()
+	client = &Client{Server: m2.url}
+	ch, err = client.Submit(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := collectResults(t, ch)
+	if len(second) != len(tasks) {
+		t.Fatalf("rerun: %d results, want %d", len(second), len(tasks))
+	}
+	for _, task := range tasks {
+		f, s := first[task.ID], second[task.ID]
+		if f.Err != "" || s.Err != "" {
+			t.Fatalf("task %s errored: %q / %q", task.ID, f.Err, s.Err)
+		}
+		if !s.Cached {
+			t.Errorf("rerun task %s not cache-served after peer death", task.ID)
+		}
+		if !bytes.Equal(f.Payload, s.Payload) {
+			t.Errorf("task %s: rerun bytes differ", task.ID)
+		}
+	}
+	after := m2.srv.Metrics()
+	if misses := after.CacheMisses - before.CacheMisses; misses != 0 {
+		t.Errorf("rerun took %d cache misses, want 0 — a replica died with the peer", misses)
+	}
+	// The non-owned share of the batch was served across the wire.
+	if st := m2.shard.ShardStats(); st.RemoteHits == 0 {
+		t.Errorf("rerun touched no remote owner (shard stats %+v)", st)
+	}
+}

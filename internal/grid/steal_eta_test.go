@@ -1,0 +1,157 @@
+package grid
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPickVictimPrefersWorstETA pins the tentpole scheduling change: the
+// steal victim is the peer whose worst still-queued batch will finish
+// last, not the one with the deepest queue.
+func TestPickVictimPrefersWorstETA(t *testing.T) {
+	victim, avail := pickVictim([]stealCandidate{
+		{peer: "http://a", status: PeerStatus{Stealable: 10, WorstEtaMS: 100}},
+		{peer: "http://b", status: PeerStatus{Stealable: 2, WorstEtaMS: 5000}},
+		{peer: "http://c", status: PeerStatus{Stealable: 7, WorstEtaMS: 900}},
+	})
+	if victim != "http://b" || avail != 2 {
+		t.Errorf("picked %q (avail %d), want the worst-ETA peer http://b (avail 2)", victim, avail)
+	}
+}
+
+// TestPickVictimFallbacks covers the edges: no ETAs published falls back
+// to deepest-stealable, a positive ETA outranks any depth of
+// uncalibrated queue, exact ties break deterministically by URL, and no
+// stealable work means no victim.
+func TestPickVictimFallbacks(t *testing.T) {
+	// Pre-ETA behaviour: deepest stealable queue wins.
+	victim, avail := pickVictim([]stealCandidate{
+		{peer: "http://a", status: PeerStatus{Stealable: 3}},
+		{peer: "http://b", status: PeerStatus{Stealable: 9}},
+	})
+	if victim != "http://b" || avail != 9 {
+		t.Errorf("no-ETA fallback picked %q/%d, want http://b/9", victim, avail)
+	}
+	// A published ETA outranks a deeper uncalibrated queue.
+	victim, _ = pickVictim([]stealCandidate{
+		{peer: "http://deep", status: PeerStatus{Stealable: 50}},
+		{peer: "http://slow", status: PeerStatus{Stealable: 1, WorstEtaMS: 10}},
+	})
+	if victim != "http://slow" {
+		t.Errorf("ETA peer lost to uncalibrated depth: picked %q", victim)
+	}
+	// Full tie: lexicographically smallest URL, deterministically.
+	for i := 0; i < 3; i++ {
+		victim, _ = pickVictim([]stealCandidate{
+			{peer: "http://b", status: PeerStatus{Stealable: 4, WorstEtaMS: 100}},
+			{peer: "http://a", status: PeerStatus{Stealable: 4, WorstEtaMS: 100}},
+		})
+		if victim != "http://a" {
+			t.Fatalf("tie-break picked %q, want http://a", victim)
+		}
+	}
+	// Nothing stealable anywhere.
+	if victim, _ = pickVictim([]stealCandidate{
+		{peer: "http://a", status: PeerStatus{Stealable: 0, WorstEtaMS: 9999}},
+	}); victim != "" {
+		t.Errorf("victim %q picked from peers with nothing stealable", victim)
+	}
+}
+
+// TestStatusPublishesWorstEta checks the victim side of ETA-aware
+// stealing: a member with queued work and a calibrated task-duration
+// EWMA advertises a positive WorstEtaMS in its peer status.
+func TestStatusPublishesWorstEta(t *testing.T) {
+	srv, ts := testGrid(t)
+	if st := srv.Status(); st.WorstEtaMS != 0 {
+		t.Fatalf("idle member advertises ETA %d", st.WorstEtaMS)
+	}
+	client := &Client{Server: ts.URL}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := client.Submit(ctx, []Task{mkTask("e1", "eta"), mkTask("e2", "eta2")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && srv.Status().QueueDepth < 2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Pretend the fleet has completed work before: the EWMA is what turns
+	// queue depth into wall time.
+	srv.mu.Lock()
+	srv.avgTaskDur = time.Second
+	srv.mu.Unlock()
+	st := srv.Status()
+	if st.QueueDepth != 2 {
+		t.Fatalf("queue depth %d, want 2", st.QueueDepth)
+	}
+	if st.WorstEtaMS <= 0 {
+		t.Errorf("loaded member advertises WorstEtaMS %d, want > 0", st.WorstEtaMS)
+	}
+}
+
+// TestStealReleaseOnFailedHandoff pins satellite 3: a thief whose local
+// handoff fails returns the stolen lease with the attempt token, and
+// the victim requeues the task immediately — long before the lease TTL
+// would have expired.
+func TestStealReleaseOnFailedHandoff(t *testing.T) {
+	l, vurl := fedListen(t)
+	// A lease TTL far beyond the test budget: if requeue waited for
+	// expiry, the assertions below could never pass in time.
+	victim := startFedMember(t, NewServer(WithLeaseTTL(30*time.Second)), l, vurl, nil)
+
+	// The thief federation's self URL is unroutable, so its loopback
+	// Submit of the stolen task fails instantly — the failed-handoff path.
+	const thiefSelf = "http://127.0.0.1:1"
+	tsrv := NewServer()
+	tfed := NewFederation(tsrv, thiefSelf, []string{vurl},
+		WithAnnounceInterval(time.Hour), WithStealInterval(time.Hour))
+	t.Cleanup(func() { tfed.Close(); tsrv.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &Client{Server: vurl}
+	if _, err := client.Submit(ctx, []Task{mkTask("s1", "stolen")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && victim.srv.Metrics().QueueDepth == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tasks, ttlMS := victim.srv.StealGrant(thiefSelf, 1)
+	if len(tasks) != 1 {
+		t.Fatalf("steal grant gave %d tasks, want 1", len(tasks))
+	}
+	if m := victim.srv.Metrics(); m.QueueDepth != 0 {
+		t.Fatalf("stolen task still queued (depth %d)", m.QueueDepth)
+	}
+
+	// A stale release — wrong attempt token — must be refused, exactly
+	// like a stale completion.
+	if victim.srv.ReleaseStolen(thiefSelf, tasks[0].ID, tasks[0].Attempt+1) {
+		t.Error("release with a stale attempt token was honoured")
+	}
+
+	// Run the thief's stolen-task path synchronously: the loopback submit
+	// fails, so it must hand the lease back over /v1/peer/release.
+	start := time.Now()
+	tfed.wg.Add(1)
+	tfed.runStolen(vurl, tasks[0], time.Duration(ttlMS)*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("failed handoff took %s — the release path is not short-circuiting", elapsed)
+	}
+
+	m := victim.srv.Metrics()
+	if m.QueueDepth != 1 {
+		t.Errorf("queue depth %d after release, want 1 (task requeued)", m.QueueDepth)
+	}
+	if m.StealReturns != 1 {
+		t.Errorf("StealReturns = %d, want 1", m.StealReturns)
+	}
+	// And a second release for the now-requeued task is a no-op.
+	if victim.srv.ReleaseStolen(thiefSelf, tasks[0].ID, tasks[0].Attempt) {
+		t.Error("release after requeue was honoured twice")
+	}
+}

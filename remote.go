@@ -120,6 +120,16 @@ func WithGridBackoff(b GridBackoff) Option {
 	return func(r *Runner) { r.gridBackoff = b }
 }
 
+// WithGridPeerSecret holds the federation's shared peer secret (the
+// helperd -peer-secret value) so the Runner's grid clients can reach
+// the authenticated peer seam — today the /v1/peer/status snapshot
+// behind GridMetrics and `helperd federate`. Job submission and result
+// streaming never need it; against an unauthenticated grid the secret
+// is simply unused.
+func WithGridPeerSecret(secret string) Option {
+	return func(r *Runner) { r.gridSecret = secret }
+}
+
 // JobProgress is one interval-granular progress event of a grid job
 // still running: which job, how far along, and what the steering engine
 // is doing right now — the Observe stream surfaced to the submitting
@@ -331,7 +341,8 @@ func (r *Runner) submitGroup(ctx context.Context, order []string, group []grid.T
 		if len(remaining) == 0 || ctx.Err() != nil {
 			return
 		}
-		client := &grid.Client{Server: peer, ClientID: r.gridClientID, Backoff: r.gridBackoff}
+		client := &grid.Client{Server: peer, ClientID: r.gridClientID,
+			Backoff: r.gridBackoff, PeerSecret: r.gridSecret}
 		var onProgress func(grid.TaskProgress)
 		// The BatchHandle only exists once SubmitStream returns, but the
 		// first progress event can beat it there; the buffered channel
@@ -438,7 +449,7 @@ func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 	reached := 0
 	var lastErr error
 	for _, peer := range gridPeers(r.grid) {
-		client := &grid.Client{Server: peer}
+		client := &grid.Client{Server: peer, PeerSecret: r.gridSecret}
 		m, err := client.Metrics(ctx)
 		if err != nil {
 			lastErr = err
@@ -459,6 +470,19 @@ func (r *Runner) GridMetrics(ctx context.Context) (GridMetrics, error) {
 		agg.EarlyStopped += m.EarlyStopped
 		agg.StealsOut += m.StealsOut
 		agg.StealsIn += m.StealsIn
+		agg.StealReturns += m.StealReturns
+		agg.PeerAuthRejected += m.PeerAuthRejected
+		agg.StorePutsDropped += m.StorePutsDropped
+		agg.StoreRemoteHits += m.StoreRemoteHits
+		agg.StoreReadRepairs += m.StoreReadRepairs
+		// Configuration gauges, not counters: report the mesh's maximum
+		// rather than a meaningless sum.
+		if m.StoreReplication > agg.StoreReplication {
+			agg.StoreReplication = m.StoreReplication
+		}
+		if m.StoreShardMembers > agg.StoreShardMembers {
+			agg.StoreShardMembers = m.StoreShardMembers
+		}
 		agg.AffinityHits += m.AffinityHits
 		agg.AffinityMisses += m.AffinityMisses
 		agg.Speculated += m.Speculated

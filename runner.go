@@ -152,6 +152,7 @@ type Runner struct {
 	gridProgress func(JobProgress)
 	gridClientID string
 	gridBackoff  GridBackoff
+	gridSecret   string
 }
 
 // Option configures a Runner.

@@ -15,7 +15,14 @@
 # tenant identities survives a SIGKILLed federation peer AND a
 # SIGKILLed autoscaled worker mid-study (the supervisor respawns it),
 # loses no job, enforces the metered tenant's rate limit (429 + client
-# retry), and still produces byte-identical results.
+# retry), and still produces byte-identical results, (g) the sharded
+# cache leg: a 3-member secreted federation runs with -store-shard 2,
+# one shard replica holder is SIGKILLed mid-ladder, results stay
+# byte-identical and the rerun — dead member still listed — is served
+# 100% from the surviving replicas (no new cache misses), and (h) the
+# auth leg: a peer started with the wrong -peer-secret is refused at
+# the gossip seam (403s counted in peer_auth_rejected) and never joins
+# the membership.
 #
 # Run it via `make grid-smoke`; it builds into a temp dir and cleans up
 # after itself.
@@ -329,5 +336,105 @@ grep -q "127.0.0.1:$PORTG" "$WORKDIR/trace_stolen.txt" || {
     echo "grid-smoke: FAIL — merged trace never names the thief"
     cat "$WORKDIR/trace_stolen.txt"; exit 1; }
 echo "grid-smoke: stolen job span tree complete across the hop ($STOLEN_ID)"
+
+# --- sharded cache tier: SIGKILL a replica holder mid-ladder ---------------
+# Three members H/I/J share a secret and shard the result store over the
+# live membership (-store-shard 2: every hash lives on two owners).
+# Workers run on H only, so the federation steals I's and J's shares.
+# I is SIGKILLed mid-ladder: the client fails its jobs over, results
+# stay byte-identical, and the rerun — with dead I still in the grid
+# list — must be answered entirely from the surviving replicas: zero
+# new cache misses on H and J combined.
+PORTH=18560
+PORTI=18561
+PORTJ=18562
+SECRET="smoke-shard-secret"
+echo "grid-smoke: 3-member sharded federation (-store-shard 2, shared secret)"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTH" -lease 750ms -peer-secret "$SECRET" \
+    -store-shard 2 -self "127.0.0.1:$PORTH" -peers "127.0.0.1:$PORTI,127.0.0.1:$PORTJ" \
+    2>"$WORKDIR/shardH.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTH"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTI" -lease 750ms -peer-secret "$SECRET" \
+    -store-shard 2 -self "127.0.0.1:$PORTI" -peers "127.0.0.1:$PORTH,127.0.0.1:$PORTJ" \
+    2>"$WORKDIR/shardI.log" &
+SHARDI_PID=$!
+PIDS="$PIDS $SHARDI_PID"
+wait_server "$PORTI"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTJ" -lease 750ms -peer-secret "$SECRET" \
+    -store-shard 2 -self "127.0.0.1:$PORTJ" -peers "127.0.0.1:$PORTH,127.0.0.1:$PORTI" \
+    2>"$WORKDIR/shardJ.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTJ"
+"$WORKDIR/helperd" work -server "127.0.0.1:$PORTH" -workers 2 -name wh 2>"$WORKDIR/wh.log" &
+PIDS="$PIDS $!"
+
+# Wait for the gossip to converge so the shard spans all three members.
+i=0
+until "$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -q '"peers": 2'; do
+    i=$((i+1))
+    [ "$i" -gt 50 ] && { echo "grid-smoke: sharded membership never converged"; exit 1; }
+    sleep 0.1
+done
+"$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -q '"store_replication": 2' || {
+    echo "grid-smoke: FAIL — -store-shard 2 not reflected in metrics"; exit 1; }
+
+echo "grid-smoke: SIGKILLing shard replica holder I mid-ladder"
+( sleep 0.5; kill -9 "$SHARDI_PID" 2>/dev/null || true ) &
+"$WORKDIR/sweep" -study ladder -n 20000 \
+    -grid "127.0.0.1:$PORTH,127.0.0.1:$PORTI,127.0.0.1:$PORTJ" \
+    > "$WORKDIR/shardkill.txt" 2>"$WORKDIR/shardkill.err"
+if ! diff "$WORKDIR/localkill.txt" "$WORKDIR/shardkill.txt"; then
+    echo "grid-smoke: FAIL — results after shard replica death differ from local run"
+    cat "$WORKDIR/shardkill.err"
+    exit 1
+fi
+echo "grid-smoke: ladder survived the replica death with identical results"
+
+# The rerun still lists dead I; its share fails over to H/J, and every
+# job must be served from a surviving replica — local or across the
+# wire — with no re-simulation anywhere.
+MH1=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+MJ1=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTJ" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+"$WORKDIR/sweep" -study ladder -n 20000 \
+    -grid "127.0.0.1:$PORTH,127.0.0.1:$PORTI,127.0.0.1:$PORTJ" \
+    > "$WORKDIR/shardrerun.txt" 2>/dev/null
+diff "$WORKDIR/shardkill.txt" "$WORKDIR/shardrerun.txt" >/dev/null || {
+    echo "grid-smoke: FAIL — sharded rerun drifted"; exit 1; }
+MH2=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+MJ2=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTJ" | grep -o '"cache_misses": [0-9]*' | grep -o '[0-9]*')
+if [ "$((${MH2:-1} + ${MJ2:-1}))" -ne "$((${MH1:-0} + ${MJ1:-0}))" ]; then
+    echo "grid-smoke: FAIL — sharded rerun re-simulated (misses H:$MH1->$MH2 J:$MJ1->$MJ2, want no change)"
+    exit 1
+fi
+DROPPED=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -o '"store_puts_dropped": [0-9]*' | grep -o '[0-9]*')
+echo "grid-smoke: sharded rerun 100% from surviving replicas (replica puts shed to the dead peer: ${DROPPED:-0})"
+
+# --- peer auth: a wrong-secret member never joins --------------------------
+# E shares the topology but not the secret: every announce it sends is
+# refused 403 (counted in peer_auth_rejected) and H's membership stays
+# at two peers.
+PORTE2=18563
+echo "grid-smoke: peer with the wrong secret knocks on the federation"
+"$WORKDIR/helperd" serve -addr "127.0.0.1:$PORTE2" -lease 750ms -peer-secret "not-$SECRET" \
+    -self "127.0.0.1:$PORTE2" -peers "127.0.0.1:$PORTH" 2>"$WORKDIR/shardE.log" &
+PIDS="$PIDS $!"
+wait_server "$PORTE2"
+i=0
+REJECTED_AUTH=0
+while [ "$i" -lt 50 ]; do
+    REJECTED_AUTH=$("$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -o '"peer_auth_rejected": [0-9]*' | grep -o '[0-9]*')
+    [ "${REJECTED_AUTH:-0}" -ge 1 ] && break
+    i=$((i+1))
+    sleep 0.1
+done
+if [ "${REJECTED_AUTH:-0}" -lt 1 ]; then
+    echo "grid-smoke: FAIL — wrong-secret peer was never rejected (peer_auth_rejected=0)"
+    exit 1
+fi
+"$WORKDIR/helperd" metrics -server "127.0.0.1:$PORTH" | grep -q '"peers": 2' || {
+    echo "grid-smoke: FAIL — wrong-secret peer made it into the membership"
+    exit 1; }
+echo "grid-smoke: wrong-secret peer refused ($REJECTED_AUTH rejects), membership unchanged"
 
 echo "grid-smoke: PASS"
